@@ -1,0 +1,147 @@
+// Benchmarks regenerating the paper's tables and claims: one benchmark per
+// experiment in the DESIGN.md index (E1–E15), plus microbenchmarks of the
+// protocol hot paths. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment benchmark reports the wall time of one full experiment
+// run; the regenerated rows themselves are printed by cmd/benchtab.
+package swishmem_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"swishmem"
+	"swishmem/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := e.Run(int64(i + 1))
+		for _, n := range res.Notes {
+			if strings.Contains(n, "SHAPE VIOLATION") || strings.Contains(n, "MISMATCH") {
+				b.Fatalf("%s: %s", id, n)
+			}
+		}
+	}
+}
+
+// BenchmarkTable1_NFAccessPatterns regenerates Table 1 (E1).
+func BenchmarkTable1_NFAccessPatterns(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2_SwitchVsServer regenerates the §3.1 throughput claim.
+func BenchmarkE2_SwitchVsServer(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3_SyncBandwidth regenerates the §6.2 bandwidth math.
+func BenchmarkE3_SyncBandwidth(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4_SROLatency regenerates the §6.1 latency characterization.
+func BenchmarkE4_SROLatency(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5_ProtocolMatrix regenerates the §5 cost matrix.
+func BenchmarkE5_ProtocolMatrix(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6_EWOConvergence regenerates the §6.2 convergence-under-loss sweep.
+func BenchmarkE6_EWOConvergence(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7_Failover regenerates the §6.3 failover/recovery measurements.
+func BenchmarkE7_Failover(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8_LWWvsCRDT regenerates the §6.2 merge comparison.
+func BenchmarkE8_LWWvsCRDT(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9_PCCViolations regenerates the §3.2 sharded-vs-replicated LB comparison.
+func BenchmarkE9_PCCViolations(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10_Memory regenerates the §7 SRAM overhead tables.
+func BenchmarkE10_Memory(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11_Batching regenerates the §7 batching trade-off.
+func BenchmarkE11_Batching(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12_DataVsControlPlane regenerates the §3.3 comparison.
+func BenchmarkE12_DataVsControlPlane(b *testing.B) { benchExperiment(b, "E12") }
+
+// --- protocol hot-path microbenchmarks ---
+
+// BenchmarkSROWriteCommit measures end-to-end replicated write throughput
+// on a 3-switch chain (virtual network; wall time is simulator overhead).
+func BenchmarkSROWriteCommit(b *testing.B) {
+	c, _ := swishmem.New(swishmem.Config{Switches: 3, Seed: 1})
+	regs, err := c.DeclareStrong("b", swishmem.StrongOptions{Capacity: 1 << 16, ValueWidth: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.RunFor(2 * time.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	committed := 0
+	for i := 0; i < b.N; i++ {
+		regs[0].Write(uint64(i%(1<<15)), []byte("12345678"), func(ok bool) {
+			if ok {
+				committed++
+			}
+		})
+		if i%256 == 255 {
+			c.RunFor(50 * time.Millisecond)
+		}
+	}
+	c.RunFor(time.Second)
+	b.StopTimer()
+	if committed == 0 {
+		b.Fatal("no writes committed")
+	}
+}
+
+// BenchmarkEWOCounterAdd measures the EWO fast path: local apply plus
+// multicast enqueue.
+func BenchmarkEWOCounterAdd(b *testing.B) {
+	c, _ := swishmem.New(swishmem.Config{Switches: 3, Seed: 1})
+	regs, err := c.DeclareCounter("b", swishmem.EventualOptions{Capacity: 1 << 16, DisableSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.RunFor(2 * time.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		regs[0].Add(uint64(i%(1<<15)), 1)
+		if i%1024 == 1023 {
+			c.RunFor(time.Millisecond)
+		}
+	}
+}
+
+// BenchmarkSROLocalRead measures the clean-key local read path.
+func BenchmarkSROLocalRead(b *testing.B) {
+	c, _ := swishmem.New(swishmem.Config{Switches: 3, Seed: 1})
+	regs, err := c.DeclareStrong("b", swishmem.StrongOptions{Capacity: 1024, ValueWidth: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.RunFor(2 * time.Millisecond)
+	regs[0].Write(1, []byte("12345678"), nil)
+	c.RunFor(10 * time.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		regs[1].Read(1, func(v []byte, ok bool) {})
+	}
+}
+
+// BenchmarkE13_ReadPathAblation regenerates the local-read ablation.
+func BenchmarkE13_ReadPathAblation(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkE14_GroupSharing regenerates the §7 group-sharing ablation.
+func BenchmarkE14_GroupSharing(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkE15_LossAnomaly regenerates the §9 anomaly-window measurement.
+func BenchmarkE15_LossAnomaly(b *testing.B) { benchExperiment(b, "E15") }

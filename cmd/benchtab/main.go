@@ -1,0 +1,54 @@
+// benchtab regenerates the paper's tables and quantitative claims (the
+// experiment index E1–E15 in DESIGN.md) and prints paper-style rows.
+//
+// Usage:
+//
+//	benchtab               # run every experiment
+//	benchtab -e E3         # one experiment by ID
+//	benchtab -e table1     # or by name
+//	benchtab -list         # list experiments
+//	benchtab -seed 7       # change the deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"swishmem/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("e", "", "experiment ID (E1..E15) or name; empty = all")
+		seed = flag.Int64("seed", 1, "deterministic seed")
+		list = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("ID    NAME                PAPER CONTENT")
+		for _, e := range experiments.All() {
+			fmt.Printf("%-5s %-19s %s\n", e.ID, e.Name, e.Paper)
+		}
+		return
+	}
+
+	run := experiments.All()
+	if *exp != "" {
+		e, ok := experiments.Find(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		run = []experiments.Experiment{e}
+	}
+
+	for _, e := range run {
+		start := time.Now()
+		res := e.Run(*seed)
+		fmt.Print(res.String())
+		fmt.Printf("  (%s finished in %v wall time)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,130 @@
+// Load balancer example: the paper's motivating scenario (§3.2). An L4 load
+// balancer runs on a cluster of switches behind an ECMP ingress. When the
+// live switch set changes (a failure) the ECMP hash re-routes most flows to
+// different switches. With switch-local (sharded) state, rerouted
+// connections get re-assigned — per-connection-consistency violations that
+// break TCP. With SwiShmem SRO state, every switch sees the same
+// connection-to-DIP table and no connection breaks.
+//
+//	go run ./examples/loadbalancer
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"swishmem"
+	"swishmem/internal/netem"
+	"swishmem/internal/nf"
+	"swishmem/internal/packet"
+	"swishmem/internal/topology"
+)
+
+const (
+	switches = 4
+	flows    = 300
+)
+
+func main() {
+	fmt.Println("L4 load balancer: sharded baseline vs SwiShmem SRO")
+	fmt.Println("scenario: ECMP ingress over 4 switches; switch 4 fails mid-run")
+	fmt.Println()
+	vSharded := run(true)
+	vRepl := run(false)
+	fmt.Println()
+	fmt.Printf("PCC violations (broken connections) out of %d flows:\n", flows)
+	fmt.Printf("  sharded baseline: %4d\n", vSharded)
+	fmt.Printf("  SwiShmem SRO:     %4d\n", vRepl)
+}
+
+// run drives the scenario and returns the number of connections that
+// observed more than one DIP (PCC violations).
+func run(sharded bool) int {
+	cluster, err := swishmem.New(swishmem.Config{Switches: switches, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lbs, err := cluster.DeployLoadBalancer("lb", swishmem.LBOptions{
+		Capacity: 1 << 14,
+		DIPs: []swishmem.Addr{
+			swishmem.Addr4(192, 168, 1, 1),
+			swishmem.Addr4(192, 168, 1, 2),
+			swishmem.Addr4(192, 168, 1, 3),
+		},
+		Sharded: sharded,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// PCC auditor: DIPs observed per connection.
+	seen := make(map[uint64]map[swishmem.Addr]bool)
+	for i, l := range lbs {
+		l := l
+		l.Egress = func(p *swishmem.Packet) {
+			k, _ := p.Flow()
+			// Reconstruct the original key (Dst was rewritten to the DIP).
+			orig := k
+			orig.Dst = packet.Addr4(203, 0, 113, 80)
+			id := nf.FlowID(orig)
+			if seen[id] == nil {
+				seen[id] = make(map[swishmem.Addr]bool)
+			}
+			seen[id][p.IP.Dst] = true
+		}
+		lbs[i].Install()
+	}
+	cluster.RunFor(2 * time.Millisecond)
+
+	// ECMP ingress over the four switches.
+	var addrs []netem.Addr
+	for i := 0; i < switches; i++ {
+		addrs = append(addrs, cluster.Switch(i).Addr())
+	}
+	ing := topology.NewIngress(topology.ECMPMod, addrs, cluster.Engine().Rand().Intn)
+	deliver := func(p *swishmem.Packet) {
+		k, _ := p.Flow()
+		if a, ok := ing.Route(k); ok {
+			cluster.Switch(int(a - 1)).InjectPacket(p)
+		}
+	}
+
+	// Phase 1: open all connections (SYN + one data packet each).
+	keys := make([]packet.FlowKey, flows)
+	for i := range keys {
+		keys[i] = packet.FlowKey{
+			Src:     packet.AddrU32(0x0b000000 + uint32(i)),
+			Dst:     packet.Addr4(203, 0, 113, 80),
+			SrcPort: uint16(1024 + i), DstPort: 80, Proto: packet.ProtoTCP,
+		}
+		deliver(packet.ForFlow(keys[i], packet.FlagSYN, 0))
+	}
+	cluster.RunFor(200 * time.Millisecond)
+	for _, k := range keys {
+		deliver(packet.ForFlow(k, packet.FlagACK, 64))
+	}
+	cluster.RunFor(50 * time.Millisecond)
+
+	// Phase 2: switch 4 fails; ECMP rehashes; connections continue.
+	cluster.FailSwitch(switches - 1)
+	ing.Fail(cluster.Switch(switches - 1).Addr())
+	cluster.RunFor(50 * time.Millisecond)
+	for _, k := range keys {
+		deliver(packet.ForFlow(k, packet.FlagACK, 64))
+	}
+	cluster.RunFor(200 * time.Millisecond)
+
+	violations := 0
+	for _, dips := range seen {
+		if len(dips) > 1 {
+			violations++
+		}
+	}
+	mode := "SwiShmem SRO"
+	if sharded {
+		mode = "sharded"
+	}
+	fmt.Printf("  [%s] %d flows tracked, %d PCC violations\n", mode, len(seen), violations)
+	return violations
+}

@@ -1,0 +1,76 @@
+// Locality example (§9): "If there is locality, i.e., some state is
+// normally used only by a subset of switches, it would not need to be
+// replicated to all switches." A register's replicas are placed on two of
+// four switches; the other two get zero-SRAM proxy handles that read at the
+// chain tail and write via the head, with the controller's directory
+// tracking placement. The proxies keep working across a failover because
+// they listen to chain reconfigurations.
+//
+//	go run ./examples/locality
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"swishmem"
+)
+
+func main() {
+	cluster, err := swishmem.New(swishmem.Config{
+		Switches: 4, Seed: 11, HeartbeatPeriod: 500 * time.Microsecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Replicas only on switches 0 and 1 — say, the two switches that serve
+	// the rack whose flows this register describes.
+	regs, err := cluster.DeclareStrong("rack-state", swishmem.StrongOptions{
+		Capacity: 4096, ValueWidth: 16,
+		ReplicaOn:    []int{0, 1},
+		RetryTimeout: 500 * time.Microsecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster.RunFor(2 * time.Millisecond)
+
+	for i := 0; i < 4; i++ {
+		fmt.Printf("switch %d SRAM for this register: %6d bytes\n",
+			i+1, regs[i].MemoryBytes())
+	}
+	id, _ := cluster.RegisterID("rack-state")
+	fmt.Printf("directory: register %d replicated on switches %v\n\n", id, cluster.Directory().Lookup(id))
+
+	// A write from a proxy switch (3) commits through the remote chain.
+	start := cluster.Now()
+	regs[3].Write(7, []byte("remote-write"), func(ok bool) {
+		fmt.Printf("proxy write committed=%v in %v\n", ok, cluster.Now()-start)
+	})
+	cluster.RunFor(10 * time.Millisecond)
+
+	// A read from the other proxy (2) is served by the tail.
+	start = cluster.Now()
+	regs[2].Read(7, func(v []byte, ok bool) {
+		fmt.Printf("proxy read %q in %v (remote, zero local SRAM)\n", v, cluster.Now()-start)
+	})
+	cluster.RunFor(10 * time.Millisecond)
+
+	// Reads at a replica are local and free.
+	start = cluster.Now()
+	regs[0].Read(7, func(v []byte, ok bool) {
+		fmt.Printf("replica read %q in %v (local)\n", v, cluster.Now()-start)
+	})
+
+	// Failover: the tail replica dies; proxies learn the new chain from the
+	// controller and keep working.
+	fmt.Println("\nfailing replica switch 2 (the tail)...")
+	cluster.FailSwitch(1)
+	cluster.RunFor(50 * time.Millisecond)
+	start = cluster.Now()
+	regs[2].Read(7, func(v []byte, ok bool) {
+		fmt.Printf("proxy read after failover: %q in %v\n", v, cluster.Now()-start)
+	})
+	cluster.RunFor(10 * time.Millisecond)
+}

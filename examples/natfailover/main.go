@@ -1,0 +1,88 @@
+// NAT failover example (§6.3): a NAT cluster loses a chain member mid-run.
+// The controller detects the failure by heartbeat timeout, shortens the
+// chain (restoring write availability), and recovers full replication by
+// snapshot-transferring state to a spare switch, which is then promoted to
+// tail. Existing translations keep working throughout — including on the
+// switches that never saw the original connection.
+//
+//	go run ./examples/natfailover
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"swishmem"
+	"swishmem/internal/packet"
+)
+
+func main() {
+	cluster, err := swishmem.New(swishmem.Config{
+		Switches: 3, Spares: 1, Seed: 5,
+		HeartbeatPeriod: 500 * time.Microsecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nats, err := cluster.DeployNAT("nat", swishmem.NATOptions{
+		Capacity:   1 << 14,
+		ExternalIP: swishmem.Addr4(203, 0, 113, 1),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := make([][]*swishmem.Packet, len(nats))
+	for i := range nats {
+		i := i
+		nats[i].Egress = func(p *swishmem.Packet) { out[i] = append(out[i], p) }
+		nats[i].Install()
+	}
+	cluster.RunFor(2 * time.Millisecond)
+
+	// Open 200 connections through switch 1.
+	fmt.Println("opening 200 connections through switch 1...")
+	for i := 0; i < 200; i++ {
+		syn := packet.NewBuilder().
+			Src(packet.Addr4(10, 0, byte(i/250), byte(i%250+1))).
+			Dst(packet.Addr4(198, 51, 100, 7)).
+			TCP(uint16(2000+i), 80, packet.FlagSYN).Build()
+		nats[0].Switch().InjectPacket(syn)
+	}
+	cluster.RunFor(300 * time.Millisecond)
+	fmt.Printf("  translations created: %d, forwarded: %d\n",
+		nats[0].Stats.NewConns.Value(), len(out[0]))
+
+	// Kill switch 2 (mid-chain).
+	fmt.Println("switch 2 fails (fail-stop)...")
+	failAt := cluster.Now()
+	cluster.FailSwitch(1)
+	cluster.RunFor(100 * time.Millisecond)
+	ctrl := cluster.Controller()
+	fmt.Printf("  controller detected failure: %v; chain reconfigs: %d; recoveries: %d\n",
+		ctrl.Dead(cluster.Switch(1).Addr()),
+		ctrl.Stats.ChainReconfig.Value(), ctrl.Stats.Recoveries.Value())
+	fmt.Printf("  (failover + spare recovery completed %v after failure)\n",
+		cluster.Now()-failAt)
+
+	// Existing connections still translate at switch 3 (which never saw
+	// them arrive) and NEW connections commit on the repaired chain.
+	before := len(out[2])
+	for i := 0; i < 200; i++ {
+		ack := packet.NewBuilder().
+			Src(packet.Addr4(10, 0, byte(i/250), byte(i%250+1))).
+			Dst(packet.Addr4(198, 51, 100, 7)).
+			TCP(uint16(2000+i), 80, packet.FlagACK).Build()
+		nats[2].Switch().InjectPacket(ack)
+	}
+	cluster.RunFor(50 * time.Millisecond)
+	fmt.Printf("existing connections via switch 3 after failover: %d/200 translated\n",
+		len(out[2])-before)
+
+	newSyn := packet.NewBuilder().Src(packet.Addr4(10, 9, 9, 9)).
+		Dst(packet.Addr4(198, 51, 100, 7)).TCP(7777, 80, packet.FlagSYN).Build()
+	nats[2].Switch().InjectPacket(newSyn)
+	cluster.RunFor(100 * time.Millisecond)
+	fmt.Printf("new connection after recovery: %d translation(s) at switch 3\n",
+		nats[2].Stats.NewConns.Value())
+}

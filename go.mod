@@ -1,0 +1,3 @@
+module swishmem
+
+go 1.22

@@ -1,0 +1,620 @@
+// Package chain implements SwiShmem's read-optimized replication protocols
+// (§6.1): SRO (Strong Read Optimized, linearizable) and ERO (Eventual Read
+// Optimized), both based on chain replication adapted to the programmable
+// switch environment.
+//
+// Protocol summary (SRO):
+//
+//   - A write at switch W is handled by W's control plane, which buffers the
+//     output packet, sends the write request to the chain head, and retries
+//     on timeout (switches are the "clients" of the chain; they have DRAM to
+//     buffer and retry, which the data plane does not — §6.1 footnote 2).
+//   - The head assigns a per-key-group sequence number, applies the write,
+//     sets the group's pending bit, and forwards down the chain.
+//   - Each member applies writes with increasing sequence numbers, sets the
+//     pending bit, and forwards to its successor.
+//   - The tail applies the write and sends an acknowledgement to the writer
+//     (which releases its buffered output packet) and to the other chain
+//     members (which clear their pending bits).
+//   - Reads are local unless the key's pending bit is set, in which case the
+//     read is forwarded to the tail — the CRAQ-derived optimization that
+//     gives linearizability without buffering reads.
+//
+// ERO is identical except reads are always local and no pending bits are
+// maintained, trading bounded read latency (and less SRAM) for windows of
+// staleness during writes.
+//
+// Departure from textbook chain replication, forced by the environment: the
+// inter-switch fabric is unreliable datagram delivery, so hop-by-hop
+// reliable in-order channels do not exist. Members therefore apply any write
+// whose sequence number exceeds the last applied for its group ("monotone
+// apply") rather than requiring exact succession; end-to-end recovery is the
+// writer's control-plane retry, which re-enters at the head and receives a
+// fresh sequence number. Under loss on chain hops this admits a bounded
+// anomaly window in which a not-yet-committed write is readable at upstream
+// switches after a later write to the same group commits; the window closes
+// when the retry commits. With lossless chain hops (the common fabric case)
+// SRO is linearizable, which the tests verify with a history checker; the
+// anomaly window under loss is measured as an experiment rather than hidden.
+// This is precisely the open-question territory the paper flags (§9).
+package chain
+
+import (
+	"fmt"
+	"time"
+
+	"swishmem/internal/netem"
+	"swishmem/internal/pisa"
+	"swishmem/internal/sim"
+	"swishmem/internal/stats"
+	"swishmem/internal/wire"
+)
+
+// Mode selects the consistency variant.
+type Mode int
+
+// Protocol modes.
+const (
+	// SRO is linearizable: pending keys read at the tail.
+	SRO Mode = iota
+	// ERO always reads locally: eventual consistency, bounded read latency,
+	// no pending-bit SRAM.
+	ERO
+)
+
+func (m Mode) String() string {
+	if m == ERO {
+		return "ERO"
+	}
+	return "SRO"
+}
+
+// Backing selects where write propagation is processed on each switch (§6.1:
+// register writes run entirely in the data plane; table state requires each
+// hop's control plane).
+type Backing int
+
+// Backing options.
+const (
+	// DataPlane processes chain messages at line rate.
+	DataPlane Backing = iota
+	// ControlPlane punts every chain message through the switch's
+	// co-processor (table-backed state), at control-plane cost.
+	ControlPlane
+)
+
+// Config describes one replicated register (array) managed by the protocol.
+type Config struct {
+	// Reg is the register identifier carried in protocol messages.
+	Reg uint16
+	// Capacity is the number of keys the register can hold.
+	Capacity int
+	// ValueWidth is the value size in bytes.
+	ValueWidth int
+	// Groups is the number of sequence/pending groups keys hash into (§7:
+	// "multiple keys can share the same sequence number and in-progress
+	// bit"). 0 means one group per key slot (no sharing).
+	Groups int
+	// Mode is SRO or ERO.
+	Mode Mode
+	// Backing selects data-plane or control-plane processing.
+	Backing Backing
+	// RetryTimeout is the writer's control-plane retransmission timeout.
+	// Default 1ms.
+	RetryTimeout sim.Duration
+	// MaxRetries bounds writer retransmissions before reporting failure.
+	// Default 100.
+	MaxRetries int
+	// AlwaysTailReads disables the CRAQ-derived local-read optimization:
+	// every read is forwarded to the tail, as in classic chain replication
+	// and NetChain. Exists for the ablation experiment that quantifies what
+	// the pending-bit optimization buys; no NF should enable it.
+	AlwaysTailReads bool
+	// Proxy declares a non-replica access point (the §9 locality
+	// extension): the node allocates no replica SRAM, never joins the
+	// chain, forwards every read to the tail, and submits writes to the
+	// head like any other writer. Use it on switches that only rarely touch
+	// a register whose replicas live elsewhere.
+	Proxy bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Groups <= 0 {
+		c.Groups = c.Capacity
+	}
+	if c.RetryTimeout == 0 {
+		c.RetryTimeout = time.Millisecond
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 100
+	}
+	return c
+}
+
+// Stats counts protocol events on one node.
+type Stats struct {
+	WritesSubmitted stats.Counter // local NF write submissions
+	WritesCommitted stats.Counter // acks received for local submissions
+	WritesFailed    stats.Counter // retries exhausted
+	Retries         stats.Counter
+	Applied         stats.Counter // writes applied from the chain
+	StaleDropped    stats.Counter // writes with stale seq (not applied)
+	ReadsLocal      stats.Counter
+	ReadsForwarded  stats.Counter // SRO pending-bit forwards to tail
+	TailReads       stats.Counter // ReadFwd served as tail
+	AcksSent        stats.Counter
+}
+
+// outstanding is one buffered write at the writer's control plane. This is
+// the "buffer P' until the write is completed" state of §6.1; it lives in
+// control-plane DRAM, not data-plane SRAM.
+type outstanding struct {
+	key     uint64
+	val     []byte
+	done    func(committed bool)
+	timer   *sim.Timer
+	retries int
+}
+
+// Node is the per-switch protocol instance for one replicated register.
+type Node struct {
+	sw  *pisa.Switch
+	cfg Config
+
+	chain wire.ChainConfig // current membership, epoch
+
+	store *pisa.KVStore // replicated values
+
+	// seqPend holds per-group protocol state: 8 bytes applied sequence
+	// number + 1 byte pending bit (§7's "sequence number and an in-progress
+	// bit per entry"). ERO allocates 8-byte entries (no pending bit).
+	seqPend *pisa.RegisterArray
+
+	nextWriteID uint64
+	pending     map[uint64]*outstanding // by WriteID
+	nextReqID   uint64
+	reads       map[uint64]func([]byte, bool) // forwarded reads by ReqID
+
+	// onCommitApplied, if set, is invoked whenever a write is applied on
+	// this node (used by recovery to track snapshot completion).
+	onApply func(w *wire.Write)
+
+	// Recovery state (§6.3): joinSeen is the joining switch's control-plane
+	// record of keys written live since the join began; snap is the donor's
+	// in-progress snapshot transfer.
+	joinSeen map[uint64]struct{}
+	snap     *snapshotXfer
+
+	Stats Stats
+}
+
+// NewNode creates the protocol instance and allocates its SRAM.
+func NewNode(sw *pisa.Switch, cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Capacity <= 0 || cfg.ValueWidth <= 0 {
+		return nil, fmt.Errorf("chain: register %d needs positive capacity and value width", cfg.Reg)
+	}
+	if cfg.Proxy {
+		// No replica state at all: reads forward, writes buffer at the
+		// control plane like any writer's.
+		return &Node{
+			sw:      sw,
+			cfg:     cfg,
+			pending: make(map[uint64]*outstanding),
+			reads:   make(map[uint64]func([]byte, bool)),
+		}, nil
+	}
+	store, err := sw.NewKVStore(fmt.Sprintf("chain-reg%d", cfg.Reg), cfg.Capacity, 8, cfg.ValueWidth)
+	if err != nil {
+		return nil, err
+	}
+	width := 9 // seq + pending bit
+	if cfg.Mode == ERO {
+		width = 8 // ERO needs no pending bit (§6.1: "saves space")
+	}
+	seqPend, err := sw.NewRegisterArray(fmt.Sprintf("chain-seq%d", cfg.Reg), cfg.Groups, width)
+	if err != nil {
+		store.Free()
+		return nil, err
+	}
+	return &Node{
+		sw:      sw,
+		cfg:     cfg,
+		store:   store,
+		seqPend: seqPend,
+		pending: make(map[uint64]*outstanding),
+		reads:   make(map[uint64]func([]byte, bool)),
+	}, nil
+}
+
+// Switch returns the owning switch.
+func (n *Node) Switch() *pisa.Switch { return n.sw }
+
+// Config returns the node's configuration (with defaults applied).
+func (n *Node) Config() Config { return n.cfg }
+
+// MemoryBytes returns the data-plane SRAM this register consumes on this
+// switch (store + sequence/pending array) — the quantity E10 sweeps.
+// Proxies consume nothing.
+func (n *Node) MemoryBytes() int {
+	if n.cfg.Proxy {
+		return 0
+	}
+	return n.store.Bytes() + n.seqPend.Bytes()
+}
+
+// SetChain installs a chain configuration (from the controller). Stale
+// epochs are ignored. A node that was joining leaves joining mode when a
+// configuration no longer names it as Joining (promotion complete).
+func (n *Node) SetChain(cc wire.ChainConfig) {
+	if cc.Epoch < n.chain.Epoch {
+		return
+	}
+	n.chain = cc
+	if n.joinSeen != nil && netem.Addr(cc.Joining) != n.sw.Addr() {
+		n.FinishJoin()
+	}
+}
+
+// Chain returns the current configuration.
+func (n *Node) Chain() wire.ChainConfig { return n.chain }
+
+// SetOnApply registers a hook invoked after every applied write.
+func (n *Node) SetOnApply(fn func(w *wire.Write)) { n.onApply = fn }
+
+func (n *Node) group(key uint64) int {
+	if n.cfg.Groups >= n.cfg.Capacity {
+		return int(key % uint64(n.cfg.Groups))
+	}
+	return pisa.HashIndex(key, n.cfg.Groups)
+}
+
+func (n *Node) appliedSeq(g int) uint64 { return n.seqPend.U64Get(g) }
+
+func (n *Node) setApplied(g int, seq uint64, pend bool) {
+	n.seqPend.U64Set(g, seq)
+	if n.cfg.Mode == SRO {
+		b := byte(0)
+		if pend {
+			b = 1
+		}
+		n.seqPend.View(g)[8] = b
+	}
+}
+
+func (n *Node) isPending(g int) bool {
+	return n.cfg.Mode == SRO && n.seqPend.View(g)[8] == 1
+}
+
+func (n *Node) clearPending(g int) {
+	if n.cfg.Mode == SRO {
+		n.seqPend.View(g)[8] = 0
+	}
+}
+
+// Role helpers.
+
+func (n *Node) head() netem.Addr {
+	if len(n.chain.Members) == 0 {
+		return 0
+	}
+	return netem.Addr(n.chain.Members[0])
+}
+
+func (n *Node) tail() netem.Addr {
+	if len(n.chain.Members) == 0 {
+		return 0
+	}
+	return netem.Addr(n.chain.Members[len(n.chain.Members)-1])
+}
+
+// IsHead reports whether this switch heads the chain.
+func (n *Node) IsHead() bool { return n.head() == n.sw.Addr() && len(n.chain.Members) > 0 }
+
+// IsTail reports whether this switch is the chain tail.
+func (n *Node) IsTail() bool { return n.tail() == n.sw.Addr() && len(n.chain.Members) > 0 }
+
+// successor returns the next hop after this switch, or 0 if none/tail.
+func (n *Node) successor() netem.Addr {
+	for i, m := range n.chain.Members {
+		if netem.Addr(m) == n.sw.Addr() {
+			if i+1 < len(n.chain.Members) {
+				return netem.Addr(n.chain.Members[i+1])
+			}
+			return 0
+		}
+	}
+	return 0
+}
+
+// Write submits a write from this switch's NF: the control plane buffers the
+// completion callback (standing in for the output packet P'), sends the
+// write to the head, and retries until acknowledged (§6.1). done is invoked
+// with committed=true when the tail acknowledgement arrives, or false when
+// retries are exhausted.
+func (n *Node) Write(key uint64, val []byte, done func(committed bool)) {
+	n.Stats.WritesSubmitted.Inc()
+	n.sw.CtrlDo(func() {
+		n.nextWriteID++
+		id := n.nextWriteID
+		o := &outstanding{key: key, val: append([]byte(nil), val...), done: done}
+		n.pending[id] = o
+		n.sendWrite(id, o)
+	})
+}
+
+func (n *Node) sendWrite(id uint64, o *outstanding) {
+	head := n.head()
+	if head == 0 {
+		// No chain installed yet; retry until the controller provides one.
+		n.scheduleRetry(id, o)
+		return
+	}
+	w := &wire.Write{
+		Reg:     n.cfg.Reg,
+		Key:     o.key,
+		Seq:     0, // head assigns
+		WriteID: id,
+		Writer:  uint16(n.sw.Addr()),
+		Epoch:   n.chain.Epoch,
+		Value:   o.val,
+	}
+	if head == n.sw.Addr() {
+		// Writer is the head: inject locally at the same processing cost
+		// path a remote write would take.
+		n.process(n.sw.Addr(), w)
+	} else {
+		n.sw.Send(head, w)
+	}
+	n.scheduleRetry(id, o)
+}
+
+func (n *Node) scheduleRetry(id uint64, o *outstanding) {
+	o.timer = n.sw.CtrlAfter(n.cfg.RetryTimeout, func() {
+		cur, ok := n.pending[id]
+		if !ok || cur != o {
+			return
+		}
+		if o.retries >= n.cfg.MaxRetries {
+			delete(n.pending, id)
+			n.Stats.WritesFailed.Inc()
+			if o.done != nil {
+				o.done(false)
+			}
+			return
+		}
+		o.retries++
+		n.Stats.Retries.Inc()
+		n.sendWrite(id, o)
+	})
+}
+
+// Read performs an NF read of key. In SRO mode a read of a pending group is
+// forwarded to the tail (§6.1); otherwise it completes synchronously from
+// the local replica. fn receives the value (nil, false on miss).
+func (n *Node) Read(key uint64, fn func(val []byte, ok bool)) {
+	if n.cfg.Proxy {
+		n.forwardRead(key, fn)
+		return
+	}
+	g := n.group(key)
+	if n.cfg.AlwaysTailReads && !n.IsTail() {
+		n.forwardRead(key, fn)
+		return
+	}
+	if n.cfg.Mode == SRO && n.isPending(g) && !n.IsTail() {
+		n.forwardRead(key, fn)
+		return
+	}
+	n.Stats.ReadsLocal.Inc()
+	v, ok := n.store.Get(key)
+	fn(v, ok)
+}
+
+// forwardRead sends the read to the tail (§6.1) and registers the reply
+// continuation.
+func (n *Node) forwardRead(key uint64, fn func(val []byte, ok bool)) {
+	n.Stats.ReadsForwarded.Inc()
+	n.nextReqID++
+	id := n.nextReqID
+	n.reads[id] = fn
+	n.sw.Send(n.tail(), &wire.ReadFwd{Reg: n.cfg.Reg, Key: key, ReqID: id, Origin: uint16(n.sw.Addr())})
+}
+
+// Get returns the local replica value without protocol involvement (for
+// audits and tests). Proxies hold no state.
+func (n *Node) Get(key uint64) ([]byte, bool) {
+	if n.cfg.Proxy {
+		return nil, false
+	}
+	return n.store.Get(key)
+}
+
+// Handle routes a protocol message to this node. It returns false if the
+// message is not for this register.
+func (n *Node) Handle(from netem.Addr, msg wire.Msg) bool {
+	switch m := msg.(type) {
+	case *wire.Write:
+		if m.Reg != n.cfg.Reg {
+			return false
+		}
+		n.dispatch(func() { n.process(from, m) })
+	case *wire.WriteAck:
+		if m.Reg != n.cfg.Reg {
+			return false
+		}
+		n.dispatch(func() { n.processAck(m) })
+	case *wire.ReadFwd:
+		if m.Reg != n.cfg.Reg {
+			return false
+		}
+		n.dispatch(func() { n.processReadFwd(m) })
+	case *wire.ReadReply:
+		if m.Reg != n.cfg.Reg {
+			return false
+		}
+		n.dispatch(func() { n.processReadReply(m) })
+	case *wire.ChainConfig:
+		n.SetChain(*m)
+	default:
+		return false
+	}
+	return true
+}
+
+// dispatch runs fn at the configured backing cost: inline for data-plane
+// registers (the caller is already in a data-plane slot), via the
+// co-processor for control-plane tables.
+func (n *Node) dispatch(fn func()) {
+	if n.cfg.Backing == ControlPlane {
+		n.sw.CtrlDo(fn)
+		return
+	}
+	fn()
+}
+
+// process handles a Write at any chain position.
+func (n *Node) process(from netem.Addr, w *wire.Write) {
+	if n.cfg.Proxy {
+		return // proxies never participate in propagation
+	}
+	if w.Snapshot {
+		n.processSnapshotWrite(w)
+		return
+	}
+	if w.Epoch != n.chain.Epoch {
+		return // stale or future configuration; writer will retry
+	}
+	if w.Seq == 0 {
+		if !n.IsHead() {
+			return // misrouted fresh write
+		}
+		g := n.group(w.Key)
+		w = &wire.Write{Reg: w.Reg, Key: w.Key, Seq: n.appliedSeq(g) + 1,
+			WriteID: w.WriteID, Writer: w.Writer, Epoch: w.Epoch, Value: w.Value}
+	}
+	n.apply(w)
+	if n.IsTail() {
+		n.commitAtTail(w)
+		return
+	}
+	if succ := n.successor(); succ != 0 {
+		n.sw.Send(succ, w)
+	}
+}
+
+// apply installs the write if its sequence number advances the group.
+func (n *Node) apply(w *wire.Write) {
+	g := n.group(w.Key)
+	if w.Seq <= n.appliedSeq(g) {
+		n.Stats.StaleDropped.Inc()
+		return
+	}
+	if err := n.store.Set(w.Key, w.Value); err != nil {
+		// Register capacity exhausted: drop; the writer's retries will fail
+		// and surface the error to the NF.
+		n.Stats.StaleDropped.Inc()
+		return
+	}
+	n.setApplied(g, w.Seq, true)
+	n.Stats.Applied.Inc()
+	if n.joinSeen != nil {
+		n.joinSeen[w.Key] = struct{}{}
+	}
+	if n.onApply != nil {
+		n.onApply(w)
+	}
+}
+
+// commitAtTail acknowledges a write: to the writer (releasing its buffered
+// output packet) and to the rest of the chain (clearing pending bits). The
+// tail's own pending bit is never set — its local value is by definition
+// committed.
+func (n *Node) commitAtTail(w *wire.Write) {
+	n.clearPending(n.group(w.Key))
+	ack := &wire.WriteAck{Reg: n.cfg.Reg, Key: w.Key, Seq: w.Seq,
+		WriteID: w.WriteID, Writer: w.Writer, Epoch: w.Epoch}
+	n.Stats.AcksSent.Inc()
+	// Ack to the writer (even if it is also a chain member).
+	if netem.Addr(w.Writer) == n.sw.Addr() {
+		n.processAck(ack)
+	} else {
+		n.sw.Send(netem.Addr(w.Writer), ack)
+	}
+	// Acks to chain members to clear pending bits (§6.1). The multicast
+	// engine sends one copy per member; the writer address is skipped if it
+	// already got one above.
+	for _, m := range n.chain.Members {
+		a := netem.Addr(m)
+		if a == n.sw.Addr() || a == netem.Addr(w.Writer) {
+			continue
+		}
+		n.sw.Send(a, ack)
+	}
+	// Forward committed writes to a joining switch so it converges while
+	// the snapshot transfer runs (§6.3 recovery).
+	if n.chain.Joining != 0 && netem.Addr(n.chain.Joining) != n.sw.Addr() {
+		n.sw.Send(netem.Addr(n.chain.Joining), &wire.Write{Reg: w.Reg, Key: w.Key, Seq: w.Seq,
+			WriteID: w.WriteID, Writer: w.Writer, Epoch: w.Epoch, Value: w.Value})
+	}
+}
+
+// processAck clears pending state at members and completes the writer's
+// outstanding write.
+func (n *Node) processAck(a *wire.WriteAck) {
+	if a.WriteID&snapIDBit != 0 {
+		n.processSnapshotAck(a)
+		return
+	}
+	if a.Epoch == n.chain.Epoch && !n.cfg.Proxy {
+		g := n.group(a.Key)
+		// The ack means the tail applied a.Seq. Clear the pending bit only
+		// if we have not applied anything newer in this group.
+		if a.Seq >= n.appliedSeq(g) {
+			n.clearPending(g)
+		}
+	}
+	if netem.Addr(a.Writer) != n.sw.Addr() {
+		return
+	}
+	if o, ok := n.pending[a.WriteID]; ok {
+		delete(n.pending, a.WriteID)
+		if o.timer != nil {
+			o.timer.Stop()
+		}
+		n.Stats.WritesCommitted.Inc()
+		if o.done != nil {
+			o.done(true)
+		}
+	}
+}
+
+// processReadFwd serves a forwarded read at the tail.
+func (n *Node) processReadFwd(r *wire.ReadFwd) {
+	if n.cfg.Proxy {
+		return
+	}
+	n.Stats.TailReads.Inc()
+	v, ok := n.store.Get(r.Key)
+	reply := &wire.ReadReply{Reg: n.cfg.Reg, Key: r.Key, ReqID: r.ReqID}
+	if ok {
+		reply.Value = v
+	} else {
+		reply.Value = nil
+	}
+	n.sw.Send(netem.Addr(r.Origin), reply)
+}
+
+// processReadReply completes a forwarded read at the origin.
+func (n *Node) processReadReply(r *wire.ReadReply) {
+	fn, ok := n.reads[r.ReqID]
+	if !ok {
+		return
+	}
+	delete(n.reads, r.ReqID)
+	fn(r.Value, len(r.Value) > 0)
+}
+
+// OutstandingWrites returns the number of buffered, unacknowledged writes at
+// this writer's control plane.
+func (n *Node) OutstandingWrites() int { return len(n.pending) }

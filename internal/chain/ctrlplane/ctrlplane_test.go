@@ -1,0 +1,123 @@
+package ctrlplane
+
+import (
+	"testing"
+	"time"
+
+	"swishmem/internal/netem"
+	"swishmem/internal/pisa"
+	"swishmem/internal/sim"
+	"swishmem/internal/timesync"
+	"swishmem/internal/wire"
+)
+
+func newRig(t testing.TB, n int, ctrlOps float64) (*sim.Engine, []*Node) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	nw := netem.New(eng, netem.LinkProfile{Latency: 10_000})
+	nodes := make([]*Node, n)
+	members := make([]uint16, n)
+	for i := 0; i < n; i++ {
+		sw := pisa.New(eng, nw, pisa.Config{Addr: netem.Addr(i + 1), CtrlOpsPerSec: ctrlOps})
+		node, err := NewNode(sw, Config{Reg: 1, Capacity: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw.SetCtrlMsgHandler(func(from netem.Addr, msg wire.Msg) {
+			node.HandleCtrl(from, msg)
+		})
+		nodes[i] = node
+		members[i] = uint16(i + 1)
+	}
+	gc := wire.GroupConfig{Epoch: 1, Members: members}
+	for _, node := range nodes {
+		if err := node.SetGroup(gc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng, nodes
+}
+
+func TestReplicationEventuallyCompletes(t *testing.T) {
+	eng, nodes := newRig(t, 3, 100_000)
+	nodes[0].Add(1, 5)
+	nodes[1].Add(1, 7)
+	eng.Run()
+	for i, n := range nodes {
+		if got := n.Sum(1); got != 12 {
+			t.Fatalf("node %d = %d, want 12", i, got)
+		}
+	}
+}
+
+func TestBacklogGrowsUnderWriteIntensity(t *testing.T) {
+	// 1000 ctrl ops/s: 500 rapid writes cannot be replicated promptly; the
+	// backlog must reach hundreds — the §3.3 scalability failure.
+	eng, nodes := newRig(t, 2, 1000)
+	for i := 0; i < 500; i++ {
+		nodes[0].Add(uint64(i%16), 1)
+	}
+	if nodes[0].Backlog() < 400 {
+		t.Fatalf("backlog = %d, expected large queue", nodes[0].Backlog())
+	}
+	// Replica lags while the queue drains.
+	eng.RunFor(10 * time.Millisecond)
+	var replicated uint64
+	for k := uint64(0); k < 16; k++ {
+		replicated += nodes[1].Sum(k)
+	}
+	if replicated >= 100 {
+		t.Fatalf("replica already has %d/500 after 10ms at 1k ops/s", replicated)
+	}
+	eng.Run()
+	var final uint64
+	for k := uint64(0); k < 16; k++ {
+		final += nodes[1].Sum(k)
+	}
+	if final != 500 {
+		t.Fatalf("final = %d, want 500", final)
+	}
+	if nodes[0].Stats.QueueHighWat.Value() < 400 {
+		t.Fatal("high watermark not recorded")
+	}
+}
+
+func TestDuplicateSafeMerge(t *testing.T) {
+	eng, nodes := newRig(t, 2, 100_000)
+	nodes[0].Add(1, 3)
+	eng.Run()
+	// Re-deliver the same announcement.
+	u := &wire.EWOUpdate{Reg: 1, From: 1, Entries: []wire.EWOEntry{{
+		Key: 1, Stamp: timesync.Stamp{Time: 3, Node: 1}}}}
+	nodes[1].HandleCtrl(1, u)
+	if nodes[1].Sum(1) != 3 {
+		t.Fatalf("duplicate inflated count: %d", nodes[1].Sum(1))
+	}
+}
+
+func TestHandleCtrlIgnoresForeign(t *testing.T) {
+	_, nodes := newRig(t, 2, 100_000)
+	if nodes[0].HandleCtrl(2, &wire.EWOUpdate{Reg: 99}) {
+		t.Fatal("foreign register consumed")
+	}
+	if nodes[0].HandleCtrl(2, &wire.Heartbeat{}) {
+		t.Fatal("heartbeat consumed")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := netem.New(eng, netem.LinkProfile{})
+	sw := pisa.New(eng, nw, pisa.Config{Addr: 1})
+	if _, err := NewNode(sw, Config{Reg: 1, Capacity: 0}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	n, err := NewNode(sw, Config{Reg: 2, Capacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]uint16, 99)
+	if err := n.SetGroup(wire.GroupConfig{Epoch: 1, Members: big}); err == nil {
+		t.Error("oversized group accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package chain
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"swishmem/internal/lincheck"
+	"swishmem/internal/netem"
+	"swishmem/internal/sim"
+)
+
+// TestDebugHistory is a development aid: reproduce a failing SRO history and
+// print it sorted by start time.
+func TestDebugHistory(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("debug helper; run with -v -run TestDebugHistory")
+	}
+	r := newRig(t, 1, 3, defCfg(), netem.LinkProfile{Latency: 20_000, Jitter: 30_000})
+	rng := r.eng.Rand()
+	type rec struct {
+		op   lincheck.Op
+		key  uint64
+		node int
+	}
+	var recs []rec
+	const keys = 3
+	const opsPerKey = 18
+	opCount := make(map[uint64]int)
+	var issue func()
+	issue = func() {
+		var key uint64
+		found := false
+		for try := 0; try < 10; try++ {
+			key = uint64(rng.Intn(keys))
+			if opCount[key] < opsPerKey {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return
+		}
+		opCount[key]++
+		ni := rng.Intn(len(r.nodes))
+		node := r.nodes[ni]
+		start := int64(r.eng.Now())
+		k := key
+		if rng.Intn(2) == 0 {
+			v := fmt.Sprintf("v%x", rng.Int31())
+			node.Write(k, []byte(v), func(ok bool) {
+				recs = append(recs, rec{lincheck.Op{Start: start, End: int64(r.eng.Now()), Write: true, Value: v}, k, ni})
+			})
+		} else {
+			node.Read(k, func(val []byte, ok bool) {
+				recs = append(recs, rec{lincheck.Op{Start: start, End: int64(r.eng.Now()), Write: false, Value: string(val)}, k, ni})
+			})
+		}
+		r.eng.After(sim.Duration(rng.Int63n(int64(300*time.Microsecond))), issue)
+	}
+	for i := 0; i < 4; i++ {
+		r.eng.After(sim.Duration(i+1), issue)
+	}
+	r.eng.Run()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].op.Start < recs[j].op.Start })
+	perKey := map[uint64][]lincheck.Op{}
+	for _, rc := range recs {
+		perKey[rc.key] = append(perKey[rc.key], rc.op)
+	}
+	for key, ops := range perKey {
+		ok := lincheck.Check(ops)
+		t.Logf("key %d linearizable: %v", key, ok)
+		if !ok {
+			for _, rc := range recs {
+				if rc.key == key {
+					t.Logf("  node=%d %v", rc.node, rc.op)
+				}
+			}
+		}
+	}
+}

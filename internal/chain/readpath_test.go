@@ -1,0 +1,54 @@
+package chain
+
+import (
+	"testing"
+
+	"swishmem/internal/netem"
+)
+
+func TestAlwaysTailReadsForwardEverything(t *testing.T) {
+	cfg := defCfg()
+	cfg.AlwaysTailReads = true
+	r := newRig(t, 1, 3, cfg, netem.LinkProfile{Latency: 10_000})
+	r.nodes[0].Write(1, val("v"), nil)
+	r.eng.Run()
+	// Clean key, but every non-tail read must still go to the tail.
+	got := ""
+	r.nodes[0].Read(1, func(v []byte, ok bool) { got = string(v) })
+	if got != "" {
+		t.Fatal("read served locally in always-tail mode")
+	}
+	r.eng.Run()
+	if got != "v" {
+		t.Fatalf("forwarded read = %q", got)
+	}
+	if r.nodes[0].Stats.ReadsForwarded.Value() != 1 || r.nodes[0].Stats.ReadsLocal.Value() != 0 {
+		t.Fatal("read accounting")
+	}
+	if r.nodes[2].Stats.TailReads.Value() != 1 {
+		t.Fatal("tail did not serve")
+	}
+	// The tail itself still reads locally.
+	tailGot := ""
+	r.nodes[2].Read(1, func(v []byte, ok bool) { tailGot = string(v) })
+	if tailGot != "v" {
+		t.Fatal("tail read not local")
+	}
+}
+
+func TestAlwaysTailReadsStillLinearizableValues(t *testing.T) {
+	cfg := defCfg()
+	cfg.AlwaysTailReads = true
+	r := newRig(t, 2, 3, cfg, netem.LinkProfile{Latency: 10_000})
+	r.nodes[1].Write(5, val("committed"), nil)
+	r.eng.Run()
+	// Reads at every position agree with the tail.
+	for i := range r.nodes {
+		got := ""
+		r.nodes[i].Read(5, func(v []byte, ok bool) { got = string(v) })
+		r.eng.Run()
+		if got != "committed" {
+			t.Fatalf("node %d read %q", i, got)
+		}
+	}
+}

@@ -1,0 +1,439 @@
+// Package controller implements the central controller SwiShmem assumes for
+// failure handling (§6.3: "We assume that a central controller can detect
+// which switches have failed") plus the directory-service extension sketched
+// in §9.
+//
+// Detection is data-plane heartbeats over the unreliable fabric with a
+// timeout. Configuration delivery, by contrast, uses the controller's
+// reliable control channel to each switch's control plane (out-of-band TCP
+// in a real deployment — the control plane, unlike the data plane, can run
+// TCP), modeled as a direct call executed at control-plane cost.
+//
+// On a chain member failure the controller:
+//  1. installs a shortened chain (restoring write availability — failover);
+//  2. if a spare switch is registered, starts recovery: the spare joins
+//     (snapshot transfer from a donor, live writes forwarded by the tail)
+//     and is promoted to tail when the transfer completes.
+//
+// On an EWO group member failure the controller simply removes the switch
+// from the multicast group; recovery is adding a switch back and waiting a
+// sync period (§6.3).
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"swishmem/internal/netem"
+	"swishmem/internal/pisa"
+	"swishmem/internal/sim"
+	"swishmem/internal/stats"
+	"swishmem/internal/wire"
+)
+
+// ChainMember is the controller's view of a chain protocol instance.
+// *chain.Node satisfies it.
+type ChainMember interface {
+	SetChain(cc wire.ChainConfig)
+	BeginJoin()
+	StartSnapshotTransfer(to netem.Addr, onComplete func())
+	Switch() *pisa.Switch
+}
+
+// GroupMember is the controller's view of an EWO protocol instance.
+// *ewo.Node satisfies it.
+type GroupMember interface {
+	SetGroup(gc wire.GroupConfig) error
+	Switch() *pisa.Switch
+}
+
+// Config holds controller parameters.
+type Config struct {
+	// Addr is the controller's network address. Required.
+	Addr netem.Addr
+	// HeartbeatPeriod is how often monitored switches beat. Default 1ms.
+	HeartbeatPeriod sim.Duration
+	// FailureTimeout is the silence threshold declaring a switch dead.
+	// Default 4x the heartbeat period.
+	FailureTimeout sim.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatPeriod == 0 {
+		c.HeartbeatPeriod = time.Millisecond
+	}
+	if c.FailureTimeout == 0 {
+		c.FailureTimeout = 4 * c.HeartbeatPeriod
+	}
+	return c
+}
+
+// Stats counts controller events.
+type Stats struct {
+	Heartbeats    stats.Counter
+	FailuresSeen  stats.Counter
+	ChainReconfig stats.Counter
+	GroupReconfig stats.Counter
+	Recoveries    stats.Counter // completed chain recoveries (spare promoted)
+}
+
+type chainState struct {
+	epoch     uint32
+	members   []ChainMember // in chain order
+	spares    []ChainMember
+	joining   ChainMember
+	listeners []ChainMember // non-member config receivers (§9 proxies)
+}
+
+type groupState struct {
+	epoch   uint32
+	members []GroupMember
+}
+
+// Controller is the central controller.
+type Controller struct {
+	eng *sim.Engine
+	net *netem.Network
+	cfg Config
+
+	lastBeat map[netem.Addr]sim.Time
+	dead     map[netem.Addr]bool
+
+	chains map[uint16]*chainState
+	groups map[uint16]*groupState
+
+	// OnFailure, if set, is invoked when a switch is declared dead.
+	OnFailure func(addr netem.Addr)
+
+	Stats Stats
+}
+
+// New creates a controller, attaches it to the network, and starts the
+// failure detection scan.
+func New(eng *sim.Engine, nw *netem.Network, cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	c := &Controller{
+		eng:      eng,
+		net:      nw,
+		cfg:      cfg,
+		lastBeat: make(map[netem.Addr]sim.Time),
+		dead:     make(map[netem.Addr]bool),
+		chains:   make(map[uint16]*chainState),
+		groups:   make(map[uint16]*groupState),
+	}
+	nw.Attach(cfg.Addr, c.receive)
+	eng.Every(cfg.HeartbeatPeriod, c.scan)
+	return c
+}
+
+// Addr returns the controller's network address.
+func (c *Controller) Addr() netem.Addr { return c.cfg.Addr }
+
+func (c *Controller) receive(from netem.Addr, payload any, size int) {
+	if _, ok := payload.(*wire.Heartbeat); !ok {
+		return
+	}
+	c.Stats.Heartbeats.Inc()
+	c.lastBeat[from] = c.eng.Now()
+	if c.dead[from] {
+		// A dead switch beating again is treated as a fresh switch by the
+		// operator workflows in this repo (recovery re-adds it explicitly),
+		// so just record it as alive for monitoring purposes.
+		delete(c.dead, from)
+	}
+}
+
+// Monitor starts heartbeats from sw to the controller (a data-plane
+// packet-generator task) and registers it for failure detection.
+func (c *Controller) Monitor(sw *pisa.Switch) {
+	c.lastBeat[sw.Addr()] = c.eng.Now()
+	seq := uint64(0)
+	sw.PacketGen(c.cfg.HeartbeatPeriod, func() {
+		seq++
+		sw.Send(c.cfg.Addr, &wire.Heartbeat{From: uint16(sw.Addr()), Seq: seq})
+	})
+}
+
+// scan declares switches dead after FailureTimeout of silence and triggers
+// reconfiguration.
+func (c *Controller) scan() {
+	now := c.eng.Now()
+	for addr, last := range c.lastBeat {
+		if c.dead[addr] || now.Sub(last) < c.cfg.FailureTimeout {
+			continue
+		}
+		c.dead[addr] = true
+		c.Stats.FailuresSeen.Inc()
+		c.handleFailure(addr)
+		if c.OnFailure != nil {
+			c.OnFailure(addr)
+		}
+	}
+}
+
+// Dead reports whether the controller has declared addr failed.
+func (c *Controller) Dead(addr netem.Addr) bool { return c.dead[addr] }
+
+// --- chain management ---
+
+// ManageChain registers a chain for register reg: members in chain order,
+// plus spare switches available for recovery. The initial configuration is
+// pushed immediately.
+func (c *Controller) ManageChain(reg uint16, members, spares []ChainMember) {
+	cs := &chainState{members: members, spares: spares}
+	c.chains[reg] = cs
+	c.pushChain(cs)
+}
+
+// AttachChainListener registers a non-member configuration receiver for
+// reg's chain: it gets every ChainConfig push (including future failover
+// reconfigurations) without ever being part of the chain. Used by the §9
+// locality extension's proxy handles, which must know the current head and
+// tail to route their remote operations.
+func (c *Controller) AttachChainListener(reg uint16, m ChainMember) {
+	cs, ok := c.chains[reg]
+	if !ok {
+		return
+	}
+	cs.listeners = append(cs.listeners, m)
+	// Deliver the current configuration immediately.
+	cc := wire.ChainConfig{Epoch: cs.epoch}
+	for _, mem := range cs.members {
+		cc.Members = append(cc.Members, uint16(mem.Switch().Addr()))
+	}
+	if cs.joining != nil {
+		cc.Joining = uint16(cs.joining.Switch().Addr())
+	}
+	m.Switch().CtrlDo(func() { m.SetChain(cc) })
+}
+
+// ChainEpoch returns the chain's current epoch (for tests/metrics).
+func (c *Controller) ChainEpoch(reg uint16) uint32 {
+	if cs, ok := c.chains[reg]; ok {
+		return cs.epoch
+	}
+	return 0
+}
+
+// pushChain bumps the epoch and delivers the configuration to every member
+// (and joining switch) over the reliable control channel.
+func (c *Controller) pushChain(cs *chainState) {
+	cs.epoch++
+	c.Stats.ChainReconfig.Inc()
+	cc := wire.ChainConfig{Epoch: cs.epoch}
+	for _, m := range cs.members {
+		cc.Members = append(cc.Members, uint16(m.Switch().Addr()))
+	}
+	if cs.joining != nil {
+		cc.Joining = uint16(cs.joining.Switch().Addr())
+	}
+	targets := append([]ChainMember(nil), cs.members...)
+	if cs.joining != nil {
+		targets = append(targets, cs.joining)
+	}
+	targets = append(targets, cs.listeners...)
+	for _, m := range targets {
+		cfg := cc
+		node := m
+		node.Switch().CtrlDo(func() { node.SetChain(cfg) })
+	}
+}
+
+// handleFailure routes around addr in every chain and group.
+func (c *Controller) handleFailure(addr netem.Addr) {
+	for _, cs := range c.chains {
+		c.failChainMember(cs, addr)
+	}
+	for _, gs := range c.groups {
+		c.failGroupMember(gs, addr)
+	}
+}
+
+func (c *Controller) failChainMember(cs *chainState, addr netem.Addr) {
+	idx := -1
+	for i, m := range cs.members {
+		if m.Switch().Addr() == addr {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		// A failed spare or joining switch just drops out.
+		cs.spares = removeMember(cs.spares, addr)
+		if cs.joining != nil && cs.joining.Switch().Addr() == addr {
+			cs.joining = nil
+			c.pushChain(cs)
+		}
+		return
+	}
+	// Failover: shorten the chain (restores write availability; writers'
+	// control planes re-send in-flight writes against the new epoch).
+	cs.members = append(cs.members[:idx:idx], cs.members[idx+1:]...)
+	c.pushChain(cs)
+	if len(cs.members) == 0 {
+		return
+	}
+	if cs.joining != nil {
+		// A snapshot transfer was interrupted by the reconfiguration: its
+		// writes carry the old epoch and the joining switch rejects them,
+		// so restart the transfer under the new epoch.
+		c.beginTransfer(cs)
+		return
+	}
+	// Recovery: bring in a spare if one is available.
+	if len(cs.spares) > 0 {
+		c.startRecovery(cs)
+	}
+}
+
+func removeMember(ms []ChainMember, addr netem.Addr) []ChainMember {
+	out := ms[:0]
+	for _, m := range ms {
+		if m.Switch().Addr() != addr {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// startRecovery begins the §6.3 recovery flow with the first spare.
+func (c *Controller) startRecovery(cs *chainState) {
+	spare := cs.spares[0]
+	cs.spares = cs.spares[1:]
+	cs.joining = spare
+	spare.Switch().CtrlDo(spare.BeginJoin)
+	c.pushChain(cs) // config with Joining set: tail starts forwarding commits
+	c.beginTransfer(cs)
+}
+
+// beginTransfer (re)starts the snapshot transfer for the current joining
+// switch and promotes it to tail on completion. The epoch guard abandons
+// the promotion if the chain reconfigures mid-transfer; the reconfiguration
+// path calls beginTransfer again under the new epoch.
+func (c *Controller) beginTransfer(cs *chainState) {
+	spare := cs.joining
+	donor := cs.members[0]
+	epochAtStart := cs.epoch
+	donor.StartSnapshotTransfer(spare.Switch().Addr(), func() {
+		// Promote unless the world changed underneath the transfer.
+		if cs.joining != spare || cs.epoch != epochAtStart {
+			return
+		}
+		cs.members = append(cs.members, spare)
+		cs.joining = nil
+		c.pushChain(cs)
+		c.Stats.Recoveries.Inc()
+	})
+}
+
+// ReplaceChainMember performs a planned migration (§9: "migrating data as
+// needed"): newM joins the chain of register reg exactly like a recovery
+// spare (snapshot transfer + live-write forwarding), and once promoted the
+// old member is removed from the chain. Unlike failure recovery, the old
+// switch keeps serving throughout, so there is no availability gap. The
+// returned error reports an unknown register, a busy chain (a join already
+// in progress), or an old member that is not in the chain.
+func (c *Controller) ReplaceChainMember(reg uint16, old netem.Addr, newM ChainMember) error {
+	cs, ok := c.chains[reg]
+	if !ok {
+		return fmt.Errorf("controller: no chain for register %d", reg)
+	}
+	if cs.joining != nil {
+		return fmt.Errorf("controller: chain %d already has a join in progress", reg)
+	}
+	idx := -1
+	for i, m := range cs.members {
+		if m.Switch().Addr() == old {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("controller: switch %d is not a member of chain %d", old, reg)
+	}
+	cs.joining = newM
+	newM.Switch().CtrlDo(newM.BeginJoin)
+	c.pushChain(cs) // Joining set: tail forwards fresh commits
+	donor := cs.members[0]
+	if donor.Switch().Addr() == old && len(cs.members) > 1 {
+		donor = cs.members[1] // do not snapshot from the switch being retired
+	}
+	epochAtStart := cs.epoch
+	donor.StartSnapshotTransfer(newM.Switch().Addr(), func() {
+		if cs.joining != newM || cs.epoch != epochAtStart {
+			return
+		}
+		// Promote the new member to tail and retire the old one.
+		cs.members = append(cs.members, newM)
+		cs.joining = nil
+		out := cs.members[:0]
+		for _, m := range cs.members {
+			if m.Switch().Addr() != old {
+				out = append(out, m)
+			}
+		}
+		cs.members = out
+		c.pushChain(cs)
+		c.Stats.Recoveries.Inc()
+	})
+	return nil
+}
+
+// --- group management ---
+
+// ManageGroup registers an EWO replica group for register reg and pushes
+// the initial membership.
+func (c *Controller) ManageGroup(reg uint16, members []GroupMember) {
+	gs := &groupState{members: members}
+	c.groups[reg] = gs
+	c.pushGroup(gs)
+}
+
+// AddGroupMember performs EWO recovery: add the switch to the multicast
+// group; the periodic synchronization brings it up to date (§6.3).
+func (c *Controller) AddGroupMember(reg uint16, m GroupMember) {
+	gs, ok := c.groups[reg]
+	if !ok {
+		return
+	}
+	gs.members = append(gs.members, m)
+	c.pushGroup(gs)
+}
+
+func (c *Controller) pushGroup(gs *groupState) {
+	gs.epoch++
+	c.Stats.GroupReconfig.Inc()
+	gc := wire.GroupConfig{Epoch: gs.epoch}
+	for _, m := range gs.members {
+		gc.Members = append(gc.Members, uint16(m.Switch().Addr()))
+	}
+	for _, m := range gs.members {
+		cfg := gc
+		node := m
+		node.Switch().CtrlDo(func() { _ = node.SetGroup(cfg) })
+	}
+}
+
+func (c *Controller) failGroupMember(gs *groupState, addr netem.Addr) {
+	out := gs.members[:0]
+	removed := false
+	for _, m := range gs.members {
+		if m.Switch().Addr() == addr {
+			removed = true
+			continue
+		}
+		out = append(out, m)
+	}
+	gs.members = out
+	if removed {
+		c.pushGroup(gs)
+	}
+}
+
+// GroupSize returns the current membership size of reg's group.
+func (c *Controller) GroupSize(reg uint16) int {
+	if gs, ok := c.groups[reg]; ok {
+		return len(gs.members)
+	}
+	return 0
+}

@@ -1,0 +1,567 @@
+// Package ewo implements SwiShmem's Eventual Write Optimized registers
+// (§6.2): low-cost reads and writes with eventual consistency, for the
+// write-intensive NFs of §4.2 (DDoS sketches, rate-limiter meters).
+//
+// Protocol: a write is applied to the local replica and the output packet
+// released immediately; the update is then broadcast asynchronously to the
+// replica group using egress mirroring + the multicast engine (§7),
+// optionally batched (§7 "Bandwidth overhead"). Lost updates (challenge C1)
+// are repaired by a periodic data-plane synchronization implemented with the
+// switch packet generator: every sync period the switch walks its register
+// array and sends its contents to a randomly selected group member,
+// trading the switch's abundant bandwidth for buffer memory — the §6.2
+// design principle (10 MB/1 ms over 5 Tbps ≈ 1% of switch bandwidth).
+//
+// Merging (challenge C2) supports the two schemes of §6.2:
+//
+//   - LWW: each register carries a version stamp (synchronized clock with a
+//     switch-ID tie breaker); the merge keeps the larger stamp. Eventually
+//     consistent; concurrent increments to the same register can be lost —
+//     which experiment E8 measures.
+//   - Counter (CRDT): a G-counter vector with one slot per group member;
+//     increments touch only the local slot, merges take the element-wise
+//     max, reads sum the vector. Strong eventual consistency and
+//     monotonicity; PN-counters add a decrement vector.
+package ewo
+
+import (
+	"fmt"
+	"time"
+
+	"swishmem/internal/netem"
+	"swishmem/internal/pisa"
+	"swishmem/internal/sim"
+	"swishmem/internal/stats"
+	"swishmem/internal/timesync"
+	"swishmem/internal/wire"
+)
+
+// Kind selects the merge discipline.
+type Kind int
+
+// Register kinds.
+const (
+	// LWW is a generic last-writer-wins register.
+	LWW Kind = iota
+	// Counter is an increment-only G-counter CRDT.
+	Counter
+	// PNCounter supports increments and decrements (two G-counters).
+	PNCounter
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Counter:
+		return "Counter"
+	case PNCounter:
+		return "PNCounter"
+	default:
+		return "LWW"
+	}
+}
+
+// Config describes one EWO register array.
+type Config struct {
+	// Reg is the register identifier in protocol messages.
+	Reg uint16
+	// Capacity is the number of keys.
+	Capacity int
+	// ValueWidth is the LWW value size in bytes (ignored for counters).
+	ValueWidth int
+	// Kind selects LWW or counter semantics.
+	Kind Kind
+	// MaxGroup is the largest replica group supported; counter vectors
+	// reserve SRAM for this many slots per key (§7: "one register array for
+	// each switch in the replica group"). Default 8.
+	MaxGroup int
+	// SyncPeriod is the periodic synchronization interval (0 disables).
+	// Default 1ms, the paper's example.
+	SyncPeriod sim.Duration
+	// SyncDisabled turns off periodic sync (for experiments isolating the
+	// per-write multicast path).
+	SyncDisabled bool
+	// Batch is the number of write updates coalesced into one multicast
+	// (§7 batching). Default 1 (send immediately).
+	Batch int
+	// BatchTimeout bounds how long a partial batch may wait before being
+	// flushed anyway, capping the staleness/availability cost §7 attributes
+	// to batching. 0 disables the timer (a partial batch waits for the
+	// batch to fill or for Flush/periodic sync).
+	BatchTimeout sim.Duration
+	// SyncEntriesPerPacket bounds entries per periodic-sync packet (an MTU
+	// stand-in). Default 64.
+	SyncEntriesPerPacket int
+	// ClockSkew bounds the synchronized clock offset used for LWW stamps.
+	// Default 50ns (the paper cites tens-of-nanoseconds data-plane sync).
+	ClockSkew sim.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxGroup == 0 {
+		c.MaxGroup = 8
+	}
+	if c.SyncPeriod == 0 {
+		c.SyncPeriod = time.Millisecond
+	}
+	if c.Batch <= 0 {
+		c.Batch = 1
+	}
+	if c.SyncEntriesPerPacket <= 0 {
+		c.SyncEntriesPerPacket = 64
+	}
+	if c.ClockSkew == 0 {
+		c.ClockSkew = 50 * time.Nanosecond
+	}
+	return c
+}
+
+// Stats counts protocol events.
+type Stats struct {
+	Writes        stats.Counter
+	Reads         stats.Counter
+	UpdatesSent   stats.Counter // multicast delta packets
+	UpdatesRecv   stats.Counter
+	EntriesMerged stats.Counter // entries that changed local state
+	EntriesStale  stats.Counter // entries discarded by merge
+	SyncPackets   stats.Counter // periodic sync packets sent
+}
+
+type lwwCell struct {
+	val   []byte
+	stamp timesync.Stamp
+}
+
+// Node is the per-switch protocol instance for one EWO register array.
+type Node struct {
+	sw    *pisa.Switch
+	cfg   Config
+	clock *timesync.Synced
+
+	epoch uint32
+	group []netem.Addr
+
+	// LWW state.
+	lww map[uint64]lwwCell
+	// Counter state: key -> owner switch -> slot value. inc for Counter and
+	// PNCounter, dec only for PNCounter.
+	inc map[uint64]map[uint16]uint64
+	dec map[uint64]map[uint16]uint64
+
+	// SRAM accounting vehicles (state layout per §7).
+	mem []*pisa.RegisterArray
+
+	// Pending batched deltas.
+	pending    []wire.EWOEntry
+	batchTimer *sim.Timer
+	ticker     *sim.Ticker
+	// syncCursor walks keys across periodic sync rounds.
+	syncKeys   []uint64
+	syncCursor int
+
+	Stats Stats
+}
+
+// NewNode allocates the register array on sw.
+func NewNode(sw *pisa.Switch, cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("ewo: register %d needs positive capacity", cfg.Reg)
+	}
+	if cfg.Kind == LWW && cfg.ValueWidth <= 0 {
+		return nil, fmt.Errorf("ewo: LWW register %d needs positive value width", cfg.Reg)
+	}
+	n := &Node{
+		sw:    sw,
+		cfg:   cfg,
+		clock: timesync.NewSynced(sw.Engine(), timesync.NodeID(sw.Addr()), cfg.ClockSkew),
+	}
+	// Charge SRAM per the §7 layout.
+	switch cfg.Kind {
+	case LWW:
+		// One (version, value) pair per key: 10-byte stamp + value.
+		ra, err := sw.NewRegisterArray(fmt.Sprintf("ewo-lww%d", cfg.Reg), cfg.Capacity, 10+cfg.ValueWidth)
+		if err != nil {
+			return nil, err
+		}
+		n.mem = append(n.mem, ra)
+		n.lww = make(map[uint64]lwwCell)
+	case Counter, PNCounter:
+		// One register array per group member, each (version, value) =
+		// 16 bytes per key; PN doubles it.
+		mult := 1
+		if cfg.Kind == PNCounter {
+			mult = 2
+		}
+		ra, err := sw.NewRegisterArray(fmt.Sprintf("ewo-ctr%d", cfg.Reg), cfg.Capacity*cfg.MaxGroup*mult, 16)
+		if err != nil {
+			return nil, err
+		}
+		n.mem = append(n.mem, ra)
+		n.inc = make(map[uint64]map[uint16]uint64)
+		if cfg.Kind == PNCounter {
+			n.dec = make(map[uint64]map[uint16]uint64)
+		}
+	}
+	if !cfg.SyncDisabled {
+		n.ticker = sw.PacketGen(cfg.SyncPeriod, n.syncRound)
+	}
+	return n, nil
+}
+
+// Switch returns the owning switch.
+func (n *Node) Switch() *pisa.Switch { return n.sw }
+
+// Config returns the defaulted configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// MemoryBytes returns the SRAM footprint of this register on this switch.
+func (n *Node) MemoryBytes() int {
+	total := 0
+	for _, ra := range n.mem {
+		total += ra.Bytes()
+	}
+	return total
+}
+
+// SetGroup installs the replica group (from the controller). Stale epochs
+// are ignored. Group size beyond MaxGroup is rejected loudly: the SRAM
+// reservation cannot hold more slots.
+func (n *Node) SetGroup(gc wire.GroupConfig) error {
+	if gc.Epoch < n.epoch {
+		return nil
+	}
+	if len(gc.Members) > n.cfg.MaxGroup {
+		return fmt.Errorf("ewo: group of %d exceeds MaxGroup %d", len(gc.Members), n.cfg.MaxGroup)
+	}
+	n.epoch = gc.Epoch
+	n.group = n.group[:0]
+	for _, m := range gc.Members {
+		n.group = append(n.group, netem.Addr(m))
+	}
+	return nil
+}
+
+// Group returns the current replica group.
+func (n *Node) Group() []netem.Addr { return n.group }
+
+// Stop cancels the periodic synchronization ticker.
+func (n *Node) Stop() {
+	if n.ticker != nil {
+		n.ticker.Stop()
+	}
+}
+
+// --- LWW operations ---
+
+// Write stores val under key with a fresh stamp and schedules its broadcast.
+// It returns immediately ("emits any output packet P' immediately" — §6.2).
+func (n *Node) Write(key uint64, val []byte) {
+	if n.cfg.Kind != LWW {
+		panic("ewo: Write on counter register; use Add")
+	}
+	n.Stats.Writes.Inc()
+	if len(val) > n.cfg.ValueWidth {
+		val = val[:n.cfg.ValueWidth]
+	}
+	st := n.clock.Now()
+	n.lww[key] = lwwCell{val: append([]byte(nil), val...), stamp: st}
+	n.enqueue(wire.EWOEntry{Key: key, Stamp: st, Value: append([]byte(nil), val...)})
+}
+
+// Read returns the local LWW value.
+func (n *Node) Read(key uint64) ([]byte, bool) {
+	if n.cfg.Kind != LWW {
+		panic("ewo: Read on counter register; use Sum")
+	}
+	n.Stats.Reads.Inc()
+	c, ok := n.lww[key]
+	return c.val, ok
+}
+
+// --- Counter operations ---
+
+func slotMap(m map[uint64]map[uint16]uint64, key uint64) map[uint16]uint64 {
+	s, ok := m[key]
+	if !ok {
+		s = make(map[uint16]uint64)
+		m[key] = s
+	}
+	return s
+}
+
+// Add increments key's counter by delta (data-plane cost, non-blocking).
+func (n *Node) Add(key uint64, delta uint64) {
+	if n.cfg.Kind == LWW {
+		panic("ewo: Add on LWW register; use Write")
+	}
+	n.Stats.Writes.Inc()
+	self := uint16(n.sw.Addr())
+	s := slotMap(n.inc, key)
+	s[self] += delta
+	n.enqueue(counterEntry(key, self, s[self], false))
+}
+
+// Sub decrements key's counter (PNCounter only).
+func (n *Node) Sub(key uint64, delta uint64) {
+	if n.cfg.Kind != PNCounter {
+		panic("ewo: Sub requires a PNCounter register")
+	}
+	n.Stats.Writes.Inc()
+	self := uint16(n.sw.Addr())
+	s := slotMap(n.dec, key)
+	s[self] += delta
+	n.enqueue(counterEntry(key, self, s[self], true))
+}
+
+// counterEntry encodes a slot announcement: Stamp.Node carries the slot
+// owner, Stamp.Time the slot value (slot values are monotone, so the value
+// doubles as the version — the §7 "version number and value" pair collapses
+// for counters). Value[0] distinguishes the decrement vector.
+func counterEntry(key uint64, owner uint16, slotVal uint64, isDec bool) wire.EWOEntry {
+	v := []byte{0}
+	if isDec {
+		v[0] = 1
+	}
+	return wire.EWOEntry{
+		Key:   key,
+		Stamp: timesync.Stamp{Time: sim.Time(slotVal), Node: timesync.NodeID(owner)},
+		Value: v,
+	}
+}
+
+// Sum reads the counter: sum of increment slots minus decrement slots.
+func (n *Node) Sum(key uint64) uint64 {
+	if n.cfg.Kind == LWW {
+		panic("ewo: Sum on LWW register; use Read")
+	}
+	n.Stats.Reads.Inc()
+	var total uint64
+	for _, v := range n.inc[key] {
+		total += v
+	}
+	if n.cfg.Kind == PNCounter {
+		for _, v := range n.dec[key] {
+			total -= v
+		}
+	}
+	return total
+}
+
+// --- replication ---
+
+// enqueue batches a delta and flushes when the batch is full; a partial
+// batch is flushed by the batch timer (if configured).
+func (n *Node) enqueue(e wire.EWOEntry) {
+	n.pending = append(n.pending, e)
+	if len(n.pending) >= n.cfg.Batch {
+		n.Flush()
+		return
+	}
+	if n.cfg.BatchTimeout > 0 && (n.batchTimer == nil || !n.batchTimer.Pending()) {
+		n.batchTimer = n.sw.Engine().After(n.cfg.BatchTimeout, n.Flush)
+	}
+}
+
+// Flush multicasts pending deltas to the group via egress mirroring (§7).
+func (n *Node) Flush() {
+	if n.batchTimer != nil {
+		n.batchTimer.Stop()
+	}
+	if len(n.pending) == 0 || len(n.group) == 0 {
+		n.pending = n.pending[:0]
+		return
+	}
+	u := &wire.EWOUpdate{
+		Reg:     n.cfg.Reg,
+		From:    uint16(n.sw.Addr()),
+		Entries: n.pending,
+	}
+	n.sw.Multicast(n.group, u)
+	n.Stats.UpdatesSent.Inc()
+	n.pending = nil
+}
+
+// PendingDeltas returns the number of unflushed batched deltas.
+func (n *Node) PendingDeltas() int { return len(n.pending) }
+
+// Handle routes a protocol message to this node; it reports whether the
+// message was consumed.
+func (n *Node) Handle(from netem.Addr, msg wire.Msg) bool {
+	switch m := msg.(type) {
+	case *wire.EWOUpdate:
+		if m.Reg != n.cfg.Reg {
+			return false
+		}
+		n.Stats.UpdatesRecv.Inc()
+		for i := range m.Entries {
+			n.merge(&m.Entries[i])
+		}
+		return true
+	case *wire.GroupConfig:
+		n.SetGroup(*m)
+		return true
+	}
+	return false
+}
+
+// merge applies one received entry under the register's merge discipline.
+func (n *Node) merge(e *wire.EWOEntry) {
+	switch n.cfg.Kind {
+	case LWW:
+		cur, ok := n.lww[e.Key]
+		if ok && !cur.stamp.Less(e.Stamp) {
+			n.Stats.EntriesStale.Inc()
+			return
+		}
+		n.lww[e.Key] = lwwCell{val: append([]byte(nil), e.Value...), stamp: e.Stamp}
+		n.Stats.EntriesMerged.Inc()
+	case Counter, PNCounter:
+		owner := uint16(e.Stamp.Node)
+		slotVal := uint64(e.Stamp.Time)
+		m := n.inc
+		if len(e.Value) > 0 && e.Value[0] == 1 {
+			if n.cfg.Kind != PNCounter {
+				n.Stats.EntriesStale.Inc()
+				return
+			}
+			m = n.dec
+		}
+		s := slotMap(m, e.Key)
+		if slotVal > s[owner] {
+			s[owner] = slotVal
+			n.Stats.EntriesMerged.Inc()
+		} else {
+			n.Stats.EntriesStale.Inc()
+		}
+	}
+}
+
+// syncRound is the packet-generator task: walk a window of the register
+// array and send its contents to a randomly selected group member (§7).
+func (n *Node) syncRound() {
+	if len(n.group) < 2 {
+		return
+	}
+	// Refresh the key walk when exhausted.
+	if n.syncCursor >= len(n.syncKeys) {
+		n.syncKeys = n.syncKeys[:0]
+		switch n.cfg.Kind {
+		case LWW:
+			for k := range n.lww {
+				n.syncKeys = append(n.syncKeys, k)
+			}
+		default:
+			for k := range n.inc {
+				n.syncKeys = append(n.syncKeys, k)
+			}
+			for k := range n.dec {
+				if _, dup := n.inc[k]; !dup {
+					n.syncKeys = append(n.syncKeys, k)
+				}
+			}
+		}
+		n.syncCursor = 0
+	}
+	if len(n.syncKeys) == 0 {
+		return
+	}
+	end := n.syncCursor + n.cfg.SyncEntriesPerPacket
+	if end > len(n.syncKeys) {
+		end = len(n.syncKeys)
+	}
+	var entries []wire.EWOEntry
+	for _, k := range n.syncKeys[n.syncCursor:end] {
+		entries = append(entries, n.entriesFor(k)...)
+	}
+	n.syncCursor = end
+	if len(entries) == 0 {
+		return
+	}
+	// Random member other than self.
+	var target netem.Addr
+	for tries := 0; tries < 8; tries++ {
+		target = n.group[n.sw.Engine().Rand().Intn(len(n.group))]
+		if target != n.sw.Addr() {
+			break
+		}
+	}
+	if target == n.sw.Addr() {
+		return
+	}
+	u := &wire.EWOUpdate{Reg: n.cfg.Reg, From: uint16(n.sw.Addr()), Sync: true, Entries: entries}
+	n.sw.Send(target, u)
+	n.Stats.SyncPackets.Inc()
+}
+
+// entriesFor returns the sync entries describing key's full local state —
+// for counters this gossips every known slot, so updates survive the
+// failure of their original writer (§6.3: "any switch that did receive the
+// update can then synchronize the other switches").
+func (n *Node) entriesFor(key uint64) []wire.EWOEntry {
+	switch n.cfg.Kind {
+	case LWW:
+		c, ok := n.lww[key]
+		if !ok {
+			return nil
+		}
+		return []wire.EWOEntry{{Key: key, Stamp: c.stamp, Value: c.val}}
+	default:
+		var out []wire.EWOEntry
+		for owner, v := range n.inc[key] {
+			out = append(out, counterEntry(key, owner, v, false))
+		}
+		for owner, v := range n.dec[key] {
+			out = append(out, counterEntry(key, owner, v, true))
+		}
+		return out
+	}
+}
+
+// Keys returns the number of locally known keys.
+func (n *Node) Keys() int {
+	if n.cfg.Kind == LWW {
+		return len(n.lww)
+	}
+	keys := len(n.inc)
+	for k := range n.dec {
+		if _, dup := n.inc[k]; !dup {
+			keys++
+		}
+	}
+	return keys
+}
+
+// StateDigest summarizes local state for convergence checks: for LWW a map
+// of key to stamp; for counters a map of key to summed value.
+func (n *Node) StateDigest() map[uint64]string {
+	out := make(map[uint64]string)
+	switch n.cfg.Kind {
+	case LWW:
+		for k, c := range n.lww {
+			out[k] = fmt.Sprintf("%v:%x", c.stamp, c.val)
+		}
+	default:
+		for k := range n.inc {
+			out[k] = fmt.Sprintf("%d", n.sumNoStats(k))
+		}
+		for k := range n.dec {
+			if _, dup := n.inc[k]; !dup {
+				out[k] = fmt.Sprintf("%d", n.sumNoStats(k))
+			}
+		}
+	}
+	return out
+}
+
+func (n *Node) sumNoStats(key uint64) uint64 {
+	var total uint64
+	for _, v := range n.inc[key] {
+		total += v
+	}
+	if n.cfg.Kind == PNCounter {
+		for _, v := range n.dec[key] {
+			total -= v
+		}
+	}
+	return total
+}

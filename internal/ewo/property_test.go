@@ -1,0 +1,195 @@
+package ewo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"swishmem/internal/netem"
+	"swishmem/internal/pisa"
+	"swishmem/internal/sim"
+	"swishmem/internal/timesync"
+	"swishmem/internal/wire"
+)
+
+// mkIsolated builds a node with no network activity, for direct merge tests.
+func mkIsolated(t testing.TB, kind Kind, addr netem.Addr) *Node {
+	t.Helper()
+	eng := sim.NewEngine(int64(addr))
+	nw := netem.New(eng, netem.LinkProfile{})
+	sw := pisa.New(eng, nw, pisa.Config{Addr: addr})
+	cfg := Config{Reg: 1, Capacity: 4096, ValueWidth: 8, Kind: kind, SyncDisabled: true}
+	n, err := NewNode(sw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func digestEqual(a, b map[uint64]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: LWW merge is order-insensitive — applying the same entry set in
+// any two permutations yields identical state (strong eventual consistency
+// of the merge function itself).
+func TestLWWMergeOrderInsensitive(t *testing.T) {
+	f := func(keys []uint8, times []int16, nodes []uint8, seed int64) bool {
+		n := len(keys)
+		if len(times) < n {
+			n = len(times)
+		}
+		if len(nodes) < n {
+			n = len(nodes)
+		}
+		if n == 0 {
+			return true
+		}
+		entries := make([]wire.EWOEntry, n)
+		for i := 0; i < n; i++ {
+			entries[i] = wire.EWOEntry{
+				Key:   uint64(keys[i] % 8),
+				Stamp: timesync.Stamp{Time: sim.Time(times[i]), Node: timesync.NodeID(nodes[i])},
+				Value: []byte{keys[i], nodes[i]},
+			}
+		}
+		a := mkIsolated(t, LWW, 1)
+		b := mkIsolated(t, LWW, 2)
+		for i := range entries {
+			a.merge(&entries[i])
+		}
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(n)
+		for _, i := range perm {
+			b.merge(&entries[i])
+		}
+		return digestEqual(a.StateDigest(), b.StateDigest())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LWW merge is idempotent — applying an entry twice equals once.
+func TestLWWMergeIdempotent(t *testing.T) {
+	f := func(key uint8, tm int16, node uint8, v uint8) bool {
+		e := wire.EWOEntry{
+			Key:   uint64(key),
+			Stamp: timesync.Stamp{Time: sim.Time(tm), Node: timesync.NodeID(node)},
+			Value: []byte{v},
+		}
+		a := mkIsolated(t, LWW, 1)
+		b := mkIsolated(t, LWW, 2)
+		a.merge(&e)
+		b.merge(&e)
+		b.merge(&e)
+		return digestEqual(a.StateDigest(), b.StateDigest())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: counter merge is order-insensitive and duplicate-tolerant, and
+// the merged sum equals the true total when every slot's final announcement
+// is included.
+func TestCounterMergeOrderInsensitive(t *testing.T) {
+	f := func(incs []uint8, seed int64) bool {
+		if len(incs) == 0 {
+			return true
+		}
+		if len(incs) > 64 {
+			incs = incs[:64]
+		}
+		// Simulate 4 writers incrementing; each increment produces a slot
+		// announcement with the running slot value.
+		slots := map[uint16]uint64{}
+		var entries []wire.EWOEntry
+		var total uint64
+		for i, inc := range incs {
+			owner := uint16(i%4 + 1)
+			d := uint64(inc%5 + 1)
+			slots[owner] += d
+			total += d
+			entries = append(entries, counterEntry(7, owner, slots[owner], false))
+		}
+		a := mkIsolated(t, Counter, 1)
+		b := mkIsolated(t, Counter, 2)
+		for i := range entries {
+			a.merge(&entries[i])
+		}
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(len(entries))
+		for _, i := range perm {
+			b.merge(&entries[i])
+			// Duplicate some deliveries.
+			if rng.Intn(3) == 0 {
+				b.merge(&entries[i])
+			}
+		}
+		return a.Sum(7) == total && b.Sum(7) == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: counter reads are monotone under any merge sequence.
+func TestCounterMergeMonotoneProperty(t *testing.T) {
+	f := func(vals []uint16, owners []uint8) bool {
+		n := len(vals)
+		if len(owners) < n {
+			n = len(owners)
+		}
+		a := mkIsolated(t, Counter, 1)
+		var last uint64
+		for i := 0; i < n; i++ {
+			e := counterEntry(1, uint16(owners[i]%6), uint64(vals[i]), false)
+			a.merge(&e)
+			cur := a.Sum(1)
+			if cur < last {
+				return false
+			}
+			last = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: full-cluster convergence under random loss, duplication and
+// reordering — after quiescence plus sync rounds, all replicas agree.
+func TestClusterConvergenceProperty(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		cfg := Config{Reg: 1, Capacity: 512, Kind: Counter, SyncPeriod: 500_000}
+		r := newRig(t, seed, 3, cfg, netem.LinkProfile{
+			Latency: 10_000, Jitter: 20_000, LossRate: 0.3, DupRate: 0.2, ReorderRate: 0.3})
+		rng := r.eng.Rand()
+		var total uint64
+		for i := 0; i < 300; i++ {
+			d := uint64(rng.Intn(9) + 1)
+			r.nodes[rng.Intn(3)].Add(uint64(rng.Intn(20)), d)
+			total += d
+		}
+		r.eng.RunFor(500 * 1000 * 1000) // 500ms: many sync rounds
+		for i, n := range r.nodes {
+			var sum uint64
+			for k := uint64(0); k < 20; k++ {
+				sum += n.Sum(k)
+			}
+			if sum != total {
+				t.Fatalf("seed %d node %d total %d, want %d", seed, i, sum, total)
+			}
+		}
+	}
+}

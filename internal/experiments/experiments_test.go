@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Each experiment runs end-to-end and must not report a shape violation:
+// the paper's qualitative claims (who wins, what grows, what stays bounded)
+// have to hold in the reproduction.
+func TestAllExperimentsHoldPaperShape(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res := e.Run(1)
+			if res == nil || len(res.Tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tab := range res.Tables {
+				if len(tab.Rows) == 0 {
+					t.Errorf("%s: empty table %q", e.ID, tab.Title)
+				}
+			}
+			for _, n := range res.Notes {
+				if strings.Contains(n, "SHAPE VIOLATION") || strings.Contains(n, "MISMATCH") {
+					t.Errorf("%s: %s", e.ID, n)
+				}
+			}
+			t.Log("\n" + res.String())
+		})
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, ok := Find("E1"); !ok {
+		t.Fatal("E1 not found by ID")
+	}
+	if e, ok := Find("table1"); !ok || e.ID != "E1" {
+		t.Fatal("table1 not found by name")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Fatal("bogus key found")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res := Memory(1)
+	s := res.String()
+	if !strings.Contains(s, "E10") || !strings.Contains(s, "note:") {
+		t.Fatalf("render: %q", s[:80])
+	}
+}

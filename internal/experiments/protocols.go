@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"time"
+
+	"swishmem"
+	"swishmem/internal/stats"
+)
+
+// SROLatency (E4) characterizes the SRO protocol (§6.1): write commit
+// latency grows with chain length (control-plane submission + one fabric
+// hop per chain link + tail acknowledgement), reads are free when the key
+// is clean and pay a tail round trip when its pending bit is set.
+func SROLatency(seed int64) *Result {
+	res := &Result{ID: "E4", Title: "§6.1: SRO write latency vs chain length; read cost clean vs pending"}
+	tab := stats.NewTable("E4a: SRO write commit latency vs chain length",
+		"Chain length", "Mean", "p50", "p99", "Msgs/write")
+	var prevMean float64
+	monotone := true
+	for _, n := range []int{2, 3, 4, 6, 8} {
+		c, _ := swishmem.New(swishmem.Config{Switches: n, Seed: seed})
+		regs, err := c.DeclareStrong("t", swishmem.StrongOptions{Capacity: 4096, ValueWidth: 8})
+		if err != nil {
+			panic(err)
+		}
+		c.RunFor(2 * time.Millisecond)
+		c.ResetNetworkTotals()
+		h := stats.NewHistogram()
+		const writes = 200
+		var issue func(i int)
+		issue = func(i int) {
+			if i >= writes {
+				return
+			}
+			start := c.Now()
+			regs[0].Write(uint64(i), []byte("12345678"), func(ok bool) {
+				if ok {
+					h.Observe(float64(c.Now() - start))
+				}
+				issue(i + 1)
+			})
+		}
+		issue(0)
+		c.RunFor(2 * time.Second)
+		msgsPerWrite := float64(c.NetworkTotals().MsgsSent) / writes
+		tab.AddRow(n, time.Duration(h.Mean()), time.Duration(h.Quantile(0.5)),
+			time.Duration(h.Quantile(0.99)), msgsPerWrite)
+		if h.Mean() < prevMean {
+			monotone = false
+		}
+		prevMean = h.Mean()
+	}
+	res.Tables = append(res.Tables, tab)
+	res.note("write latency grows with chain length: %v", monotone)
+
+	// Read cost: clean (local) vs pending (forwarded to tail). Slow links
+	// (500us) widen the pending window so the probe reliably lands in it.
+	slow := swishmem.LinkProfile{Latency: 500_000, BandwidthBps: 100e9}
+	c, _ := swishmem.New(swishmem.Config{Switches: 3, Seed: seed, Link: &slow})
+	regs, _ := c.DeclareStrong("t", swishmem.StrongOptions{Capacity: 64, ValueWidth: 8, RetryTimeout: 20 * time.Millisecond})
+	c.RunFor(5 * time.Millisecond)
+	regs[0].Write(1, []byte("v"), nil)
+	c.RunFor(20 * time.Millisecond)
+
+	cleanLat := readLatency(c, regs, 1)
+	// Make the key pending at the head: start a write and probe before the
+	// ack returns (commit takes ~2 hops + ack = ~1.5ms on 500us links).
+	regs[0].Write(1, []byte("w"), nil)
+	c.RunFor(700 * time.Microsecond) // head applied; tail ack still in flight
+	pendingLat := readLatency(c, regs, 1)
+
+	tab2 := stats.NewTable("E4b: SRO read cost at the head switch",
+		"Key state", "Read latency", "Served by")
+	tab2.AddRow("clean", cleanLat, "local replica")
+	tab2.AddRow("pending", pendingLat, "tail (forwarded)")
+	res.Tables = append(res.Tables, tab2)
+	res.note("pending reads pay a tail round trip: %v >> %v", pendingLat, cleanLat)
+	if pendingLat <= cleanLat {
+		res.note("SHAPE VIOLATION: pending read not more expensive than clean read")
+	}
+	return res
+}
+
+func readLatency(c *swishmem.Cluster, regs []*swishmem.StrongRegister, key uint64) time.Duration {
+	start := c.Now()
+	var lat time.Duration
+	regs[0].Read(key, func(v []byte, ok bool) { lat = c.Now() - start })
+	c.RunFor(20 * time.Millisecond)
+	return lat
+}
+
+// ProtocolMatrix (E5) measures the §5 design space: per-operation cost of
+// the three register classes under a read/write mix. SRO buys
+// linearizability with expensive writes and occasionally-forwarded reads;
+// ERO keeps reads strictly local; EWO makes both nearly free at the price
+// of eventual consistency.
+func ProtocolMatrix(seed int64) *Result {
+	res := &Result{ID: "E5", Title: "§5: SRO / ERO / EWO operation cost matrix"}
+	tab := stats.NewTable("E5: per-op cost on a 3-switch cluster (writer at head, reader at mid)",
+		"Class", "Write latency (commit)", "Write blocks output?", "Read latency", "Reads forwarded", "Consistency")
+
+	type probe struct {
+		name        string
+		consistency string
+		run         func() (wLat, rLat time.Duration, fwd uint64, blocking bool)
+	}
+	mkChain := func(ero bool) (wLat, rLat time.Duration, fwd uint64, blocking bool) {
+		c, _ := swishmem.New(swishmem.Config{Switches: 3, Seed: seed})
+		regs, _ := c.DeclareStrong("t", swishmem.StrongOptions{
+			Capacity: 4096, ValueWidth: 8, ReadOptimized: ero})
+		c.RunFor(2 * time.Millisecond)
+		// Write latency = time to commit (output packet release).
+		wh := stats.NewHistogram()
+		for i := 0; i < 50; i++ {
+			start := c.Now()
+			regs[0].Write(uint64(i), []byte("x"), func(ok bool) {
+				wh.Observe(float64(c.Now() - start))
+			})
+			c.RunFor(5 * time.Millisecond)
+		}
+		// Read latency with a concurrent write in flight on the same key:
+		// the probe lands after the head applied (pending set, ~60us with
+		// the default control-plane latency) but before the tail ack
+		// (~81us), so SRO must forward it.
+		rh := stats.NewHistogram()
+		for i := 0; i < 50; i++ {
+			regs[0].Write(7, []byte("y"), nil)
+			c.RunFor(70 * time.Microsecond)
+			start := c.Now()
+			regs[0].Read(7, func(v []byte, ok bool) { rh.Observe(float64(c.Now() - start)) })
+			c.RunFor(5 * time.Millisecond)
+		}
+		return time.Duration(wh.Mean()), time.Duration(rh.Mean()),
+			regs[0].Node().Stats.ReadsForwarded.Value(), true
+	}
+	probes := []probe{
+		{"SRO", "linearizable", func() (time.Duration, time.Duration, uint64, bool) { return mkChain(false) }},
+		{"ERO", "eventual (read-opt)", func() (time.Duration, time.Duration, uint64, bool) { return mkChain(true) }},
+		{"EWO", "eventual (write-opt)", func() (time.Duration, time.Duration, uint64, bool) {
+			c, _ := swishmem.New(swishmem.Config{Switches: 3, Seed: seed})
+			regs, _ := c.DeclareEventual("t", swishmem.EventualOptions{Capacity: 4096, ValueWidth: 8})
+			c.RunFor(2 * time.Millisecond)
+			// EWO writes apply locally and return immediately.
+			start := c.Now()
+			for i := 0; i < 50; i++ {
+				regs[0].Write(uint64(i), []byte("x"))
+			}
+			wLat := (c.Now() - start) / 50 // zero virtual time
+			rStart := c.Now()
+			for i := 0; i < 50; i++ {
+				regs[0].Read(uint64(i))
+			}
+			rLat := (c.Now() - rStart) / 50
+			c.RunFor(10 * time.Millisecond)
+			return wLat, rLat, 0, false
+		}},
+	}
+	var sroW, eroR, ewoW time.Duration
+	for _, p := range probes {
+		w, r, fwd, blocking := p.run()
+		blocks := "yes (buffered at ctrl plane)"
+		if !blocking {
+			blocks = "no"
+		}
+		tab.AddRow(p.name, w, blocks, r, fwd, p.consistency)
+		switch p.name {
+		case "SRO":
+			sroW = w
+		case "ERO":
+			eroR = r
+		case "EWO":
+			ewoW = w
+		}
+	}
+	res.Tables = append(res.Tables, tab)
+	res.note("EWO writes are free (%v) vs SRO commit %v; ERO reads always local (%v)", ewoW, sroW, eroR)
+	if ewoW >= sroW {
+		res.note("SHAPE VIOLATION: EWO writes not cheaper than SRO")
+	}
+	return res
+}

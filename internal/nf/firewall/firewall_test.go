@@ -1,0 +1,153 @@
+package firewall
+
+import (
+	"testing"
+	"time"
+
+	"swishmem/internal/core"
+	"swishmem/internal/netem"
+	"swishmem/internal/packet"
+	"swishmem/internal/pisa"
+	"swishmem/internal/sim"
+	"swishmem/internal/wire"
+)
+
+type rig struct {
+	eng *sim.Engine
+	fws []*Firewall
+	out [][]*packet.Packet
+}
+
+func newRig(t testing.TB, seed int64, n int) *rig {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	nw := netem.New(eng, netem.LinkProfile{Latency: 10_000})
+	r := &rig{eng: eng, out: make([][]*packet.Packet, n)}
+	var members []uint16
+	for i := 0; i < n; i++ {
+		sw := pisa.New(eng, nw, pisa.Config{Addr: netem.Addr(i + 1), PipelinePPS: 1e9})
+		in := core.NewInstance(sw)
+		fw, err := New(in, Config{Reg: 1, Capacity: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := i
+		fw.Egress = func(p *packet.Packet) { r.out[i] = append(r.out[i], p) }
+		fw.Install()
+		r.fws = append(r.fws, fw)
+		members = append(members, uint16(i+1))
+	}
+	cc := wire.ChainConfig{Epoch: 1, Members: members}
+	for _, fw := range r.fws {
+		fw.Register().Node().SetChain(cc)
+	}
+	return r
+}
+
+func outPkt(flags packet.TCPFlags) *packet.Packet {
+	return packet.NewBuilder().
+		Src(packet.Addr4(10, 0, 0, 5)).Dst(packet.Addr4(93, 184, 216, 34)).
+		TCP(44444, 443, flags).Build()
+}
+
+func inPkt(flags packet.TCPFlags) *packet.Packet {
+	return packet.NewBuilder().
+		Src(packet.Addr4(93, 184, 216, 34)).Dst(packet.Addr4(10, 0, 0, 5)).
+		TCP(443, 44444, flags).Build()
+}
+
+func TestUnsolicitedInboundBlocked(t *testing.T) {
+	r := newRig(t, 1, 2)
+	r.fws[0].Switch().InjectPacket(inPkt(packet.FlagSYN))
+	r.eng.RunFor(10 * time.Millisecond)
+	if len(r.out[0]) != 0 {
+		t.Fatal("unsolicited inbound forwarded")
+	}
+	if r.fws[0].Stats.BlockedIn.Value() != 1 {
+		t.Fatal("block not counted")
+	}
+}
+
+func TestOutboundOpensPinhole(t *testing.T) {
+	r := newRig(t, 2, 2)
+	r.fws[0].Switch().InjectPacket(outPkt(packet.FlagSYN))
+	r.eng.RunFor(50 * time.Millisecond)
+	if len(r.out[0]) != 1 {
+		t.Fatalf("SYN not forwarded after state install (%d)", len(r.out[0]))
+	}
+	// Reply comes back through the SAME switch.
+	r.fws[0].Switch().InjectPacket(inPkt(packet.FlagSYN | packet.FlagACK))
+	r.eng.RunFor(10 * time.Millisecond)
+	if len(r.out[0]) != 2 {
+		t.Fatal("reply blocked despite open connection")
+	}
+}
+
+func TestCrossSwitchPinhole(t *testing.T) {
+	// The §3.2 scenario: the reply path traverses a DIFFERENT switch, which
+	// must still admit it — only possible with shared state.
+	r := newRig(t, 3, 3)
+	r.fws[0].Switch().InjectPacket(outPkt(packet.FlagSYN))
+	r.eng.RunFor(50 * time.Millisecond)
+	r.fws[2].Switch().InjectPacket(inPkt(packet.FlagACK))
+	r.eng.RunFor(10 * time.Millisecond)
+	if len(r.out[2]) != 1 {
+		t.Fatal("cross-switch reply blocked: state not replicated")
+	}
+	if r.fws[2].Stats.AllowedIn.Value() != 1 {
+		t.Fatal("allow not counted")
+	}
+}
+
+func TestCloseBlocksFurtherInbound(t *testing.T) {
+	r := newRig(t, 4, 2)
+	r.fws[0].Switch().InjectPacket(outPkt(packet.FlagSYN))
+	r.eng.RunFor(50 * time.Millisecond)
+	r.fws[0].Switch().InjectPacket(outPkt(packet.FlagFIN | packet.FlagACK))
+	r.eng.RunFor(50 * time.Millisecond)
+	if r.fws[0].Stats.Closed.Value() != 1 {
+		t.Fatal("close not processed")
+	}
+	// Inbound after close, at the other switch.
+	r.fws[1].Switch().InjectPacket(inPkt(packet.FlagACK))
+	r.eng.RunFor(10 * time.Millisecond)
+	if len(r.out[1]) != 0 {
+		t.Fatal("inbound admitted after close")
+	}
+}
+
+func TestOutboundDataNoControlPlane(t *testing.T) {
+	r := newRig(t, 5, 2)
+	r.fws[0].Switch().InjectPacket(outPkt(packet.FlagSYN))
+	r.eng.RunFor(50 * time.Millisecond)
+	held := r.fws[0].Stats.HeldPackets.Value()
+	for i := 0; i < 20; i++ {
+		r.fws[0].Switch().InjectPacket(outPkt(packet.FlagACK))
+	}
+	r.eng.RunFor(10 * time.Millisecond)
+	if r.fws[0].Stats.HeldPackets.Value() != held {
+		t.Fatal("established-connection packets hit the control plane")
+	}
+	if len(r.out[0]) != 21 {
+		t.Fatalf("forwarded %d", len(r.out[0]))
+	}
+}
+
+func TestNonTCPDropped(t *testing.T) {
+	r := newRig(t, 6, 1)
+	udp := packet.NewBuilder().Src(packet.Addr4(10, 0, 0, 1)).Dst(packet.Addr4(1, 1, 1, 1)).UDP(1, 2).Build()
+	r.fws[0].Switch().InjectPacket(udp)
+	r.eng.RunFor(5 * time.Millisecond)
+	if len(r.out[0]) != 0 {
+		t.Fatal("UDP forwarded by TCP firewall")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := netem.New(eng, netem.LinkProfile{})
+	in := core.NewInstance(pisa.New(eng, nw, pisa.Config{Addr: 1}))
+	if _, err := New(in, Config{Reg: 1, Capacity: 0}); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}

@@ -1,0 +1,246 @@
+// Package lb implements the L4 load balancer of §4.1 (SilkRoad-style):
+// incoming connections are assigned a destination IP (DIP), and
+// per-connection consistency (PCC) requires that the assignment never
+// change for the connection's lifetime — even when later packets arrive at
+// a different switch (multipath, adaptive routing) or the assigning switch
+// fails. The connection-to-DIP table is therefore a shared SRO register.
+//
+// A Sharded mode keeps assignments in switch-local state instead — the
+// strawman of §3.2 — so experiment E9 can count the PCC violations that
+// re-routing inflicts on it.
+package lb
+
+import (
+	"fmt"
+	"net/netip"
+
+	"swishmem/internal/chain"
+	"swishmem/internal/core"
+	"swishmem/internal/nf"
+	"swishmem/internal/packet"
+	"swishmem/internal/pisa"
+	"swishmem/internal/stats"
+)
+
+// Mode selects state management.
+type Mode int
+
+// Modes.
+const (
+	// Replicated shares the connection table through an SRO register.
+	Replicated Mode = iota
+	// Sharded keeps assignments switch-local (the §3.2 baseline).
+	Sharded
+)
+
+func (m Mode) String() string {
+	if m == Sharded {
+		return "Sharded"
+	}
+	return "Replicated"
+}
+
+// Config parameterizes one LB instance.
+type Config struct {
+	// Reg is the shared connection-table register ID.
+	Reg uint16
+	// Capacity is the connection table size.
+	Capacity int
+	// DIPs is the backend pool (same order on every switch).
+	DIPs []netip.Addr
+	// Mode selects Replicated (SwiShmem) or Sharded (baseline).
+	Mode Mode
+}
+
+// Stats counts LB events.
+type Stats struct {
+	Assigned    stats.Counter // new connections assigned a DIP
+	Forwarded   stats.Counter // packets forwarded to their DIP
+	HeldPackets stats.Counter
+	NoBackend   stats.Counter
+}
+
+// LB is one per-switch instance.
+type LB struct {
+	cfg Config
+	sw  *pisa.Switch
+	reg *core.StrongRegister // nil in Sharded mode
+
+	local map[uint64][]byte // Sharded-mode state
+	rr    int               // round-robin cursor (per switch)
+
+	// inflight buffers packets per connection key while the assignment
+	// write is in flight (control-plane DRAM).
+	inflight map[uint64][]*packet.Packet
+
+	// Egress receives forwarded packets; the chosen DIP is written into
+	// p.IP.Dst (encapsulation elided).
+	Egress func(p *packet.Packet)
+
+	Stats Stats
+}
+
+// New declares the LB on a switch instance.
+func New(in *core.Instance, cfg Config) (*LB, error) {
+	if len(cfg.DIPs) == 0 {
+		return nil, fmt.Errorf("lb: need at least one DIP")
+	}
+	for _, d := range cfg.DIPs {
+		if !d.Is4() {
+			return nil, fmt.Errorf("lb: DIP %v is not IPv4", d)
+		}
+	}
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("lb: need positive capacity")
+	}
+	l := &LB{cfg: cfg, sw: in.Switch(), inflight: make(map[uint64][]*packet.Packet)}
+	if cfg.Mode == Replicated {
+		reg, err := in.NewStrongRegister(core.Strong, chain.Config{
+			Reg: cfg.Reg, Capacity: cfg.Capacity, ValueWidth: 6,
+			Backing: chain.ControlPlane,
+		})
+		if err != nil {
+			return nil, err
+		}
+		l.reg = reg
+	} else {
+		l.local = make(map[uint64][]byte)
+	}
+	return l, nil
+}
+
+// Register exposes the SRO register (nil in Sharded mode).
+func (l *LB) Register() *core.StrongRegister { return l.reg }
+
+// Switch returns the switch this instance runs on.
+func (l *LB) Switch() *pisa.Switch { return l.sw }
+
+// Install wires the LB into the switch pipeline.
+func (l *LB) Install() {
+	l.sw.SetProgram(l.program)
+	l.sw.SetCtrlPacketHandler(l.ctrlAssign)
+	if l.Egress == nil {
+		l.Egress = func(*packet.Packet) {}
+	}
+	l.sw.SetEgress(l.Egress)
+}
+
+func (l *LB) lookup(key uint64) ([]byte, bool) {
+	if l.cfg.Mode == Sharded {
+		v, ok := l.local[key]
+		return v, ok
+	}
+	var val []byte
+	var ok bool
+	l.reg.Read(key, func(v []byte, o bool) { val, ok = v, o })
+	return val, ok
+}
+
+func (l *LB) program(sw *pisa.Switch, p *packet.Packet) pisa.Verdict {
+	k, ok := p.Flow()
+	if !ok || p.TCP == nil {
+		return pisa.Drop
+	}
+	key := nf.FlowID(k)
+	if v, hit := l.lookup(key); hit {
+		ip, _, ok := nf.GetAddrPort(v)
+		if !ok {
+			return pisa.Drop
+		}
+		p.IP.Dst = ip
+		l.Stats.Forwarded.Inc()
+		return pisa.Forward
+	}
+	if !p.TCP.Flags.Has(packet.FlagSYN) {
+		// Mid-connection packet with no state: in Replicated mode this can
+		// only be a pre-commit race (the packet is punted and retried by
+		// the client); in Sharded mode it is the PCC hazard E9 measures —
+		// the switch has no choice but to assign anew.
+		if l.cfg.Mode == Sharded {
+			return l.assignLocal(p, key)
+		}
+		return pisa.Drop
+	}
+	if l.cfg.Mode == Sharded {
+		return l.assignLocal(p, key)
+	}
+	l.Stats.HeldPackets.Inc()
+	return pisa.ToControlPlane
+}
+
+// pickDIP selects the next backend round-robin (per switch — which is
+// exactly why two switches can disagree in Sharded mode).
+func (l *LB) pickDIP() (netip.Addr, bool) {
+	if len(l.cfg.DIPs) == 0 {
+		return netip.Addr{}, false
+	}
+	d := l.cfg.DIPs[l.rr%len(l.cfg.DIPs)]
+	l.rr++
+	return d, true
+}
+
+func (l *LB) assignLocal(p *packet.Packet, key uint64) pisa.Verdict {
+	dip, ok := l.pickDIP()
+	if !ok {
+		l.Stats.NoBackend.Inc()
+		return pisa.Drop
+	}
+	l.local[key] = nf.PutAddrPort(dip, 0)
+	l.Stats.Assigned.Inc()
+	p.IP.Dst = dip
+	l.Stats.Forwarded.Inc()
+	return pisa.Forward
+}
+
+// ctrlAssign handles a punted SYN: duplicate punts for the same connection
+// buffer behind the first; the register is re-checked (the assignment may
+// have committed or be resolvable at the tail); a confirmed miss assigns a
+// DIP, writes it through SwiShmem, and releases every buffered packet on
+// commit.
+func (l *LB) ctrlAssign(p *packet.Packet) {
+	k, _ := p.Flow()
+	key := nf.FlowID(k)
+	if q, dup := l.inflight[key]; dup {
+		l.inflight[key] = append(q, p)
+		return
+	}
+	l.reg.Read(key, func(v []byte, ok bool) {
+		if ok {
+			if ip, _, ok2 := nf.GetAddrPort(v); ok2 {
+				l.releaseTo(p, ip)
+			}
+			return
+		}
+		if q, dup := l.inflight[key]; dup {
+			l.inflight[key] = append(q, p)
+			return
+		}
+		l.assign(key, p)
+	})
+}
+
+func (l *LB) releaseTo(p *packet.Packet, dip netip.Addr) {
+	p.IP.Dst = dip
+	l.Stats.Forwarded.Inc()
+	l.sw.InjectEgress(p)
+}
+
+func (l *LB) assign(key uint64, p *packet.Packet) {
+	dip, ok := l.pickDIP()
+	if !ok {
+		l.Stats.NoBackend.Inc()
+		return
+	}
+	l.Stats.Assigned.Inc()
+	l.inflight[key] = []*packet.Packet{p}
+	l.reg.Write(key, nf.PutAddrPort(dip, 0), func(committed bool) {
+		q := l.inflight[key]
+		delete(l.inflight, key)
+		if !committed {
+			return
+		}
+		for _, buffered := range q {
+			l.releaseTo(buffered, dip)
+		}
+	})
+}

@@ -1,0 +1,50 @@
+// Package nf holds helpers shared by the network function implementations
+// of §4: flow identity, value codecs, and the common deployment shape (one
+// NF instance per switch, all instances sharing SwiShmem registers).
+package nf
+
+import (
+	"encoding/binary"
+	"net/netip"
+
+	"swishmem/internal/packet"
+)
+
+// FlowID folds a 5-tuple into the 64-bit register key space. The fold is a
+// strong mix (splitmix64 over the packed tuple), standing in for the
+// exact-match key a P4 table would use; collisions across distinct flows
+// are possible in principle but negligible at NF scale.
+func FlowID(k packet.FlowKey) uint64 {
+	h := uint64(packet.U32Addr(k.Src))
+	h = mix(h ^ uint64(packet.U32Addr(k.Dst)))
+	h = mix(h ^ uint64(k.SrcPort)<<32 ^ uint64(k.DstPort)<<16 ^ uint64(k.Proto))
+	return h
+}
+
+func mix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// PutAddrPort encodes an (IPv4 address, port) pair into 6 bytes — the value
+// format shared by the NAT and load-balancer registers.
+func PutAddrPort(a netip.Addr, port uint16) []byte {
+	out := make([]byte, 6)
+	b := a.As4()
+	copy(out, b[:])
+	binary.BigEndian.PutUint16(out[4:], port)
+	return out
+}
+
+// GetAddrPort decodes a 6-byte (address, port) value. ok is false for short
+// buffers.
+func GetAddrPort(v []byte) (netip.Addr, uint16, bool) {
+	if len(v) < 6 {
+		return netip.Addr{}, 0, false
+	}
+	return netip.AddrFrom4([4]byte(v[0:4])), binary.BigEndian.Uint16(v[4:6]), true
+}

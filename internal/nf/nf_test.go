@@ -1,0 +1,51 @@
+package nf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"swishmem/internal/packet"
+)
+
+func TestFlowIDDistinct(t *testing.T) {
+	seen := map[uint64]packet.FlowKey{}
+	for i := 0; i < 10000; i++ {
+		k := packet.FlowKey{
+			Src:     packet.AddrU32(0x0a000000 + uint32(i)),
+			Dst:     packet.Addr4(1, 2, 3, 4),
+			SrcPort: uint16(i),
+			DstPort: 80,
+			Proto:   packet.ProtoTCP,
+		}
+		id := FlowID(k)
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("collision: %v and %v", prev, k)
+		}
+		seen[id] = k
+	}
+}
+
+func TestFlowIDStableAndDirectional(t *testing.T) {
+	k := packet.FlowKey{Src: packet.Addr4(10, 0, 0, 1), Dst: packet.Addr4(10, 0, 0, 2),
+		SrcPort: 1000, DstPort: 80, Proto: packet.ProtoTCP}
+	if FlowID(k) != FlowID(k) {
+		t.Fatal("FlowID not stable")
+	}
+	if FlowID(k) == FlowID(k.Reverse()) {
+		t.Fatal("FlowID should distinguish directions")
+	}
+}
+
+func TestAddrPortRoundTrip(t *testing.T) {
+	f := func(a, b, c, d byte, port uint16) bool {
+		v := PutAddrPort(packet.Addr4(a, b, c, d), port)
+		ip, p, ok := GetAddrPort(v)
+		return ok && ip == packet.Addr4(a, b, c, d) && p == port
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := GetAddrPort([]byte{1, 2, 3}); ok {
+		t.Fatal("short value accepted")
+	}
+}

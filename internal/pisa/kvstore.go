@@ -1,0 +1,81 @@
+package pisa
+
+import "fmt"
+
+// KVStore is a data-plane-writable exact-match store: the modeling
+// idealization of a register array indexed by a hash of the key with
+// collision-free placement. Real P4 programs realize this either with
+// control-plane-installed exact-match tables or with register arrays plus
+// collision handling; SwiShmem's protocols only need get/set semantics with
+// bounded capacity and SRAM accounting, which is what this provides.
+// Capacity and per-entry width are fixed at allocation and charged against
+// the switch budget.
+type KVStore struct {
+	sw       *Switch
+	name     string
+	capacity int
+	keyW     int
+	valW     int
+	m        map[uint64][]byte
+}
+
+// NewKVStore allocates a keyed store charging capacity*(keyWidth+valWidth)
+// bytes of SRAM.
+func (s *Switch) NewKVStore(name string, capacity, keyWidth, valWidth int) (*KVStore, error) {
+	if capacity <= 0 || keyWidth <= 0 || valWidth <= 0 {
+		return nil, fmt.Errorf("pisa: kvstore %q needs positive capacity and widths", name)
+	}
+	if err := s.charge(capacity*(keyWidth+valWidth), "kvstore "+name); err != nil {
+		return nil, err
+	}
+	return &KVStore{sw: s, name: name, capacity: capacity, keyW: keyWidth, valW: valWidth,
+		m: make(map[uint64][]byte)}, nil
+}
+
+// Get returns the value for key; ok is false on miss.
+func (k *KVStore) Get(key uint64) (val []byte, ok bool) {
+	v, ok := k.m[key]
+	return v, ok
+}
+
+// Set stores val (truncated to the value width) under key. It returns an
+// error when inserting a new key into a full store.
+func (k *KVStore) Set(key uint64, val []byte) error {
+	if _, exists := k.m[key]; !exists && len(k.m) >= k.capacity {
+		return fmt.Errorf("pisa: kvstore %q full (%d entries)", k.name, k.capacity)
+	}
+	if len(val) > k.valW {
+		val = val[:k.valW]
+	}
+	k.m[key] = append([]byte(nil), val...)
+	return nil
+}
+
+// Delete removes key.
+func (k *KVStore) Delete(key uint64) { delete(k.m, key) }
+
+// Len returns the number of stored entries.
+func (k *KVStore) Len() int { return len(k.m) }
+
+// Capacity returns the allocation size.
+func (k *KVStore) Capacity() int { return k.capacity }
+
+// Bytes returns the SRAM footprint.
+func (k *KVStore) Bytes() int { return k.capacity * (k.keyW + k.valW) }
+
+// Range iterates entries in unspecified order (control-plane snapshots).
+func (k *KVStore) Range(fn func(key uint64, val []byte) bool) {
+	for key, v := range k.m {
+		if !fn(key, v) {
+			return
+		}
+	}
+}
+
+// Free releases the store's SRAM.
+func (k *KVStore) Free() {
+	if k.m != nil {
+		k.sw.release(k.capacity * (k.keyW + k.valW))
+		k.m = nil
+	}
+}

@@ -1,0 +1,126 @@
+package pisa
+
+import (
+	"bytes"
+	"testing"
+
+	"swishmem/internal/netem"
+	"swishmem/internal/sim"
+)
+
+func kvSwitch(t testing.TB, mem int) *Switch {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	nw := netem.New(eng, netem.LinkProfile{})
+	return New(eng, nw, Config{Addr: 1, MemoryBytes: mem})
+}
+
+func TestKVStoreBasics(t *testing.T) {
+	sw := kvSwitch(t, 1<<20)
+	kv, err := sw.NewKVStore("t", 4, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Set(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := kv.Get(1)
+	if !ok || !bytes.Equal(v, []byte("a")) {
+		t.Fatalf("get = %q %v", v, ok)
+	}
+	if _, ok := kv.Get(9); ok {
+		t.Fatal("phantom key")
+	}
+	if kv.Len() != 1 || kv.Capacity() != 4 || kv.Bytes() != 64 {
+		t.Fatal("geometry")
+	}
+	kv.Delete(1)
+	if kv.Len() != 0 {
+		t.Fatal("delete")
+	}
+}
+
+func TestKVStoreCapacityAndOverwrite(t *testing.T) {
+	sw := kvSwitch(t, 1<<20)
+	kv, _ := sw.NewKVStore("t", 2, 8, 8)
+	kv.Set(1, []byte("a"))
+	kv.Set(2, []byte("b"))
+	if err := kv.Set(3, []byte("c")); err == nil {
+		t.Fatal("insert past capacity accepted")
+	}
+	// Overwriting an existing key at capacity is fine.
+	if err := kv.Set(1, []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := kv.Get(1)
+	if string(v) != "z" {
+		t.Fatal("overwrite lost")
+	}
+}
+
+func TestKVStoreTruncatesToWidth(t *testing.T) {
+	sw := kvSwitch(t, 1<<20)
+	kv, _ := sw.NewKVStore("t", 4, 8, 4)
+	kv.Set(1, []byte("0123456789"))
+	v, _ := kv.Get(1)
+	if len(v) != 4 {
+		t.Fatalf("width not enforced: %d bytes", len(v))
+	}
+}
+
+func TestKVStoreValueNotAliased(t *testing.T) {
+	sw := kvSwitch(t, 1<<20)
+	kv, _ := sw.NewKVStore("t", 4, 8, 8)
+	src := []byte("abc")
+	kv.Set(1, src)
+	src[0] = 'z'
+	v, _ := kv.Get(1)
+	if v[0] != 'a' {
+		t.Fatal("stored value aliases caller buffer")
+	}
+}
+
+func TestKVStoreRange(t *testing.T) {
+	sw := kvSwitch(t, 1<<20)
+	kv, _ := sw.NewKVStore("t", 8, 8, 8)
+	for k := uint64(0); k < 5; k++ {
+		kv.Set(k, []byte{byte(k)})
+	}
+	seen := 0
+	kv.Range(func(k uint64, v []byte) bool { seen++; return true })
+	if seen != 5 {
+		t.Fatalf("range saw %d", seen)
+	}
+	seen = 0
+	kv.Range(func(k uint64, v []byte) bool { seen++; return false })
+	if seen != 1 {
+		t.Fatal("early stop")
+	}
+}
+
+func TestKVStoreMemoryAccounting(t *testing.T) {
+	sw := kvSwitch(t, 100)
+	if _, err := sw.NewKVStore("big", 100, 8, 8); err == nil {
+		t.Fatal("over-budget kvstore accepted")
+	}
+	kv, err := sw.NewKVStore("ok", 5, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.MemoryUsed() != 80 {
+		t.Fatalf("used = %d", sw.MemoryUsed())
+	}
+	kv.Free()
+	if sw.MemoryUsed() != 0 {
+		t.Fatal("free did not release")
+	}
+}
+
+func TestKVStoreValidation(t *testing.T) {
+	sw := kvSwitch(t, 1<<20)
+	for _, bad := range [][3]int{{0, 8, 8}, {4, 0, 8}, {4, 8, 0}} {
+		if _, err := sw.NewKVStore("bad", bad[0], bad[1], bad[2]); err == nil {
+			t.Fatalf("accepted %v", bad)
+		}
+	}
+}

@@ -1,0 +1,429 @@
+// Package pisa models a PISA programmable switch (§2 of the paper) with the
+// properties SwiShmem's protocols depend on:
+//
+//   - A match-action pipeline processing packets at a configurable line rate
+//     with atomic per-packet state updates: one packet's writes are fully
+//     applied before the next packet observes any state.
+//   - A small data-plane memory budget (~10 MB) charged by every register
+//     array, table, meter, and counter; allocation fails when exhausted.
+//   - P4 object semantics: registers, meters, and counters are data-plane
+//     writable; tables can only be modified from the control plane (enforced
+//     at runtime).
+//   - A control-plane co-processor with DRAM-class (unaccounted) memory and
+//     a service rate orders of magnitude below the data plane.
+//   - Recirculation, egress mirroring, a multicast engine, and a periodic
+//     packet generator — the hardware features §7's implementation sketch
+//     uses.
+//
+// The model is event-driven on the deterministic simulator, so experiments
+// can charge realistic per-operation costs without wall-clock limits.
+package pisa
+
+import (
+	"fmt"
+	"time"
+
+	"swishmem/internal/netem"
+	"swishmem/internal/packet"
+	"swishmem/internal/sim"
+	"swishmem/internal/stats"
+	"swishmem/internal/wire"
+)
+
+// Config describes a switch's hardware characteristics. Zero fields take the
+// defaults documented on each field.
+type Config struct {
+	// Addr is the switch's network address. Required.
+	Addr netem.Addr
+	// MemoryBytes is the data-plane SRAM budget. Default 10 MB (§2).
+	MemoryBytes int
+	// PipelinePPS is the data-plane packet rate. Default 5e9 (Tofino-class,
+	// §3.1). Experiments typically scale this down together with offered
+	// load; ratios are what matter.
+	PipelinePPS float64
+	// PipelineLatency is the ingress-to-egress latency. Default 400ns.
+	PipelineLatency sim.Duration
+	// QueueLimit is the maximum number of packets awaiting pipeline slots
+	// before tail drop. Default 4096.
+	QueueLimit int
+	// CtrlOpsPerSec is the control-plane co-processor service rate.
+	// Default 100,000 ops/s — the orders-of-magnitude gap vs the data plane
+	// that motivates data-plane replication (§3.3).
+	CtrlOpsPerSec float64
+	// CtrlLatency is the PCIe+software latency for a control-plane
+	// operation. Default 50µs.
+	CtrlLatency sim.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemoryBytes == 0 {
+		c.MemoryBytes = 10 << 20
+	}
+	if c.PipelinePPS == 0 {
+		c.PipelinePPS = 5e9
+	}
+	if c.PipelineLatency == 0 {
+		c.PipelineLatency = 400 * time.Nanosecond
+	}
+	if c.QueueLimit == 0 {
+		c.QueueLimit = 4096
+	}
+	if c.CtrlOpsPerSec == 0 {
+		c.CtrlOpsPerSec = 100e3
+	}
+	if c.CtrlLatency == 0 {
+		c.CtrlLatency = 50 * time.Microsecond
+	}
+	return c
+}
+
+// Verdict is the pipeline's decision for a packet.
+type Verdict int
+
+// Pipeline verdicts.
+const (
+	// Drop discards the packet.
+	Drop Verdict = iota
+	// Forward emits the packet through the egress callback.
+	Forward
+	// Recirculate re-injects the packet at ingress (Meta.Recirculated++).
+	Recirculate
+	// ToControlPlane punts the packet to the control-plane co-processor.
+	ToControlPlane
+)
+
+// Program is the data-plane packet program (the P4 program body). It runs
+// atomically with respect to other packets on the same switch.
+type Program func(sw *Switch, pkt *packet.Packet) Verdict
+
+// MsgHandler processes a SwiShmem protocol message in the data plane.
+type MsgHandler func(sw *Switch, from netem.Addr, msg wire.Msg)
+
+// Stats holds switch-level observability counters.
+type Stats struct {
+	Processed    stats.Counter // packets through the pipeline
+	Dropped      stats.Counter // verdict Drop
+	Forwarded    stats.Counter // verdict Forward
+	Recirculated stats.Counter
+	Punted       stats.Counter // to control plane
+	QueueDrops   stats.Counter // tail drops at ingress
+	Mirrored     stats.Counter
+	MsgsHandled  stats.Counter // protocol messages handled in data plane
+	CtrlOps      stats.Counter // control-plane operations executed
+}
+
+// Switch is one emulated PISA switch.
+type Switch struct {
+	cfg Config
+	eng *sim.Engine
+	net *netem.Network
+
+	program    Program
+	msgHandler MsgHandler
+	ctrlMsg    func(from netem.Addr, msg wire.Msg) // control-plane message handler
+	ctrlPkt    func(pkt *packet.Packet)            // control-plane packet handler
+	egress     func(pkt *packet.Packet)
+
+	// Data-plane pipeline occupancy.
+	slot     sim.Duration // 1/PPS
+	nextFree sim.Time
+
+	// Control-plane occupancy.
+	ctrlSlot     sim.Duration
+	ctrlNextFree sim.Time
+
+	memUsed    int
+	arrivalSeq uint64
+	failed     bool
+
+	Stats Stats
+}
+
+// New creates a switch and attaches it to the network.
+func New(eng *sim.Engine, nw *netem.Network, cfg Config) *Switch {
+	cfg = cfg.withDefaults()
+	s := &Switch{
+		cfg:      cfg,
+		eng:      eng,
+		net:      nw,
+		slot:     sim.Duration(1e9 / cfg.PipelinePPS),
+		ctrlSlot: sim.Duration(1e9 / cfg.CtrlOpsPerSec),
+	}
+	if s.slot <= 0 {
+		s.slot = 1
+	}
+	if s.ctrlSlot <= 0 {
+		s.ctrlSlot = 1
+	}
+	nw.Attach(cfg.Addr, s.receive)
+	return s
+}
+
+// Addr returns the switch's network address.
+func (s *Switch) Addr() netem.Addr { return s.cfg.Addr }
+
+// Engine returns the simulation engine.
+func (s *Switch) Engine() *sim.Engine { return s.eng }
+
+// Network returns the fabric the switch is attached to.
+func (s *Switch) Network() *netem.Network { return s.net }
+
+// Config returns the (defaulted) switch configuration.
+func (s *Switch) Config() Config { return s.cfg }
+
+// SetProgram installs the data-plane packet program.
+func (s *Switch) SetProgram(p Program) { s.program = p }
+
+// SetMsgHandler installs the data-plane protocol message handler.
+func (s *Switch) SetMsgHandler(h MsgHandler) { s.msgHandler = h }
+
+// SetCtrlMsgHandler installs the control-plane message handler; messages
+// whose data-plane handler is absent, and messages the data-plane handler
+// punts via PuntMsg, are delivered here at control-plane cost.
+func (s *Switch) SetCtrlMsgHandler(h func(from netem.Addr, msg wire.Msg)) { s.ctrlMsg = h }
+
+// SetEgress installs the callback invoked for forwarded packets.
+func (s *Switch) SetEgress(fn func(pkt *packet.Packet)) { s.egress = fn }
+
+// Fail marks the switch fail-stop: it stops processing everything and
+// detaches from the network (§6.3 failure model).
+func (s *Switch) Fail() {
+	s.failed = true
+	s.net.SetNodeUp(s.cfg.Addr, false)
+}
+
+// Failed reports whether the switch has failed.
+func (s *Switch) Failed() bool { return s.failed }
+
+// dpDispatch charges one data-plane pipeline slot and runs fn after the
+// pipeline latency. Returns false on tail drop.
+func (s *Switch) dpDispatch(fn func()) bool {
+	now := s.eng.Now()
+	start := s.nextFree
+	if start < now {
+		start = now
+	}
+	queued := int(start.Sub(now) / s.slot)
+	if queued >= s.cfg.QueueLimit {
+		s.Stats.QueueDrops.Inc()
+		return false
+	}
+	s.nextFree = start.Add(s.slot)
+	s.eng.At(start.Add(s.cfg.PipelineLatency), func() {
+		if s.failed {
+			return
+		}
+		fn()
+	})
+	return true
+}
+
+// receive is the netem handler: dispatches data packets to the pipeline and
+// protocol messages to the message handler, both at data-plane cost.
+func (s *Switch) receive(from netem.Addr, payload any, size int) {
+	if s.failed {
+		return
+	}
+	switch v := payload.(type) {
+	case *packet.Packet:
+		s.InjectPacket(v)
+	case wire.Msg:
+		s.injectMsg(from, v)
+	default:
+		panic(fmt.Sprintf("pisa: switch %d received unknown payload %T", s.cfg.Addr, payload))
+	}
+}
+
+// InjectPacket delivers a packet at ingress; it is processed when a pipeline
+// slot frees up. Reports false if tail-dropped.
+func (s *Switch) InjectPacket(pkt *packet.Packet) bool {
+	if s.failed {
+		return false
+	}
+	s.arrivalSeq++
+	pkt.Meta.ArrivalSeq = s.arrivalSeq
+	return s.dpDispatch(func() { s.runPipeline(pkt) })
+}
+
+func (s *Switch) runPipeline(pkt *packet.Packet) {
+	if s.program == nil {
+		s.Stats.Dropped.Inc()
+		return
+	}
+	s.Stats.Processed.Inc()
+	switch s.program(s, pkt) {
+	case Forward:
+		s.Stats.Forwarded.Inc()
+		if s.egress != nil {
+			s.egress(pkt)
+		}
+	case Recirculate:
+		s.Stats.Recirculated.Inc()
+		pkt.Meta.Recirculated++
+		s.dpDispatch(func() { s.runPipeline(pkt) })
+	case ToControlPlane:
+		s.Stats.Punted.Inc()
+		s.CtrlDo(func() {
+			if s.ctrlPkt != nil {
+				s.ctrlPkt(pkt)
+			}
+		})
+	default:
+		s.Stats.Dropped.Inc()
+	}
+}
+
+func (s *Switch) injectMsg(from netem.Addr, msg wire.Msg) {
+	if s.msgHandler == nil {
+		// No data-plane handler: messages go to the control plane.
+		s.deliverCtrlMsg(from, msg)
+		return
+	}
+	s.dpDispatch(func() {
+		s.Stats.MsgsHandled.Inc()
+		s.msgHandler(s, from, msg)
+	})
+}
+
+// PuntMsg hands a message to the control-plane handler at control-plane
+// cost. Used by data-plane handlers for message types that need the
+// co-processor (e.g. SRO writes to control-plane-owned tables).
+func (s *Switch) PuntMsg(from netem.Addr, msg wire.Msg) { s.deliverCtrlMsg(from, msg) }
+
+func (s *Switch) deliverCtrlMsg(from netem.Addr, msg wire.Msg) {
+	s.CtrlDo(func() {
+		if s.ctrlMsg != nil {
+			s.ctrlMsg(from, msg)
+		}
+	})
+}
+
+// Send transmits a protocol message from the data plane.
+func (s *Switch) Send(to netem.Addr, msg wire.Msg) {
+	if s.failed {
+		return
+	}
+	s.net.Send(s.cfg.Addr, to, msg, msg.Size())
+}
+
+// SendPacket transmits a data packet to another network node.
+func (s *Switch) SendPacket(to netem.Addr, pkt *packet.Packet) {
+	if s.failed {
+		return
+	}
+	s.net.Send(s.cfg.Addr, to, pkt, pkt.Len())
+}
+
+// Mirror clones the packet at egress and passes the clone to fn, charging a
+// pipeline slot — the egress mirroring feature of §7.
+func (s *Switch) Mirror(pkt *packet.Packet, fn func(clone *packet.Packet)) {
+	clone := pkt.Clone()
+	clone.Meta.Mirrored = true
+	if s.dpDispatch(func() { fn(clone) }) {
+		s.Stats.Mirrored.Inc()
+	}
+}
+
+// Multicast sends msg to every group member except this switch, one copy
+// per destination (the multicast engine of §7).
+func (s *Switch) Multicast(group []netem.Addr, msg wire.Msg) {
+	if s.failed {
+		return
+	}
+	s.net.Multicast(s.cfg.Addr, group, msg, msg.Size())
+}
+
+// InjectEgress charges one pipeline slot and emits pkt through the egress
+// hook without re-running the packet program. Control planes use it to
+// release a buffered output packet whose processing already happened (§7:
+// after the chain acknowledges, "the packet is injected back to the data
+// plane and forwarded to its destination"). Reports false on tail drop.
+func (s *Switch) InjectEgress(pkt *packet.Packet) bool {
+	if s.failed {
+		return false
+	}
+	return s.dpDispatch(func() {
+		s.Stats.Forwarded.Inc()
+		if s.egress != nil {
+			s.egress(pkt)
+		}
+	})
+}
+
+// PacketGen installs a periodic data-plane task (the switch packet
+// generator of §7): fn runs every period at data-plane cost. The returned
+// ticker stops it; it also stops itself when the switch fails.
+func (s *Switch) PacketGen(period sim.Duration, fn func()) *sim.Ticker {
+	var tk *sim.Ticker
+	tk = s.eng.Every(period, func() {
+		if s.failed {
+			tk.Stop()
+			return
+		}
+		s.dpDispatch(fn)
+	})
+	return tk
+}
+
+// CtrlDo schedules fn on the control-plane co-processor: it runs after the
+// control-plane latency once a control-plane slot frees up.
+func (s *Switch) CtrlDo(fn func()) {
+	if s.failed {
+		return
+	}
+	now := s.eng.Now()
+	start := s.ctrlNextFree
+	if start < now {
+		start = now
+	}
+	s.ctrlNextFree = start.Add(s.ctrlSlot)
+	s.eng.At(start.Add(s.cfg.CtrlLatency), func() {
+		if s.failed {
+			return
+		}
+		s.Stats.CtrlOps.Inc()
+		fn()
+	})
+}
+
+// CtrlAfter schedules fn on the control plane after at least d (a
+// control-plane timer: retransmission timeouts, heartbeats).
+func (s *Switch) CtrlAfter(d sim.Duration, fn func()) *sim.Timer {
+	return s.eng.After(d, func() {
+		if s.failed {
+			return
+		}
+		s.CtrlDo(fn)
+	})
+}
+
+// SetCtrlPacketHandler installs the handler for packets punted to the
+// control plane (ToControlPlane verdicts).
+func (s *Switch) SetCtrlPacketHandler(fn func(pkt *packet.Packet)) { s.ctrlPkt = fn }
+
+// MemoryUsed returns data-plane memory charged so far.
+func (s *Switch) MemoryUsed() int { return s.memUsed }
+
+// MemoryFree returns the remaining data-plane budget.
+func (s *Switch) MemoryFree() int { return s.cfg.MemoryBytes - s.memUsed }
+
+// charge reserves data-plane memory or fails.
+func (s *Switch) charge(bytes int, what string) error {
+	if bytes < 0 {
+		panic("pisa: negative memory charge")
+	}
+	if s.memUsed+bytes > s.cfg.MemoryBytes {
+		return fmt.Errorf("pisa: switch %d out of data-plane memory allocating %s: need %d, free %d",
+			s.cfg.Addr, what, bytes, s.MemoryFree())
+	}
+	s.memUsed += bytes
+	return nil
+}
+
+// release returns data-plane memory to the budget.
+func (s *Switch) release(bytes int) {
+	s.memUsed -= bytes
+	if s.memUsed < 0 {
+		panic("pisa: memory accounting underflow")
+	}
+}

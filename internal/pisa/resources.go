@@ -1,0 +1,270 @@
+package pisa
+
+import (
+	"fmt"
+	"hash/maphash"
+)
+
+// This file implements the P4 memory objects of §2: register arrays, tables,
+// meters, and counters. Registers, meters, and counters can be modified from
+// the data plane; tables require the control plane — a distinction the model
+// enforces because SwiShmem's protocol choice per NF hinges on it
+// (Observation 1: read-intensive NFs already modify tables through the
+// control plane).
+
+// RegisterArray is a fixed-size array of fixed-width values in data-plane
+// SRAM. Width is in bytes; entries are indexed 0..Entries-1.
+type RegisterArray struct {
+	sw      *Switch
+	name    string
+	entries int
+	width   int
+	data    []byte
+}
+
+// NewRegisterArray allocates a register array, charging entries*width bytes
+// against the switch memory budget.
+func (s *Switch) NewRegisterArray(name string, entries, width int) (*RegisterArray, error) {
+	if entries <= 0 || width <= 0 {
+		return nil, fmt.Errorf("pisa: register array %q needs positive entries and width", name)
+	}
+	if err := s.charge(entries*width, "register array "+name); err != nil {
+		return nil, err
+	}
+	return &RegisterArray{sw: s, name: name, entries: entries, width: width, data: make([]byte, entries*width)}, nil
+}
+
+// Entries returns the array length.
+func (r *RegisterArray) Entries() int { return r.entries }
+
+// Width returns the per-entry width in bytes.
+func (r *RegisterArray) Width() int { return r.width }
+
+// Bytes returns the total SRAM footprint.
+func (r *RegisterArray) Bytes() int { return r.entries * r.width }
+
+// Get returns a copy of entry i.
+func (r *RegisterArray) Get(i int) []byte {
+	r.check(i)
+	out := make([]byte, r.width)
+	copy(out, r.data[i*r.width:])
+	return out
+}
+
+// View returns entry i without copying. Callers must not retain it across
+// packet boundaries (in hardware it would be a transient PHV value).
+func (r *RegisterArray) View(i int) []byte {
+	r.check(i)
+	return r.data[i*r.width : (i+1)*r.width]
+}
+
+// Set overwrites entry i with v (padded/truncated to the width).
+func (r *RegisterArray) Set(i int, v []byte) {
+	r.check(i)
+	cell := r.data[i*r.width : (i+1)*r.width]
+	n := copy(cell, v)
+	for ; n < r.width; n++ {
+		cell[n] = 0
+	}
+}
+
+// Free releases the array's memory back to the switch budget.
+func (r *RegisterArray) Free() {
+	if r.data != nil {
+		r.sw.release(r.entries * r.width)
+		r.data = nil
+	}
+}
+
+func (r *RegisterArray) check(i int) {
+	if r.data == nil {
+		panic(fmt.Sprintf("pisa: use of freed register array %q", r.name))
+	}
+	if i < 0 || i >= r.entries {
+		panic(fmt.Sprintf("pisa: register array %q index %d out of range [0,%d)", r.name, i, r.entries))
+	}
+}
+
+// U64Get reads entry i as a big-endian uint64 (width must be >= 8).
+func (r *RegisterArray) U64Get(i int) uint64 {
+	v := r.View(i)
+	return uint64(v[0])<<56 | uint64(v[1])<<48 | uint64(v[2])<<40 | uint64(v[3])<<32 |
+		uint64(v[4])<<24 | uint64(v[5])<<16 | uint64(v[6])<<8 | uint64(v[7])
+}
+
+// U64Set writes entry i as a big-endian uint64 (width must be >= 8).
+func (r *RegisterArray) U64Set(i int, v uint64) {
+	cell := r.View(i)
+	cell[0], cell[1], cell[2], cell[3] = byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32)
+	cell[4], cell[5], cell[6], cell[7] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+}
+
+// U64Add atomically adds delta to entry i and returns the new value. The
+// atomicity is with respect to other packets (§2): within one packet's
+// processing this is just a read-modify-write.
+func (r *RegisterArray) U64Add(i int, delta uint64) uint64 {
+	v := r.U64Get(i) + delta
+	r.U64Set(i, v)
+	return v
+}
+
+var tableSeed = maphash.MakeSeed()
+
+// HashIndex maps an arbitrary key to a register index in [0, size), the way
+// data-plane programs hash flow keys into register arrays.
+func HashIndex(key uint64, size int) int {
+	var h maphash.Hash
+	h.SetSeed(tableSeed)
+	var b [8]byte
+	b[0], b[1], b[2], b[3] = byte(key>>56), byte(key>>48), byte(key>>40), byte(key>>32)
+	b[4], b[5], b[6], b[7] = byte(key>>24), byte(key>>16), byte(key>>8), byte(key)
+	h.Write(b[:])
+	return int(h.Sum64() % uint64(size))
+}
+
+// Table is an exact-match table: data-plane lookup, control-plane-only
+// mutation. Capacity is fixed at allocation and charged against SRAM.
+type Table struct {
+	sw       *Switch
+	name     string
+	capacity int
+	keyW     int // accounting widths, bytes
+	valW     int
+	m        map[uint64][]byte
+}
+
+// NewTable allocates an exact-match table with the given capacity and
+// per-entry key/value widths (for memory accounting).
+func (s *Switch) NewTable(name string, capacity, keyWidth, valWidth int) (*Table, error) {
+	if capacity <= 0 || keyWidth <= 0 || valWidth < 0 {
+		return nil, fmt.Errorf("pisa: table %q needs positive capacity and key width", name)
+	}
+	if err := s.charge(capacity*(keyWidth+valWidth), "table "+name); err != nil {
+		return nil, err
+	}
+	return &Table{sw: s, name: name, capacity: capacity, keyW: keyWidth, valW: valWidth,
+		m: make(map[uint64][]byte)}, nil
+}
+
+// Lookup performs a data-plane match. ok is false on miss.
+func (t *Table) Lookup(key uint64) (val []byte, ok bool) {
+	v, ok := t.m[key]
+	return v, ok
+}
+
+// Len returns the number of installed entries.
+func (t *Table) Len() int { return len(t.m) }
+
+// Capacity returns the allocation size.
+func (t *Table) Capacity() int { return t.capacity }
+
+// Bytes returns the SRAM footprint.
+func (t *Table) Bytes() int { return t.capacity * (t.keyW + t.valW) }
+
+// Insert installs an entry. It returns an error if the table is full.
+// Tables are control-plane-owned: callers must invoke this from a CtrlDo
+// context; the model cannot verify the calling context, but Insert charges
+// no pipeline slot and protocol code in this repository only calls it from
+// control-plane callbacks.
+func (t *Table) Insert(key uint64, val []byte) error {
+	if _, exists := t.m[key]; !exists && len(t.m) >= t.capacity {
+		return fmt.Errorf("pisa: table %q full (%d entries)", t.name, t.capacity)
+	}
+	t.m[key] = append([]byte(nil), val...)
+	return nil
+}
+
+// Delete removes an entry (control-plane operation).
+func (t *Table) Delete(key uint64) { delete(t.m, key) }
+
+// Range iterates entries in unspecified order (control-plane operation,
+// used for snapshots).
+func (t *Table) Range(fn func(key uint64, val []byte) bool) {
+	for k, v := range t.m {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// Free releases the table's memory.
+func (t *Table) Free() {
+	if t.m != nil {
+		t.sw.release(t.capacity * (t.keyW + t.valW))
+		t.m = nil
+	}
+}
+
+// Meter is an array of single-rate token buckets updated from the data
+// plane — the per-user meter of the rate limiter NF (§4.2).
+type Meter struct {
+	sw      *Switch
+	entries int
+	rate    float64 // tokens (bytes) per second
+	burst   float64
+	tokens  []float64
+	lastAt  []int64 // sim.Time of last update
+}
+
+// NewMeter allocates a meter array: each cell holds a token count and a
+// timestamp (16 bytes accounted per cell).
+func (s *Switch) NewMeter(name string, entries int, ratePerSec, burst float64) (*Meter, error) {
+	if entries <= 0 {
+		return nil, fmt.Errorf("pisa: meter %q needs positive entries", name)
+	}
+	if err := s.charge(entries*16, "meter "+name); err != nil {
+		return nil, err
+	}
+	m := &Meter{sw: s, entries: entries, rate: ratePerSec, burst: burst,
+		tokens: make([]float64, entries), lastAt: make([]int64, entries)}
+	for i := range m.tokens {
+		m.tokens[i] = burst
+	}
+	return m, nil
+}
+
+// Entries returns the number of meter cells.
+func (m *Meter) Entries() int { return m.entries }
+
+// Allow consumes cost tokens from cell i, refilled at the configured rate.
+// It reports whether the cell was conformant (green).
+func (m *Meter) Allow(i int, cost float64) bool {
+	now := int64(m.sw.eng.Now())
+	elapsed := float64(now-m.lastAt[i]) / 1e9
+	m.lastAt[i] = now
+	m.tokens[i] += elapsed * m.rate
+	if m.tokens[i] > m.burst {
+		m.tokens[i] = m.burst
+	}
+	if m.tokens[i] >= cost {
+		m.tokens[i] -= cost
+		return true
+	}
+	return false
+}
+
+// Counter is an array of data-plane counters readable by the control plane.
+type CounterArray struct {
+	sw     *Switch
+	counts []uint64
+}
+
+// NewCounterArray allocates a counter array (8 bytes per cell).
+func (s *Switch) NewCounterArray(name string, entries int) (*CounterArray, error) {
+	if entries <= 0 {
+		return nil, fmt.Errorf("pisa: counter array %q needs positive entries", name)
+	}
+	if err := s.charge(entries*8, "counter array "+name); err != nil {
+		return nil, err
+	}
+	return &CounterArray{sw: s, counts: make([]uint64, entries)}, nil
+}
+
+// Inc adds delta to cell i (data-plane operation).
+func (c *CounterArray) Inc(i int, delta uint64) { c.counts[i] += delta }
+
+// Read returns cell i (control-plane read).
+func (c *CounterArray) Read(i int) uint64 { return c.counts[i] }
+
+// Entries returns the array length.
+func (c *CounterArray) Entries() int { return len(c.counts) }

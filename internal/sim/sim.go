@@ -1,0 +1,249 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All SwiShmem experiments run on virtual time: the engine maintains a
+// priority queue of timestamped events and a virtual clock that jumps from
+// event to event. This makes it possible to model quantities that cannot be
+// reproduced in wall-clock time on a development machine (terabit links,
+// nanosecond-scale switch pipelines) while keeping every run exactly
+// reproducible from a seed.
+//
+// The engine is intentionally single-threaded: determinism is the point.
+// Concurrency in the modeled system (many switches processing packets "at
+// the same time") is expressed as interleaved events, with ties broken by a
+// monotone sequence number so insertion order is stable.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp. It uses the same resolution as time.Duration
+// (nanoseconds) so durations compose naturally with the standard library.
+type Time int64
+
+// Duration re-exports time.Duration for call-site clarity.
+type Duration = time.Duration
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the time as a float64 number of seconds since the epoch.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// Event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among equal timestamps
+	fn   func()
+	idx  int // heap index, -1 when popped/cancelled
+	dead bool
+}
+
+// Timer is a handle to a scheduled event; it can be stopped before firing.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer. It reports whether the timer was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead {
+		return false
+	}
+	t.ev.dead = true
+	return true
+}
+
+// Pending reports whether the timer has not yet fired or been stopped.
+func (t *Timer) Pending() bool { return t != nil && t.ev != nil && !t.ev.dead }
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	// Stats
+	processed uint64
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+// The same seed and same schedule of calls yields an identical run.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. All model
+// randomness (loss, jitter, workload sampling) must come from here.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// panics: that is always a model bug, never a recoverable condition.
+func (e *Engine) At(at Time, fn func()) *Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (e *Engine) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Every schedules fn to run every period, starting one period from now.
+// The returned Timer always refers to the next pending firing; stopping it
+// cancels the series.
+type Ticker struct {
+	eng     *Engine
+	period  Duration
+	fn      func()
+	t       *Timer
+	stopped bool
+}
+
+// Every creates a repeating event. period must be positive.
+func (e *Engine) Every(period Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %v", period))
+	}
+	tk := &Ticker{eng: e, period: period, fn: fn}
+	tk.arm()
+	return tk
+}
+
+func (tk *Ticker) arm() {
+	tk.t = tk.eng.After(tk.period, func() {
+		if tk.stopped {
+			return
+		}
+		tk.fn()
+		if !tk.stopped {
+			tk.arm()
+		}
+	})
+}
+
+// Stop cancels the ticker.
+func (tk *Ticker) Stop() {
+	tk.stopped = true
+	if tk.t != nil {
+		tk.t.Stop()
+	}
+}
+
+// Step runs the single next event, if any, and reports whether one ran.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		ev.dead = true
+		ev.fn()
+		e.processed++
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue is empty or Stop is called.
+// It returns the number of events processed.
+func (e *Engine) Run() uint64 {
+	e.stopped = false
+	start := e.processed
+	for !e.stopped && e.Step() {
+	}
+	return e.processed - start
+}
+
+// RunUntil processes events with timestamps <= deadline, advancing the clock
+// to exactly deadline at the end (even if the queue drained early).
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	e.stopped = false
+	start := e.processed
+	for !e.stopped {
+		if e.queue.Len() == 0 {
+			break
+		}
+		// Peek.
+		next := e.queue[0]
+		if next.dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.processed - start
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (e *Engine) RunFor(d Duration) uint64 { return e.RunUntil(e.now.Add(d)) }
+
+// Stop halts Run/RunUntil after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of scheduled (live) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Processed returns the total number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }

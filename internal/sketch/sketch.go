@@ -1,0 +1,253 @@
+// Package sketch implements the approximate data structures used by the
+// write-intensive NFs of §4.2: a count-min sketch for per-IP frequency
+// tracking (the DDoS detector's state) and a heavy-hitter tracker on top.
+//
+// Sketches are mergeable — counters are commutative — which is exactly why
+// the paper classifies them as ideal EWO state (Observation 2): a per-switch
+// sketch replicated as a vector of per-switch sub-sketches converges under
+// eventual consistency, and the merged estimate is the sum of elements.
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// CountMin is a count-min sketch: d rows of w counters. Point queries
+// overestimate by at most N*e/w with probability 1-(1/2)^d, where N is the
+// total count.
+type CountMin struct {
+	w, d  int
+	rows  [][]uint64
+	seeds []uint64
+	total uint64
+}
+
+// NewCountMin builds a sketch with the given width and depth.
+func NewCountMin(width, depth int) (*CountMin, error) {
+	if width <= 0 || depth <= 0 {
+		return nil, fmt.Errorf("sketch: width and depth must be positive (got %d, %d)", width, depth)
+	}
+	s := &CountMin{w: width, d: depth}
+	s.rows = make([][]uint64, depth)
+	s.seeds = make([]uint64, depth)
+	for i := range s.rows {
+		s.rows[i] = make([]uint64, width)
+		// Fixed distinct odd seeds: deterministic across switches so the
+		// replicated sub-sketches are structurally identical and mergeable.
+		s.seeds[i] = 0x9e3779b97f4a7c15*uint64(i+1) | 1
+	}
+	return s, nil
+}
+
+// NewCountMinForError builds a sketch sized for a target relative error eps
+// and failure probability delta: w = ceil(e/eps), d = ceil(ln(1/delta)).
+func NewCountMinForError(eps, delta float64) (*CountMin, error) {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("sketch: eps and delta must be in (0,1)")
+	}
+	w := int(math.Ceil(math.E / eps))
+	d := int(math.Ceil(math.Log(1 / delta)))
+	return NewCountMin(w, d)
+}
+
+// Width returns the number of counters per row.
+func (s *CountMin) Width() int { return s.w }
+
+// Depth returns the number of rows.
+func (s *CountMin) Depth() int { return s.d }
+
+// Bytes returns the memory footprint in bytes (8 bytes per counter), the
+// quantity charged against the switch SRAM budget.
+func (s *CountMin) Bytes() int { return s.w * s.d * 8 }
+
+// Total returns the sum of all inserted counts.
+func (s *CountMin) Total() uint64 { return s.total }
+
+func (s *CountMin) index(row int, key uint64) int {
+	h := key ^ s.seeds[row]
+	// splitmix64 finalizer.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return int(h % uint64(s.w))
+}
+
+// Add increments key's count by delta.
+func (s *CountMin) Add(key uint64, delta uint64) {
+	for r := 0; r < s.d; r++ {
+		s.rows[r][s.index(r, key)] += delta
+	}
+	s.total += delta
+}
+
+// Estimate returns the (over-)estimate of key's count.
+func (s *CountMin) Estimate(key uint64) uint64 {
+	min := uint64(math.MaxUint64)
+	for r := 0; r < s.d; r++ {
+		if v := s.rows[r][s.index(r, key)]; v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Merge adds other's counters cell-wise into s. The sketches must have
+// identical geometry.
+func (s *CountMin) Merge(other *CountMin) error {
+	if s.w != other.w || s.d != other.d {
+		return fmt.Errorf("sketch: merge geometry mismatch: %dx%d vs %dx%d", s.d, s.w, other.d, other.w)
+	}
+	for r := range s.rows {
+		for c := range s.rows[r] {
+			s.rows[r][c] += other.rows[r][c]
+		}
+	}
+	s.total += other.total
+	return nil
+}
+
+// MergeMax takes the cell-wise maximum — the G-counter CRDT merge used when
+// a remote switch re-announces its own full sub-sketch: max is idempotent
+// under duplicated delivery, unlike addition.
+func (s *CountMin) MergeMax(other *CountMin) error {
+	if s.w != other.w || s.d != other.d {
+		return fmt.Errorf("sketch: merge geometry mismatch: %dx%d vs %dx%d", s.d, s.w, other.d, other.w)
+	}
+	for r := range s.rows {
+		for c := range s.rows[r] {
+			if other.rows[r][c] > s.rows[r][c] {
+				s.rows[r][c] = other.rows[r][c]
+			}
+		}
+	}
+	if other.total > s.total {
+		s.total = other.total
+	}
+	return nil
+}
+
+// Reset zeroes all counters.
+func (s *CountMin) Reset() {
+	for r := range s.rows {
+		for c := range s.rows[r] {
+			s.rows[r][c] = 0
+		}
+	}
+	s.total = 0
+}
+
+// Clone returns a deep copy.
+func (s *CountMin) Clone() *CountMin {
+	c, _ := NewCountMin(s.w, s.d)
+	for r := range s.rows {
+		copy(c.rows[r], s.rows[r])
+	}
+	c.total = s.total
+	return c
+}
+
+// Marshal serializes the sketch (geometry + counters) for snapshot
+// transfer. The encoding is row-major big-endian.
+func (s *CountMin) Marshal() []byte {
+	out := make([]byte, 0, 8+s.w*s.d*8+8)
+	out = binary.BigEndian.AppendUint32(out, uint32(s.w))
+	out = binary.BigEndian.AppendUint32(out, uint32(s.d))
+	out = binary.BigEndian.AppendUint64(out, s.total)
+	for _, row := range s.rows {
+		for _, v := range row {
+			out = binary.BigEndian.AppendUint64(out, v)
+		}
+	}
+	return out
+}
+
+// UnmarshalCountMin decodes a sketch produced by Marshal.
+func UnmarshalCountMin(data []byte) (*CountMin, error) {
+	if len(data) < 16 {
+		return nil, fmt.Errorf("sketch: truncated header")
+	}
+	w := int(binary.BigEndian.Uint32(data[0:]))
+	d := int(binary.BigEndian.Uint32(data[4:]))
+	total := binary.BigEndian.Uint64(data[8:])
+	s, err := NewCountMin(w, d)
+	if err != nil {
+		return nil, err
+	}
+	need := 16 + w*d*8
+	if len(data) < need {
+		return nil, fmt.Errorf("sketch: truncated body (%d < %d)", len(data), need)
+	}
+	off := 16
+	for r := 0; r < d; r++ {
+		for c := 0; c < w; c++ {
+			s.rows[r][c] = binary.BigEndian.Uint64(data[off:])
+			off += 8
+		}
+	}
+	s.total = total
+	return s, nil
+}
+
+// HeavyHitters tracks keys whose estimated count exceeds a threshold,
+// using a count-min sketch plus a small exact candidate table — the shape
+// of the in-switch DDoS detector's data structure.
+type HeavyHitters struct {
+	sketch    *CountMin
+	threshold uint64
+	hits      map[uint64]uint64 // candidate key -> estimate at promotion
+	maxKeys   int
+}
+
+// NewHeavyHitters builds a tracker that promotes keys whose estimate
+// reaches threshold, remembering at most maxKeys candidates.
+func NewHeavyHitters(width, depth int, threshold uint64, maxKeys int) (*HeavyHitters, error) {
+	s, err := NewCountMin(width, depth)
+	if err != nil {
+		return nil, err
+	}
+	if threshold == 0 {
+		return nil, fmt.Errorf("sketch: zero threshold")
+	}
+	if maxKeys <= 0 {
+		maxKeys = 1024
+	}
+	return &HeavyHitters{sketch: s, threshold: threshold, hits: make(map[uint64]uint64), maxKeys: maxKeys}, nil
+}
+
+// Add records one occurrence of key and reports whether key is (now) a
+// heavy hitter.
+func (h *HeavyHitters) Add(key uint64, delta uint64) bool {
+	h.sketch.Add(key, delta)
+	est := h.sketch.Estimate(key)
+	if est >= h.threshold {
+		if _, ok := h.hits[key]; !ok && len(h.hits) < h.maxKeys {
+			h.hits[key] = est
+		} else if ok {
+			h.hits[key] = est
+		}
+		return true
+	}
+	return false
+}
+
+// Hits returns the current heavy-hitter set (key -> last estimate).
+func (h *HeavyHitters) Hits() map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(h.hits))
+	for k, v := range h.hits {
+		out[k] = v
+	}
+	return out
+}
+
+// Sketch exposes the underlying count-min sketch (for replication).
+func (h *HeavyHitters) Sketch() *CountMin { return h.sketch }
+
+// Reset clears both sketch and candidates (a new detection window).
+func (h *HeavyHitters) Reset() {
+	h.sketch.Reset()
+	h.hits = make(map[uint64]uint64)
+}

@@ -1,0 +1,341 @@
+// Package stats provides the measurement primitives used by the SwiShmem
+// experiment harness: counters, gauges, latency histograms with percentile
+// queries, time-series samplers, and plain-text table rendering for the
+// benchmark output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct{ n uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta; negative deltas panic (counters are monotone).
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Gauge is a point-in-time value.
+type Gauge struct{ v float64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram records float64 observations with log-scaled buckets plus exact
+// min/max/sum. It is tuned for latency-like distributions spanning many
+// orders of magnitude (nanoseconds to seconds).
+type Histogram struct {
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+	buckets []uint64 // log-scale buckets
+}
+
+// Buckets: value v (>0) maps to bucket floor(log(v)/log(growth)) offset so
+// that sub-1.0 values land in bucket 0. growth chosen for ~2% resolution.
+const (
+	histGrowth  = 1.02
+	histBuckets = 2048
+)
+
+var logGrowth = math.Log(histGrowth)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: math.Inf(1), max: math.Inf(-1), buckets: make([]uint64, histBuckets)}
+}
+
+func bucketOf(v float64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := int(math.Log(v) / logGrowth)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+func bucketUpper(i int) float64 {
+	if i == 0 {
+		return 1
+	}
+	return math.Pow(histGrowth, float64(i+1))
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *Histogram) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bucketOf(v)]++
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(float64(d)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the arithmetic mean, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest observation, or 0 if empty.
+func (h *Histogram) Min() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation, or 0 if empty.
+func (h *Histogram) Max() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns an approximation of the q-th quantile (0 <= q <= 1).
+// The answer is exact for min (q=0) and max (q=1) and within one bucket
+// (~2%) elsewhere.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			up := bucketUpper(i)
+			if up > h.max {
+				up = h.max
+			}
+			if up < h.min {
+				up = h.min
+			}
+			return up
+		}
+	}
+	return h.max
+}
+
+// Merge adds all observations of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	for i, n := range other.buckets {
+		h.buckets[i] += n
+	}
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() {
+	h.count, h.sum = 0, 0
+	h.min, h.max = math.Inf(1), math.Inf(-1)
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+}
+
+// Summary returns a one-line latency summary treating values as nanoseconds.
+func (h *Histogram) Summary() string {
+	if h.count == 0 {
+		return "n=0"
+	}
+	d := func(v float64) time.Duration { return time.Duration(v) }
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.count, d(h.Mean()), d(h.Quantile(0.5)), d(h.Quantile(0.99)), d(h.Max()))
+}
+
+// Series collects (x, y) points for a sweep experiment.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is a single (x, y) sample.
+type Point struct{ X, Y float64 }
+
+// Append adds a point.
+func (s *Series) Append(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// Table renders experiment results as an aligned plain-text table, in the
+// style of the rows a paper reports.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case time.Duration:
+			row[i] = v.String()
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Percentiles computes exact percentiles from a raw sample slice (the slice
+// is sorted in place). Used where full accuracy matters more than memory.
+func Percentiles(samples []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(samples) == 0 {
+		return out
+	}
+	sort.Float64s(samples)
+	for i, q := range qs {
+		if q <= 0 {
+			out[i] = samples[0]
+			continue
+		}
+		if q >= 1 {
+			out[i] = samples[len(samples)-1]
+			continue
+		}
+		idx := int(math.Ceil(q*float64(len(samples)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out[i] = samples[idx]
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of samples (0 for empty input).
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range samples {
+		s += v
+	}
+	return s / float64(len(samples))
+}
+
+// Stddev returns the population standard deviation of samples.
+func Stddev(samples []float64) float64 {
+	if len(samples) < 2 {
+		return 0
+	}
+	m := Mean(samples)
+	var ss float64
+	for _, v := range samples {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(samples)))
+}

@@ -1,0 +1,248 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("Value = %d, want 10", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("Value after reset = %d", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(3.5)
+	if g.Value() != 3.5 {
+		t.Fatalf("Value = %v", g.Value())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should return zeros")
+	}
+	for _, v := range []float64{10, 20, 30, 40, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Sum() != 150 {
+		t.Fatalf("Sum = %v", h.Sum())
+	}
+	if h.Mean() != 30 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 10 || h.Max() != 50 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(7))
+	// Exponential-ish latencies from 100ns to 10ms.
+	var raw []float64
+	for i := 0; i < 100000; i++ {
+		v := math.Exp(rng.Float64()*11.5) * 100 // 100 .. ~1e7
+		raw = append(raw, v)
+		h.Observe(v)
+	}
+	exact := Percentiles(raw, 0.5, 0.9, 0.99)
+	for i, q := range []float64{0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		rel := math.Abs(got-exact[i]) / exact[i]
+		if rel > 0.05 {
+			t.Errorf("q%v: got %v exact %v rel err %.3f > 5%%", q, got, exact[i], rel)
+		}
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(42)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 42 {
+			t.Fatalf("single-value quantile(%v) = %v, want 42", q, got)
+		}
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-5)
+	if h.Min() != 0 {
+		t.Fatalf("negative observation should clamp to 0, got min %v", h.Min())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 1; i <= 100; i++ {
+		a.Observe(float64(i))
+	}
+	for i := 101; i <= 200; i++ {
+		b.Observe(float64(i))
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != 1 || a.Max() != 200 {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	// Merging an empty histogram is a no-op.
+	before := a.Count()
+	a.Merge(NewHistogram())
+	if a.Count() != before {
+		t.Fatal("merging empty changed count")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(5)
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("reset did not clear histogram")
+	}
+	h.Observe(7)
+	if h.Min() != 7 || h.Max() != 7 {
+		t.Fatal("observe after reset broken")
+	}
+}
+
+func TestHistogramObserveDurationAndSummary(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveDuration(2 * time.Millisecond)
+	s := h.Summary()
+	if !strings.Contains(s, "n=1") || !strings.Contains(s, "2ms") {
+		t.Fatalf("summary = %q", s)
+	}
+	if NewHistogram().Summary() != "n=0" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestQuantileMonotonic(t *testing.T) {
+	f := func(vals []float64) bool {
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Observe(math.Abs(v))
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMergeEquivalence(t *testing.T) {
+	// Merging two halves must equal observing everything in one histogram.
+	f := func(a, b []float64) bool {
+		h1, h2, all := NewHistogram(), NewHistogram(), NewHistogram()
+		for _, v := range a {
+			h1.Observe(math.Abs(v))
+			all.Observe(math.Abs(v))
+		}
+		for _, v := range b {
+			h2.Observe(math.Abs(v))
+			all.Observe(math.Abs(v))
+		}
+		h1.Merge(h2)
+		return h1.Count() == all.Count() &&
+			h1.Min() == all.Min() && h1.Max() == all.Max() &&
+			h1.Quantile(0.5) == all.Quantile(0.5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentilesExact(t *testing.T) {
+	samples := []float64{5, 1, 4, 2, 3}
+	got := Percentiles(samples, 0, 0.5, 1)
+	if got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("Percentiles = %v", got)
+	}
+	if out := Percentiles(nil, 0.5); out[0] != 0 {
+		t.Fatal("empty percentiles should be zero")
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil)")
+	}
+	s := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(s) != 5 {
+		t.Fatalf("Mean = %v", Mean(s))
+	}
+	if math.Abs(Stddev(s)-2) > 1e-9 {
+		t.Fatalf("Stddev = %v, want 2", Stddev(s))
+	}
+	if Stddev([]float64{1}) != 0 {
+		t.Fatal("Stddev single")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "x"
+	s.Append(1, 2)
+	s.Append(3, 4)
+	if len(s.Points) != 2 || s.Points[1] != (Point{3, 4}) {
+		t.Fatalf("series = %+v", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Table 1", "Application", "Writes", "Latency", "Ratio")
+	tab.AddRow("NAT", 123, 2*time.Millisecond, 0.00123)
+	tab.AddRow("Firewall-with-long-name", 4, time.Microsecond, 1234.5)
+	out := tab.String()
+	if !strings.Contains(out, "== Table 1 ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "NAT") || !strings.Contains(out, "2ms") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	if !strings.Contains(out, "0.00123") || !strings.Contains(out, "1234") {
+		t.Fatalf("float formatting wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + sep + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 100000))
+	}
+}

@@ -1,0 +1,258 @@
+// Package topology models the multi-switch deployment scenarios of §3.2:
+// NF processing placed on every switch of a fabric tier (leaf-spine), or on
+// a dedicated NF-accelerator cluster near the ingress. It provides the
+// ingress routing policies that decide which NF switch processes a flow —
+// the mechanism whose re-routing behaviour (ECMP rehash on failure,
+// adaptive/multipath routing) breaks sharded state and motivates SwiShmem's
+// replicated global state.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"swishmem/internal/netem"
+	"swishmem/internal/packet"
+	"swishmem/internal/pisa"
+)
+
+// Policy selects how an ingress maps a flow to an NF switch.
+type Policy int
+
+// Routing policies.
+const (
+	// ECMPMod hashes the 5-tuple modulo the number of live switches: the
+	// classic ECMP behaviour whose mapping shifts for most flows when the
+	// live set changes size (worst case for sharded state).
+	ECMPMod Policy = iota
+	// HRW uses highest-random-weight (rendezvous) hashing: only flows
+	// mapped to a failed switch move.
+	HRW
+	// RandomPerPacket picks a random live switch for every packet —
+	// adaptive/multipath routing's worst case, where even steady state
+	// spreads one flow over all switches.
+	RandomPerPacket
+)
+
+func (p Policy) String() string {
+	switch p {
+	case HRW:
+		return "HRW"
+	case RandomPerPacket:
+		return "RandomPerPacket"
+	default:
+		return "ECMPMod"
+	}
+}
+
+// Ingress routes arriving flows to NF switches under a policy.
+type Ingress struct {
+	policy Policy
+	live   []netem.Addr // sorted for deterministic iteration
+	rand   func(n int) int
+}
+
+// NewIngress creates a router over the given NF switches. rnd supplies
+// randomness for RandomPerPacket (pass eng.Rand().Intn).
+func NewIngress(policy Policy, switches []netem.Addr, rnd func(n int) int) *Ingress {
+	ing := &Ingress{policy: policy, rand: rnd}
+	for _, a := range switches {
+		ing.live = append(ing.live, a)
+	}
+	sort.Slice(ing.live, func(i, j int) bool { return ing.live[i] < ing.live[j] })
+	return ing
+}
+
+// Live returns the live switch set.
+func (ing *Ingress) Live() []netem.Addr { return append([]netem.Addr(nil), ing.live...) }
+
+// Fail removes a switch from the live set.
+func (ing *Ingress) Fail(addr netem.Addr) {
+	out := ing.live[:0]
+	for _, a := range ing.live {
+		if a != addr {
+			out = append(out, a)
+		}
+	}
+	ing.live = out
+}
+
+// Heal re-adds a switch to the live set.
+func (ing *Ingress) Heal(addr netem.Addr) {
+	for _, a := range ing.live {
+		if a == addr {
+			return
+		}
+	}
+	ing.live = append(ing.live, addr)
+	sort.Slice(ing.live, func(i, j int) bool { return ing.live[i] < ing.live[j] })
+}
+
+// flowHash folds a 5-tuple into a uint64 deterministically.
+func flowHash(k packet.FlowKey) uint64 {
+	h := uint64(packet.U32Addr(k.Src))<<32 | uint64(packet.U32Addr(k.Dst))
+	h ^= uint64(k.SrcPort)<<48 | uint64(k.DstPort)<<32 | uint64(k.Proto)
+	// splitmix64 finalizer.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Route picks the NF switch for a flow. ok is false when no switch is live.
+func (ing *Ingress) Route(k packet.FlowKey) (netem.Addr, bool) {
+	if len(ing.live) == 0 {
+		return 0, false
+	}
+	switch ing.policy {
+	case HRW:
+		var best netem.Addr
+		var bestW uint64
+		for _, a := range ing.live {
+			w := flowHash(k) ^ (uint64(a) * 0x9e3779b97f4a7c15)
+			w ^= w >> 33
+			w *= 0xff51afd7ed558ccd
+			w ^= w >> 33
+			if w >= bestW {
+				bestW, best = w, a
+			}
+		}
+		return best, true
+	case RandomPerPacket:
+		return ing.live[ing.rand(len(ing.live))], true
+	default:
+		return ing.live[int(flowHash(k)%uint64(len(ing.live)))], true
+	}
+}
+
+// Fabric is a multi-switch topology: a graph of switches plus host
+// attachment points, with shortest-path routing between any two nodes.
+type Fabric struct {
+	net   *netem.Network
+	adj   map[netem.Addr][]netem.Addr
+	nodes []netem.Addr
+}
+
+// NewFabric creates an empty fabric over nw.
+func NewFabric(nw *netem.Network) *Fabric {
+	return &Fabric{net: nw, adj: make(map[netem.Addr][]netem.Addr)}
+}
+
+// AddNode registers a node (switch or host) in the graph.
+func (f *Fabric) AddNode(a netem.Addr) {
+	if _, ok := f.adj[a]; ok {
+		return
+	}
+	f.adj[a] = nil
+	f.nodes = append(f.nodes, a)
+}
+
+// Connect adds a bidirectional edge and configures the underlying netem
+// link with profile.
+func (f *Fabric) Connect(a, b netem.Addr, profile netem.LinkProfile) {
+	f.AddNode(a)
+	f.AddNode(b)
+	f.adj[a] = append(f.adj[a], b)
+	f.adj[b] = append(f.adj[b], a)
+	f.net.SetLink(a, b, profile)
+}
+
+// Neighbors returns a node's adjacency list.
+func (f *Fabric) Neighbors(a netem.Addr) []netem.Addr {
+	return append([]netem.Addr(nil), f.adj[a]...)
+}
+
+// Nodes returns all registered nodes.
+func (f *Fabric) Nodes() []netem.Addr { return append([]netem.Addr(nil), f.nodes...) }
+
+// ShortestPath returns a minimum-hop path from a to b (inclusive), or nil
+// if unreachable. Ties are broken by address order for determinism.
+func (f *Fabric) ShortestPath(a, b netem.Addr) []netem.Addr {
+	if a == b {
+		return []netem.Addr{a}
+	}
+	prev := map[netem.Addr]netem.Addr{a: a}
+	frontier := []netem.Addr{a}
+	for len(frontier) > 0 {
+		var next []netem.Addr
+		for _, u := range frontier {
+			nbrs := append([]netem.Addr(nil), f.adj[u]...)
+			sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+			for _, v := range nbrs {
+				if _, seen := prev[v]; seen {
+					continue
+				}
+				prev[v] = u
+				if v == b {
+					var path []netem.Addr
+					for cur := b; ; cur = prev[cur] {
+						path = append([]netem.Addr{cur}, path...)
+						if cur == a {
+							return path
+						}
+					}
+				}
+				next = append(next, v)
+			}
+		}
+		frontier = next
+	}
+	return nil
+}
+
+// LeafSpine describes a standard two-tier fabric.
+type LeafSpine struct {
+	Fabric *Fabric
+	Leaves []netem.Addr
+	Spines []netem.Addr
+}
+
+// BuildLeafSpine constructs a leaf-spine fabric: every leaf connects to
+// every spine. Switch addresses are assigned from base upward: spines
+// first, then leaves.
+func BuildLeafSpine(nw *netem.Network, numLeaves, numSpines int, base netem.Addr, profile netem.LinkProfile) (*LeafSpine, error) {
+	if numLeaves <= 0 || numSpines <= 0 {
+		return nil, fmt.Errorf("topology: need positive leaf and spine counts")
+	}
+	ls := &LeafSpine{Fabric: NewFabric(nw)}
+	for s := 0; s < numSpines; s++ {
+		ls.Spines = append(ls.Spines, base+netem.Addr(s))
+	}
+	for l := 0; l < numLeaves; l++ {
+		ls.Leaves = append(ls.Leaves, base+netem.Addr(numSpines+l))
+	}
+	for _, leaf := range ls.Leaves {
+		for _, spine := range ls.Spines {
+			ls.Fabric.Connect(leaf, spine, profile)
+		}
+	}
+	return ls, nil
+}
+
+// NFCluster is the dedicated NF-accelerator deployment of §3.2: an ingress
+// element spraying flows over a cluster of NF switches built on real pisa
+// switch models.
+type NFCluster struct {
+	Ingress  *Ingress
+	Switches []*pisa.Switch
+}
+
+// BuildNFCluster creates n pisa switches (addresses base..base+n-1) attached
+// to nw, and an ingress router over them.
+func BuildNFCluster(nw *netem.Network, n int, base netem.Addr, policy Policy, swCfg pisa.Config) (*NFCluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topology: need a positive cluster size")
+	}
+	c := &NFCluster{}
+	var addrs []netem.Addr
+	for i := 0; i < n; i++ {
+		cfg := swCfg
+		cfg.Addr = base + netem.Addr(i)
+		c.Switches = append(c.Switches, pisa.New(nw.Engine(), nw, cfg))
+		addrs = append(addrs, cfg.Addr)
+	}
+	c.Ingress = NewIngress(policy, addrs, nw.Engine().Rand().Intn)
+	return c, nil
+}

@@ -1,0 +1,207 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+
+	"swishmem/internal/netem"
+	"swishmem/internal/packet"
+	"swishmem/internal/pisa"
+	"swishmem/internal/sim"
+)
+
+func flows(n int) []packet.FlowKey {
+	out := make([]packet.FlowKey, n)
+	for i := range out {
+		out[i] = packet.FlowKey{
+			Src:     packet.AddrU32(0x0a000000 + uint32(i)),
+			Dst:     packet.Addr4(10, 1, 0, 1),
+			SrcPort: uint16(1024 + i),
+			DstPort: 80,
+			Proto:   packet.ProtoTCP,
+		}
+	}
+	return out
+}
+
+func TestIngressDeterministicAndBalanced(t *testing.T) {
+	for _, pol := range []Policy{ECMPMod, HRW} {
+		ing := NewIngress(pol, []netem.Addr{1, 2, 3, 4}, nil)
+		counts := map[netem.Addr]int{}
+		for _, f := range flows(4000) {
+			a, ok := ing.Route(f)
+			if !ok {
+				t.Fatal("no route")
+			}
+			b, _ := ing.Route(f)
+			if a != b {
+				t.Fatalf("%v: routing not deterministic", pol)
+			}
+			counts[a]++
+		}
+		for a, c := range counts {
+			if c < 700 || c > 1300 {
+				t.Fatalf("%v: switch %d got %d/4000 flows (imbalanced)", pol, a, c)
+			}
+		}
+	}
+}
+
+func TestECMPModRehashMovesManyFlows(t *testing.T) {
+	ing := NewIngress(ECMPMod, []netem.Addr{1, 2, 3, 4}, nil)
+	fl := flows(2000)
+	before := make([]netem.Addr, len(fl))
+	for i, f := range fl {
+		before[i], _ = ing.Route(f)
+	}
+	ing.Fail(4)
+	moved := 0
+	for i, f := range fl {
+		after, _ := ing.Route(f)
+		if after == 4 {
+			t.Fatal("routed to failed switch")
+		}
+		if after != before[i] && before[i] != 4 {
+			moved++
+		}
+	}
+	// mod-N rehash moves most surviving flows.
+	if moved < 800 {
+		t.Fatalf("ECMPMod moved only %d flows; expected mass reshuffle", moved)
+	}
+}
+
+func TestHRWMinimalDisruption(t *testing.T) {
+	ing := NewIngress(HRW, []netem.Addr{1, 2, 3, 4}, nil)
+	fl := flows(2000)
+	before := make([]netem.Addr, len(fl))
+	for i, f := range fl {
+		before[i], _ = ing.Route(f)
+	}
+	ing.Fail(4)
+	moved := 0
+	for i, f := range fl {
+		after, _ := ing.Route(f)
+		if after != before[i] && before[i] != 4 {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("HRW moved %d flows not owned by the failed switch", moved)
+	}
+	// Heal restores the original mapping.
+	ing.Heal(4)
+	for i, f := range fl {
+		if got, _ := ing.Route(f); got != before[i] {
+			t.Fatalf("flow %d not restored after heal", i)
+		}
+	}
+}
+
+func TestHealIdempotent(t *testing.T) {
+	ing := NewIngress(HRW, []netem.Addr{1, 2}, nil)
+	ing.Heal(2)
+	if len(ing.Live()) != 2 {
+		t.Fatalf("live = %v", ing.Live())
+	}
+}
+
+func TestRandomPerPacketSpreads(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ing := NewIngress(RandomPerPacket, []netem.Addr{1, 2, 3}, rng.Intn)
+	f := flows(1)[0]
+	seen := map[netem.Addr]bool{}
+	for i := 0; i < 100; i++ {
+		a, _ := ing.Route(f)
+		seen[a] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("one flow should touch all switches under random routing: %v", seen)
+	}
+}
+
+func TestEmptyLiveSet(t *testing.T) {
+	ing := NewIngress(ECMPMod, nil, nil)
+	if _, ok := ing.Route(flows(1)[0]); ok {
+		t.Fatal("route with no live switches")
+	}
+}
+
+func TestFabricShortestPath(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := netem.New(eng, netem.LinkProfile{})
+	f := NewFabric(nw)
+	// 1-2-3 line plus 1-4-3 detour.
+	f.Connect(1, 2, netem.LinkProfile{Latency: 5})
+	f.Connect(2, 3, netem.LinkProfile{Latency: 5})
+	f.Connect(1, 4, netem.LinkProfile{Latency: 5})
+	f.Connect(4, 3, netem.LinkProfile{Latency: 5})
+	p := f.ShortestPath(1, 3)
+	if len(p) != 3 || p[0] != 1 || p[2] != 3 {
+		t.Fatalf("path = %v", p)
+	}
+	if got := f.ShortestPath(2, 2); len(got) != 1 {
+		t.Fatalf("self path = %v", got)
+	}
+	if f.ShortestPath(1, 99) != nil {
+		t.Fatal("unreachable should be nil")
+	}
+	if len(f.Nodes()) != 4 {
+		t.Fatalf("nodes = %v", f.Nodes())
+	}
+	if len(f.Neighbors(1)) != 2 {
+		t.Fatalf("neighbors(1) = %v", f.Neighbors(1))
+	}
+}
+
+func TestBuildLeafSpine(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := netem.New(eng, netem.LinkProfile{})
+	ls, err := BuildLeafSpine(nw, 4, 2, 10, netem.LinkProfile{Latency: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls.Leaves) != 4 || len(ls.Spines) != 2 {
+		t.Fatalf("geometry: %d leaves %d spines", len(ls.Leaves), len(ls.Spines))
+	}
+	// Any leaf reaches any other leaf in 2 hops (via a spine).
+	p := ls.Fabric.ShortestPath(ls.Leaves[0], ls.Leaves[3])
+	if len(p) != 3 {
+		t.Fatalf("leaf-leaf path = %v", p)
+	}
+	if _, err := BuildLeafSpine(nw, 0, 2, 10, netem.LinkProfile{}); err == nil {
+		t.Fatal("zero leaves accepted")
+	}
+}
+
+func TestBuildNFCluster(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := netem.New(eng, netem.LinkProfile{Latency: 5})
+	c, err := BuildNFCluster(nw, 3, 100, HRW, pisa.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Switches) != 3 {
+		t.Fatalf("switches = %d", len(c.Switches))
+	}
+	for i, sw := range c.Switches {
+		if sw.Addr() != 100+netem.Addr(i) {
+			t.Fatalf("switch %d addr = %d", i, sw.Addr())
+		}
+		if !nw.NodeUp(sw.Addr()) {
+			t.Fatalf("switch %d not attached", i)
+		}
+	}
+	if _, ok := c.Ingress.Route(flows(1)[0]); !ok {
+		t.Fatal("ingress has no live switches")
+	}
+	if _, err := BuildNFCluster(nw, 0, 1, HRW, pisa.Config{}); err == nil {
+		t.Fatal("zero-size cluster accepted")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if ECMPMod.String() != "ECMPMod" || HRW.String() != "HRW" || RandomPerPacket.String() != "RandomPerPacket" {
+		t.Fatal("policy strings")
+	}
+}

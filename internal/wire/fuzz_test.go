@@ -1,0 +1,62 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestUnmarshalNeverPanics feeds Unmarshal random byte soup — valid type
+// tags with corrupted bodies, and pure noise — asserting it always returns
+// an error or a message, never panics. The data plane will feed the decoder
+// whatever arrives on the wire; it must be total.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Unmarshal panicked: %v", r)
+		}
+	}()
+	for i := 0; i < 50000; i++ {
+		n := rng.Intn(64)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		if n > 0 && i%2 == 0 {
+			// Half the corpus has a valid type tag to reach deep decoders.
+			buf[0] = byte(rng.Intn(int(TGroupConfig)) + 1)
+		}
+		msg, err := Unmarshal(buf)
+		if err == nil && msg == nil {
+			t.Fatal("nil message with nil error")
+		}
+	}
+}
+
+// TestBitFlippedMessagesDecodeOrError flips bits in valid encodings: every
+// outcome must be a clean decode or an error (the flipped message may be
+// valid — that is the datagram trust model — but never a crash).
+func TestBitFlippedMessagesDecodeOrError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	msgs := []Msg{
+		&Write{Reg: 1, Key: 2, Seq: 3, WriteID: 4, Writer: 5, Epoch: 6, Value: []byte("abcdef")},
+		&EWOUpdate{Reg: 1, From: 2, Entries: []EWOEntry{{Key: 1, Value: []byte("xy")}, {Key: 2}}},
+		&ChainConfig{Epoch: 3, Members: []uint16{1, 2, 3}},
+	}
+	for _, m := range msgs {
+		base := Marshal(m)
+		for trial := 0; trial < 2000; trial++ {
+			buf := append([]byte(nil), base...)
+			flips := rng.Intn(4) + 1
+			for f := 0; f < flips; f++ {
+				buf[rng.Intn(len(buf))] ^= 1 << rng.Intn(8)
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on bit-flipped %s: %v", m.WireType(), r)
+					}
+				}()
+				Unmarshal(buf)
+			}()
+		}
+	}
+}

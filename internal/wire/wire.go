@@ -1,0 +1,507 @@
+// Package wire defines the binary formats of every SwiShmem protocol
+// message: chain-replication write requests and acknowledgements, read
+// forwards and replies (SRO/ERO, §6.1), EWO update and synchronization
+// records (§6.2), and the controller's configuration and heartbeat messages
+// (§6.3).
+//
+// The formats are compact fixed layouts with big-endian integers, in the
+// spirit of data-plane headers: a P4 parser could extract every field. The
+// simulated fabric exchanges typed Msg values and charges their Size()
+// against link bandwidth; the live UDP transport (netem/live) marshals the
+// same messages through these encodings.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"swishmem/internal/sim"
+	"swishmem/internal/timesync"
+)
+
+// Type tags a message on the wire.
+type Type uint8
+
+// Message types.
+const (
+	TWrite Type = iota + 1
+	TWriteAck
+	TReadFwd
+	TReadReply
+	TEWOUpdate
+	THeartbeat
+	TChainConfig
+	TGroupConfig
+)
+
+func (t Type) String() string {
+	switch t {
+	case TWrite:
+		return "Write"
+	case TWriteAck:
+		return "WriteAck"
+	case TReadFwd:
+		return "ReadFwd"
+	case TReadReply:
+		return "ReadReply"
+	case TEWOUpdate:
+		return "EWOUpdate"
+	case THeartbeat:
+		return "Heartbeat"
+	case TChainConfig:
+		return "ChainConfig"
+	case TGroupConfig:
+		return "GroupConfig"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Msg is implemented by every wire message.
+type Msg interface {
+	// WireType returns the type tag.
+	WireType() Type
+	// Size returns the encoded length in bytes (including the type tag),
+	// without allocating.
+	Size() int
+	// Marshal appends the encoding (including the type tag) to dst.
+	Marshal(dst []byte) []byte
+}
+
+// Marshal encodes m into a fresh buffer.
+func Marshal(m Msg) []byte { return m.Marshal(make([]byte, 0, m.Size())) }
+
+// Unmarshal decodes a message previously produced by Marshal.
+func Unmarshal(data []byte) (Msg, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("wire: empty message")
+	}
+	body := data[1:]
+	switch Type(data[0]) {
+	case TWrite:
+		return unmarshalWrite(body)
+	case TWriteAck:
+		return unmarshalWriteAck(body)
+	case TReadFwd:
+		return unmarshalReadFwd(body)
+	case TReadReply:
+		return unmarshalReadReply(body)
+	case TEWOUpdate:
+		return unmarshalEWOUpdate(body)
+	case THeartbeat:
+		return unmarshalHeartbeat(body)
+	case TChainConfig:
+		return unmarshalChainConfig(body)
+	case TGroupConfig:
+		return unmarshalGroupConfig(body)
+	default:
+		return nil, fmt.Errorf("wire: unknown type %d", data[0])
+	}
+}
+
+const maxValueLen = 1 << 12 // generous; paper-scale register objects are ~100B
+
+func putValue(dst []byte, v []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(v)))
+	return append(dst, v...)
+}
+
+func getValue(b []byte) (v, rest []byte, err error) {
+	if len(b) < 2 {
+		return nil, nil, fmt.Errorf("wire: truncated value length")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if n > maxValueLen {
+		return nil, nil, fmt.Errorf("wire: value length %d exceeds max %d", n, maxValueLen)
+	}
+	if len(b) < n {
+		return nil, nil, fmt.Errorf("wire: truncated value (%d < %d)", len(b), n)
+	}
+	return append([]byte(nil), b[:n]...), b[n:], nil
+}
+
+// Write is a chain-replication write request (§6.1). The writer's control
+// plane sends it to the head; each chain member applies it in per-key
+// sequence order and forwards it to its successor.
+type Write struct {
+	Reg     uint16 // register (object) identifier
+	Key     uint64 // key within the register array
+	Seq     uint64 // per-key sequence number, assigned by the head (0 = unassigned)
+	WriteID uint64 // writer-unique ID for retry deduplication
+	Writer  uint16 // network address of the originating switch
+	Epoch   uint32 // chain configuration epoch
+	// Snapshot marks a recovery snapshot write (§6.3): the joining switch
+	// applies it only if no live write for the key has been seen since the
+	// join began, and acknowledges it to the donor rather than the writer.
+	Snapshot bool
+	Value    []byte
+}
+
+// WireType implements Msg.
+func (*Write) WireType() Type { return TWrite }
+
+// Size implements Msg.
+func (w *Write) Size() int { return 1 + 2 + 8 + 8 + 8 + 2 + 4 + 1 + 2 + len(w.Value) }
+
+// Marshal implements Msg.
+func (w *Write) Marshal(dst []byte) []byte {
+	dst = append(dst, byte(TWrite))
+	dst = binary.BigEndian.AppendUint16(dst, w.Reg)
+	dst = binary.BigEndian.AppendUint64(dst, w.Key)
+	dst = binary.BigEndian.AppendUint64(dst, w.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, w.WriteID)
+	dst = binary.BigEndian.AppendUint16(dst, w.Writer)
+	dst = binary.BigEndian.AppendUint32(dst, w.Epoch)
+	if w.Snapshot {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	return putValue(dst, w.Value)
+}
+
+func unmarshalWrite(b []byte) (*Write, error) {
+	if len(b) < 33 {
+		return nil, fmt.Errorf("wire: truncated Write (%d bytes)", len(b))
+	}
+	w := &Write{
+		Reg:      binary.BigEndian.Uint16(b[0:]),
+		Key:      binary.BigEndian.Uint64(b[2:]),
+		Seq:      binary.BigEndian.Uint64(b[10:]),
+		WriteID:  binary.BigEndian.Uint64(b[18:]),
+		Writer:   binary.BigEndian.Uint16(b[26:]),
+		Epoch:    binary.BigEndian.Uint32(b[28:]),
+		Snapshot: b[32] == 1,
+	}
+	v, _, err := getValue(b[33:])
+	if err != nil {
+		return nil, err
+	}
+	w.Value = v
+	return w, nil
+}
+
+// WriteAck is sent by the tail when a write commits: to the writer (which
+// may then release its buffered output packet) and to every chain member
+// (which clears the key's pending bit).
+type WriteAck struct {
+	Reg     uint16
+	Key     uint64
+	Seq     uint64
+	WriteID uint64
+	Writer  uint16
+	Epoch   uint32
+}
+
+// WireType implements Msg.
+func (*WriteAck) WireType() Type { return TWriteAck }
+
+// Size implements Msg.
+func (a *WriteAck) Size() int { return 1 + 2 + 8 + 8 + 8 + 2 + 4 }
+
+// Marshal implements Msg.
+func (a *WriteAck) Marshal(dst []byte) []byte {
+	dst = append(dst, byte(TWriteAck))
+	dst = binary.BigEndian.AppendUint16(dst, a.Reg)
+	dst = binary.BigEndian.AppendUint64(dst, a.Key)
+	dst = binary.BigEndian.AppendUint64(dst, a.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, a.WriteID)
+	dst = binary.BigEndian.AppendUint16(dst, a.Writer)
+	return binary.BigEndian.AppendUint32(dst, a.Epoch)
+}
+
+func unmarshalWriteAck(b []byte) (*WriteAck, error) {
+	if len(b) < 32 {
+		return nil, fmt.Errorf("wire: truncated WriteAck (%d bytes)", len(b))
+	}
+	return &WriteAck{
+		Reg:     binary.BigEndian.Uint16(b[0:]),
+		Key:     binary.BigEndian.Uint64(b[2:]),
+		Seq:     binary.BigEndian.Uint64(b[10:]),
+		WriteID: binary.BigEndian.Uint64(b[18:]),
+		Writer:  binary.BigEndian.Uint16(b[26:]),
+		Epoch:   binary.BigEndian.Uint32(b[28:]),
+	}, nil
+}
+
+// ReadFwd forwards a read of a pending key to the tail (§6.1: "the input
+// packet P is forwarded to the tail of the chain, and processed there").
+type ReadFwd struct {
+	Reg    uint16
+	Key    uint64
+	ReqID  uint64
+	Origin uint16
+}
+
+// WireType implements Msg.
+func (*ReadFwd) WireType() Type { return TReadFwd }
+
+// Size implements Msg.
+func (r *ReadFwd) Size() int { return 1 + 2 + 8 + 8 + 2 }
+
+// Marshal implements Msg.
+func (r *ReadFwd) Marshal(dst []byte) []byte {
+	dst = append(dst, byte(TReadFwd))
+	dst = binary.BigEndian.AppendUint16(dst, r.Reg)
+	dst = binary.BigEndian.AppendUint64(dst, r.Key)
+	dst = binary.BigEndian.AppendUint64(dst, r.ReqID)
+	return binary.BigEndian.AppendUint16(dst, r.Origin)
+}
+
+func unmarshalReadFwd(b []byte) (*ReadFwd, error) {
+	if len(b) < 20 {
+		return nil, fmt.Errorf("wire: truncated ReadFwd (%d bytes)", len(b))
+	}
+	return &ReadFwd{
+		Reg:    binary.BigEndian.Uint16(b[0:]),
+		Key:    binary.BigEndian.Uint64(b[2:]),
+		ReqID:  binary.BigEndian.Uint64(b[10:]),
+		Origin: binary.BigEndian.Uint16(b[18:]),
+	}, nil
+}
+
+// ReadReply answers a ReadFwd with the committed value at the tail.
+type ReadReply struct {
+	Reg   uint16
+	Key   uint64
+	ReqID uint64
+	Value []byte
+}
+
+// WireType implements Msg.
+func (*ReadReply) WireType() Type { return TReadReply }
+
+// Size implements Msg.
+func (r *ReadReply) Size() int { return 1 + 2 + 8 + 8 + 2 + len(r.Value) }
+
+// Marshal implements Msg.
+func (r *ReadReply) Marshal(dst []byte) []byte {
+	dst = append(dst, byte(TReadReply))
+	dst = binary.BigEndian.AppendUint16(dst, r.Reg)
+	dst = binary.BigEndian.AppendUint64(dst, r.Key)
+	dst = binary.BigEndian.AppendUint64(dst, r.ReqID)
+	return putValue(dst, r.Value)
+}
+
+func unmarshalReadReply(b []byte) (*ReadReply, error) {
+	if len(b) < 20 {
+		return nil, fmt.Errorf("wire: truncated ReadReply (%d bytes)", len(b))
+	}
+	r := &ReadReply{
+		Reg:   binary.BigEndian.Uint16(b[0:]),
+		Key:   binary.BigEndian.Uint64(b[2:]),
+		ReqID: binary.BigEndian.Uint64(b[10:]),
+	}
+	v, _, err := getValue(b[18:])
+	if err != nil {
+		return nil, err
+	}
+	r.Value = v
+	return r, nil
+}
+
+// EWOEntry is one (key, stamp, value) record of an EWO update (§6.2/§7:
+// "write update packets containing only this switch's new version numbers
+// and values").
+type EWOEntry struct {
+	Key   uint64
+	Stamp timesync.Stamp
+	Value []byte
+}
+
+func (e *EWOEntry) size() int { return 8 + 8 + 2 + 2 + len(e.Value) }
+
+// EWOUpdate carries one or more EWO entries: a single-entry message is the
+// egress-mirrored per-write delta; multi-entry messages are batched writes
+// (§7 batching) or the periodic packet-generator synchronization sweep.
+type EWOUpdate struct {
+	Reg     uint16
+	From    uint16
+	Slot    uint16 // CRDT vector slot the entries belong to (== sender index)
+	Sync    bool   // true if part of a periodic full synchronization
+	Entries []EWOEntry
+}
+
+// WireType implements Msg.
+func (*EWOUpdate) WireType() Type { return TEWOUpdate }
+
+// Size implements Msg.
+func (u *EWOUpdate) Size() int {
+	n := 1 + 2 + 2 + 2 + 1 + 2
+	for i := range u.Entries {
+		n += u.Entries[i].size()
+	}
+	return n
+}
+
+// Marshal implements Msg.
+func (u *EWOUpdate) Marshal(dst []byte) []byte {
+	dst = append(dst, byte(TEWOUpdate))
+	dst = binary.BigEndian.AppendUint16(dst, u.Reg)
+	dst = binary.BigEndian.AppendUint16(dst, u.From)
+	dst = binary.BigEndian.AppendUint16(dst, u.Slot)
+	if u.Sync {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(u.Entries)))
+	for i := range u.Entries {
+		e := &u.Entries[i]
+		dst = binary.BigEndian.AppendUint64(dst, e.Key)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(e.Stamp.Time))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(e.Stamp.Node))
+		dst = putValue(dst, e.Value)
+	}
+	return dst
+}
+
+func unmarshalEWOUpdate(b []byte) (*EWOUpdate, error) {
+	if len(b) < 9 {
+		return nil, fmt.Errorf("wire: truncated EWOUpdate (%d bytes)", len(b))
+	}
+	u := &EWOUpdate{
+		Reg:  binary.BigEndian.Uint16(b[0:]),
+		From: binary.BigEndian.Uint16(b[2:]),
+		Slot: binary.BigEndian.Uint16(b[4:]),
+		Sync: b[6] == 1,
+	}
+	n := int(binary.BigEndian.Uint16(b[7:]))
+	b = b[9:]
+	u.Entries = make([]EWOEntry, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 18 {
+			return nil, fmt.Errorf("wire: truncated EWOEntry %d", i)
+		}
+		e := EWOEntry{
+			Key: binary.BigEndian.Uint64(b[0:]),
+			Stamp: timesync.Stamp{
+				Time: sim.Time(binary.BigEndian.Uint64(b[8:])),
+				Node: timesync.NodeID(binary.BigEndian.Uint16(b[16:])),
+			},
+		}
+		var err error
+		e.Value, b, err = getValue(b[18:])
+		if err != nil {
+			return nil, err
+		}
+		u.Entries = append(u.Entries, e)
+	}
+	return u, nil
+}
+
+// Heartbeat is the liveness probe switches send to the controller.
+type Heartbeat struct {
+	From uint16
+	Seq  uint64
+}
+
+// WireType implements Msg.
+func (*Heartbeat) WireType() Type { return THeartbeat }
+
+// Size implements Msg.
+func (*Heartbeat) Size() int { return 1 + 2 + 8 }
+
+// Marshal implements Msg.
+func (h *Heartbeat) Marshal(dst []byte) []byte {
+	dst = append(dst, byte(THeartbeat))
+	dst = binary.BigEndian.AppendUint16(dst, h.From)
+	return binary.BigEndian.AppendUint64(dst, h.Seq)
+}
+
+func unmarshalHeartbeat(b []byte) (*Heartbeat, error) {
+	if len(b) < 10 {
+		return nil, fmt.Errorf("wire: truncated Heartbeat (%d bytes)", len(b))
+	}
+	return &Heartbeat{From: binary.BigEndian.Uint16(b[0:]), Seq: binary.BigEndian.Uint64(b[2:])}, nil
+}
+
+// ChainConfig announces a new chain membership (§6.3 failover/recovery).
+// Members are ordered head..tail. Joining is the address of a switch that is
+// receiving writes but not yet serving as tail (recovery phase b), or 0.
+type ChainConfig struct {
+	Epoch   uint32
+	Members []uint16
+	Joining uint16
+}
+
+// WireType implements Msg.
+func (*ChainConfig) WireType() Type { return TChainConfig }
+
+// Size implements Msg.
+func (c *ChainConfig) Size() int { return 1 + 4 + 2 + 2 + 2*len(c.Members) }
+
+// Marshal implements Msg.
+func (c *ChainConfig) Marshal(dst []byte) []byte {
+	dst = append(dst, byte(TChainConfig))
+	dst = binary.BigEndian.AppendUint32(dst, c.Epoch)
+	dst = binary.BigEndian.AppendUint16(dst, c.Joining)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(c.Members)))
+	for _, m := range c.Members {
+		dst = binary.BigEndian.AppendUint16(dst, m)
+	}
+	return dst
+}
+
+func unmarshalChainConfig(b []byte) (*ChainConfig, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("wire: truncated ChainConfig (%d bytes)", len(b))
+	}
+	c := &ChainConfig{
+		Epoch:   binary.BigEndian.Uint32(b[0:]),
+		Joining: binary.BigEndian.Uint16(b[4:]),
+	}
+	n := int(binary.BigEndian.Uint16(b[6:]))
+	b = b[8:]
+	if len(b) < 2*n {
+		return nil, fmt.Errorf("wire: truncated ChainConfig members")
+	}
+	c.Members = make([]uint16, n)
+	for i := 0; i < n; i++ {
+		c.Members[i] = binary.BigEndian.Uint16(b[2*i:])
+	}
+	return c, nil
+}
+
+// GroupConfig announces EWO multicast group membership (§6.3: failover is
+// "removing the failed switch from the multicast group"; recovery is adding
+// the new switch and waiting one sync period).
+type GroupConfig struct {
+	Epoch   uint32
+	Members []uint16
+}
+
+// WireType implements Msg.
+func (*GroupConfig) WireType() Type { return TGroupConfig }
+
+// Size implements Msg.
+func (g *GroupConfig) Size() int { return 1 + 4 + 2 + 2*len(g.Members) }
+
+// Marshal implements Msg.
+func (g *GroupConfig) Marshal(dst []byte) []byte {
+	dst = append(dst, byte(TGroupConfig))
+	dst = binary.BigEndian.AppendUint32(dst, g.Epoch)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(g.Members)))
+	for _, m := range g.Members {
+		dst = binary.BigEndian.AppendUint16(dst, m)
+	}
+	return dst
+}
+
+func unmarshalGroupConfig(b []byte) (*GroupConfig, error) {
+	if len(b) < 6 {
+		return nil, fmt.Errorf("wire: truncated GroupConfig (%d bytes)", len(b))
+	}
+	g := &GroupConfig{Epoch: binary.BigEndian.Uint32(b[0:])}
+	n := int(binary.BigEndian.Uint16(b[4:]))
+	b = b[6:]
+	if len(b) < 2*n {
+		return nil, fmt.Errorf("wire: truncated GroupConfig members")
+	}
+	g.Members = make([]uint16, n)
+	for i := 0; i < n; i++ {
+		g.Members[i] = binary.BigEndian.Uint16(b[2*i:])
+	}
+	return g, nil
+}

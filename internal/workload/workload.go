@@ -1,0 +1,273 @@
+// Package workload synthesizes the traffic the experiments drive through
+// the NF cluster: TCP connection churn with heavy-tailed flow sizes and
+// Zipf-distributed endpoints (the stand-in for production traces, per the
+// substitution rules in DESIGN.md), plus DDoS attack mixes for the
+// detection experiments and per-user streams for the rate limiter.
+//
+// All generation is driven by an explicit *rand.Rand so every experiment is
+// reproducible from its seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"swishmem/internal/packet"
+	"swishmem/internal/sim"
+)
+
+// TimedPacket is one trace event: a packet plus its arrival offset from the
+// trace start.
+type TimedPacket struct {
+	At  sim.Duration
+	Pkt *packet.Packet
+	// FlowStart marks the first packet (SYN) of a flow.
+	FlowStart bool
+	// FlowEnd marks the last packet (FIN) of a flow.
+	FlowEnd bool
+}
+
+// Trace is an ordered packet trace.
+type Trace []TimedPacket
+
+// Flows counts distinct flow starts in the trace.
+func (tr Trace) Flows() int {
+	n := 0
+	for i := range tr {
+		if tr[i].FlowStart {
+			n++
+		}
+	}
+	return n
+}
+
+// TraceConfig parameterizes connection-churn traffic.
+type TraceConfig struct {
+	// Duration is the trace length in virtual time.
+	Duration sim.Duration
+	// FlowsPerSec is the new-connection arrival rate (Poisson).
+	FlowsPerSec float64
+	// MeanPacketsPerFlow is the mean flow length (geometric, >= 2: SYN and
+	// FIN always present).
+	MeanPacketsPerFlow float64
+	// MeanPacketGap is the mean spacing between a flow's packets
+	// (exponential).
+	MeanPacketGap sim.Duration
+	// Clients and Servers size the address pools. Client selection is
+	// Zipf-skewed (s=1.2); servers uniform.
+	Clients int
+	Servers int
+	// PayloadLen is the data packet payload size. Default 64.
+	PayloadLen int
+}
+
+func (c TraceConfig) withDefaults() TraceConfig {
+	if c.Clients <= 0 {
+		c.Clients = 1000
+	}
+	if c.Servers <= 0 {
+		c.Servers = 16
+	}
+	if c.MeanPacketsPerFlow < 2 {
+		c.MeanPacketsPerFlow = 10
+	}
+	if c.MeanPacketGap <= 0 {
+		c.MeanPacketGap = 10_000 // 10µs
+	}
+	if c.PayloadLen <= 0 {
+		c.PayloadLen = 64
+	}
+	return c
+}
+
+const (
+	clientBase = 0x0a000000 // 10.0.0.0/8 clients
+	serverBase = 0xc0a80000 // 192.168.0.0/16 servers
+	attackBase = 0x2d000000 // 45.0.0.0/8 spoofed attackers
+)
+
+// zipfOrNil builds a Zipf sampler; rand.Zipf needs imax >= 1.
+func zipfSampler(rng *rand.Rand, n int) func() uint64 {
+	if n <= 1 {
+		return func() uint64 { return 0 }
+	}
+	z := rand.NewZipf(rng, 1.2, 1, uint64(n-1))
+	return z.Uint64
+}
+
+// GenTrace builds a connection-churn trace: flows arrive as a Poisson
+// process; each flow is SYN, data packets, FIN from a client to a server.
+func GenTrace(rng *rand.Rand, cfg TraceConfig) (Trace, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Duration <= 0 || cfg.FlowsPerSec <= 0 {
+		return nil, fmt.Errorf("workload: need positive Duration and FlowsPerSec")
+	}
+	zipfClient := zipfSampler(rng, cfg.Clients)
+	var tr Trace
+	// Poisson arrivals: exponential inter-arrival gaps.
+	meanGap := float64(sim.Duration(1e9)) / cfg.FlowsPerSec
+	var at sim.Duration
+	port := uint16(1024)
+	for {
+		at += sim.Duration(rng.ExpFloat64() * meanGap)
+		if at >= cfg.Duration {
+			break
+		}
+		port++
+		if port < 1024 {
+			port = 1024
+		}
+		key := packet.FlowKey{
+			Src:     packet.AddrU32(clientBase + uint32(zipfClient())),
+			Dst:     packet.AddrU32(serverBase + uint32(rng.Intn(cfg.Servers))),
+			SrcPort: port,
+			DstPort: 80,
+			Proto:   packet.ProtoTCP,
+		}
+		// Geometric flow length with the configured mean (>=2).
+		n := 2
+		p := 1 / (cfg.MeanPacketsPerFlow - 1)
+		for rng.Float64() > p && n < 10000 {
+			n++
+		}
+		t := at
+		for i := 0; i < n; i++ {
+			flags := packet.FlagACK
+			if i == 0 {
+				flags = packet.FlagSYN
+			} else if i == n-1 {
+				flags = packet.FlagFIN | packet.FlagACK
+			}
+			tr = append(tr, TimedPacket{
+				At:        t,
+				Pkt:       packet.ForFlow(key, flags, cfg.PayloadLen),
+				FlowStart: i == 0,
+				FlowEnd:   i == n-1,
+			})
+			t += sim.Duration(rng.ExpFloat64() * float64(cfg.MeanPacketGap))
+		}
+	}
+	sort.SliceStable(tr, func(i, j int) bool { return tr[i].At < tr[j].At })
+	return tr, nil
+}
+
+// AttackConfig parameterizes a volumetric DDoS mix layered over background
+// traffic: many spoofed sources flooding one victim.
+type AttackConfig struct {
+	// Duration of the attack trace.
+	Duration sim.Duration
+	// PacketsPerSec is the attack aggregate rate.
+	PacketsPerSec float64
+	// Sources is the spoofed source pool size.
+	Sources int
+	// Victim is the destination index (within the server pool).
+	Victim int
+}
+
+// GenAttack builds a flood trace toward a single victim from a large source
+// pool.
+func GenAttack(rng *rand.Rand, cfg AttackConfig) (Trace, error) {
+	if cfg.Duration <= 0 || cfg.PacketsPerSec <= 0 {
+		return nil, fmt.Errorf("workload: need positive Duration and PacketsPerSec")
+	}
+	if cfg.Sources <= 0 {
+		cfg.Sources = 10000
+	}
+	victim := packet.AddrU32(serverBase + uint32(cfg.Victim))
+	meanGap := float64(sim.Duration(1e9)) / cfg.PacketsPerSec
+	var tr Trace
+	var at sim.Duration
+	for {
+		at += sim.Duration(rng.ExpFloat64() * meanGap)
+		if at >= cfg.Duration {
+			break
+		}
+		key := packet.FlowKey{
+			Src:     packet.AddrU32(attackBase + uint32(rng.Intn(cfg.Sources))),
+			Dst:     victim,
+			SrcPort: uint16(rng.Intn(64512) + 1024),
+			DstPort: 80,
+			Proto:   packet.ProtoUDP,
+		}
+		tr = append(tr, TimedPacket{At: at, Pkt: packet.ForFlow(key, 0, 64)})
+	}
+	return tr, nil
+}
+
+// Merge interleaves traces by arrival time (stable).
+func Merge(traces ...Trace) Trace {
+	var out Trace
+	for _, tr := range traces {
+		out = append(out, tr...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// UserStreamConfig parameterizes per-user traffic for the rate limiter:
+// a fixed user set, each sending at its own constant rate.
+type UserStreamConfig struct {
+	Duration sim.Duration
+	// Users is the number of distinct users (distinct source IPs).
+	Users int
+	// PacketsPerSecPerUser is each user's send rate; user 0 optionally
+	// exceeds it by HogFactor to exercise enforcement.
+	PacketsPerSecPerUser float64
+	// HogFactor multiplies user 0's rate (default 1: no hog).
+	HogFactor float64
+	// PayloadLen per packet. Default 512 (rate limiting is byte-oriented).
+	PayloadLen int
+}
+
+// GenUserStreams builds the rate-limiter workload.
+func GenUserStreams(rng *rand.Rand, cfg UserStreamConfig) (Trace, error) {
+	if cfg.Duration <= 0 || cfg.Users <= 0 || cfg.PacketsPerSecPerUser <= 0 {
+		return nil, fmt.Errorf("workload: need positive Duration, Users, and rate")
+	}
+	if cfg.HogFactor <= 0 {
+		cfg.HogFactor = 1
+	}
+	if cfg.PayloadLen <= 0 {
+		cfg.PayloadLen = 512
+	}
+	var tr Trace
+	for u := 0; u < cfg.Users; u++ {
+		rate := cfg.PacketsPerSecPerUser
+		if u == 0 {
+			rate *= cfg.HogFactor
+		}
+		meanGap := float64(sim.Duration(1e9)) / rate
+		key := packet.FlowKey{
+			Src:     packet.AddrU32(clientBase + uint32(u)),
+			Dst:     packet.AddrU32(serverBase),
+			SrcPort: uint16(20000 + u),
+			DstPort: 443,
+			Proto:   packet.ProtoUDP,
+		}
+		var at sim.Duration
+		for {
+			at += sim.Duration(rng.ExpFloat64() * meanGap)
+			if at >= cfg.Duration {
+				break
+			}
+			tr = append(tr, TimedPacket{At: at, Pkt: packet.ForFlow(key, 0, cfg.PayloadLen)})
+		}
+	}
+	sort.SliceStable(tr, func(i, j int) bool { return tr[i].At < tr[j].At })
+	return tr, nil
+}
+
+// UserOf extracts the user index from a rate-limiter packet (its source).
+func UserOf(p *packet.Packet) uint32 {
+	return packet.U32Addr(p.IP.Src) - clientBase
+}
+
+// Replay schedules a trace into the simulation, delivering each packet via
+// deliver at its arrival time (offset from now).
+func Replay(eng *sim.Engine, tr Trace, deliver func(*packet.Packet)) {
+	for i := range tr {
+		tp := tr[i]
+		eng.After(tp.At+1, func() { deliver(tp.Pkt) })
+	}
+}

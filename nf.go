@@ -1,0 +1,270 @@
+package swishmem
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"swishmem/internal/nf/ddos"
+	"swishmem/internal/nf/firewall"
+	"swishmem/internal/nf/ips"
+	"swishmem/internal/nf/lb"
+	"swishmem/internal/nf/nat"
+	"swishmem/internal/nf/ratelimit"
+	"swishmem/internal/packet"
+	"swishmem/internal/sim"
+)
+
+// This file deploys the paper's six network functions (§4, Table 1) onto a
+// cluster: one NF instance per replica switch, all instances sharing state
+// through SwiShmem registers. Each Deploy* helper declares the register(s),
+// instantiates the NF on every switch, installs its pipeline program, and
+// wires the controller.
+
+// Re-exported NF types.
+type (
+	// NAT is a per-switch network address translator instance.
+	NAT = nat.NAT
+	// Firewall is a per-switch stateful firewall instance.
+	Firewall = firewall.Firewall
+	// IPS is a per-switch intrusion prevention instance.
+	IPS = ips.IPS
+	// LoadBalancer is a per-switch L4 load balancer instance.
+	LoadBalancer = lb.LB
+	// DDoSDetector is a per-switch DDoS detection instance.
+	DDoSDetector = ddos.Detector
+	// RateLimiter is a per-switch distributed rate limiter instance.
+	RateLimiter = ratelimit.Limiter
+	// Packet is the decoded packet model processed by the NFs.
+	Packet = packet.Packet
+	// FlowKey is the 5-tuple identifying a flow.
+	FlowKey = packet.FlowKey
+)
+
+// Addr is a network address (re-export of net/netip.Addr for option
+// literals).
+type Addr = netip.Addr
+
+// Addr4 builds an IPv4 address from octets.
+func Addr4(a, b, c, d byte) netip.Addr { return packet.Addr4(a, b, c, d) }
+
+// NATOptions parameterizes a NAT deployment.
+type NATOptions struct {
+	// Capacity is the shared translation-table size.
+	Capacity int
+	// ExternalIP is the NAT's public address.
+	ExternalIP netip.Addr
+	// PortsPerSwitch sizes each switch's private slice of the external port
+	// space, carved consecutively from PortBase. Default 1000 from 10000.
+	PortsPerSwitch int
+	PortBase       uint16
+}
+
+// DeployNAT deploys the §4.1 NAT: a strongly consistent shared translation
+// table and per-switch partitioned port pools.
+func (c *Cluster) DeployNAT(name string, opts NATOptions) ([]*NAT, error) {
+	if opts.PortsPerSwitch <= 0 {
+		opts.PortsPerSwitch = 1000
+	}
+	if opts.PortBase == 0 {
+		opts.PortBase = 10000
+	}
+	id, err := c.allocReg(name)
+	if err != nil {
+		return nil, err
+	}
+	nats := make([]*NAT, 0, len(c.instances))
+	handles := make([]*StrongRegister, 0, len(c.instances))
+	for i, in := range c.instances {
+		lo := opts.PortBase + uint16(i*opts.PortsPerSwitch)
+		n, err := nat.New(in, nat.Config{
+			Reg: id, Capacity: opts.Capacity, ExternalIP: opts.ExternalIP,
+			PortLo: lo, PortHi: lo + uint16(opts.PortsPerSwitch) - 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("swishmem: deploying NAT %q: %w", name, err)
+		}
+		n.Install()
+		nats = append(nats, n)
+		handles = append(handles, n.Register())
+	}
+	c.wireChain(id, handles)
+	return nats[:c.cfg.Switches], nil
+}
+
+// FirewallOptions parameterizes a firewall deployment.
+type FirewallOptions struct {
+	// Capacity is the shared connection-table size.
+	Capacity int
+	// Inside classifies protected addresses. Default 10.0.0.0/8.
+	Inside func(a netip.Addr) bool
+}
+
+// DeployFirewall deploys the §4.1 stateful firewall.
+func (c *Cluster) DeployFirewall(name string, opts FirewallOptions) ([]*Firewall, error) {
+	id, err := c.allocReg(name)
+	if err != nil {
+		return nil, err
+	}
+	fws := make([]*Firewall, 0, len(c.instances))
+	handles := make([]*StrongRegister, 0, len(c.instances))
+	for _, in := range c.instances {
+		f, err := firewall.New(in, firewall.Config{Reg: id, Capacity: opts.Capacity, Inside: opts.Inside})
+		if err != nil {
+			return nil, fmt.Errorf("swishmem: deploying firewall %q: %w", name, err)
+		}
+		f.Install()
+		fws = append(fws, f)
+		handles = append(handles, f.Register())
+	}
+	c.wireChain(id, handles)
+	return fws[:c.cfg.Switches], nil
+}
+
+// IPSOptions parameterizes an IPS deployment.
+type IPSOptions struct {
+	// Capacity is the signature-set size.
+	Capacity int
+	// MaxWindows bounds payload windows scanned per packet.
+	MaxWindows int
+}
+
+// DeployIPS deploys the §4.1 intrusion prevention system (ERO signatures).
+func (c *Cluster) DeployIPS(name string, opts IPSOptions) ([]*IPS, error) {
+	id, err := c.allocReg(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*IPS, 0, len(c.instances))
+	handles := make([]*StrongRegister, 0, len(c.instances))
+	for _, in := range c.instances {
+		s, err := ips.New(in, ips.Config{Reg: id, Capacity: opts.Capacity, MaxWindows: opts.MaxWindows})
+		if err != nil {
+			return nil, fmt.Errorf("swishmem: deploying IPS %q: %w", name, err)
+		}
+		s.Install()
+		out = append(out, s)
+		handles = append(handles, s.Register())
+	}
+	c.wireChain(id, handles)
+	return out[:c.cfg.Switches], nil
+}
+
+// LBOptions parameterizes a load-balancer deployment.
+type LBOptions struct {
+	// Capacity is the shared connection-table size.
+	Capacity int
+	// DIPs is the backend pool.
+	DIPs []netip.Addr
+	// Sharded selects the §3.2 baseline (switch-local assignments).
+	Sharded bool
+}
+
+// DeployLoadBalancer deploys the §4.1 L4 load balancer.
+func (c *Cluster) DeployLoadBalancer(name string, opts LBOptions) ([]*LoadBalancer, error) {
+	mode := lb.Replicated
+	var id uint16
+	var err error
+	if opts.Sharded {
+		mode = lb.Sharded
+		id = 0 // no shared register
+	} else {
+		id, err = c.allocReg(name)
+		if err != nil {
+			return nil, err
+		}
+	}
+	lbs := make([]*LoadBalancer, 0, len(c.instances))
+	handles := make([]*StrongRegister, 0, len(c.instances))
+	for _, in := range c.instances {
+		l, err := lb.New(in, lb.Config{Reg: id, Capacity: opts.Capacity, DIPs: opts.DIPs, Mode: mode})
+		if err != nil {
+			return nil, fmt.Errorf("swishmem: deploying LB %q: %w", name, err)
+		}
+		l.Install()
+		lbs = append(lbs, l)
+		if !opts.Sharded {
+			handles = append(handles, l.Register())
+		}
+	}
+	if !opts.Sharded {
+		c.wireChain(id, handles)
+	}
+	return lbs[:c.cfg.Switches], nil
+}
+
+// DDoSOptions parameterizes a detector deployment.
+type DDoSOptions struct {
+	// Width, Depth size the count-min sketch.
+	Width, Depth int
+	// Threshold is the per-window count that flags a victim.
+	Threshold uint64
+	// Window is the detection window.
+	Window time.Duration
+	// SyncPeriod for the EWO register.
+	SyncPeriod time.Duration
+}
+
+// DeployDDoS deploys the §4.2 DDoS detector (EWO counter-CRDT sketch).
+func (c *Cluster) DeployDDoS(name string, opts DDoSOptions) ([]*DDoSDetector, error) {
+	id, err := c.allocReg(name)
+	if err != nil {
+		return nil, err
+	}
+	dets := make([]*DDoSDetector, 0, c.cfg.Switches)
+	members := make([]groupMember, 0, c.cfg.Switches)
+	for i := 0; i < c.cfg.Switches; i++ {
+		d, err := ddos.New(c.instances[i], ddos.Config{
+			Reg: id, Width: opts.Width, Depth: opts.Depth,
+			Threshold: opts.Threshold, Window: sim.Duration(opts.Window),
+			SyncPeriod: sim.Duration(opts.SyncPeriod),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("swishmem: deploying DDoS %q: %w", name, err)
+		}
+		d.Install()
+		dets = append(dets, d)
+		members = append(members, d.Register().Node())
+	}
+	c.wireGroup(id, members)
+	return dets, nil
+}
+
+// RateLimitOptions parameterizes a rate-limiter deployment.
+type RateLimitOptions struct {
+	// Capacity is the number of tracked users.
+	Capacity int
+	// BytesPerWindow is each user's cluster-wide budget per window.
+	BytesPerWindow uint64
+	// Window is the enforcement period.
+	Window time.Duration
+	// SyncPeriod for the EWO register.
+	SyncPeriod time.Duration
+}
+
+// DeployRateLimiter deploys the §4.2 distributed rate limiter (EWO
+// counters + periodic enforcement).
+func (c *Cluster) DeployRateLimiter(name string, opts RateLimitOptions) ([]*RateLimiter, error) {
+	id, err := c.allocReg(name)
+	if err != nil {
+		return nil, err
+	}
+	lims := make([]*RateLimiter, 0, c.cfg.Switches)
+	members := make([]groupMember, 0, c.cfg.Switches)
+	for i := 0; i < c.cfg.Switches; i++ {
+		l, err := ratelimit.New(c.instances[i], ratelimit.Config{
+			Reg: id, Capacity: opts.Capacity,
+			BytesPerWindow: opts.BytesPerWindow,
+			Window:         sim.Duration(opts.Window),
+			SyncPeriod:     sim.Duration(opts.SyncPeriod),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("swishmem: deploying rate limiter %q: %w", name, err)
+		}
+		l.Install()
+		lims = append(lims, l)
+		members = append(members, l.Register().Node())
+	}
+	c.wireGroup(id, members)
+	return lims, nil
+}
