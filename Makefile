@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test race vet bench tables snapshot clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Hot-path microbenchmarks + per-experiment wall times.
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Regenerate every paper table/claim (E1-E15).
+tables:
+	$(GO) run ./cmd/benchtab
+
+# Write a fresh benchmark regression snapshot (pick the next free number
+# before committing: BENCH_1.json, BENCH_2.json, ...).
+snapshot:
+	$(GO) run ./cmd/benchtab -json BENCH_new.json
+
+clean:
+	$(GO) clean ./...
+	rm -f BENCH_new.json

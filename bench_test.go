@@ -15,6 +15,7 @@ import (
 
 	"swishmem"
 	"swishmem/internal/experiments"
+	"swishmem/internal/sim"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -71,69 +72,84 @@ func BenchmarkE11_Batching(b *testing.B) { benchExperiment(b, "E11") }
 func BenchmarkE12_DataVsControlPlane(b *testing.B) { benchExperiment(b, "E12") }
 
 // --- protocol hot-path microbenchmarks ---
+//
+// The benchmark bodies live in internal/experiments/micro.go so that
+// cmd/benchtab can run the same code under testing.Benchmark and write the
+// BENCH_*.json regression snapshots.
 
-// BenchmarkSROWriteCommit measures end-to-end replicated write throughput
-// on a 3-switch chain (virtual network; wall time is simulator overhead).
-func BenchmarkSROWriteCommit(b *testing.B) {
-	c, _ := swishmem.New(swishmem.Config{Switches: 3, Seed: 1})
-	regs, err := c.DeclareStrong("b", swishmem.StrongOptions{Capacity: 1 << 16, ValueWidth: 8})
-	if err != nil {
-		b.Fatal(err)
-	}
-	c.RunFor(2 * time.Millisecond)
-	b.ReportAllocs()
-	b.ResetTimer()
-	committed := 0
-	for i := 0; i < b.N; i++ {
-		regs[0].Write(uint64(i%(1<<15)), []byte("12345678"), func(ok bool) {
-			if ok {
-				committed++
-			}
-		})
-		if i%256 == 255 {
-			c.RunFor(50 * time.Millisecond)
-		}
-	}
-	c.RunFor(time.Second)
-	b.StopTimer()
-	if committed == 0 {
-		b.Fatal("no writes committed")
-	}
-}
+// BenchmarkSROWriteCommit measures the replicated write path on a 3-switch
+// chain; commit drains run off the clock (see MicroSROWriteCommit).
+func BenchmarkSROWriteCommit(b *testing.B) { experiments.MicroSROWriteCommit(b) }
 
 // BenchmarkEWOCounterAdd measures the EWO fast path: local apply plus
 // multicast enqueue.
-func BenchmarkEWOCounterAdd(b *testing.B) {
+func BenchmarkEWOCounterAdd(b *testing.B) { experiments.MicroEWOCounterAdd(b) }
+
+// BenchmarkSROLocalRead measures the clean-key local read path.
+func BenchmarkSROLocalRead(b *testing.B) { experiments.MicroSROLocalRead(b) }
+
+// --- steady-state allocation budgets ---
+//
+// These tests pin the zero-allocation guarantees the pooled hot paths
+// provide; a regression that reintroduces per-op garbage fails here long
+// before it shows up in benchmark noise.
+
+// TestEWOCounterAddAllocBudget: after warmup, an EWO counter increment
+// (local apply + multicast enqueue + pooled flush) allocates nothing.
+func TestEWOCounterAddAllocBudget(t *testing.T) {
 	c, _ := swishmem.New(swishmem.Config{Switches: 3, Seed: 1})
-	regs, err := c.DeclareCounter("b", swishmem.EventualOptions{Capacity: 1 << 16, DisableSync: true})
+	regs, err := c.DeclareCounter("b", swishmem.EventualOptions{Capacity: 64, DisableSync: true})
 	if err != nil {
-		b.Fatal(err)
+		t.Fatal(err)
 	}
 	c.RunFor(2 * time.Millisecond)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		regs[0].Add(uint64(i%(1<<15)), 1)
-		if i%1024 == 1023 {
-			c.RunFor(time.Millisecond)
-		}
+	// Warm pools (events, deliveries, tasks, updates) and the slot maps.
+	for i := 0; i < 512; i++ {
+		regs[0].Add(uint64(i%64), 1)
+	}
+	c.RunFor(10 * time.Millisecond)
+	allocs := testing.AllocsPerRun(1000, func() {
+		regs[0].Add(3, 1)
+		// Drain the multicast deliveries so pooled events, network
+		// deliveries, and updates cycle back to their free lists.
+		c.RunFor(time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("EWO counter Add+deliver allocates %v per op, want 0", allocs)
 	}
 }
 
-// BenchmarkSROLocalRead measures the clean-key local read path.
-func BenchmarkSROLocalRead(b *testing.B) {
+// TestEventSchedulingAllocBudget: scheduling and running a pooled simulator
+// event allocates nothing once the free list is warm.
+func TestEventSchedulingAllocBudget(t *testing.T) {
+	eng := sim.NewEngine(1)
+	fn := func() {}
+	eng.ScheduleAfter(1, fn)
+	eng.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		eng.ScheduleAfter(1, fn)
+		eng.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("event scheduling allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestSROLocalReadAllocBudget: a clean-key local read allocates nothing.
+func TestSROLocalReadAllocBudget(t *testing.T) {
 	c, _ := swishmem.New(swishmem.Config{Switches: 3, Seed: 1})
 	regs, err := c.DeclareStrong("b", swishmem.StrongOptions{Capacity: 1024, ValueWidth: 8})
 	if err != nil {
-		b.Fatal(err)
+		t.Fatal(err)
 	}
 	c.RunFor(2 * time.Millisecond)
 	regs[0].Write(1, []byte("12345678"), nil)
 	c.RunFor(10 * time.Millisecond)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	allocs := testing.AllocsPerRun(1000, func() {
 		regs[1].Read(1, func(v []byte, ok bool) {})
+	})
+	if allocs != 0 {
+		t.Fatalf("SRO local read allocates %v per op, want 0", allocs)
 	}
 }
 

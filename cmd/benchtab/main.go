@@ -3,27 +3,70 @@
 //
 // Usage:
 //
-//	benchtab               # run every experiment
-//	benchtab -e E3         # one experiment by ID
-//	benchtab -e table1     # or by name
-//	benchtab -list         # list experiments
-//	benchtab -seed 7       # change the deterministic seed
+//	benchtab                  # run every experiment
+//	benchtab -e E3            # one experiment by ID
+//	benchtab -e table1        # or by name
+//	benchtab -list            # list experiments
+//	benchtab -seed 7          # change the deterministic seed
+//	benchtab -parallel 4      # run experiments on 4 workers
+//	benchtab -json BENCH.json # also write a benchmark regression snapshot
+//
+// Regenerated rows go to stdout; wall-time diagnostics go to stderr. Every
+// experiment builds its own deterministic simulation, so the stdout rows are
+// byte-identical whatever -parallel is — parallelism only changes how long
+// the run takes.
+//
+// The -json snapshot records the hot-path microbenchmarks (ns/op, B/op,
+// allocs/op via testing.Benchmark over the shared bodies in
+// internal/experiments/micro.go) plus per-experiment wall times. Committing
+// one snapshot per performance-relevant change (BENCH_1.json, BENCH_2.json,
+// ...) gives a regression trail reviewers can diff.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"testing"
 	"time"
 
 	"swishmem/internal/experiments"
 )
 
+// microResult is one microbenchmark row in the snapshot.
+type microResult struct {
+	Name        string  `json:"name"`
+	About       string  `json:"about"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// expResult is one experiment row in the snapshot.
+type expResult struct {
+	ID     string  `json:"id"`
+	Name   string  `json:"name"`
+	WallMs float64 `json:"wall_ms"`
+}
+
+// snapshot is the -json output: a benchmark regression record.
+type snapshot struct {
+	Schema      int           `json:"schema"`
+	Seed        int64         `json:"seed"`
+	Parallel    int           `json:"parallel"`
+	Micro       []microResult `json:"micro"`
+	Experiments []expResult   `json:"experiments"`
+}
+
 func main() {
 	var (
-		exp  = flag.String("e", "", "experiment ID (E1..E15) or name; empty = all")
-		seed = flag.Int64("seed", 1, "deterministic seed")
-		list = flag.Bool("list", false, "list experiments and exit")
+		exp      = flag.String("e", "", "experiment ID (E1..E15) or name; empty = all")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		parallel = flag.Int("parallel", 1, "number of concurrent experiment workers")
+		jsonOut  = flag.String("json", "", "write a benchmark snapshot (micros + wall times) to this file")
 	)
 	flag.Parse()
 
@@ -45,10 +88,52 @@ func main() {
 		run = []experiments.Experiment{e}
 	}
 
-	for _, e := range run {
-		start := time.Now()
-		res := e.Run(*seed)
-		fmt.Print(res.String())
-		fmt.Printf("  (%s finished in %v wall time)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	start := time.Now()
+	reports := experiments.Run(run, *seed, *parallel)
+	batchWall := time.Since(start)
+
+	snap := snapshot{Schema: 1, Seed: *seed, Parallel: *parallel}
+	for _, r := range reports {
+		fmt.Print(r.Result.String())
+		fmt.Println()
+		fmt.Fprintf(os.Stderr, "%s finished in %v wall time\n",
+			r.Experiment.ID, r.Wall.Round(time.Millisecond))
+		snap.Experiments = append(snap.Experiments, expResult{
+			ID:     r.Experiment.ID,
+			Name:   r.Experiment.Name,
+			WallMs: float64(r.Wall.Microseconds()) / 1000,
+		})
 	}
+	fmt.Fprintf(os.Stderr, "batch: %d experiments, %d workers, %v wall time\n",
+		len(reports), *parallel, batchWall.Round(time.Millisecond))
+
+	if *jsonOut == "" {
+		return
+	}
+	for _, m := range experiments.Micros() {
+		fmt.Fprintf(os.Stderr, "bench %s...\n", m.Name)
+		br := testing.Benchmark(m.Bench)
+		snap.Micro = append(snap.Micro, microResult{
+			Name:        m.Name,
+			About:       m.About,
+			Iterations:  br.N,
+			NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+			AllocsPerOp: br.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "bench %s: %.1f ns/op, %d B/op, %d allocs/op (%d iters)\n",
+			m.Name, snap.Micro[len(snap.Micro)-1].NsPerOp,
+			br.AllocedBytesPerOp(), br.AllocsPerOp(), br.N)
+	}
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "marshal snapshot: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonOut, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 }

@@ -147,13 +147,53 @@ type Stats struct {
 
 // outstanding is one buffered write at the writer's control plane. This is
 // the "buffer P' until the write is completed" state of §6.1; it lives in
-// control-plane DRAM, not data-plane SRAM.
+// control-plane DRAM, not data-plane SRAM. Records are pooled per node with
+// their submit/retry closures bound once and their value backing reused, so
+// a steady-state write cycle costs no per-record allocations.
 type outstanding struct {
+	n       *Node
+	id      uint64
 	key     uint64
 	val     []byte
 	done    func(committed bool)
-	timer   *sim.Timer
+	timer   sim.Timer
 	retries int
+	run      func() // o.submit, bound once
+	fire     func() // o.retryFire, bound once
+	fireCtrl func() // schedules fire on the control plane, bound once
+}
+
+func (n *Node) getOutstanding() *outstanding {
+	var o *outstanding
+	if ln := len(n.ofree); ln > 0 {
+		o = n.ofree[ln-1]
+		n.ofree[ln-1] = nil
+		n.ofree = n.ofree[:ln-1]
+	} else {
+		o = &outstanding{n: n}
+		o.run = o.submit
+		o.fire = o.retryFire
+		o.fireCtrl = func() { o.n.sw.CtrlDo(o.fire) }
+	}
+	o.retries = 0
+	return o
+}
+
+// finish completes an outstanding write after it has been removed from the
+// pending map. The record returns to the pool only when its retry timer was
+// still pending (Stop succeeded): a fired timer may have a retry queued on
+// the control plane that still references the record.
+func (n *Node) finish(o *outstanding, committed bool) {
+	canPool := o.timer.Stop()
+	done := o.done
+	if canPool {
+		o.done = nil
+		o.val = o.val[:0]
+		n.ofree = append(n.ofree, o)
+	}
+	if done != nil {
+		done(committed)
+	}
 }
 
 // Node is the per-switch protocol instance for one replicated register.
@@ -172,6 +212,7 @@ type Node struct {
 
 	nextWriteID uint64
 	pending     map[uint64]*outstanding // by WriteID
+	ofree       []*outstanding          // recycled records (see getOutstanding)
 	nextReqID   uint64
 	reads       map[uint64]func([]byte, bool) // forwarded reads by ReqID
 
@@ -334,27 +375,37 @@ func (n *Node) successor() netem.Addr {
 // retries are exhausted.
 func (n *Node) Write(key uint64, val []byte, done func(committed bool)) {
 	n.Stats.WritesSubmitted.Inc()
-	n.sw.CtrlDo(func() {
-		n.nextWriteID++
-		id := n.nextWriteID
-		o := &outstanding{key: key, val: append([]byte(nil), val...), done: done}
-		n.pending[id] = o
-		n.sendWrite(id, o)
-	})
+	o := n.getOutstanding()
+	o.key = key
+	o.val = append(o.val[:0], val...)
+	o.done = done
+	n.sw.CtrlDo(o.run)
 }
 
-func (n *Node) sendWrite(id uint64, o *outstanding) {
+// submit registers the write and starts its first attempt (control plane).
+func (o *outstanding) submit() {
+	n := o.n
+	n.nextWriteID++
+	o.id = n.nextWriteID
+	n.pending[o.id] = o
+	n.sendWrite(o)
+}
+
+func (n *Node) sendWrite(o *outstanding) {
+	// Arm the retry before sending: when the writer is also head and tail,
+	// the attempt below commits synchronously, and finish must find a
+	// pending timer to stop.
+	n.scheduleRetry(o)
 	head := n.head()
 	if head == 0 {
 		// No chain installed yet; retry until the controller provides one.
-		n.scheduleRetry(id, o)
 		return
 	}
 	w := &wire.Write{
 		Reg:     n.cfg.Reg,
 		Key:     o.key,
 		Seq:     0, // head assigns
-		WriteID: id,
+		WriteID: o.id,
 		Writer:  uint16(n.sw.Addr()),
 		Epoch:   n.chain.Epoch,
 		Value:   o.val,
@@ -366,27 +417,30 @@ func (n *Node) sendWrite(id uint64, o *outstanding) {
 	} else {
 		n.sw.Send(head, w)
 	}
-	n.scheduleRetry(id, o)
 }
 
-func (n *Node) scheduleRetry(id uint64, o *outstanding) {
-	o.timer = n.sw.CtrlAfter(n.cfg.RetryTimeout, func() {
-		cur, ok := n.pending[id]
-		if !ok || cur != o {
-			return
-		}
-		if o.retries >= n.cfg.MaxRetries {
-			delete(n.pending, id)
-			n.Stats.WritesFailed.Inc()
-			if o.done != nil {
-				o.done(false)
-			}
-			return
-		}
-		o.retries++
-		n.Stats.Retries.Inc()
-		n.sendWrite(id, o)
-	})
+func (n *Node) scheduleRetry(o *outstanding) {
+	// Equivalent to sw.CtrlAfter, but with the callback chain bound once on
+	// the pooled record and a value Timer handle: arming and stopping the
+	// retry allocates nothing.
+	o.timer = n.sw.Engine().AfterVal(n.cfg.RetryTimeout, o.fireCtrl)
+}
+
+// retryFire is the retry timer body (bound once per record).
+func (o *outstanding) retryFire() {
+	n := o.n
+	if n.pending[o.id] != o {
+		return // completed (or superseded) while the retry was queued
+	}
+	if o.retries >= n.cfg.MaxRetries {
+		delete(n.pending, o.id)
+		n.Stats.WritesFailed.Inc()
+		n.finish(o, false)
+		return
+	}
+	o.retries++
+	n.Stats.Retries.Inc()
+	n.sendWrite(o)
 }
 
 // Read performs an NF read of key. In SRO mode a read of a pending group is
@@ -489,9 +543,12 @@ func (n *Node) process(from netem.Addr, w *wire.Write) {
 		if !n.IsHead() {
 			return // misrouted fresh write
 		}
-		g := n.group(w.Key)
-		w = &wire.Write{Reg: w.Reg, Key: w.Key, Seq: n.appliedSeq(g) + 1,
-			WriteID: w.WriteID, Writer: w.Writer, Epoch: w.Epoch, Value: w.Value}
+		// Assign the sequence number in place: every attempt arrives as its
+		// own Write (sendWrite builds one per attempt), so nothing else reads
+		// the zero Seq again. A duplicate delivery of the same object then
+		// carries the assigned Seq and is dropped as stale instead of being
+		// double-sequenced.
+		w.Seq = n.appliedSeq(n.group(w.Key)) + 1
 	}
 	n.apply(w)
 	if n.IsTail() {
@@ -554,8 +611,11 @@ func (n *Node) commitAtTail(w *wire.Write) {
 	// Forward committed writes to a joining switch so it converges while
 	// the snapshot transfer runs (§6.3 recovery).
 	if n.chain.Joining != 0 && netem.Addr(n.chain.Joining) != n.sw.Addr() {
+		// Copy the value: this message is in flight after the writer's ack,
+		// so it must not alias the writer's reusable buffer.
 		n.sw.Send(netem.Addr(n.chain.Joining), &wire.Write{Reg: w.Reg, Key: w.Key, Seq: w.Seq,
-			WriteID: w.WriteID, Writer: w.Writer, Epoch: w.Epoch, Value: w.Value})
+			WriteID: w.WriteID, Writer: w.Writer, Epoch: w.Epoch,
+			Value: append([]byte(nil), w.Value...)})
 	}
 }
 
@@ -579,13 +639,8 @@ func (n *Node) processAck(a *wire.WriteAck) {
 	}
 	if o, ok := n.pending[a.WriteID]; ok {
 		delete(n.pending, a.WriteID)
-		if o.timer != nil {
-			o.timer.Stop()
-		}
 		n.Stats.WritesCommitted.Inc()
-		if o.done != nil {
-			o.done(true)
-		}
+		n.finish(o, true)
 	}
 }
 
@@ -598,9 +653,9 @@ func (n *Node) processReadFwd(r *wire.ReadFwd) {
 	v, ok := n.store.Get(r.Key)
 	reply := &wire.ReadReply{Reg: n.cfg.Reg, Key: r.Key, ReqID: r.ReqID}
 	if ok {
-		reply.Value = v
-	} else {
-		reply.Value = nil
+		// Copy: the store entry's backing is reused by later Sets, and this
+		// reply is in flight across the fabric's delivery delay.
+		reply.Value = append([]byte(nil), v...)
 	}
 	n.sw.Send(netem.Addr(r.Origin), reply)
 }

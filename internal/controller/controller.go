@@ -130,7 +130,13 @@ func New(eng *sim.Engine, nw *netem.Network, cfg Config) *Controller {
 func (c *Controller) Addr() netem.Addr { return c.cfg.Addr }
 
 func (c *Controller) receive(from netem.Addr, payload any, size int) {
-	if _, ok := payload.(*wire.Heartbeat); !ok {
+	hb, ok := payload.(*wire.Heartbeat)
+	if !ok {
+		// The delivery's payload reference passed to us; drop it even for
+		// messages we ignore (no-op for non-pooled payloads).
+		if r, ok := payload.(netem.Releasable); ok {
+			r.Release()
+		}
 		return
 	}
 	c.Stats.Heartbeats.Inc()
@@ -141,16 +147,34 @@ func (c *Controller) receive(from netem.Addr, payload any, size int) {
 		// so just record it as alive for monitoring purposes.
 		delete(c.dead, from)
 	}
+	hb.Release()
 }
 
 // Monitor starts heartbeats from sw to the controller (a data-plane
 // packet-generator task) and registers it for failure detection.
+// Heartbeats are pooled (see wire.Heartbeat): the network holds a reference
+// per in-flight delivery and the controller's receive path releases it, so
+// steady-state monitoring allocates nothing.
 func (c *Controller) Monitor(sw *pisa.Switch) {
 	c.lastBeat[sw.Addr()] = c.eng.Now()
 	seq := uint64(0)
+	var free []*wire.Heartbeat
+	freeFn := func(h *wire.Heartbeat) { free = append(free, h) }
 	sw.PacketGen(c.cfg.HeartbeatPeriod, func() {
 		seq++
-		sw.Send(c.cfg.Addr, &wire.Heartbeat{From: uint16(sw.Addr()), Seq: seq})
+		var hb *wire.Heartbeat
+		if n := len(free); n > 0 {
+			hb = free[n-1]
+			free[n-1] = nil
+			free = free[:n-1]
+		} else {
+			hb = &wire.Heartbeat{}
+			hb.EnablePool(freeFn)
+		}
+		hb.From, hb.Seq = uint16(sw.Addr()), seq
+		hb.Ref()
+		sw.Send(c.cfg.Addr, hb)
+		hb.Release()
 	})
 }
 

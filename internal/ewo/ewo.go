@@ -150,8 +150,13 @@ type Node struct {
 	// SRAM accounting vehicles (state layout per §7).
 	mem []*pisa.RegisterArray
 
-	// Pending batched deltas.
-	pending    []wire.EWOEntry
+	// cur is the update being batched: deltas append directly into its
+	// entry slice, so filling and flushing a batch is allocation-free once
+	// the pool is warm. ufree recycles updates whose deliveries have all
+	// completed (see wire.EWOUpdate.EnablePool).
+	cur        *wire.EWOUpdate
+	ufree      []*wire.EWOUpdate
+	ufreeFn    func(*wire.EWOUpdate)
 	batchTimer *sim.Timer
 	ticker     *sim.Ticker
 	// syncCursor walks keys across periodic sync rounds.
@@ -175,6 +180,7 @@ func NewNode(sw *pisa.Switch, cfg Config) (*Node, error) {
 		cfg:   cfg,
 		clock: timesync.NewSynced(sw.Engine(), timesync.NodeID(sw.Addr()), cfg.ClockSkew),
 	}
+	n.ufreeFn = func(u *wire.EWOUpdate) { n.ufree = append(n.ufree, u) }
 	// Charge SRAM per the §7 layout.
 	switch cfg.Kind {
 	case LWW:
@@ -313,14 +319,22 @@ func (n *Node) Sub(key uint64, delta uint64) {
 	n.enqueue(counterEntry(key, self, s[self], true))
 }
 
+// incMark and decMark are the shared, read-only Value payloads of counter
+// entries — never allocated per write, never mutated (merge and marshal only
+// read them).
+var (
+	incMark = []byte{0}
+	decMark = []byte{1}
+)
+
 // counterEntry encodes a slot announcement: Stamp.Node carries the slot
 // owner, Stamp.Time the slot value (slot values are monotone, so the value
 // doubles as the version — the §7 "version number and value" pair collapses
 // for counters). Value[0] distinguishes the decrement vector.
 func counterEntry(key uint64, owner uint16, slotVal uint64, isDec bool) wire.EWOEntry {
-	v := []byte{0}
+	v := incMark
 	if isDec {
-		v[0] = 1
+		v = decMark
 	}
 	return wire.EWOEntry{
 		Key:   key,
@@ -349,15 +363,39 @@ func (n *Node) Sum(key uint64) uint64 {
 
 // --- replication ---
 
+// getUpdate pops a recycled update (or builds one) and takes the caller's
+// reference. The caller must Release after handing it to the network.
+func (n *Node) getUpdate() *wire.EWOUpdate {
+	var u *wire.EWOUpdate
+	if ln := len(n.ufree); ln > 0 {
+		u = n.ufree[ln-1]
+		n.ufree[ln-1] = nil
+		n.ufree = n.ufree[:ln-1]
+	} else {
+		u = &wire.EWOUpdate{}
+		u.EnablePool(n.ufreeFn)
+	}
+	u.Reg = n.cfg.Reg
+	u.From = uint16(n.sw.Addr())
+	u.Sync = false
+	u.Ref()
+	return u
+}
+
 // enqueue batches a delta and flushes when the batch is full; a partial
-// batch is flushed by the batch timer (if configured).
+// batch is flushed by the batch timer (if configured). Deltas accumulate
+// directly in a pooled update, so the steady-state write path (delta in,
+// batch full, multicast out) allocates nothing.
 func (n *Node) enqueue(e wire.EWOEntry) {
-	n.pending = append(n.pending, e)
-	if len(n.pending) >= n.cfg.Batch {
+	if n.cur == nil {
+		n.cur = n.getUpdate()
+	}
+	n.cur.Entries = append(n.cur.Entries, e)
+	if len(n.cur.Entries) >= n.cfg.Batch {
 		n.Flush()
 		return
 	}
-	if n.cfg.BatchTimeout > 0 && (n.batchTimer == nil || !n.batchTimer.Pending()) {
+	if n.cfg.BatchTimeout > 0 && !n.batchTimer.Pending() {
 		n.batchTimer = n.sw.Engine().After(n.cfg.BatchTimeout, n.Flush)
 	}
 }
@@ -367,22 +405,29 @@ func (n *Node) Flush() {
 	if n.batchTimer != nil {
 		n.batchTimer.Stop()
 	}
-	if len(n.pending) == 0 || len(n.group) == 0 {
-		n.pending = n.pending[:0]
+	u := n.cur
+	if u == nil {
 		return
 	}
-	u := &wire.EWOUpdate{
-		Reg:     n.cfg.Reg,
-		From:    uint16(n.sw.Addr()),
-		Entries: n.pending,
+	if len(u.Entries) == 0 || len(n.group) == 0 {
+		// Nothing to send (or nowhere to send it): drop the deltas but keep
+		// the update as the next batch buffer.
+		u.Entries = u.Entries[:0]
+		return
 	}
+	n.cur = nil
 	n.sw.Multicast(n.group, u)
 	n.Stats.UpdatesSent.Inc()
-	n.pending = nil
+	u.Release()
 }
 
 // PendingDeltas returns the number of unflushed batched deltas.
-func (n *Node) PendingDeltas() int { return len(n.pending) }
+func (n *Node) PendingDeltas() int {
+	if n.cur == nil {
+		return 0
+	}
+	return len(n.cur.Entries)
+}
 
 // Handle routes a protocol message to this node; it reports whether the
 // message was consumed.
@@ -469,12 +514,14 @@ func (n *Node) syncRound() {
 	if end > len(n.syncKeys) {
 		end = len(n.syncKeys)
 	}
-	var entries []wire.EWOEntry
+	u := n.getUpdate()
+	u.Sync = true
 	for _, k := range n.syncKeys[n.syncCursor:end] {
-		entries = append(entries, n.entriesFor(k)...)
+		u.Entries = n.appendEntriesFor(u.Entries, k)
 	}
 	n.syncCursor = end
-	if len(entries) == 0 {
+	if len(u.Entries) == 0 {
+		u.Release()
 		return
 	}
 	// Random member other than self.
@@ -486,34 +533,34 @@ func (n *Node) syncRound() {
 		}
 	}
 	if target == n.sw.Addr() {
+		u.Release()
 		return
 	}
-	u := &wire.EWOUpdate{Reg: n.cfg.Reg, From: uint16(n.sw.Addr()), Sync: true, Entries: entries}
 	n.sw.Send(target, u)
 	n.Stats.SyncPackets.Inc()
+	u.Release()
 }
 
-// entriesFor returns the sync entries describing key's full local state —
-// for counters this gossips every known slot, so updates survive the
-// failure of their original writer (§6.3: "any switch that did receive the
-// update can then synchronize the other switches").
-func (n *Node) entriesFor(key uint64) []wire.EWOEntry {
+// appendEntriesFor appends the sync entries describing key's full local
+// state — for counters this gossips every known slot, so updates survive
+// the failure of their original writer (§6.3: "any switch that did receive
+// the update can then synchronize the other switches").
+func (n *Node) appendEntriesFor(dst []wire.EWOEntry, key uint64) []wire.EWOEntry {
 	switch n.cfg.Kind {
 	case LWW:
 		c, ok := n.lww[key]
 		if !ok {
-			return nil
+			return dst
 		}
-		return []wire.EWOEntry{{Key: key, Stamp: c.stamp, Value: c.val}}
+		return append(dst, wire.EWOEntry{Key: key, Stamp: c.stamp, Value: c.val})
 	default:
-		var out []wire.EWOEntry
 		for owner, v := range n.inc[key] {
-			out = append(out, counterEntry(key, owner, v, false))
+			dst = append(dst, counterEntry(key, owner, v, false))
 		}
 		for owner, v := range n.dec[key] {
-			out = append(out, counterEntry(key, owner, v, true))
+			dst = append(dst, counterEntry(key, owner, v, true))
 		}
-		return out
+		return dst
 	}
 }
 

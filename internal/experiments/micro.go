@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"swishmem"
+)
+
+// Micro is a hot-path microbenchmark shared by the repo-root bench_test.go
+// (go test -bench) and cmd/benchtab's -json regression snapshot (via
+// testing.Benchmark). Keeping one body for both means the numbers tracked in
+// BENCH_*.json are the numbers developers see locally.
+type Micro struct {
+	// Name matches the Benchmark<Name> function in bench_test.go.
+	Name string
+	// About says what path the benchmark exercises.
+	About string
+	Bench func(b *testing.B)
+}
+
+// Micros returns the registered hot-path microbenchmarks.
+func Micros() []Micro {
+	return []Micro{
+		{"SROWriteCommit", "SRO replicated write submission on a 3-switch chain", MicroSROWriteCommit},
+		{"EWOCounterAdd", "EWO fast path: local counter apply + multicast enqueue", MicroEWOCounterAdd},
+		{"SROLocalRead", "SRO clean-key local read", MicroSROLocalRead},
+	}
+}
+
+// MicroSROWriteCommit measures the replicated write path on a 3-switch
+// chain. The timed region covers write submission (control-plane buffering,
+// head send); the simulator drains that complete the commits run off the
+// clock so ns/op tracks the per-write cost rather than the batch-drain
+// schedule.
+func MicroSROWriteCommit(b *testing.B) {
+	c, _ := swishmem.New(swishmem.Config{Switches: 3, Seed: 1})
+	regs, err := c.DeclareStrong("b", swishmem.StrongOptions{Capacity: 1 << 16, ValueWidth: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.RunFor(2 * time.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	committed := 0
+	for i := 0; i < b.N; i++ {
+		regs[0].Write(uint64(i%(1<<15)), []byte("12345678"), func(ok bool) {
+			if ok {
+				committed++
+			}
+		})
+		if i%256 == 255 {
+			b.StopTimer()
+			c.RunFor(50 * time.Millisecond)
+			b.StartTimer()
+		}
+	}
+	b.StopTimer()
+	c.RunFor(time.Second)
+	if committed == 0 {
+		b.Fatal("no writes committed")
+	}
+}
+
+// MicroEWOCounterAdd measures the EWO fast path: local apply plus multicast
+// enqueue (steady-state target: 0 allocs/op).
+func MicroEWOCounterAdd(b *testing.B) {
+	c, _ := swishmem.New(swishmem.Config{Switches: 3, Seed: 1})
+	regs, err := c.DeclareCounter("b", swishmem.EventualOptions{Capacity: 1 << 16, DisableSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.RunFor(2 * time.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		regs[0].Add(uint64(i%(1<<15)), 1)
+		if i%1024 == 1023 {
+			b.StopTimer()
+			c.RunFor(time.Millisecond)
+			b.StartTimer()
+		}
+	}
+}
+
+// MicroSROLocalRead measures the clean-key local read path (steady-state
+// target: 0 allocs/op).
+func MicroSROLocalRead(b *testing.B) {
+	c, _ := swishmem.New(swishmem.Config{Switches: 3, Seed: 1})
+	regs, err := c.DeclareStrong("b", swishmem.StrongOptions{Capacity: 1024, ValueWidth: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.RunFor(2 * time.Millisecond)
+	regs[0].Write(1, []byte("12345678"), nil)
+	c.RunFor(10 * time.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		regs[1].Read(1, func(v []byte, ok bool) {})
+	}
+}

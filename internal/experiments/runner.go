@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"sync"
+	"time"
+)
+
+// Report is one experiment execution in a runner batch.
+type Report struct {
+	Experiment Experiment
+	Result     *Result
+	Wall       time.Duration
+}
+
+// Run executes the given experiments with the seed, using up to workers
+// concurrent OS-level goroutines (values < 2 mean sequential).
+//
+// Every experiment builds its own simulation engine seeded from seed and
+// shares no mutable state with any other (package-level protocol state is
+// read-only), so the regenerated rows are bit-identical whatever the worker
+// count — parallelism buys wall time only, never different results. Reports
+// come back in input order.
+func Run(exps []Experiment, seed int64, workers int) []Report {
+	reports := make([]Report, len(exps))
+	runOne := func(i int) {
+		start := time.Now()
+		res := exps[i].Run(seed)
+		reports[i] = Report{Experiment: exps[i], Result: res, Wall: time.Since(start)}
+	}
+	if workers < 2 || len(exps) < 2 {
+		for i := range exps {
+			runOne(i)
+		}
+		return reports
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				runOne(i)
+			}
+		}()
+	}
+	for i := range exps {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return reports
+}

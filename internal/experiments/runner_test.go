@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestRunParallelMatchesSequential pins the runner's core guarantee: every
+// experiment builds its own engine from the seed and shares no mutable state,
+// so the regenerated rows are bit-identical whatever the worker count.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	exps := All()
+	seq := Run(exps, 1, 1)
+	par := Run(exps, 1, 4)
+	if len(seq) != len(par) {
+		t.Fatalf("got %d parallel reports, want %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if seq[i].Experiment.ID != par[i].Experiment.ID {
+			t.Fatalf("report %d: parallel ran %s where sequential ran %s — input order not preserved",
+				i, par[i].Experiment.ID, seq[i].Experiment.ID)
+		}
+		got, want := par[i].Result.String(), seq[i].Result.String()
+		if got != want {
+			t.Errorf("%s: parallel rows differ from sequential\n--- sequential ---\n%s--- parallel ---\n%s",
+				seq[i].Experiment.ID, want, got)
+		}
+	}
+}
+
+// TestRunMoreWorkersThanExperiments: worker counts beyond the job count are
+// clamped, not an error.
+func TestRunMoreWorkersThanExperiments(t *testing.T) {
+	exps := All()[:2]
+	reports := Run(exps, 1, 64)
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reports))
+	}
+	for i, r := range reports {
+		if r.Result == nil {
+			t.Fatalf("report %d has nil result", i)
+		}
+		if r.Experiment.ID != exps[i].ID {
+			t.Fatalf("report %d is %s, want %s", i, r.Experiment.ID, exps[i].ID)
+		}
+	}
+}

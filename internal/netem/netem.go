@@ -28,6 +28,16 @@ type Addr uint16
 // Handler receives delivered messages.
 type Handler func(from Addr, payload any, size int)
 
+// Releasable is implemented by pooled payloads (e.g. wire.EWOUpdate). The
+// network takes one reference per scheduled delivery and releases it when
+// the delivery is dropped in flight; when the payload reaches a handler the
+// reference passes to the receiver, which must release it after processing.
+// Payloads that do not implement Releasable are unaffected.
+type Releasable interface {
+	Ref()
+	Release()
+}
+
 // LinkProfile describes the behaviour of one direction of a link.
 type LinkProfile struct {
 	// Latency is the propagation delay.
@@ -83,6 +93,58 @@ type Network struct {
 	links          map[[2]Addr]*link
 	partition      map[Addr]int // group id; different nonzero groups can't talk
 	totals         LinkStats
+	// dfree pools in-flight delivery records so steady-state Send/Multicast
+	// allocates nothing. The network belongs to one engine (one goroutine),
+	// so a plain free list suffices.
+	dfree []*delivery
+}
+
+// delivery is one scheduled message arrival. Its run closure is bound once
+// when the record is first created and reused for the record's lifetime.
+type delivery struct {
+	n        *Network
+	l        *link
+	from, to Addr
+	payload  any
+	size     int
+	run      func()
+}
+
+func (n *Network) getDelivery() *delivery {
+	if ln := len(n.dfree); ln > 0 {
+		d := n.dfree[ln-1]
+		n.dfree[ln-1] = nil
+		n.dfree = n.dfree[:ln-1]
+		return d
+	}
+	d := &delivery{n: n}
+	d.run = d.deliver
+	return d
+}
+
+func (d *delivery) deliver() {
+	n, l := d.n, d.l
+	from, to, payload, size := d.from, d.to, d.payload, d.size
+	// Return the record to the pool before invoking the handler so nested
+	// sends can reuse it; all needed fields are copied out above.
+	d.l, d.payload = nil, nil
+	n.dfree = append(n.dfree, d)
+
+	dst, ok := n.nodes[to]
+	if !ok || !dst.up || n.partitioned(from, to) {
+		l.stats.MsgsDropped++
+		n.totals.MsgsDropped++
+		if r, ok := payload.(Releasable); ok {
+			r.Release()
+		}
+		return
+	}
+	l.stats.MsgsDeliv++
+	l.stats.BytesDeliv += uint64(size)
+	n.totals.MsgsDeliv++
+	n.totals.BytesDeliv += uint64(size)
+	// The delivery's payload reference passes to the receiver here.
+	dst.handler(from, payload, size)
 }
 
 // New creates a network over eng where unset links use defaultProfile.
@@ -177,17 +239,15 @@ func (n *Network) Send(from, to Addr, payload any, size int) bool {
 	n.totals.MsgsSent++
 	n.totals.BytesSent += uint64(size)
 
-	drop := func() {
+	if n.partitioned(from, to) {
 		l.stats.MsgsDropped++
 		n.totals.MsgsDropped++
-	}
-	if n.partitioned(from, to) {
-		drop()
 		return true
 	}
 	rng := n.eng.Rand()
 	if l.profile.LossRate > 0 && rng.Float64() < l.profile.LossRate {
-		drop()
+		l.stats.MsgsDropped++
+		n.totals.MsgsDropped++
 		return true
 	}
 
@@ -210,25 +270,24 @@ func (n *Network) Send(from, to Addr, payload any, size int) bool {
 		delay += sim.Duration(rng.Int63n(int64(4*l.profile.Latency) + 1))
 	}
 
-	deliver := func() {
-		dst, ok := n.nodes[to]
-		if !ok || !dst.up || n.partitioned(from, to) {
-			drop()
-			return
-		}
-		l.stats.MsgsDeliv++
-		l.stats.BytesDeliv += uint64(size)
-		n.totals.MsgsDeliv++
-		n.totals.BytesDeliv += uint64(size)
-		dst.handler(from, payload, size)
-	}
-	n.eng.After(delay, deliver)
+	n.scheduleDelivery(delay, l, from, to, payload, size)
 	if l.profile.DupRate > 0 && rng.Float64() < l.profile.DupRate {
 		l.stats.MsgsDup++
 		n.totals.MsgsDup++
-		n.eng.After(delay+l.profile.Latency/2+1, deliver)
+		n.scheduleDelivery(delay+l.profile.Latency/2+1, l, from, to, payload, size)
 	}
 	return true
+}
+
+// scheduleDelivery queues one arrival, taking a payload reference for pooled
+// payloads. Each arrival gets its own pooled record (duplicates included).
+func (n *Network) scheduleDelivery(delay sim.Duration, l *link, from, to Addr, payload any, size int) {
+	if r, ok := payload.(Releasable); ok {
+		r.Ref()
+	}
+	d := n.getDelivery()
+	d.l, d.from, d.to, d.payload, d.size = l, from, to, payload, size
+	n.eng.ScheduleAfter(delay, d.run)
 }
 
 // Multicast sends payload to every address in group except from itself.

@@ -339,6 +339,93 @@ func TestDeterministicReplay(t *testing.T) {
 	}
 }
 
+func TestCombinedDupReorderBandwidthAccounting(t *testing.T) {
+	// Duplication, reordering, and bandwidth queueing together: byte
+	// accounting must stay exact when the same message is both duplicated
+	// and reordered while sharing a serialization queue.
+	const (
+		msgs = 2000
+		size = 125 // 1000 bits: 1µs serialization at 1 Gbps
+	)
+	p := LinkProfile{
+		Latency:      20 * 1000, // 20µs
+		BandwidthBps: 1e9,
+		DupRate:      0.3,
+		ReorderRate:  0.3,
+	}
+	eng, net, recs := setup(7, p, 1, 2)
+	for i := 0; i < msgs; i++ {
+		if !net.Send(1, 2, i, size) {
+			t.Fatal("send refused")
+		}
+	}
+	eng.Run()
+
+	st := net.Stats(1, 2)
+	if st.MsgsSent != msgs {
+		t.Fatalf("MsgsSent = %d, want %d", st.MsgsSent, msgs)
+	}
+	if st.BytesSent != uint64(msgs)*size {
+		t.Fatalf("BytesSent = %d, want %d", st.BytesSent, uint64(msgs)*size)
+	}
+	if st.MsgsDup == 0 {
+		t.Fatal("no duplicates at DupRate 0.3")
+	}
+	// Lossless link: every original plus every duplicate arrives.
+	wantDeliv := uint64(msgs) + st.MsgsDup
+	if st.MsgsDeliv != wantDeliv {
+		t.Fatalf("MsgsDeliv = %d, want %d (msgs %d + dups %d)", st.MsgsDeliv, wantDeliv, msgs, st.MsgsDup)
+	}
+	if st.MsgsDropped != 0 {
+		t.Fatalf("MsgsDropped = %d on a lossless link", st.MsgsDropped)
+	}
+	if st.BytesDeliv != wantDeliv*size {
+		t.Fatalf("BytesDeliv = %d, want %d (every delivery, duplicates included, accounts its bytes)",
+			st.BytesDeliv, wantDeliv*size)
+	}
+	if got := uint64(len(recs[2].msgs)); got != wantDeliv {
+		t.Fatalf("handler saw %d messages, want %d", got, wantDeliv)
+	}
+	if tot := net.Totals(); tot != st {
+		t.Fatalf("single-link totals diverge from link stats:\n  totals %+v\n  link   %+v", tot, st)
+	}
+	// Reordering actually happened: with 30% reorder on a FIFO-serialized
+	// link, arrival order must not be monotone in send order.
+	inOrder := true
+	for i := 1; i < len(recs[2].msgs); i++ {
+		if recs[2].msgs[i].(int) < recs[2].msgs[i-1].(int) {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Fatal("no reordering observed at ReorderRate 0.3")
+	}
+	// Serialization queueing was in effect: the last arrival cannot beat
+	// the total serialization time of the whole burst.
+	minFinish := sim.Time(msgs * 1000) // msgs x 1µs
+	last := recs[2].times[len(recs[2].times)-1]
+	if last < minFinish {
+		t.Fatalf("last delivery at %v, before minimum serialization finish %v", last, minFinish)
+	}
+}
+
+func TestSendSteadyStateAllocs(t *testing.T) {
+	eng, net, _ := setup(1, LinkProfile{Latency: 100, BandwidthBps: 100e9}, 1, 2, 3, 4)
+	group := []Addr{1, 2, 3, 4}
+	// Warm pools and link records.
+	for i := 0; i < 64; i++ {
+		net.Multicast(1, group, nil, 64)
+	}
+	eng.Run()
+	if avg := testing.AllocsPerRun(500, func() {
+		net.Multicast(1, group, nil, 64)
+		eng.Run()
+	}); avg != 0 {
+		t.Fatalf("steady-state Multicast+deliver allocates %.2f per op, want 0", avg)
+	}
+}
+
 func BenchmarkSend(b *testing.B) {
 	eng, net, _ := setup(1, LinkProfile{Latency: 100}, 1, 2)
 	b.ReportAllocs()

@@ -1,0 +1,127 @@
+package packet
+
+import "testing"
+
+func poolKey() FlowKey {
+	return FlowKey{
+		Src: Addr4(10, 0, 0, 1), Dst: Addr4(10, 0, 0, 2),
+		SrcPort: 1111, DstPort: 2222, Proto: ProtoTCP,
+	}
+}
+
+func TestPoolForFlowMatchesBuilder(t *testing.T) {
+	var pl Pool
+	k := poolKey()
+	want := ForFlow(k, FlagSYN|FlagACK, 32)
+	got := pl.ForFlow(k, FlagSYN|FlagACK, 32)
+
+	wb, err := want.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := got.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wb) != string(gb) {
+		t.Fatalf("pooled ForFlow serialization differs from builder's")
+	}
+	gk, ok := got.Flow()
+	if !ok || gk != k {
+		t.Fatalf("pooled packet flow = %v, %v; want %v", gk, ok, k)
+	}
+}
+
+func TestPoolRecycleAndReuse(t *testing.T) {
+	var pl Pool
+	k := poolKey()
+	p := pl.ForFlow(k, FlagSYN, 64)
+	p.Payload[0] = 0xff
+	p.Meta.IngressPort = 7
+	if !p.Pooled() {
+		t.Fatal("pool packet not marked pooled")
+	}
+	p.Recycle()
+	if pl.Free() != 1 {
+		t.Fatalf("Free() = %d after recycle, want 1", pl.Free())
+	}
+	// Double recycle is a no-op, not a double-insert.
+	p.Recycle()
+	if pl.Free() != 1 {
+		t.Fatalf("Free() = %d after double recycle, want 1", pl.Free())
+	}
+	q := pl.ForFlow(k, 0, 16)
+	if q != p {
+		t.Fatal("pool did not reuse the recycled packet")
+	}
+	if pl.Free() != 0 {
+		t.Fatalf("Free() = %d after Get, want 0", pl.Free())
+	}
+	if q.Meta.IngressPort != 0 {
+		t.Fatal("reused packet kept stale metadata")
+	}
+	if len(q.Payload) != 16 {
+		t.Fatalf("reused payload len = %d, want 16", len(q.Payload))
+	}
+	for i, b := range q.Payload {
+		if b != 0 {
+			t.Fatalf("reused payload byte %d = %#x, want 0", i, b)
+		}
+	}
+	if q.TCP == nil || q.TCP.Flags != 0 {
+		t.Fatal("reused packet kept stale TCP flags")
+	}
+}
+
+func TestPoolRecycleNonPooledNoop(t *testing.T) {
+	p := ForFlow(poolKey(), 0, 8)
+	p.Recycle() // must not panic or corrupt
+	if p.Pooled() {
+		t.Fatal("builder packet reports pooled")
+	}
+	var nilPkt *Packet
+	nilPkt.Recycle() // nil-safe
+}
+
+func TestPoolCloneDeepCopies(t *testing.T) {
+	var pl Pool
+	src := ForFlow(poolKey(), FlagACK, 24)
+	src.Payload[3] = 9
+	c := pl.Clone(src)
+	if c.TCP == src.TCP || c.IP == src.IP || &c.Payload[0] == &src.Payload[0] {
+		t.Fatal("pooled clone aliases source storage")
+	}
+	if c.Payload[3] != 9 || c.TCP.Flags != FlagACK {
+		t.Fatal("pooled clone lost contents")
+	}
+	c.TCP.Flags = FlagRST
+	if src.TCP.Flags != FlagACK {
+		t.Fatal("mutating clone changed source")
+	}
+}
+
+func TestPoolForFlowZeroAllocs(t *testing.T) {
+	var pl Pool
+	k := poolKey()
+	// Warm the pool.
+	pl.ForFlow(k, FlagSYN, 64).Recycle()
+	allocs := testing.AllocsPerRun(1000, func() {
+		p := pl.ForFlow(k, FlagSYN, 64)
+		p.Recycle()
+	})
+	if allocs != 0 {
+		t.Fatalf("pooled ForFlow+Recycle allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestPoolCloneZeroAllocs(t *testing.T) {
+	var pl Pool
+	src := ForFlow(poolKey(), FlagACK, 64)
+	pl.Clone(src).Recycle()
+	allocs := testing.AllocsPerRun(1000, func() {
+		pl.Clone(src).Recycle()
+	})
+	if allocs != 0 {
+		t.Fatalf("pooled Clone+Recycle allocates %v per run, want 0", allocs)
+	}
+}

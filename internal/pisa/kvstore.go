@@ -32,20 +32,35 @@ func (s *Switch) NewKVStore(name string, capacity, keyWidth, valWidth int) (*KVS
 		m: make(map[uint64][]byte)}, nil
 }
 
-// Get returns the value for key; ok is false on miss.
+// Get returns the value for key; ok is false on miss. The returned slice is
+// a view of the entry's storage, valid until the next Set of the same key —
+// callers that need the bytes past that point must copy (this mirrors the
+// hardware: a register read is a snapshot only if you take one).
 func (k *KVStore) Get(key uint64) (val []byte, ok bool) {
 	v, ok := k.m[key]
 	return v, ok
 }
 
-// Set stores val (truncated to the value width) under key. It returns an
-// error when inserting a new key into a full store.
+// Set stores val (truncated to the value width) under key, reusing the
+// entry's existing backing array when it fits so steady-state overwrites
+// allocate nothing. It returns an error when inserting a new key into a
+// full store.
 func (k *KVStore) Set(key uint64, val []byte) error {
-	if _, exists := k.m[key]; !exists && len(k.m) >= k.capacity {
-		return fmt.Errorf("pisa: kvstore %q full (%d entries)", k.name, k.capacity)
-	}
 	if len(val) > k.valW {
 		val = val[:k.valW]
+	}
+	if old, exists := k.m[key]; exists {
+		if cap(old) >= len(val) {
+			old = old[:len(val)]
+			copy(old, val)
+			k.m[key] = old
+			return nil
+		}
+		k.m[key] = append([]byte(nil), val...)
+		return nil
+	}
+	if len(k.m) >= k.capacity {
+		return fmt.Errorf("pisa: kvstore %q full (%d entries)", k.name, k.capacity)
 	}
 	k.m[key] = append([]byte(nil), val...)
 	return nil

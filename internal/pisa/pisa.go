@@ -136,7 +136,116 @@ type Switch struct {
 	arrivalSeq uint64
 	failed     bool
 
+	// tfree pools dispatch records so steady-state packet and message
+	// processing schedules without allocating.
+	tfree []*task
+	// ppool recycles packets whose life ends at this switch (drops) and
+	// supplies mirror clones. See packet.Pool for the ownership contract.
+	ppool packet.Pool
+
 	Stats Stats
+}
+
+// taskKind selects what a pooled dispatch record does when its slot fires.
+type taskKind uint8
+
+const (
+	taskPipeline taskKind = iota // run the packet program on pkt
+	taskEgress                   // emit pkt through the egress hook
+	taskMsg                      // run the data-plane message handler
+	taskCtrl                     // run fn as a control-plane op (counts CtrlOps)
+	taskCtrlMsg                  // deliver msg to the control-plane msg handler
+	taskFn                       // run fn at data-plane cost (PacketGen)
+	taskMirror                   // pass pkt (a pooled mirror clone) to pfn
+)
+
+// task is one pooled dispatch record. Its run closure is bound once at
+// creation and survives recycling.
+type task struct {
+	s    *Switch
+	kind taskKind
+	pkt  *packet.Packet
+	from netem.Addr
+	msg  wire.Msg
+	fn   func()
+	pfn  func(*packet.Packet)
+	run  func()
+}
+
+func (s *Switch) getTask(kind taskKind) *task {
+	var t *task
+	if n := len(s.tfree); n > 0 {
+		t = s.tfree[n-1]
+		s.tfree[n-1] = nil
+		s.tfree = s.tfree[:n-1]
+	} else {
+		t = &task{s: s}
+		t.run = t.exec
+	}
+	t.kind = kind
+	return t
+}
+
+// releaseTask returns a record to the pool, releasing any pooled message or
+// packet it still carries (tail drops, failed switches).
+func (s *Switch) releaseTask(t *task) {
+	if r, ok := t.msg.(netem.Releasable); ok {
+		r.Release()
+	}
+	t.pkt.Recycle()
+	t.pkt, t.msg, t.fn, t.pfn = nil, nil, nil, nil
+	s.tfree = append(s.tfree, t)
+}
+
+func (t *task) exec() {
+	s := t.s
+	kind, pkt, from, msg, fn, pfn := t.kind, t.pkt, t.from, t.msg, t.fn, t.pfn
+	// Recycle before running: nested dispatches reuse the record. The
+	// message reference (if any) is consumed below, not by releaseTask.
+	t.pkt, t.msg, t.fn, t.pfn = nil, nil, nil, nil
+	s.tfree = append(s.tfree, t)
+
+	if s.failed {
+		if r, ok := msg.(netem.Releasable); ok {
+			r.Release()
+		}
+		pkt.Recycle()
+		return
+	}
+	switch kind {
+	case taskPipeline:
+		s.runPipeline(pkt)
+	case taskEgress:
+		s.Stats.Forwarded.Inc()
+		if s.egress != nil {
+			s.egress(pkt)
+		} else {
+			pkt.Recycle()
+		}
+	case taskMsg:
+		s.Stats.MsgsHandled.Inc()
+		s.msgHandler(s, from, msg)
+		// Handlers consume messages synchronously (they must not retain
+		// pooled messages past return — see DESIGN.md "Performance model").
+		if r, ok := msg.(netem.Releasable); ok {
+			r.Release()
+		}
+	case taskCtrl:
+		s.Stats.CtrlOps.Inc()
+		fn()
+	case taskCtrlMsg:
+		s.Stats.CtrlOps.Inc()
+		if s.ctrlMsg != nil {
+			s.ctrlMsg(from, msg)
+		}
+		if r, ok := msg.(netem.Releasable); ok {
+			r.Release()
+		}
+	case taskFn:
+		fn()
+	case taskMirror:
+		pfn(pkt)
+	}
 }
 
 // New creates a switch and attaches it to the network.
@@ -168,6 +277,11 @@ func (s *Switch) Engine() *sim.Engine { return s.eng }
 // Network returns the fabric the switch is attached to.
 func (s *Switch) Network() *netem.Network { return s.net }
 
+// PacketPool returns the switch's packet pool. Workloads driving this switch
+// can draw packets from it; the pipeline recycles them when they are dropped
+// (see packet.Pool for the ownership contract).
+func (s *Switch) PacketPool() *packet.Pool { return &s.ppool }
+
 // Config returns the (defaulted) switch configuration.
 func (s *Switch) Config() Config { return s.cfg }
 
@@ -195,9 +309,9 @@ func (s *Switch) Fail() {
 // Failed reports whether the switch has failed.
 func (s *Switch) Failed() bool { return s.failed }
 
-// dpDispatch charges one data-plane pipeline slot and runs fn after the
-// pipeline latency. Returns false on tail drop.
-func (s *Switch) dpDispatch(fn func()) bool {
+// dpDispatch charges one data-plane pipeline slot and runs the task after
+// the pipeline latency. Returns false on tail drop (the task is recycled).
+func (s *Switch) dpDispatch(t *task) bool {
 	now := s.eng.Now()
 	start := s.nextFree
 	if start < now {
@@ -206,22 +320,31 @@ func (s *Switch) dpDispatch(fn func()) bool {
 	queued := int(start.Sub(now) / s.slot)
 	if queued >= s.cfg.QueueLimit {
 		s.Stats.QueueDrops.Inc()
+		s.releaseTask(t)
 		return false
 	}
 	s.nextFree = start.Add(s.slot)
-	s.eng.At(start.Add(s.cfg.PipelineLatency), func() {
-		if s.failed {
-			return
-		}
-		fn()
-	})
+	s.eng.Schedule(start.Add(s.cfg.PipelineLatency), t.run)
 	return true
+}
+
+// dpDispatchFn charges a pipeline slot for a bare callback.
+func (s *Switch) dpDispatchFn(fn func()) bool {
+	t := s.getTask(taskFn)
+	t.fn = fn
+	return s.dpDispatch(t)
 }
 
 // receive is the netem handler: dispatches data packets to the pipeline and
 // protocol messages to the message handler, both at data-plane cost.
 func (s *Switch) receive(from netem.Addr, payload any, size int) {
 	if s.failed {
+		if r, ok := payload.(netem.Releasable); ok {
+			r.Release()
+		}
+		if p, ok := payload.(*packet.Packet); ok {
+			p.Recycle()
+		}
 		return
 	}
 	switch v := payload.(type) {
@@ -242,12 +365,15 @@ func (s *Switch) InjectPacket(pkt *packet.Packet) bool {
 	}
 	s.arrivalSeq++
 	pkt.Meta.ArrivalSeq = s.arrivalSeq
-	return s.dpDispatch(func() { s.runPipeline(pkt) })
+	t := s.getTask(taskPipeline)
+	t.pkt = pkt
+	return s.dpDispatch(t)
 }
 
 func (s *Switch) runPipeline(pkt *packet.Packet) {
 	if s.program == nil {
 		s.Stats.Dropped.Inc()
+		pkt.Recycle()
 		return
 	}
 	s.Stats.Processed.Inc()
@@ -256,11 +382,15 @@ func (s *Switch) runPipeline(pkt *packet.Packet) {
 		s.Stats.Forwarded.Inc()
 		if s.egress != nil {
 			s.egress(pkt)
+		} else {
+			pkt.Recycle()
 		}
 	case Recirculate:
 		s.Stats.Recirculated.Inc()
 		pkt.Meta.Recirculated++
-		s.dpDispatch(func() { s.runPipeline(pkt) })
+		t := s.getTask(taskPipeline)
+		t.pkt = pkt
+		s.dpDispatch(t)
 	case ToControlPlane:
 		s.Stats.Punted.Inc()
 		s.CtrlDo(func() {
@@ -269,7 +399,11 @@ func (s *Switch) runPipeline(pkt *packet.Packet) {
 			}
 		})
 	default:
+		// A Drop verdict ends the packet's life. Programs that buffer a
+		// packet (e.g. while a state write is in flight) must punt it via
+		// ToControlPlane or return Forward, never Drop.
 		s.Stats.Dropped.Inc()
+		pkt.Recycle()
 	}
 }
 
@@ -279,10 +413,9 @@ func (s *Switch) injectMsg(from netem.Addr, msg wire.Msg) {
 		s.deliverCtrlMsg(from, msg)
 		return
 	}
-	s.dpDispatch(func() {
-		s.Stats.MsgsHandled.Inc()
-		s.msgHandler(s, from, msg)
-	})
+	t := s.getTask(taskMsg)
+	t.from, t.msg = from, msg
+	s.dpDispatch(t)
 }
 
 // PuntMsg hands a message to the control-plane handler at control-plane
@@ -291,11 +424,15 @@ func (s *Switch) injectMsg(from netem.Addr, msg wire.Msg) {
 func (s *Switch) PuntMsg(from netem.Addr, msg wire.Msg) { s.deliverCtrlMsg(from, msg) }
 
 func (s *Switch) deliverCtrlMsg(from netem.Addr, msg wire.Msg) {
-	s.CtrlDo(func() {
-		if s.ctrlMsg != nil {
-			s.ctrlMsg(from, msg)
+	if s.failed {
+		if r, ok := msg.(netem.Releasable); ok {
+			r.Release()
 		}
-	})
+		return
+	}
+	t := s.getTask(taskCtrlMsg)
+	t.from, t.msg = from, msg
+	s.ctrlDispatch(t)
 }
 
 // Send transmits a protocol message from the data plane.
@@ -315,11 +452,14 @@ func (s *Switch) SendPacket(to netem.Addr, pkt *packet.Packet) {
 }
 
 // Mirror clones the packet at egress and passes the clone to fn, charging a
-// pipeline slot — the egress mirroring feature of §7.
+// pipeline slot — the egress mirroring feature of §7. The clone comes from
+// the switch's packet pool; fn owns it and may Recycle it when done.
 func (s *Switch) Mirror(pkt *packet.Packet, fn func(clone *packet.Packet)) {
-	clone := pkt.Clone()
+	clone := s.ppool.Clone(pkt)
 	clone.Meta.Mirrored = true
-	if s.dpDispatch(func() { fn(clone) }) {
+	t := s.getTask(taskMirror)
+	t.pkt, t.pfn = clone, fn
+	if s.dpDispatch(t) {
 		s.Stats.Mirrored.Inc()
 	}
 }
@@ -342,12 +482,9 @@ func (s *Switch) InjectEgress(pkt *packet.Packet) bool {
 	if s.failed {
 		return false
 	}
-	return s.dpDispatch(func() {
-		s.Stats.Forwarded.Inc()
-		if s.egress != nil {
-			s.egress(pkt)
-		}
-	})
+	t := s.getTask(taskEgress)
+	t.pkt = pkt
+	return s.dpDispatch(t)
 }
 
 // PacketGen installs a periodic data-plane task (the switch packet
@@ -360,7 +497,7 @@ func (s *Switch) PacketGen(period sim.Duration, fn func()) *sim.Ticker {
 			tk.Stop()
 			return
 		}
-		s.dpDispatch(fn)
+		s.dpDispatchFn(fn)
 	})
 	return tk
 }
@@ -371,19 +508,21 @@ func (s *Switch) CtrlDo(fn func()) {
 	if s.failed {
 		return
 	}
+	t := s.getTask(taskCtrl)
+	t.fn = fn
+	s.ctrlDispatch(t)
+}
+
+// ctrlDispatch charges one control-plane slot and schedules the task after
+// the control-plane latency.
+func (s *Switch) ctrlDispatch(t *task) {
 	now := s.eng.Now()
 	start := s.ctrlNextFree
 	if start < now {
 		start = now
 	}
 	s.ctrlNextFree = start.Add(s.ctrlSlot)
-	s.eng.At(start.Add(s.cfg.CtrlLatency), func() {
-		if s.failed {
-			return
-		}
-		s.Stats.CtrlOps.Inc()
-		fn()
-	})
+	s.eng.Schedule(start.Add(s.cfg.CtrlLatency), t.run)
 }
 
 // CtrlAfter schedules fn on the control plane after at least d (a

@@ -593,3 +593,80 @@ func TestSendPacketFromFailedSwitch(t *testing.T) {
 		t.Fatal("failed switch transmitted a packet")
 	}
 }
+
+func TestPipelineRecyclesPooledPackets(t *testing.T) {
+	eng, _, sws := testRig(1, Config{Addr: 1})
+	sw := sws[0]
+	pl := sw.PacketPool()
+	k := packet.FlowKey{Src: packet.Addr4(1, 1, 1, 1), Dst: packet.Addr4(2, 2, 2, 2),
+		SrcPort: 9, DstPort: 80, Proto: packet.ProtoTCP}
+
+	// Drop verdict returns the packet to the pool.
+	sw.SetProgram(func(s *Switch, p *packet.Packet) Verdict { return Drop })
+	sw.InjectPacket(pl.ForFlow(k, 0, 32))
+	eng.Run()
+	if pl.Free() != 1 {
+		t.Fatalf("pool free = %d after drop, want 1", pl.Free())
+	}
+
+	// Forward with no egress hook also ends the packet's life.
+	sw.SetProgram(func(s *Switch, p *packet.Packet) Verdict { return Forward })
+	sw.InjectPacket(pl.ForFlow(k, 0, 32))
+	eng.Run()
+	if pl.Free() != 1 {
+		t.Fatalf("pool free = %d after egress-less forward, want 1", pl.Free())
+	}
+
+	// An egress hook takes ownership and may recycle explicitly.
+	got := 0
+	sw.SetEgress(func(p *packet.Packet) { got++; p.Recycle() })
+	sw.InjectPacket(pl.ForFlow(k, 0, 32))
+	eng.Run()
+	if got != 1 || pl.Free() != 1 {
+		t.Fatalf("egress got %d, pool free %d; want 1, 1", got, pl.Free())
+	}
+}
+
+func TestPipelineSteadyStateZeroAllocs(t *testing.T) {
+	eng, _, sws := testRig(1, Config{Addr: 1})
+	sw := sws[0]
+	pl := sw.PacketPool()
+	k := packet.FlowKey{Src: packet.Addr4(1, 1, 1, 1), Dst: packet.Addr4(2, 2, 2, 2),
+		SrcPort: 9, DstPort: 80, Proto: packet.ProtoTCP}
+	sw.SetProgram(func(s *Switch, p *packet.Packet) Verdict { return Drop })
+	// Warm the packet, task, and event pools.
+	for i := 0; i < 64; i++ {
+		sw.InjectPacket(pl.ForFlow(k, 0, 64))
+	}
+	eng.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		sw.InjectPacket(pl.ForFlow(k, 0, 64))
+		eng.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("pipeline processes a pooled packet with %v allocs per run, want 0", allocs)
+	}
+}
+
+func TestMirrorCloneIsPooled(t *testing.T) {
+	eng, _, sws := testRig(1, Config{Addr: 1})
+	sw := sws[0]
+	orig := mkPkt()
+	var clone *packet.Packet
+	sw.SetProgram(func(s *Switch, p *packet.Packet) Verdict {
+		s.Mirror(p, func(c *packet.Packet) { clone = c })
+		return Drop
+	})
+	sw.InjectPacket(orig)
+	eng.Run()
+	if clone == nil || !clone.Pooled() {
+		t.Fatal("mirror clone should come from the switch packet pool")
+	}
+	if !clone.Meta.Mirrored {
+		t.Fatal("mirror clone not marked")
+	}
+	clone.Recycle()
+	if sw.PacketPool().Free() != 1 {
+		t.Fatal("recycled mirror clone did not return to the switch pool")
+	}
+}

@@ -2,7 +2,6 @@ package pisa
 
 import (
 	"fmt"
-	"hash/maphash"
 )
 
 // This file implements the P4 memory objects of §2: register arrays, tables,
@@ -108,18 +107,19 @@ func (r *RegisterArray) U64Add(i int, delta uint64) uint64 {
 	return v
 }
 
-var tableSeed = maphash.MakeSeed()
-
 // HashIndex maps an arbitrary key to a register index in [0, size), the way
-// data-plane programs hash flow keys into register arrays.
+// data-plane programs hash flow keys into register arrays (CRC-style fixed
+// polynomials in real hardware). The mix is the splitmix64 finalizer with
+// fixed constants: unlike a process-random maphash seed, indices — and
+// therefore hash-collision-dependent experiment results like E14's
+// false-forward rate — are identical across runs and processes, which the
+// reproducible-from-a-seed contract requires.
 func HashIndex(key uint64, size int) int {
-	var h maphash.Hash
-	h.SetSeed(tableSeed)
-	var b [8]byte
-	b[0], b[1], b[2], b[3] = byte(key>>56), byte(key>>48), byte(key>>40), byte(key>>32)
-	b[4], b[5], b[6], b[7] = byte(key>>24), byte(key>>16), byte(key>>8), byte(key)
-	h.Write(b[:])
-	return int(h.Sum64() % uint64(size))
+	z := key + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(size))
 }
 
 // Table is an exact-match table: data-plane lookup, control-plane-only

@@ -38,29 +38,43 @@ func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
 
 func (t Time) String() string { return Duration(t).String() }
 
-// Event is a scheduled callback.
+// Event is a scheduled callback. Events are pooled: when one is popped or
+// cancelled it returns to the engine's free list and is reincarnated by the
+// next At/After/Schedule call. gen distinguishes incarnations so a stale
+// Timer handle can never cancel a recycled event.
 type event struct {
-	at   Time
-	seq  uint64 // tie-break: FIFO among equal timestamps
-	fn   func()
-	idx  int // heap index, -1 when popped/cancelled
-	dead bool
+	at  Time
+	seq uint64 // tie-break: FIFO among equal timestamps
+	fn  func()
+	idx int    // heap index, -1 when not queued
+	gen uint64 // incremented every time the event returns to the pool
+	eng *Engine
 }
 
 // Timer is a handle to a scheduled event; it can be stopped before firing.
-type Timer struct{ ev *event }
+type Timer struct {
+	ev  *event
+	gen uint64
+}
 
-// Stop cancels the timer. It reports whether the timer was still pending.
+// live reports whether the handle still refers to its original scheduling.
+func (t *Timer) live() bool { return t != nil && t.ev != nil && t.ev.gen == t.gen }
+
+// Stop cancels the timer, removing its event from the queue immediately so
+// cancelled timers cost nothing until their deadline. It reports whether the
+// timer was still pending.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.dead {
+	if !t.live() {
 		return false
 	}
-	t.ev.dead = true
+	ev := t.ev
+	heap.Remove(&ev.eng.queue, ev.idx)
+	ev.eng.release(ev)
 	return true
 }
 
 // Pending reports whether the timer has not yet fired or been stopped.
-func (t *Timer) Pending() bool { return t != nil && t.ev != nil && !t.ev.dead }
+func (t *Timer) Pending() bool { return t.live() }
 
 type eventQueue []*event
 
@@ -98,6 +112,8 @@ type Engine struct {
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
+	// free is the event pool: steady-state scheduling allocates nothing.
+	free []*event
 	// Stats
 	processed uint64
 }
@@ -115,16 +131,44 @@ func (e *Engine) Now() Time { return e.now }
 // randomness (loss, jitter, workload sampling) must come from here.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// At schedules fn to run at absolute virtual time at. Scheduling in the past
-// panics: that is always a model bug, never a recoverable condition.
-func (e *Engine) At(at Time, fn func()) *Timer {
+// schedule pushes a pooled event onto the queue and returns it.
+func (e *Engine) schedule(at Time, fn func()) *event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, e.now))
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{eng: e}
+	}
+	ev.at, ev.fn, ev.seq = at, fn, e.seq
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return &Timer{ev: ev}
+	return ev
+}
+
+// release returns an event (already removed from the queue) to the pool,
+// invalidating any Timer handles that refer to it.
+func (e *Engine) release(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// panics: that is always a model bug, never a recoverable condition.
+func (e *Engine) At(at Time, fn func()) *Timer {
+	ev := e.schedule(at, fn)
+	return &Timer{ev: ev, gen: ev.gen}
+}
+
+// at is the value-Timer variant of At, for holders that embed the handle.
+func (e *Engine) at(at Time, fn func()) Timer {
+	ev := e.schedule(at, fn)
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
@@ -135,6 +179,28 @@ func (e *Engine) After(d Duration, fn func()) *Timer {
 	return e.At(e.now.Add(d), fn)
 }
 
+// AfterVal is After returning a value Timer, for holders that embed the
+// handle in a pooled record instead of allocating one per scheduling.
+func (e *Engine) AfterVal(d Duration, fn func()) Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.at(e.now.Add(d), fn)
+}
+
+// Schedule is the hot-path variant of At for callers that never cancel: no
+// Timer handle is allocated and the event comes from the pool, so
+// steady-state scheduling is allocation-free.
+func (e *Engine) Schedule(at Time, fn func()) { e.schedule(at, fn) }
+
+// ScheduleAfter is the hot-path variant of After (no Timer handle).
+func (e *Engine) ScheduleAfter(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.schedule(e.now.Add(d), fn)
+}
+
 // Every schedules fn to run every period, starting one period from now.
 // The returned Timer always refers to the next pending firing; stopping it
 // cancels the series.
@@ -142,7 +208,8 @@ type Ticker struct {
 	eng     *Engine
 	period  Duration
 	fn      func()
-	t       *Timer
+	rearm   func() // bound once; rescheduled every period
+	t       Timer
 	stopped bool
 }
 
@@ -152,12 +219,7 @@ func (e *Engine) Every(period Duration, fn func()) *Ticker {
 		panic(fmt.Sprintf("sim: non-positive period %v", period))
 	}
 	tk := &Ticker{eng: e, period: period, fn: fn}
-	tk.arm()
-	return tk
-}
-
-func (tk *Ticker) arm() {
-	tk.t = tk.eng.After(tk.period, func() {
+	tk.rearm = func() {
 		if tk.stopped {
 			return
 		}
@@ -165,31 +227,36 @@ func (tk *Ticker) arm() {
 		if !tk.stopped {
 			tk.arm()
 		}
-	})
+	}
+	tk.arm()
+	return tk
+}
+
+func (tk *Ticker) arm() {
+	tk.t = tk.eng.at(tk.eng.now.Add(tk.period), tk.rearm)
 }
 
 // Stop cancels the ticker.
 func (tk *Ticker) Stop() {
 	tk.stopped = true
-	if tk.t != nil {
-		tk.t.Stop()
-	}
+	tk.t.Stop()
 }
 
 // Step runs the single next event, if any, and reports whether one ran.
+// Cancelled timers are removed from the queue eagerly, so every queued event
+// is live.
 func (e *Engine) Step() bool {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.dead {
-			continue
-		}
-		e.now = ev.at
-		ev.dead = true
-		ev.fn()
-		e.processed++
-		return true
+	if e.queue.Len() == 0 {
+		return false
 	}
-	return false
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	fn := ev.fn
+	// Release before running so fn's own scheduling can reuse the event.
+	e.release(ev)
+	fn()
+	e.processed++
+	return true
 }
 
 // Run processes events until the queue is empty or Stop is called.
@@ -211,13 +278,7 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 		if e.queue.Len() == 0 {
 			break
 		}
-		// Peek.
-		next := e.queue[0]
-		if next.dead {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if next.at > deadline {
+		if e.queue[0].at > deadline {
 			break
 		}
 		e.Step()
@@ -234,16 +295,9 @@ func (e *Engine) RunFor(d Duration) uint64 { return e.RunUntil(e.now.Add(d)) }
 // Stop halts Run/RunUntil after the current event returns.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Pending returns the number of scheduled (live) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of scheduled events. Cancelled timers are
+// removed immediately, so every queued event counts.
+func (e *Engine) Pending() int { return len(e.queue) }
 
 // Processed returns the total number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }

@@ -231,6 +231,73 @@ func TestTimeArithmetic(t *testing.T) {
 	}
 }
 
+func TestMassCancellationShrinksQueue(t *testing.T) {
+	// Stopped timers must leave the heap immediately, not ride to their
+	// deadline: long-running sims cancel retransmit timers by the million.
+	e := NewEngine(1)
+	const n = 10_000
+	timers := make([]*Timer, 0, n)
+	for i := 0; i < n; i++ {
+		timers = append(timers, e.After(Duration(i+1)*time.Millisecond, func() { t.Fatal("cancelled timer fired") }))
+	}
+	if e.Pending() != n {
+		t.Fatalf("Pending = %d, want %d", e.Pending(), n)
+	}
+	for _, tm := range timers {
+		if !tm.Stop() {
+			t.Fatal("Stop reported already-stopped timer")
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after mass cancellation = %d, want 0", e.Pending())
+	}
+	if len(e.queue) != 0 {
+		t.Fatalf("heap still holds %d dead events", len(e.queue))
+	}
+	// Survivors still run correctly among cancellations.
+	fired := 0
+	keep := e.At(5, func() { fired++ })
+	e.After(10*time.Millisecond, func() { fired++ }).Stop()
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if keep.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+}
+
+func TestEventPoolReuse(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 100; i++ {
+		e.ScheduleAfter(Duration(i+1), func() {})
+	}
+	e.Run()
+	if len(e.free) == 0 {
+		t.Fatal("event pool empty after run")
+	}
+	// A stale Timer whose event was recycled must refuse to cancel it.
+	tm := e.At(e.Now().Add(10), func() {})
+	e.Run()
+	fired := false
+	e.Schedule(e.Now().Add(10), func() { fired = true })
+	if tm.Stop() {
+		t.Fatal("stale Timer cancelled a recycled event")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+	// Steady-state scheduling must not allocate.
+	nop := func() {}
+	if avg := testing.AllocsPerRun(1000, func() {
+		e.ScheduleAfter(1, nop)
+		e.Run()
+	}); avg != 0 {
+		t.Fatalf("Schedule+Run allocates %.1f per op, want 0", avg)
+	}
+}
+
 func BenchmarkEngineScheduleRun(b *testing.B) {
 	e := NewEngine(1)
 	b.ReportAllocs()

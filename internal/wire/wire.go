@@ -321,6 +321,42 @@ type EWOUpdate struct {
 	Slot    uint16 // CRDT vector slot the entries belong to (== sender index)
 	Sync    bool   // true if part of a periodic full synchronization
 	Entries []EWOEntry
+
+	// Pool plumbing: updates on the protocol hot path are recycled through
+	// a sender-side free list. refs counts outstanding holders (the sender
+	// plus one per scheduled network delivery); free, when set, receives the
+	// update once the count drains. Updates without a pool (unmarshalled or
+	// literal) ignore Ref/Release entirely.
+	refs int32
+	free func(*EWOUpdate)
+}
+
+// EnablePool marks the update as pooled: when its reference count drains to
+// zero, free receives it for reuse. Entries keeps its backing array across
+// recycling, so a warmed pool marshals and batches without allocating.
+func (u *EWOUpdate) EnablePool(free func(*EWOUpdate)) { u.free = free }
+
+// Ref takes a reference on a pooled update (no-op otherwise).
+func (u *EWOUpdate) Ref() {
+	if u.free != nil {
+		u.refs++
+	}
+}
+
+// Release drops a reference; the last holder returns the update to its pool.
+// Holders must not touch the update after releasing it.
+func (u *EWOUpdate) Release() {
+	if u.free == nil {
+		return
+	}
+	u.refs--
+	switch {
+	case u.refs == 0:
+		u.Entries = u.Entries[:0]
+		u.free(u)
+	case u.refs < 0:
+		panic("wire: EWOUpdate over-released")
+	}
 }
 
 // WireType implements Msg.
@@ -395,6 +431,39 @@ func unmarshalEWOUpdate(b []byte) (*EWOUpdate, error) {
 type Heartbeat struct {
 	From uint16
 	Seq  uint64
+
+	// Pool plumbing, same contract as EWOUpdate: refs counts outstanding
+	// holders and free (when set) receives the heartbeat once the count
+	// drains. Heartbeats fire every HeartbeatPeriod on every monitored
+	// switch, so recycling them keeps long idle simulations allocation-free.
+	refs int32
+	free func(*Heartbeat)
+}
+
+// EnablePool marks the heartbeat as pooled: when its reference count drains
+// to zero, free receives it for reuse.
+func (h *Heartbeat) EnablePool(free func(*Heartbeat)) { h.free = free }
+
+// Ref takes a reference on a pooled heartbeat (no-op otherwise).
+func (h *Heartbeat) Ref() {
+	if h.free != nil {
+		h.refs++
+	}
+}
+
+// Release drops a reference; the last holder returns the heartbeat to its
+// pool. Holders must not touch the heartbeat after releasing it.
+func (h *Heartbeat) Release() {
+	if h.free == nil {
+		return
+	}
+	h.refs--
+	switch {
+	case h.refs == 0:
+		h.free(h)
+	case h.refs < 0:
+		panic("wire: Heartbeat over-released")
+	}
 }
 
 // WireType implements Msg.

@@ -98,7 +98,7 @@ func TestEWOUpdateEmpty(t *testing.T) {
 
 func TestHeartbeatRoundTrip(t *testing.T) {
 	h := &Heartbeat{From: 12, Seq: 1 << 40}
-	if got := roundTrip(t, h).(*Heartbeat); *got != *h {
+	if got := roundTrip(t, h).(*Heartbeat); got.From != h.From || got.Seq != h.Seq {
 		t.Fatalf("got %+v", got)
 	}
 }
