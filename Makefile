@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench tables snapshot clean
+.PHONY: all build test race vet bench tables snapshot trace clean
 
 all: build vet test
 
@@ -29,6 +29,12 @@ tables:
 snapshot:
 	$(GO) run ./cmd/benchtab -json BENCH_new.json
 
+# Virtual-time trace of one experiment (override with EXP=E7 etc.); load
+# trace.json at ui.perfetto.dev.
+EXP ?= E4
+trace:
+	$(GO) run ./cmd/benchtab -e $(EXP) -trace trace.json -metrics metrics.txt
+
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_new.json
+	rm -f BENCH_new.json trace.json metrics.txt

@@ -10,6 +10,8 @@
 //	benchtab -seed 7          # change the deterministic seed
 //	benchtab -parallel 4      # run experiments on 4 workers
 //	benchtab -json BENCH.json # also write a benchmark regression snapshot
+//	benchtab -e E4 -trace out.json   # virtual-time trace, loadable at ui.perfetto.dev
+//	benchtab -metrics metrics.txt    # batch counters + per-experiment metric sections
 //
 // Regenerated rows go to stdout; wall-time diagnostics go to stderr. Every
 // experiment builds its own deterministic simulation, so the stdout rows are
@@ -28,10 +30,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"testing"
 	"time"
 
 	"swishmem/internal/experiments"
+	"swishmem/internal/obs"
 )
 
 // microResult is one microbenchmark row in the snapshot.
@@ -49,6 +53,10 @@ type expResult struct {
 	ID     string  `json:"id"`
 	Name   string  `json:"name"`
 	WallMs float64 `json:"wall_ms"`
+	// Metrics is the experiment's aggregated cluster-metrics section
+	// (counter sums and histogram count/mean pairs); empty for experiments
+	// that do not snapshot their clusters.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // snapshot is the -json output: a benchmark regression record.
@@ -67,8 +75,22 @@ func main() {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		parallel = flag.Int("parallel", 1, "number of concurrent experiment workers")
 		jsonOut  = flag.String("json", "", "write a benchmark snapshot (micros + wall times) to this file")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (requires -e; forces -parallel 1)")
+		metout   = flag.String("metrics", "", "write a plain-text metrics dump (batch counters + per-experiment sections) to this file")
 	)
 	flag.Parse()
+
+	var tracers []*obs.Tracer
+	if *traceOut != "" {
+		if *exp == "" {
+			fmt.Fprintln(os.Stderr, "-trace requires -e (trace one experiment, not the whole batch)")
+			os.Exit(2)
+		}
+		// The tracer sink appends without locking; tracing forces a
+		// sequential run.
+		*parallel = 1
+		experiments.SetTracing(1<<18, func(tr *obs.Tracer) { tracers = append(tracers, tr) })
+	}
 
 	if *list {
 		fmt.Println("ID    NAME                PAPER CONTENT")
@@ -89,23 +111,45 @@ func main() {
 	}
 
 	start := time.Now()
-	reports := experiments.Run(run, *seed, *parallel)
+	var bm experiments.BatchMetrics
+	reports := experiments.RunMetered(run, *seed, *parallel, &bm)
 	batchWall := time.Since(start)
 
-	snap := snapshot{Schema: 1, Seed: *seed, Parallel: *parallel}
+	snap := snapshot{Schema: 2, Seed: *seed, Parallel: *parallel}
 	for _, r := range reports {
 		fmt.Print(r.Result.String())
 		fmt.Println()
 		fmt.Fprintf(os.Stderr, "%s finished in %v wall time\n",
 			r.Experiment.ID, r.Wall.Round(time.Millisecond))
 		snap.Experiments = append(snap.Experiments, expResult{
-			ID:     r.Experiment.ID,
-			Name:   r.Experiment.Name,
-			WallMs: float64(r.Wall.Microseconds()) / 1000,
+			ID:      r.Experiment.ID,
+			Name:    r.Experiment.Name,
+			WallMs:  float64(r.Wall.Microseconds()) / 1000,
+			Metrics: r.Result.Metrics,
 		})
 	}
 	fmt.Fprintf(os.Stderr, "batch: %d experiments, %d workers, %v wall time\n",
 		len(reports), *parallel, batchWall.Round(time.Millisecond))
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, tracers); err != nil {
+			fmt.Fprintf(os.Stderr, "write trace: %v\n", err)
+			os.Exit(1)
+		}
+		total := 0
+		for _, tr := range tracers {
+			total += tr.Len()
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d events from %d cluster(s); open at ui.perfetto.dev)\n",
+			*traceOut, total, len(tracers))
+	}
+	if *metout != "" {
+		if err := writeMetrics(*metout, &bm, reports); err != nil {
+			fmt.Fprintf(os.Stderr, "write metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *metout)
+	}
 
 	if *jsonOut == "" {
 		return
@@ -136,4 +180,51 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+}
+
+// writeTrace merges the tracers of every cluster the experiment built into
+// one Chrome trace-event file (each cluster gets its own pid lane block).
+func writeTrace(path string, tracers []*obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, tracers...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeMetrics dumps the batch counters plus each experiment's aggregated
+// metric section as aligned plain text.
+func writeMetrics(path string, bm *experiments.BatchMetrics, reports []experiments.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(f, "== batch ==\n")
+	fmt.Fprintf(f, "experiments %d\n", bm.Experiments.Value())
+	fmt.Fprintf(f, "tables      %d\n", bm.Tables.Value())
+	fmt.Fprintf(f, "notes       %d\n", bm.Notes.Value())
+	fmt.Fprintf(f, "violations  %d\n", bm.Violations.Value())
+	for _, r := range reports {
+		if len(r.Result.Metrics) == 0 {
+			continue
+		}
+		fmt.Fprintf(f, "\n== %s (%s) ==\n", r.Experiment.ID, r.Experiment.Name)
+		names := make([]string, 0, len(r.Result.Metrics))
+		width := 0
+		for name := range r.Result.Metrics {
+			names = append(names, name)
+			if len(name) > width {
+				width = len(name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(f, "%-*s %g\n", width, name, r.Result.Metrics[name])
+		}
+	}
+	return f.Close()
 }

@@ -7,6 +7,8 @@
 //	swishd -nf lb -switches 4 -duration 200ms
 //	swishd -nf ddos -loss 0.05
 //	swishd -nf nat -fail 2 -failafter 50ms    # fail switch #2 mid-run
+//	swishd -nf lb -trace out.json             # virtual-time trace (ui.perfetto.dev)
+//	swishd -nf lb -metrics metrics.txt        # full cluster metrics dump
 package main
 
 import (
@@ -33,6 +35,8 @@ func main() {
 		failIdx   = flag.Int("fail", -1, "switch index to fail mid-run (-1: none)")
 		failAfter = flag.Duration("failafter", 50*time.Millisecond, "virtual time of the failure")
 		flowRate  = flag.Float64("flows", 20000, "new flows per second (connection NFs)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
+		metout    = flag.String("metrics", "", "write a plain-text dump of every cluster metric to this file")
 	)
 	flag.Parse()
 
@@ -42,6 +46,9 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *traceOut != "" {
+		cluster.EnableTracing(1 << 18)
 	}
 
 	summary, err := deploy(cluster, *nfName)
@@ -92,6 +99,22 @@ func main() {
 	}
 	for s := 0; s < *switches; s++ {
 		fmt.Printf("switch %d SRAM: %d bytes\n", s+1, cluster.MemoryUsed(s))
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		check(err)
+		check(cluster.WriteTrace(f))
+		check(f.Close())
+		fmt.Printf("wrote trace to %s (%d events retained; open at ui.perfetto.dev)\n",
+			*traceOut, cluster.Tracer().Len())
+	}
+	if *metout != "" {
+		f, err := os.Create(*metout)
+		check(err)
+		check(cluster.Metrics().Snapshot().WriteText(f))
+		check(f.Close())
+		fmt.Printf("wrote metrics to %s\n", *metout)
 	}
 }
 

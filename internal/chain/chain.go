@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"swishmem/internal/netem"
+	"swishmem/internal/obs"
 	"swishmem/internal/pisa"
 	"swishmem/internal/sim"
 	"swishmem/internal/stats"
@@ -151,16 +152,17 @@ type Stats struct {
 // their submit/retry closures bound once and their value backing reused, so
 // a steady-state write cycle costs no per-record allocations.
 type outstanding struct {
-	n       *Node
-	id      uint64
-	key     uint64
-	val     []byte
-	done    func(committed bool)
-	timer   sim.Timer
-	retries int
-	run      func() // o.submit, bound once
-	fire     func() // o.retryFire, bound once
-	fireCtrl func() // schedules fire on the control plane, bound once
+	n        *Node
+	id       uint64
+	key      uint64
+	val      []byte
+	done     func(committed bool)
+	timer    sim.Timer
+	retries  int
+	submitAt sim.Time // when submit ran; start of the write.commit span
+	run      func()   // o.submit, bound once
+	fire     func()   // o.retryFire, bound once
+	fireCtrl func()   // schedules fire on the control plane, bound once
 }
 
 func (n *Node) getOutstanding() *outstanding {
@@ -226,8 +228,22 @@ type Node struct {
 	joinSeen map[uint64]struct{}
 	snap     *snapshotXfer
 
+	// lat records submit-to-commit latency of locally submitted writes, in
+	// nanoseconds of virtual time.
+	lat *stats.Histogram
+
 	Stats Stats
 }
+
+// WriteLatency returns the submit-to-commit latency distribution of writes
+// submitted at this node (nanoseconds of virtual time).
+func (n *Node) WriteLatency() *stats.Histogram { return n.lat }
+
+// tracer returns the cluster tracer (nil when tracing is off).
+func (n *Node) tracer() *obs.Tracer { return n.sw.Engine().Tracer() }
+
+// pid is this node's trace lane: the switch address.
+func (n *Node) pid() int32 { return int32(n.sw.Addr()) }
 
 // NewNode creates the protocol instance and allocates its SRAM.
 func NewNode(sw *pisa.Switch, cfg Config) (*Node, error) {
@@ -243,6 +259,7 @@ func NewNode(sw *pisa.Switch, cfg Config) (*Node, error) {
 			cfg:     cfg,
 			pending: make(map[uint64]*outstanding),
 			reads:   make(map[uint64]func([]byte, bool)),
+			lat:     stats.NewHistogram(),
 		}, nil
 	}
 	store, err := sw.NewKVStore(fmt.Sprintf("chain-reg%d", cfg.Reg), cfg.Capacity, 8, cfg.ValueWidth)
@@ -265,6 +282,7 @@ func NewNode(sw *pisa.Switch, cfg Config) (*Node, error) {
 		seqPend: seqPend,
 		pending: make(map[uint64]*outstanding),
 		reads:   make(map[uint64]func([]byte, bool)),
+		lat:     stats.NewHistogram(),
 	}, nil
 }
 
@@ -387,7 +405,14 @@ func (o *outstanding) submit() {
 	n := o.n
 	n.nextWriteID++
 	o.id = n.nextWriteID
+	o.submitAt = n.sw.Engine().Now()
 	n.pending[o.id] = o
+	if tr := n.tracer(); tr.Enabled() {
+		rec := tr.Emit(obs.PhaseInstant, int64(o.submitAt), 0, n.pid(), "chain", "write.submit")
+		rec.K1, rec.V1 = "id", int64(o.id)
+		rec.K2, rec.V2 = "key", int64(o.key)
+		rec.K3, rec.V3 = "reg", int64(n.cfg.Reg)
+	}
 	n.sendWrite(o)
 }
 
@@ -440,6 +465,11 @@ func (o *outstanding) retryFire() {
 	}
 	o.retries++
 	n.Stats.Retries.Inc()
+	if tr := n.tracer(); tr.Enabled() {
+		rec := tr.Emit(obs.PhaseInstant, int64(n.sw.Engine().Now()), 0, n.pid(), "chain", "write.retry")
+		rec.K1, rec.V1 = "id", int64(o.id)
+		rec.K2, rec.V2 = "retries", int64(o.retries)
+	}
 	n.sendWrite(o)
 }
 
@@ -556,6 +586,12 @@ func (n *Node) process(from netem.Addr, w *wire.Write) {
 		return
 	}
 	if succ := n.successor(); succ != 0 {
+		if tr := n.tracer(); tr.Enabled() {
+			rec := tr.Emit(obs.PhaseInstant, int64(n.sw.Engine().Now()), 0, n.pid(), "chain", "write.forward")
+			rec.K1, rec.V1 = "id", int64(w.WriteID)
+			rec.K2, rec.V2 = "seq", int64(w.Seq)
+			rec.K3, rec.V3 = "succ", int64(succ)
+		}
 		n.sw.Send(succ, w)
 	}
 }
@@ -592,6 +628,12 @@ func (n *Node) commitAtTail(w *wire.Write) {
 	ack := &wire.WriteAck{Reg: n.cfg.Reg, Key: w.Key, Seq: w.Seq,
 		WriteID: w.WriteID, Writer: w.Writer, Epoch: w.Epoch}
 	n.Stats.AcksSent.Inc()
+	if tr := n.tracer(); tr.Enabled() {
+		rec := tr.Emit(obs.PhaseInstant, int64(n.sw.Engine().Now()), 0, n.pid(), "chain", "write.ack")
+		rec.K1, rec.V1 = "id", int64(w.WriteID)
+		rec.K2, rec.V2 = "seq", int64(w.Seq)
+		rec.K3, rec.V3 = "writer", int64(w.Writer)
+	}
 	// Ack to the writer (even if it is also a chain member).
 	if netem.Addr(w.Writer) == n.sw.Addr() {
 		n.processAck(ack)
@@ -640,6 +682,16 @@ func (n *Node) processAck(a *wire.WriteAck) {
 	if o, ok := n.pending[a.WriteID]; ok {
 		delete(n.pending, a.WriteID)
 		n.Stats.WritesCommitted.Inc()
+		now := n.sw.Engine().Now()
+		n.lat.ObserveDuration(now.Sub(o.submitAt))
+		if tr := n.tracer(); tr.Enabled() {
+			// The whole write lifetime as one span at the writer: submit ->
+			// head -> chain hops -> tail ack -> commit.
+			rec := tr.Emit(obs.PhaseSpan, int64(o.submitAt), int64(now-o.submitAt), n.pid(), "chain", "write.commit")
+			rec.K1, rec.V1 = "id", int64(o.id)
+			rec.K2, rec.V2 = "retries", int64(o.retries)
+			rec.K3, rec.V3 = "reg", int64(n.cfg.Reg)
+		}
 		n.finish(o, true)
 	}
 }

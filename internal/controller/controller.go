@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"swishmem/internal/netem"
+	"swishmem/internal/obs"
 	"swishmem/internal/pisa"
 	"swishmem/internal/sim"
 	"swishmem/internal/stats"
@@ -129,6 +130,17 @@ func New(eng *sim.Engine, nw *netem.Network, cfg Config) *Controller {
 // Addr returns the controller's network address.
 func (c *Controller) Addr() netem.Addr { return c.cfg.Addr }
 
+// traceInstant emits a controller-lane instant with up to two int args.
+func (c *Controller) traceInstant(name, k1 string, v1 int64, k2 string, v2 int64) {
+	tr := c.eng.Tracer()
+	if !tr.Enabled() {
+		return
+	}
+	rec := tr.Emit(obs.PhaseInstant, int64(c.eng.Now()), 0, obs.PidCtrl, "ctrl", name)
+	rec.K1, rec.V1 = k1, v1
+	rec.K2, rec.V2 = k2, v2
+}
+
 func (c *Controller) receive(from netem.Addr, payload any, size int) {
 	hb, ok := payload.(*wire.Heartbeat)
 	if !ok {
@@ -140,6 +152,11 @@ func (c *Controller) receive(from netem.Addr, payload any, size int) {
 		return
 	}
 	c.Stats.Heartbeats.Inc()
+	if tr := c.eng.Tracer(); tr.Enabled() {
+		rec := tr.Emit(obs.PhaseInstant, int64(c.eng.Now()), 0, obs.PidCtrl, "ctrl", "heartbeat")
+		rec.K1, rec.V1 = "from", int64(from)
+		rec.K2, rec.V2 = "seq", int64(hb.Seq)
+	}
 	c.lastBeat[from] = c.eng.Now()
 	if c.dead[from] {
 		// A dead switch beating again is treated as a fresh switch by the
@@ -188,6 +205,7 @@ func (c *Controller) scan() {
 		}
 		c.dead[addr] = true
 		c.Stats.FailuresSeen.Inc()
+		c.traceInstant("failure", "addr", int64(addr), "silence_ns", int64(now.Sub(last)))
 		c.handleFailure(addr)
 		if c.OnFailure != nil {
 			c.OnFailure(addr)
@@ -244,6 +262,7 @@ func (c *Controller) ChainEpoch(reg uint16) uint32 {
 func (c *Controller) pushChain(cs *chainState) {
 	cs.epoch++
 	c.Stats.ChainReconfig.Inc()
+	c.traceInstant("chain.config", "epoch", int64(cs.epoch), "members", int64(len(cs.members)))
 	cc := wire.ChainConfig{Epoch: cs.epoch}
 	for _, m := range cs.members {
 		cc.Members = append(cc.Members, uint16(m.Switch().Addr()))
@@ -325,6 +344,7 @@ func (c *Controller) startRecovery(cs *chainState) {
 	spare := cs.spares[0]
 	cs.spares = cs.spares[1:]
 	cs.joining = spare
+	c.traceInstant("recovery.start", "spare", int64(spare.Switch().Addr()), "epoch", int64(cs.epoch))
 	spare.Switch().CtrlDo(spare.BeginJoin)
 	c.pushChain(cs) // config with Joining set: tail starts forwarding commits
 	c.beginTransfer(cs)
@@ -347,6 +367,7 @@ func (c *Controller) beginTransfer(cs *chainState) {
 		cs.joining = nil
 		c.pushChain(cs)
 		c.Stats.Recoveries.Inc()
+		c.traceInstant("recovery.done", "promoted", int64(spare.Switch().Addr()), "epoch", int64(cs.epoch))
 	})
 }
 
@@ -427,6 +448,7 @@ func (c *Controller) AddGroupMember(reg uint16, m GroupMember) {
 func (c *Controller) pushGroup(gs *groupState) {
 	gs.epoch++
 	c.Stats.GroupReconfig.Inc()
+	c.traceInstant("group.config", "epoch", int64(gs.epoch), "members", int64(len(gs.members)))
 	gc := wire.GroupConfig{Epoch: gs.epoch}
 	for _, m := range gs.members {
 		gc.Members = append(gc.Members, uint16(m.Switch().Addr()))

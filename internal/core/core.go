@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"swishmem/internal/chain"
 	"swishmem/internal/chain/ctrlplane"
@@ -266,6 +267,31 @@ func (r *BaselineCounter) Backlog() int { return r.node.Backlog() }
 
 // MemoryTotal returns the switch SRAM consumed by all declared registers.
 func (in *Instance) MemoryTotal() int { return in.sw.MemoryUsed() }
+
+// EachChain visits every declared chain register node in ascending register
+// order (deterministic for metrics registration and dumps).
+func (in *Instance) EachChain(fn func(reg uint16, n *chain.Node)) {
+	for _, reg := range sortedRegs(in.chains) {
+		fn(reg, in.chains[reg])
+	}
+}
+
+// EachEWO visits every declared EWO register node in ascending register
+// order.
+func (in *Instance) EachEWO(fn func(reg uint16, n *ewo.Node)) {
+	for _, reg := range sortedRegs(in.ewos) {
+		fn(reg, in.ewos[reg])
+	}
+}
+
+func sortedRegs[V any](m map[uint16]V) []uint16 {
+	regs := make([]uint16, 0, len(m))
+	for reg := range m {
+		regs = append(regs, reg)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+	return regs
+}
 
 // StrongHandle returns a handle for an already-declared chain register.
 func (in *Instance) StrongHandle(reg uint16) (*StrongRegister, error) {

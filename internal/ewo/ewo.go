@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"swishmem/internal/netem"
+	"swishmem/internal/obs"
 	"swishmem/internal/pisa"
 	"swishmem/internal/sim"
 	"swishmem/internal/stats"
@@ -416,6 +417,12 @@ func (n *Node) Flush() {
 		return
 	}
 	n.cur = nil
+	if tr := n.sw.Engine().Tracer(); tr.Enabled() {
+		rec := tr.Emit(obs.PhaseInstant, int64(n.sw.Engine().Now()), 0, int32(n.sw.Addr()), "ewo", "ewo.flush")
+		rec.K1, rec.V1 = "entries", int64(len(u.Entries))
+		rec.K2, rec.V2 = "group", int64(len(n.group))
+		rec.K3, rec.V3 = "reg", int64(n.cfg.Reg)
+	}
 	n.sw.Multicast(n.group, u)
 	n.Stats.UpdatesSent.Inc()
 	u.Release()
@@ -438,6 +445,17 @@ func (n *Node) Handle(from netem.Addr, msg wire.Msg) bool {
 			return false
 		}
 		n.Stats.UpdatesRecv.Inc()
+		if tr := n.sw.Engine().Tracer(); tr.Enabled() {
+			// One instant per received batch, not per merged entry: the merge
+			// loop is the receive hot path.
+			rec := tr.Emit(obs.PhaseInstant, int64(n.sw.Engine().Now()), 0, int32(n.sw.Addr()), "ewo", "ewo.merge")
+			rec.K1, rec.V1 = "entries", int64(len(m.Entries))
+			rec.K2, rec.V2 = "from", int64(from)
+			rec.K3 = "sync"
+			if m.Sync {
+				rec.V3 = 1
+			}
+		}
 		for i := range m.Entries {
 			n.merge(&m.Entries[i])
 		}
@@ -535,6 +553,12 @@ func (n *Node) syncRound() {
 	if target == n.sw.Addr() {
 		u.Release()
 		return
+	}
+	if tr := n.sw.Engine().Tracer(); tr.Enabled() {
+		rec := tr.Emit(obs.PhaseInstant, int64(n.sw.Engine().Now()), 0, int32(n.sw.Addr()), "ewo", "ewo.sync")
+		rec.K1, rec.V1 = "entries", int64(len(u.Entries))
+		rec.K2, rec.V2 = "target", int64(target)
+		rec.K3, rec.V3 = "reg", int64(n.cfg.Reg)
 	}
 	n.sw.Send(target, u)
 	n.Stats.SyncPackets.Inc()

@@ -26,7 +26,7 @@ func DataVsControlPlane(seed int64) *Result {
 	for _, rate := range []float64{10e3, 100e3, 1e6} { // writes/second
 		writes := int(rate * 0.01) // 10ms burst
 		gap := func(mechanism string) (float64, int) {
-			c, _ := swishmem.New(swishmem.Config{Switches: 2, Seed: seed})
+			c, _ := newCluster(swishmem.Config{Switches: 2, Seed: seed})
 			interval := time.Duration(float64(time.Second) / rate)
 			var writerSum, replicaSum func() uint64
 			var backlog func() int

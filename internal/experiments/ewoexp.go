@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"swishmem"
@@ -20,7 +21,7 @@ func EWOConvergence(seed int64) *Result {
 
 	run := func(loss float64, syncPeriod time.Duration, disableSync bool) (h *stats.Histogram, lost int) {
 		link := swishmem.LinkProfile{Latency: 10_000, BandwidthBps: 100e9, LossRate: loss}
-		c, _ := swishmem.New(swishmem.Config{Switches: 3, Seed: seed, Link: &link})
+		c, _ := newCluster(swishmem.Config{Switches: 3, Seed: seed, Link: &link})
 		regs, err := c.DeclareCounter("x", swishmem.EventualOptions{
 			Capacity: 256, SyncPeriod: syncPeriod, DisableSync: disableSync,
 		})
@@ -49,6 +50,8 @@ func EWOConvergence(seed int64) *Result {
 			}
 			h.Observe(float64(c.Now() - start))
 		}
+		// Aggregate EWO traffic accounting across every cell of the sweep.
+		res.addMetrics(c, "")
 		return h, lost
 	}
 
@@ -105,7 +108,7 @@ func LWWvsCRDT(seed int64) *Result {
 
 		// LWW: the counter is one register; increment = local read + write.
 		link := swishmem.LinkProfile{Latency: 10_000, BandwidthBps: 100e9}
-		cl, _ := swishmem.New(swishmem.Config{Switches: n, Seed: seed, Link: &link})
+		cl, _ := newCluster(swishmem.Config{Switches: n, Seed: seed, Link: &link})
 		lww, _ := cl.DeclareEventual("ctr", swishmem.EventualOptions{Capacity: 4, ValueWidth: 8})
 		cl.RunFor(2 * time.Millisecond)
 		for i := 0; i < perSwitch; i++ {
@@ -119,7 +122,7 @@ func LWWvsCRDT(seed int64) *Result {
 		lwwVal := u64of(firstVal(lww[0].Read(1)))
 
 		// CRDT: the same workload against a G-counter.
-		cc, _ := swishmem.New(swishmem.Config{Switches: n, Seed: seed, Link: &link})
+		cc, _ := newCluster(swishmem.Config{Switches: n, Seed: seed, Link: &link})
 		crdt, _ := cc.DeclareCounter("ctr", swishmem.EventualOptions{Capacity: 4})
 		cc.RunFor(2 * time.Millisecond)
 		for i := 0; i < perSwitch; i++ {
@@ -186,7 +189,7 @@ func Batching(seed int64) *Result {
 	var prevBytes float64 = -1
 	for _, batch := range []int{1, 2, 4, 8, 16, 32, 64} {
 		link := swishmem.LinkProfile{Latency: 10_000, BandwidthBps: 100e9}
-		c, _ := swishmem.New(swishmem.Config{Switches: 3, Seed: seed, Link: &link})
+		c, _ := newCluster(swishmem.Config{Switches: 3, Seed: seed, Link: &link})
 		regs, err := c.DeclareCounter("b", swishmem.EventualOptions{
 			Capacity: 1024, Batch: batch, DisableSync: true,
 		})
@@ -220,6 +223,7 @@ func Batching(seed int64) *Result {
 		}
 		t := c.NetworkTotals()
 		perUpdate := float64(t.BytesSent) / updates
+		res.addMetrics(c, fmt.Sprintf("batch=%d", batch))
 		tab.AddRow(batch, t.MsgsSent, t.BytesSent, perUpdate, stale)
 		if batch == 1 {
 			bytes1 = float64(t.BytesSent)

@@ -24,6 +24,12 @@ type Result struct {
 	Tables []*stats.Table
 	// Notes record the expected shape and whether it held.
 	Notes []string
+	// Metrics is an optional per-experiment counter section built from the
+	// cluster metrics registry (see addMetrics): metric name (optionally
+	// suffixed with a capture label) -> aggregated value. It is exported in
+	// snapshots (BENCH_*.json) but deliberately NOT rendered by String(),
+	// which must stay byte-identical across runner worker counts.
+	Metrics map[string]float64
 }
 
 // note appends a formatted note.

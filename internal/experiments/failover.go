@@ -26,7 +26,7 @@ func Failover(seed int64) *Result {
 	recoveryGrows := true
 	var prevRecovery time.Duration
 	for _, keys := range []int{1000, 5000, 20000} {
-		c, _ := swishmem.New(swishmem.Config{
+		c, _ := newCluster(swishmem.Config{
 			Switches: 3, Spares: 1, Seed: seed, HeartbeatPeriod: 500 * time.Microsecond,
 		})
 		regs, err := c.DeclareStrong("t", swishmem.StrongOptions{
@@ -74,6 +74,7 @@ func Failover(seed int64) *Result {
 		if recoverAt > 0 {
 			recovStr = (recoverAt - failAt).String()
 		}
+		res.addMetrics(c, fmt.Sprintf("keys=%d", keys))
 		tab.AddRow(keys, availStr, recovStr, snapWrites)
 		if recoverAt-failAt < prevRecovery {
 			recoveryGrows = false
@@ -91,7 +92,7 @@ func Failover(seed int64) *Result {
 	tab2 := stats.NewTable("E7b: EWO recovery = add to group + one sync period",
 		"Sync period", "Keys", "Join-to-converged")
 	for _, period := range []time.Duration{500 * time.Microsecond, time.Millisecond, 5 * time.Millisecond} {
-		c, _ := swishmem.New(swishmem.Config{Switches: 2, Spares: 1, Seed: seed})
+		c, _ := newCluster(swishmem.Config{Switches: 2, Spares: 1, Seed: seed})
 		regs, err := c.DeclareCounter("g", swishmem.EventualOptions{
 			Capacity: 256, SyncPeriod: period,
 		})
@@ -134,6 +135,7 @@ func Failover(seed int64) *Result {
 		if dur >= 0 {
 			durStr = dur.String()
 		}
+		res.addMetrics(c, fmt.Sprintf("ewo,sync=%v", period))
 		tab2.AddRow(period, keys, durStr)
 		if dur < 0 {
 			res.note("SHAPE VIOLATION: EWO join never converged at period %v", period)

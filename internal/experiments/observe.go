@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"swishmem"
+	"swishmem/internal/obs"
+)
+
+// traceCfg is the package-level tracing hook consulted by newCluster. The
+// harness (cmd/benchtab -trace) sets it before a *sequential* run; the
+// parallel runner must not be combined with tracing because the sink
+// collects tracers without locking.
+var traceCfg struct {
+	capacity int
+	sink     func(*obs.Tracer)
+}
+
+// SetTracing arranges for every cluster an experiment builds to carry an
+// event tracer of the given capacity; sink receives each tracer as its
+// cluster is created (experiments build several clusters, e.g. one per
+// chain length — merge them with obs.WriteChromeTrace, which assigns each
+// tracer its own process-id lane cluster). Pass a nil sink to turn
+// tracing back off.
+func SetTracing(capacity int, sink func(*obs.Tracer)) {
+	traceCfg.capacity = capacity
+	traceCfg.sink = sink
+}
+
+// newCluster is the constructor every experiment uses instead of calling
+// swishmem.New directly, so the tracing hook above sees every cluster.
+func newCluster(cfg swishmem.Config) (*swishmem.Cluster, error) {
+	c, err := swishmem.New(cfg)
+	if err == nil && traceCfg.sink != nil {
+		traceCfg.sink(c.EnableTracing(traceCfg.capacity))
+	}
+	return c, err
+}
+
+// addMetrics folds a cluster's live metrics into the result's Metrics
+// section: counter and gauge samples are summed across label sets under
+// their metric name, histograms contribute their observation count plus a
+// mean. suffix (e.g. "n=8") namespaces repeated captures within one
+// experiment; pass "" when the experiment snapshots a single cluster.
+func (r *Result) addMetrics(c *swishmem.Cluster, suffix string) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	snap := c.Metrics().Snapshot()
+	histSum := make(map[string]float64)
+	for _, s := range snap.Samples {
+		name := s.Name
+		if suffix != "" {
+			name += "/" + suffix
+		}
+		switch s.Kind {
+		case "histogram":
+			r.Metrics[name+".count"] += s.Value
+			histSum[name] += s.Value * s.Mean
+		default:
+			r.Metrics[name] += s.Value
+		}
+	}
+	for name, sum := range histSum {
+		if n := r.Metrics[name+".count"]; n > 0 {
+			r.Metrics[name+".mean"] = sum / n
+		}
+	}
+}

@@ -54,7 +54,7 @@ func runPCC(seed int64, sharded bool, policy topology.Policy, fail bool) int {
 		switches = 4
 		flows    = 400
 	)
-	c, _ := swishmem.New(swishmem.Config{Switches: switches, Seed: seed})
+	c, _ := newCluster(swishmem.Config{Switches: switches, Seed: seed})
 	lbs, err := c.DeployLoadBalancer("lb", swishmem.LBOptions{
 		Capacity: 1 << 14,
 		DIPs: []swishmem.Addr{

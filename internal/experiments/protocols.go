@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"swishmem"
@@ -18,7 +19,7 @@ func SROLatency(seed int64) *Result {
 	var prevMean float64
 	monotone := true
 	for _, n := range []int{2, 3, 4, 6, 8} {
-		c, _ := swishmem.New(swishmem.Config{Switches: n, Seed: seed})
+		c, _ := newCluster(swishmem.Config{Switches: n, Seed: seed})
 		regs, err := c.DeclareStrong("t", swishmem.StrongOptions{Capacity: 4096, ValueWidth: 8})
 		if err != nil {
 			panic(err)
@@ -42,6 +43,7 @@ func SROLatency(seed int64) *Result {
 		}
 		issue(0)
 		c.RunFor(2 * time.Second)
+		res.addMetrics(c, fmt.Sprintf("n=%d", n))
 		msgsPerWrite := float64(c.NetworkTotals().MsgsSent) / writes
 		tab.AddRow(n, time.Duration(h.Mean()), time.Duration(h.Quantile(0.5)),
 			time.Duration(h.Quantile(0.99)), msgsPerWrite)
@@ -56,7 +58,7 @@ func SROLatency(seed int64) *Result {
 	// Read cost: clean (local) vs pending (forwarded to tail). Slow links
 	// (500us) widen the pending window so the probe reliably lands in it.
 	slow := swishmem.LinkProfile{Latency: 500_000, BandwidthBps: 100e9}
-	c, _ := swishmem.New(swishmem.Config{Switches: 3, Seed: seed, Link: &slow})
+	c, _ := newCluster(swishmem.Config{Switches: 3, Seed: seed, Link: &slow})
 	regs, _ := c.DeclareStrong("t", swishmem.StrongOptions{Capacity: 64, ValueWidth: 8, RetryTimeout: 20 * time.Millisecond})
 	c.RunFor(5 * time.Millisecond)
 	regs[0].Write(1, []byte("v"), nil)
@@ -78,6 +80,7 @@ func SROLatency(seed int64) *Result {
 	if pendingLat <= cleanLat {
 		res.note("SHAPE VIOLATION: pending read not more expensive than clean read")
 	}
+	res.addMetrics(c, "readprobe")
 	return res
 }
 
@@ -105,7 +108,7 @@ func ProtocolMatrix(seed int64) *Result {
 		run         func() (wLat, rLat time.Duration, fwd uint64, blocking bool)
 	}
 	mkChain := func(ero bool) (wLat, rLat time.Duration, fwd uint64, blocking bool) {
-		c, _ := swishmem.New(swishmem.Config{Switches: 3, Seed: seed})
+		c, _ := newCluster(swishmem.Config{Switches: 3, Seed: seed})
 		regs, _ := c.DeclareStrong("t", swishmem.StrongOptions{
 			Capacity: 4096, ValueWidth: 8, ReadOptimized: ero})
 		c.RunFor(2 * time.Millisecond)
@@ -137,7 +140,7 @@ func ProtocolMatrix(seed int64) *Result {
 		{"SRO", "linearizable", func() (time.Duration, time.Duration, uint64, bool) { return mkChain(false) }},
 		{"ERO", "eventual (read-opt)", func() (time.Duration, time.Duration, uint64, bool) { return mkChain(true) }},
 		{"EWO", "eventual (write-opt)", func() (time.Duration, time.Duration, uint64, bool) {
-			c, _ := swishmem.New(swishmem.Config{Switches: 3, Seed: seed})
+			c, _ := newCluster(swishmem.Config{Switches: 3, Seed: seed})
 			regs, _ := c.DeclareEventual("t", swishmem.EventualOptions{Capacity: 4096, ValueWidth: 8})
 			c.RunFor(2 * time.Millisecond)
 			// EWO writes apply locally and return immediately.

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"strings"
 	"sync"
 	"time"
+
+	"swishmem/internal/stats"
 )
 
 // Report is one experiment execution in a runner batch.
@@ -21,11 +24,41 @@ type Report struct {
 // count — parallelism buys wall time only, never different results. Reports
 // come back in input order.
 func Run(exps []Experiment, seed int64, workers int) []Report {
+	return RunMetered(exps, seed, workers, nil)
+}
+
+// BatchMetrics aggregates accounting across a runner batch. Workers update
+// it concurrently, so every field is a stats.AtomicCounter (the simulation's
+// own stats stay plain Counters — one engine goroutine each).
+type BatchMetrics struct {
+	// Experiments counts completed experiment runs.
+	Experiments stats.AtomicCounter
+	// Tables counts tables emitted across all results.
+	Tables stats.AtomicCounter
+	// Notes counts notes emitted across all results.
+	Notes stats.AtomicCounter
+	// Violations counts notes flagging a shape violation.
+	Violations stats.AtomicCounter
+}
+
+// RunMetered is Run with batch accounting: if m is non-nil each completed
+// experiment adds its table/note counts to m from whichever worker ran it.
+func RunMetered(exps []Experiment, seed int64, workers int, m *BatchMetrics) []Report {
 	reports := make([]Report, len(exps))
 	runOne := func(i int) {
 		start := time.Now()
 		res := exps[i].Run(seed)
 		reports[i] = Report{Experiment: exps[i], Result: res, Wall: time.Since(start)}
+		if m != nil {
+			m.Experiments.Inc()
+			m.Tables.Add(uint64(len(res.Tables)))
+			m.Notes.Add(uint64(len(res.Notes)))
+			for _, n := range res.Notes {
+				if strings.Contains(n, "SHAPE VIOLATION") {
+					m.Violations.Inc()
+				}
+			}
+		}
 	}
 	if workers < 2 || len(exps) < 2 {
 		for i := range exps {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -23,6 +24,41 @@ func TestRunParallelMatchesSequential(t *testing.T) {
 		if got != want {
 			t.Errorf("%s: parallel rows differ from sequential\n--- sequential ---\n%s--- parallel ---\n%s",
 				seq[i].Experiment.ID, want, got)
+		}
+	}
+}
+
+// TestRunMeteredBatchAndResultMetrics: RunMetered aggregates batch counters
+// from whichever workers ran the experiments (AtomicCounter under -race),
+// and experiments that snapshot their clusters come back with a non-empty
+// Metrics section that String() deliberately omits.
+func TestRunMeteredBatchAndResultMetrics(t *testing.T) {
+	e4, ok := Find("E4")
+	if !ok {
+		t.Fatal("E4 not registered")
+	}
+	e3, _ := Find("E3")
+	var m BatchMetrics
+	reports := RunMetered([]Experiment{e3, e4}, 1, 2, &m)
+	if got := m.Experiments.Value(); got != 2 {
+		t.Fatalf("batch experiments = %d, want 2", got)
+	}
+	if m.Tables.Value() == 0 || m.Notes.Value() == 0 {
+		t.Fatalf("batch tables/notes = %d/%d, want non-zero", m.Tables.Value(), m.Notes.Value())
+	}
+	res := reports[1].Result
+	if len(res.Metrics) == 0 {
+		t.Fatal("E4 result has no metrics section")
+	}
+	if v := res.Metrics["chain.writes_committed/n=8"]; v != 200 {
+		t.Fatalf("E4 chain.writes_committed/n=8 = %v, want 200", v)
+	}
+	if res.Metrics["chain.write_latency_ns/n=2.count"] == 0 {
+		t.Fatal("E4 write latency histogram recorded nothing")
+	}
+	for name := range res.Metrics {
+		if strings.Contains(res.String(), name) {
+			t.Fatalf("String() leaks metric %q — rows must stay identical with metrics on", name)
 		}
 	}
 }

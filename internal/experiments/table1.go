@@ -107,7 +107,7 @@ func natRow(seed int64) (r struct {
 	consistency  string
 	readPeriodic bool
 }) {
-	c, _ := swishmem.New(swishmem.Config{Switches: 3, Seed: seed})
+	c, _ := newCluster(swishmem.Config{Switches: 3, Seed: seed})
 	nats, err := c.DeployNAT("nat", swishmem.NATOptions{Capacity: 1 << 14, ExternalIP: swishmem.Addr4(203, 0, 113, 1)})
 	if err != nil {
 		panic(err)
@@ -140,7 +140,7 @@ func firewallRow(seed int64) (r struct {
 	consistency  string
 	readPeriodic bool
 }) {
-	c, _ := swishmem.New(swishmem.Config{Switches: 3, Seed: seed})
+	c, _ := newCluster(swishmem.Config{Switches: 3, Seed: seed})
 	fws, err := c.DeployFirewall("fw", swishmem.FirewallOptions{Capacity: 1 << 14})
 	if err != nil {
 		panic(err)
@@ -173,7 +173,7 @@ func ipsRow(seed int64) (r struct {
 	consistency  string
 	readPeriodic bool
 }) {
-	c, _ := swishmem.New(swishmem.Config{Switches: 3, Seed: seed})
+	c, _ := newCluster(swishmem.Config{Switches: 3, Seed: seed})
 	ipss, err := c.DeployIPS("ips", swishmem.IPSOptions{Capacity: 4096})
 	if err != nil {
 		panic(err)
@@ -211,7 +211,7 @@ func lbRow(seed int64) (r struct {
 	consistency  string
 	readPeriodic bool
 }) {
-	c, _ := swishmem.New(swishmem.Config{Switches: 3, Seed: seed})
+	c, _ := newCluster(swishmem.Config{Switches: 3, Seed: seed})
 	lbs, err := c.DeployLoadBalancer("lb", swishmem.LBOptions{
 		Capacity: 1 << 14,
 		DIPs:     []swishmem.Addr{swishmem.Addr4(192, 168, 1, 1), swishmem.Addr4(192, 168, 1, 2)},
@@ -247,7 +247,7 @@ func ddosRow(seed int64) (r struct {
 	consistency  string
 	readPeriodic bool
 }) {
-	c, _ := swishmem.New(swishmem.Config{Switches: 3, Seed: seed})
+	c, _ := newCluster(swishmem.Config{Switches: 3, Seed: seed})
 	dets, err := c.DeployDDoS("ddos", swishmem.DDoSOptions{Threshold: 1 << 30, Window: 50 * time.Millisecond})
 	if err != nil {
 		panic(err)
@@ -280,7 +280,7 @@ func ratelimitRow(seed int64) (r struct {
 	consistency  string
 	readPeriodic bool
 }) {
-	c, _ := swishmem.New(swishmem.Config{Switches: 3, Seed: seed})
+	c, _ := newCluster(swishmem.Config{Switches: 3, Seed: seed})
 	lims, err := c.DeployRateLimiter("rl", swishmem.RateLimitOptions{
 		Capacity: 1024, BytesPerWindow: 1 << 30, Window: 10 * time.Millisecond,
 	})

@@ -82,7 +82,7 @@ func SyncBandwidth(seed int64) *Result {
 	// Measured, scaled: 2 switches, K keys, LWW entries of ~30B on the wire.
 	const keys = 512
 	measure := func(period time.Duration) (bytesPerSec float64, statePerRound float64) {
-		c, _ := swishmem.New(swishmem.Config{Switches: 2, Seed: seed})
+		c, _ := newCluster(swishmem.Config{Switches: 2, Seed: seed})
 		regs, err := c.DeclareEventual("s", swishmem.EventualOptions{
 			Capacity: keys, ValueWidth: 8, SyncPeriod: period, Batch: 1 << 20, // batch: isolate sync traffic
 		})

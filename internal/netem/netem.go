@@ -18,7 +18,9 @@ package netem
 
 import (
 	"fmt"
+	"sort"
 
+	"swishmem/internal/obs"
 	"swishmem/internal/sim"
 )
 
@@ -134,6 +136,11 @@ func (d *delivery) deliver() {
 	if !ok || !dst.up || n.partitioned(from, to) {
 		l.stats.MsgsDropped++
 		n.totals.MsgsDropped++
+		if tr := n.eng.Tracer(); tr.Enabled() {
+			rec := tr.Emit(obs.PhaseInstant, int64(n.eng.Now()), 0, obs.PidFabric, "net", "drop.recv")
+			rec.K1, rec.V1 = "from", int64(from)
+			rec.K2, rec.V2 = "to", int64(to)
+		}
 		if r, ok := payload.(Releasable); ok {
 			r.Release()
 		}
@@ -242,12 +249,14 @@ func (n *Network) Send(from, to Addr, payload any, size int) bool {
 	if n.partitioned(from, to) {
 		l.stats.MsgsDropped++
 		n.totals.MsgsDropped++
+		n.traceDrop("drop.partition", from, to)
 		return true
 	}
 	rng := n.eng.Rand()
 	if l.profile.LossRate > 0 && rng.Float64() < l.profile.LossRate {
 		l.stats.MsgsDropped++
 		n.totals.MsgsDropped++
+		n.traceDrop("drop.loss", from, to)
 		return true
 	}
 
@@ -274,9 +283,22 @@ func (n *Network) Send(from, to Addr, payload any, size int) bool {
 	if l.profile.DupRate > 0 && rng.Float64() < l.profile.DupRate {
 		l.stats.MsgsDup++
 		n.totals.MsgsDup++
+		n.traceDrop("dup", from, to)
 		n.scheduleDelivery(delay+l.profile.Latency/2+1, l, from, to, payload, size)
 	}
 	return true
+}
+
+// traceDrop emits a fabric instant for a loss/partition/duplication
+// decision made at send time.
+func (n *Network) traceDrop(name string, from, to Addr) {
+	tr := n.eng.Tracer()
+	if !tr.Enabled() {
+		return
+	}
+	rec := tr.Emit(obs.PhaseInstant, int64(n.eng.Now()), 0, obs.PidFabric, "net", name)
+	rec.K1, rec.V1 = "from", int64(from)
+	rec.K2, rec.V2 = "to", int64(to)
 }
 
 // scheduleDelivery queues one arrival, taking a payload reference for pooled
@@ -284,6 +306,13 @@ func (n *Network) Send(from, to Addr, payload any, size int) bool {
 func (n *Network) scheduleDelivery(delay sim.Duration, l *link, from, to Addr, payload any, size int) {
 	if r, ok := payload.(Releasable); ok {
 		r.Ref()
+	}
+	if tr := n.eng.Tracer(); tr.Enabled() {
+		// One flight span per scheduled arrival, covering send -> arrival.
+		rec := tr.Emit(obs.PhaseSpan, int64(n.eng.Now()), int64(delay), obs.PidFabric, "net", "msg")
+		rec.K1, rec.V1 = "from", int64(from)
+		rec.K2, rec.V2 = "to", int64(to)
+		rec.K3, rec.V3 = "bytes", int64(size)
 	}
 	d := n.getDelivery()
 	d.l, d.from, d.to, d.payload, d.size = l, from, to, payload, size
@@ -303,6 +332,28 @@ func (n *Network) Multicast(from Addr, group []Addr, payload any, size int) {
 
 // Stats returns accounting for the a->b direction.
 func (n *Network) Stats(a, b Addr) LinkStats { return n.linkFor(a, b).stats }
+
+// EachLink invokes fn for every directed link the network knows about, in
+// ascending (from, to) order so output built from it is deterministic.
+// This closes the Stats/Totals asymmetry: Totals returns the global
+// aggregate, but per-link stats used to be reachable only by asking for a
+// (from, to) pair the caller already knew existed — exporters iterate here
+// without any topology knowledge.
+func (n *Network) EachLink(fn func(from, to Addr, s LinkStats)) {
+	keys := make([][2]Addr, 0, len(n.links))
+	for k := range n.links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		fn(k[0], k[1], n.links[k].stats)
+	}
+}
 
 // Totals returns network-wide accounting.
 func (n *Network) Totals() LinkStats { return n.totals }

@@ -437,3 +437,53 @@ func BenchmarkSend(b *testing.B) {
 	}
 	eng.Run()
 }
+
+func TestEachLink(t *testing.T) {
+	eng, net, _ := setup(1, LinkProfile{Latency: 100}, 1, 2, 3)
+	net.Send(2, 1, "a", 10)
+	net.Send(2, 1, "b", 20)
+	net.Send(1, 3, "c", 30)
+	eng.Run()
+
+	type row struct {
+		from, to Addr
+		s        LinkStats
+	}
+	var got []row
+	net.EachLink(func(from, to Addr, s LinkStats) {
+		got = append(got, row{from, to, s})
+	})
+	if len(got) != 2 {
+		t.Fatalf("EachLink visited %d links, want 2: %+v", len(got), got)
+	}
+	// Deterministic ascending (from, to) order.
+	if got[0].from != 1 || got[0].to != 3 || got[1].from != 2 || got[1].to != 1 {
+		t.Fatalf("EachLink order wrong: %+v", got)
+	}
+	if got[1].s.MsgsSent != 2 || got[1].s.BytesSent != 30 || got[1].s.MsgsDeliv != 2 {
+		t.Fatalf("2->1 stats wrong: %+v", got[1].s)
+	}
+	// Per-link stats must agree with the global aggregate Totals().
+	var sum LinkStats
+	net.EachLink(func(_, _ Addr, s LinkStats) {
+		sum.MsgsSent += s.MsgsSent
+		sum.BytesSent += s.BytesSent
+		sum.MsgsDeliv += s.MsgsDeliv
+		sum.BytesDeliv += s.BytesDeliv
+		sum.MsgsDropped += s.MsgsDropped
+		sum.MsgsDup += s.MsgsDup
+	})
+	if sum != net.Totals() {
+		t.Fatalf("EachLink sum %+v != Totals %+v", sum, net.Totals())
+	}
+	// ResetTotals clears both views symmetrically.
+	net.ResetTotals()
+	net.EachLink(func(from, to Addr, s LinkStats) {
+		if s != (LinkStats{}) {
+			t.Fatalf("link %d->%d not reset: %+v", from, to, s)
+		}
+	})
+	if net.Totals() != (LinkStats{}) {
+		t.Fatalf("totals not reset: %+v", net.Totals())
+	}
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace-event export. The output is the JSON Object Format of the
+// trace-event spec ({"traceEvents":[...]}), loadable directly in Perfetto
+// (ui.perfetto.dev) or chrome://tracing. Timestamps are microseconds; the
+// simulator's nanosecond virtual time is emitted with three decimals so no
+// precision is lost.
+//
+// Field ordering within each event object is fixed (name, cat, ph, ts,
+// [dur|s], pid, tid, args) and events are ordered by (ts, seq), so the
+// output is byte-stable for a given trace — the golden-file test depends
+// on this.
+
+// laneNames maps the reserved pseudo-component lanes to display names
+// emitted as process_name metadata so Perfetto labels the rows.
+var laneNames = []struct {
+	pid  int32
+	name string
+}{
+	{PidSim, "sim.engine"},
+	{PidFabric, "net.fabric"},
+	{PidCtrl, "controller"},
+}
+
+// WriteChromeTrace serialises the tracer's retained events as Chrome
+// trace-event JSON.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, t)
+}
+
+// WriteChromeTrace merges the retained events of several tracers into one
+// Chrome trace-event JSON document. Tracer i's lanes are offset by
+// i * (1<<21) so independent clusters (e.g. one per experiment) never
+// collide: switch addresses are uint16 and the reserved lanes stop below
+// the stride.
+func WriteChromeTrace(w io.Writer, tracers ...*Tracer) error {
+	type placed struct {
+		ev     Event
+		offset int32
+	}
+	var all []placed
+	for i, tr := range tracers {
+		if tr == nil {
+			continue
+		}
+		off := int32(i) * pidStride
+		for _, ev := range tr.Events() {
+			all = append(all, placed{ev, off})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].ev.TS != all[j].ev.TS {
+			return all[i].ev.TS < all[j].ev.TS
+		}
+		return all[i].ev.Seq < all[j].ev.Seq
+	})
+
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[")
+	first := true
+	emit := func() *bufio.Writer {
+		if !first {
+			bw.WriteString(",\n")
+		} else {
+			bw.WriteByte('\n')
+			first = false
+		}
+		return bw
+	}
+	// Label the pseudo-component lanes in every cluster that has events.
+	seen := map[int32]bool{}
+	for _, p := range all {
+		seen[p.offset] = true
+	}
+	var offsets []int32
+	for off := range seen {
+		offsets = append(offsets, off)
+	}
+	sort.Slice(offsets, func(i, j int) bool { return offsets[i] < offsets[j] })
+	for _, off := range offsets {
+		for _, ln := range laneNames {
+			fmt.Fprintf(emit(),
+				`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+				ln.pid+off, strconv.Quote(ln.name))
+		}
+	}
+	for _, p := range all {
+		ev := p.ev
+		b := emit()
+		b.WriteString(`{"name":`)
+		b.WriteString(strconv.Quote(ev.Name))
+		b.WriteString(`,"cat":`)
+		b.WriteString(strconv.Quote(ev.Cat))
+		b.WriteString(`,"ph":"`)
+		b.WriteByte(ev.Ph)
+		b.WriteString(`","ts":`)
+		writeMicros(b, ev.TS)
+		if ev.Ph == PhaseSpan {
+			b.WriteString(`,"dur":`)
+			writeMicros(b, ev.Dur)
+		} else if ev.Ph == PhaseInstant {
+			b.WriteString(`,"s":"t"`)
+		}
+		fmt.Fprintf(b, `,"pid":%d,"tid":0,"args":{`, int64(ev.Pid)+int64(p.offset))
+		narg := 0
+		arg := func(k string) *bufio.Writer {
+			if narg > 0 {
+				b.WriteByte(',')
+			}
+			narg++
+			b.WriteString(strconv.Quote(k))
+			b.WriteByte(':')
+			return b
+		}
+		if ev.K1 != "" {
+			fmt.Fprintf(arg(ev.K1), "%d", ev.V1)
+		}
+		if ev.K2 != "" {
+			fmt.Fprintf(arg(ev.K2), "%d", ev.V2)
+		}
+		if ev.K3 != "" {
+			fmt.Fprintf(arg(ev.K3), "%d", ev.V3)
+		}
+		if ev.KS != "" {
+			arg(ev.KS).WriteString(strconv.Quote(ev.VS))
+		}
+		b.WriteString("}}")
+	}
+	bw.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n")
+	return bw.Flush()
+}
+
+// writeMicros renders a nanosecond count as microseconds with exactly three
+// decimals (the trace-event "ts"/"dur" unit), without float rounding.
+func writeMicros(b *bufio.Writer, ns int64) {
+	neg := ns < 0
+	if neg {
+		b.WriteByte('-')
+		ns = -ns
+	}
+	fmt.Fprintf(b, "%d.%03d", ns/1000, ns%1000)
+}

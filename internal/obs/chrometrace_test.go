@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildFixtureTrace emits a deterministic mini-timeline exercising every
+// record shape: spans, instants, all argument slots, lane constants, and a
+// name that needs JSON escaping.
+func buildFixtureTrace() *Tracer {
+	tr := NewTracer(16)
+	tr.Instant(0, PidSim, "sim", "event")
+	ev := tr.Emit(PhaseSpan, 1000, 2500, PidFabric, "net", "msg")
+	ev.K1, ev.V1 = "from", 1
+	ev.K2, ev.V2 = "to", 2
+	ev.K3, ev.V3 = "bytes", 64
+	ev = tr.Emit(PhaseInstant, 1500, 0, 2, "chain", "write.submit")
+	ev.K1, ev.V1 = "id", 7
+	ev.KS, ev.VS = "key", `k"1`
+	// Span emitted after a later instant but starting earlier: exporter
+	// must order by start time.
+	ev = tr.Emit(PhaseSpan, 1200, 4300, 2, "chain", "write.commit")
+	ev.K1, ev.V1 = "id", 7
+	ev.K2, ev.V2 = "retries", 0
+	tr.Instant(6000, PidCtrl, "ctrl", "heartbeat")
+	return tr
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildFixtureTrace().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrometrace.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome trace output drifted from golden.\n-- got --\n%s\n-- want --\n%s", buf.Bytes(), want)
+	}
+}
+
+// chromeEvent mirrors the subset of the trace-event schema we emit.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat"`
+	Ph   string                 `json:"ph"`
+	TS   float64                `json:"ts"`
+	Dur  float64                `json:"dur"`
+	Pid  int64                  `json:"pid"`
+	Tid  int64                  `json:"tid"`
+	Args map[string]interface{} `json:"args"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func TestChromeTraceParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildFixtureTrace().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// 5 events + 3 lane-name metadata records.
+	if len(doc.TraceEvents) != 8 {
+		t.Fatalf("got %d trace events, want 8", len(doc.TraceEvents))
+	}
+	// Virtual-time nanoseconds must surface as microseconds.
+	var commit *chromeEvent
+	for i := range doc.TraceEvents {
+		if doc.TraceEvents[i].Name == "write.commit" {
+			commit = &doc.TraceEvents[i]
+		}
+	}
+	if commit == nil {
+		t.Fatal("write.commit span missing")
+	}
+	if commit.TS != 1.2 || commit.Dur != 4.3 {
+		t.Fatalf("commit ts/dur = %v/%v µs, want 1.2/4.3", commit.TS, commit.Dur)
+	}
+	if commit.Ph != "X" || commit.Args["id"] != float64(7) {
+		t.Fatalf("commit span malformed: %+v", *commit)
+	}
+}
+
+func TestChromeTraceMultiOffsetsLanes(t *testing.T) {
+	a, b := NewTracer(4), NewTracer(4)
+	a.Instant(10, 3, "chain", "write.ack")
+	b.Instant(20, 3, "chain", "write.ack")
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	pids := map[int64]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "write.ack" {
+			pids[ev.Pid] = true
+		}
+	}
+	if !pids[3] || !pids[3+pidStride] {
+		t.Fatalf("second tracer's lanes not offset: %v", pids)
+	}
+}
+
+// checkJSONSnapshot is shared with the metrics tests: parses a snapshot
+// dump and checks the sample count.
+func checkJSONSnapshot(t *testing.T, doc string, want int) {
+	t.Helper()
+	var parsed struct {
+		Samples []map[string]interface{} `json:"samples"`
+	}
+	if err := json.Unmarshal([]byte(doc), &parsed); err != nil {
+		t.Fatalf("metrics JSON invalid: %v\n%s", err, doc)
+	}
+	if len(parsed.Samples) != want {
+		t.Fatalf("got %d samples, want %d", len(parsed.Samples), want)
+	}
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"swishmem/internal/stats"
+)
+
+func TestNilTracerEnabled(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer must report disabled")
+	}
+	tr = NewTracer(8)
+	if !tr.Enabled() {
+		t.Fatal("new tracer must start enabled")
+	}
+	tr.SetEnabled(false)
+	if tr.Enabled() {
+		t.Fatal("SetEnabled(false) must disable")
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		ev := tr.Emit(PhaseInstant, int64(10*i), 0, PidSim, "sim", "tick")
+		ev.K1, ev.V1 = "i", int64(i)
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := tr.Total(); got != 6 {
+		t.Fatalf("Total = %d, want 6", got)
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	evs := tr.Events()
+	for i, ev := range evs {
+		want := int64(i + 2) // events 0 and 1 were overwritten
+		if ev.V1 != want || ev.TS != 10*want {
+			t.Fatalf("event %d = {TS:%d V1:%d}, want {TS:%d V1:%d}", i, ev.TS, ev.V1, 10*want, want)
+		}
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i-1].TS > evs[i].TS || (evs[i-1].TS == evs[i].TS && evs[i-1].Seq > evs[i].Seq) {
+			t.Fatalf("events not sorted by (TS, Seq) at %d", i)
+		}
+	}
+}
+
+// TestEmitResetsSlot checks that ring reuse never leaks stale argument
+// fields from the overwritten record.
+func TestEmitResetsSlot(t *testing.T) {
+	tr := NewTracer(1)
+	ev := tr.Emit(PhaseSpan, 1, 2, 3, "chain", "write.commit")
+	ev.K1, ev.V1 = "id", 99
+	ev.KS, ev.VS = "verdict", "ok"
+	tr.Instant(5, PidSim, "sim", "tick")
+	got := tr.Events()[0]
+	if got.K1 != "" || got.V1 != 0 || got.KS != "" || got.VS != "" || got.Dur != 0 {
+		t.Fatalf("stale fields leaked into reused slot: %+v", got)
+	}
+}
+
+// TestEmitAllocs pins the tracer's steady-state cost: once constructed,
+// emitting allocates nothing.
+func TestEmitAllocs(t *testing.T) {
+	tr := NewTracer(1024)
+	var i int64
+	allocs := testing.AllocsPerRun(10000, func() {
+		ev := tr.Emit(PhaseInstant, i, 0, PidFabric, "net", "drop.loss")
+		ev.K1, ev.V1 = "from", 1
+		ev.K2, ev.V2 = "to", 2
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Emit allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	var c stats.Counter
+	c.Add(41)
+	h := stats.NewHistogram()
+	h.Observe(100)
+	h.Observe(300)
+
+	r := NewRegistry()
+	r.AddCounter("chain.retries", "switch=2", &c)
+	r.AddCounterFunc("net.msgs_sent", "", func() uint64 { return 7 })
+	r.AddGaugeFunc("switch.mem_used", "switch=1", func() float64 { return 1.5 })
+	r.AddHistogram("chain.write_latency_ns", "switch=2", h)
+
+	s := r.Snapshot()
+	if len(s.Samples) != 4 {
+		t.Fatalf("got %d samples, want 4", len(s.Samples))
+	}
+	// Sorted by (name, labels).
+	for i := 1; i < len(s.Samples); i++ {
+		if s.Samples[i-1].key() > s.Samples[i].key() {
+			t.Fatalf("samples unsorted: %q > %q", s.Samples[i-1].key(), s.Samples[i].key())
+		}
+	}
+	if v, ok := s.Value("chain.retries", "switch=2"); !ok || v != 41 {
+		t.Fatalf("Value(chain.retries) = %v,%v want 41,true", v, ok)
+	}
+	if _, ok := s.Value("chain.retries", ""); ok {
+		t.Fatal("Value must match labels exactly")
+	}
+	if got := s.Sum("chain.write_latency_ns"); got != 2 {
+		t.Fatalf("Sum(hist) = %v, want count 2", got)
+	}
+
+	// Counter advances; gauge moves; Diff subtracts only monotone kinds.
+	c.Add(9)
+	d := r.Snapshot().Diff(s)
+	if v, _ := d.Value("chain.retries", "switch=2"); v != 9 {
+		t.Fatalf("Diff counter = %v, want 9", v)
+	}
+	if v, _ := d.Value("switch.mem_used", "switch=1"); v != 1.5 {
+		t.Fatalf("Diff gauge = %v, want absolute 1.5", v)
+	}
+}
+
+func TestSnapshotWriters(t *testing.T) {
+	r := NewRegistry()
+	r.AddCounterFunc("a.count", "x=1", func() uint64 { return 3 })
+	h := stats.NewHistogram()
+	h.Observe(50)
+	r.AddHistogram("b.lat", "", h)
+	s := r.Snapshot()
+
+	var txt strings.Builder
+	if err := s.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "a.count{x=1}") || !strings.Contains(txt.String(), "p99=") {
+		t.Fatalf("text dump missing fields:\n%s", txt.String())
+	}
+
+	var js strings.Builder
+	if err := s.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	checkJSONSnapshot(t, js.String(), 2)
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"swishmem/internal/netem"
+	"swishmem/internal/obs"
 	"swishmem/internal/packet"
 	"swishmem/internal/sim"
 	"swishmem/internal/stats"
@@ -232,9 +233,11 @@ func (t *task) exec() {
 		}
 	case taskCtrl:
 		s.Stats.CtrlOps.Inc()
+		s.traceCtrlOp("ctrl.op")
 		fn()
 	case taskCtrlMsg:
 		s.Stats.CtrlOps.Inc()
+		s.traceCtrlOp("ctrl.msg")
 		if s.ctrlMsg != nil {
 			s.ctrlMsg(from, msg)
 		}
@@ -270,6 +273,23 @@ func New(eng *sim.Engine, nw *netem.Network, cfg Config) *Switch {
 
 // Addr returns the switch's network address.
 func (s *Switch) Addr() netem.Addr { return s.cfg.Addr }
+
+// pid is the switch's trace timeline lane: its fabric address.
+func (s *Switch) pid() int32 { return int32(s.cfg.Addr) }
+
+// tracer returns the engine's tracer (nil when tracing is off).
+func (s *Switch) tracer() *obs.Tracer { return s.eng.Tracer() }
+
+// traceCtrlOp emits the co-processor occupancy span for a control-plane
+// operation that completed now.
+func (s *Switch) traceCtrlOp(name string) {
+	tr := s.tracer()
+	if !tr.Enabled() {
+		return
+	}
+	now := int64(s.eng.Now())
+	tr.Emit(obs.PhaseSpan, now-int64(s.cfg.CtrlLatency), int64(s.cfg.CtrlLatency), s.pid(), "switch", name)
+}
 
 // Engine returns the simulation engine.
 func (s *Switch) Engine() *sim.Engine { return s.eng }
@@ -377,7 +397,17 @@ func (s *Switch) runPipeline(pkt *packet.Packet) {
 		return
 	}
 	s.Stats.Processed.Inc()
-	switch s.program(s, pkt) {
+	v := s.program(s, pkt)
+	if tr := s.tracer(); tr.Enabled() {
+		// The packet occupied the pipeline from its scheduled slot until now
+		// (dispatch runs PipelineLatency after the slot was claimed).
+		now := int64(s.eng.Now())
+		rec := tr.Emit(obs.PhaseSpan, now-int64(s.cfg.PipelineLatency), int64(s.cfg.PipelineLatency), s.pid(), "switch", "pipeline")
+		rec.K1, rec.V1 = "seq", int64(pkt.Meta.ArrivalSeq)
+		rec.K2, rec.V2 = "verdict", int64(v)
+		rec.K3, rec.V3 = "recirc", int64(pkt.Meta.Recirculated)
+	}
+	switch v {
 	case Forward:
 		s.Stats.Forwarded.Inc()
 		if s.egress != nil {
@@ -387,6 +417,10 @@ func (s *Switch) runPipeline(pkt *packet.Packet) {
 		}
 	case Recirculate:
 		s.Stats.Recirculated.Inc()
+		if tr := s.tracer(); tr.Enabled() {
+			rec := tr.Emit(obs.PhaseInstant, int64(s.eng.Now()), 0, s.pid(), "switch", "recirc")
+			rec.K1, rec.V1 = "seq", int64(pkt.Meta.ArrivalSeq)
+		}
 		pkt.Meta.Recirculated++
 		t := s.getTask(taskPipeline)
 		t.pkt = pkt
@@ -556,6 +590,12 @@ func (s *Switch) charge(bytes int, what string) error {
 			s.cfg.Addr, what, bytes, s.MemoryFree())
 	}
 	s.memUsed += bytes
+	if tr := s.tracer(); tr.Enabled() {
+		rec := tr.Emit(obs.PhaseInstant, int64(s.eng.Now()), 0, s.pid(), "switch", "mem.charge")
+		rec.K1, rec.V1 = "bytes", int64(bytes)
+		rec.K2, rec.V2 = "used", int64(s.memUsed)
+		rec.KS, rec.VS = "what", what
+	}
 	return nil
 }
 

@@ -2,6 +2,8 @@ package pisa
 
 import (
 	"fmt"
+
+	"swishmem/internal/obs"
 )
 
 // This file implements the P4 memory objects of §2: register arrays, tables,
@@ -58,6 +60,10 @@ func (r *RegisterArray) View(i int) []byte {
 }
 
 // Set overwrites entry i with v (padded/truncated to the width).
+//
+// Register writes are traced (reads are not: the read paths are the
+// hottest code in the model and the write stream is what reconstructs
+// state evolution in a timeline).
 func (r *RegisterArray) Set(i int, v []byte) {
 	r.check(i)
 	cell := r.data[i*r.width : (i+1)*r.width]
@@ -65,6 +71,18 @@ func (r *RegisterArray) Set(i int, v []byte) {
 	for ; n < r.width; n++ {
 		cell[n] = 0
 	}
+	r.traceWrite("reg.write", i)
+}
+
+// traceWrite emits one register-write instant when tracing is on.
+func (r *RegisterArray) traceWrite(op string, i int) {
+	tr := r.sw.tracer()
+	if !tr.Enabled() {
+		return
+	}
+	rec := tr.Emit(obs.PhaseInstant, int64(r.sw.eng.Now()), 0, r.sw.pid(), "switch", op)
+	rec.K1, rec.V1 = "index", int64(i)
+	rec.KS, rec.VS = "array", r.name
 }
 
 // Free releases the array's memory back to the switch budget.
@@ -93,6 +111,13 @@ func (r *RegisterArray) U64Get(i int) uint64 {
 
 // U64Set writes entry i as a big-endian uint64 (width must be >= 8).
 func (r *RegisterArray) U64Set(i int, v uint64) {
+	r.u64set(i, v)
+	r.traceWrite("reg.write", i)
+}
+
+// u64set is the untraced store shared by U64Set and U64Add, so a
+// read-modify-write emits one record, not two.
+func (r *RegisterArray) u64set(i int, v uint64) {
 	cell := r.View(i)
 	cell[0], cell[1], cell[2], cell[3] = byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32)
 	cell[4], cell[5], cell[6], cell[7] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
@@ -103,7 +128,8 @@ func (r *RegisterArray) U64Set(i int, v uint64) {
 // processing this is just a read-modify-write.
 func (r *RegisterArray) U64Add(i int, delta uint64) uint64 {
 	v := r.U64Get(i) + delta
-	r.U64Set(i, v)
+	r.u64set(i, v)
+	r.traceWrite("reg.add", i)
 	return v
 }
 
@@ -171,6 +197,12 @@ func (t *Table) Insert(key uint64, val []byte) error {
 		return fmt.Errorf("pisa: table %q full (%d entries)", t.name, t.capacity)
 	}
 	t.m[key] = append([]byte(nil), val...)
+	if tr := t.sw.tracer(); tr.Enabled() {
+		rec := tr.Emit(obs.PhaseInstant, int64(t.sw.eng.Now()), 0, t.sw.pid(), "switch", "table.insert")
+		rec.K1, rec.V1 = "key", int64(key)
+		rec.K2, rec.V2 = "len", int64(len(t.m))
+		rec.KS, rec.VS = "table", t.name
+	}
 	return nil
 }
 
@@ -236,11 +268,20 @@ func (m *Meter) Allow(i int, cost float64) bool {
 	if m.tokens[i] > m.burst {
 		m.tokens[i] = m.burst
 	}
+	green := false
 	if m.tokens[i] >= cost {
 		m.tokens[i] -= cost
-		return true
+		green = true
 	}
-	return false
+	if tr := m.sw.tracer(); tr.Enabled() {
+		rec := tr.Emit(obs.PhaseInstant, now, 0, m.sw.pid(), "switch", "meter.check")
+		rec.K1, rec.V1 = "index", int64(i)
+		rec.K2 = "green"
+		if green {
+			rec.V2 = 1
+		}
+	}
+	return green
 }
 
 // Counter is an array of data-plane counters readable by the control plane.

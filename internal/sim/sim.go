@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"swishmem/internal/obs"
 )
 
 // Time is a virtual timestamp. It uses the same resolution as time.Duration
@@ -68,8 +70,13 @@ func (t *Timer) Stop() bool {
 		return false
 	}
 	ev := t.ev
-	heap.Remove(&ev.eng.queue, ev.idx)
-	ev.eng.release(ev)
+	eng := ev.eng
+	if tr := eng.tracer; tr.Enabled() {
+		rec := tr.Emit(obs.PhaseInstant, int64(eng.now), 0, obs.PidSim, "sim", "timer.cancel")
+		rec.K1, rec.V1 = "deadline_ns", int64(ev.at)
+	}
+	heap.Remove(&eng.queue, ev.idx)
+	eng.release(ev)
 	return true
 }
 
@@ -116,6 +123,10 @@ type Engine struct {
 	free []*event
 	// Stats
 	processed uint64
+	// tracer is the observability hook shared by every component that holds
+	// an engine reference; nil (the default) means tracing is off and the
+	// guards below reduce to one branch.
+	tracer *obs.Tracer
 }
 
 // NewEngine returns an engine whose random source is seeded with seed.
@@ -130,6 +141,14 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic random source. All model
 // randomness (loss, jitter, workload sampling) must come from here.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// SetTracer attaches (or, with nil, detaches) the event tracer. Components
+// reach it through Tracer(), so one call instruments the whole cluster.
+func (e *Engine) SetTracer(tr *obs.Tracer) { e.tracer = tr }
+
+// Tracer returns the attached tracer, nil when tracing is off. The result
+// is safe to use unconditionally with obs.(*Tracer).Enabled.
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 
 // schedule pushes a pooled event onto the queue and returns it.
 func (e *Engine) schedule(at Time, fn func()) *event {
@@ -252,6 +271,10 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.queue).(*event)
 	e.now = ev.at
 	fn := ev.fn
+	if tr := e.tracer; tr.Enabled() {
+		rec := tr.Emit(obs.PhaseInstant, int64(ev.at), 0, obs.PidSim, "sim", "event")
+		rec.K1, rec.V1 = "seq", int64(ev.seq)
+	}
 	// Release before running so fn's own scheduling can reuse the event.
 	e.release(ev)
 	fn()

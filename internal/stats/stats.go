@@ -9,10 +9,20 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
 // Counter is a monotonically increasing event count.
+//
+// Concurrency contract: Counter (like Gauge and Histogram) is
+// single-goroutine. Everything in the simulation runs on one engine
+// goroutine, so the protocol and switch stats structs need no atomics and
+// the hot paths pay a plain increment. Code that aggregates across worker
+// goroutines (the parallel experiment runner) must use AtomicCounter
+// instead; sharing a plain Counter across goroutines is a data race, which
+// TestCounterSingleGoroutineContract documents and `go test -race` on
+// AtomicCounter verifies.
 type Counter struct{ n uint64 }
 
 // Inc adds 1.
@@ -27,7 +37,7 @@ func (c *Counter) Value() uint64 { return c.n }
 // Reset zeroes the counter.
 func (c *Counter) Reset() { c.n = 0 }
 
-// Gauge is a point-in-time value.
+// Gauge is a point-in-time value. Single-goroutine, like Counter.
 type Gauge struct{ v float64 }
 
 // Set stores v.
@@ -35,6 +45,24 @@ func (g *Gauge) Set(v float64) { g.v = v }
 
 // Value returns the stored value.
 func (g *Gauge) Value() float64 { return g.v }
+
+// AtomicCounter is the cross-goroutine variant of Counter, for accounting
+// shared by the parallel experiment runner's workers. The simulation's own
+// stats stay plain Counters (one engine goroutine); use this only where
+// goroutines genuinely meet.
+type AtomicCounter struct{ n atomic.Uint64 }
+
+// Inc adds 1.
+func (c *AtomicCounter) Inc() { c.n.Add(1) }
+
+// Add adds delta.
+func (c *AtomicCounter) Add(delta uint64) { c.n.Add(delta) }
+
+// Value returns the current count.
+func (c *AtomicCounter) Value() uint64 { return c.n.Load() }
+
+// Reset zeroes the counter.
+func (c *AtomicCounter) Reset() { c.n.Store(0) }
 
 // Histogram records float64 observations with log-scaled buckets plus exact
 // min/max/sum. It is tuned for latency-like distributions spanning many

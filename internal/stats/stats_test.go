@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -244,5 +245,59 @@ func BenchmarkHistogramObserve(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h.Observe(float64(i % 100000))
+	}
+}
+
+// TestCounterSingleGoroutineContract documents the Counter/Gauge
+// concurrency contract: they are single-goroutine primitives for code on
+// the engine goroutine. (Running this very test under -race with a plain
+// Counter shared across goroutines would fail; AtomicCounter below is the
+// variant that races cleanly.)
+func TestCounterSingleGoroutineContract(t *testing.T) {
+	var c Counter
+	for i := 0; i < 1000; i++ {
+		c.Inc()
+	}
+	c.Add(24)
+	if c.Value() != 1024 {
+		t.Fatalf("Counter = %d, want 1024", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("Reset failed")
+	}
+	var g Gauge
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("Gauge = %v, want 2.5", g.Value())
+	}
+}
+
+// TestAtomicCounterConcurrent exercises AtomicCounter from many goroutines;
+// `go test -race ./internal/stats` verifies the absence of data races.
+func TestAtomicCounterConcurrent(t *testing.T) {
+	var c AtomicCounter
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if i%2 == 0 {
+					c.Inc()
+				} else {
+					c.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("AtomicCounter = %d, want %d", got, workers*perWorker)
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("Reset failed")
 	}
 }

@@ -1,0 +1,121 @@
+package swishmem
+
+import (
+	"fmt"
+	"io"
+
+	"swishmem/internal/chain"
+	"swishmem/internal/ewo"
+	"swishmem/internal/obs"
+)
+
+// Tracer re-exports the observability tracer type.
+type Tracer = obs.Tracer
+
+// MetricsRegistry re-exports the metrics registry type.
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot re-exports a point-in-time metrics reading.
+type MetricsSnapshot = obs.Snapshot
+
+// EnableTracing attaches a virtual-time event tracer retaining the most
+// recent capacity events (<= 0 picks a default of 64k) and returns it.
+// Every component reaches the tracer through the engine, so this one call
+// instruments the simulator, the fabric, every switch, and every protocol
+// node. Call before driving load; events already past are not recorded.
+func (c *Cluster) EnableTracing(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	tr := obs.NewTracer(capacity)
+	c.eng.SetTracer(tr)
+	return tr
+}
+
+// DisableTracing detaches the tracer, restoring the untraced hot paths to
+// a single never-taken branch.
+func (c *Cluster) DisableTracing() { c.eng.SetTracer(nil) }
+
+// Tracer returns the attached tracer, or nil when tracing is off.
+func (c *Cluster) Tracer() *Tracer { return c.eng.Tracer() }
+
+// WriteTrace exports the recorded trace as Chrome trace-event JSON
+// (loadable at ui.perfetto.dev). It errors if tracing was never enabled.
+func (c *Cluster) WriteTrace(w io.Writer) error {
+	tr := c.eng.Tracer()
+	if tr == nil {
+		return fmt.Errorf("swishmem: tracing not enabled")
+	}
+	return tr.WriteChromeTrace(w)
+}
+
+// Metrics builds a registry over every live stats source in the cluster:
+// engine counters, fabric totals, per-switch pipeline/memory accounting,
+// controller events, and per-register protocol counters and latency
+// histograms. The registry reads the live structs, so one registry built
+// once stays current; snapshot it before/after a phase and Diff.
+func (c *Cluster) Metrics() *MetricsRegistry {
+	r := obs.NewRegistry()
+	r.AddCounterFunc("sim.events_processed", "", c.eng.Processed)
+	r.AddGaugeFunc("sim.events_pending", "", func() float64 { return float64(c.eng.Pending()) })
+
+	r.AddCounterFunc("net.msgs_sent", "", func() uint64 { return c.net.Totals().MsgsSent })
+	r.AddCounterFunc("net.bytes_sent", "", func() uint64 { return c.net.Totals().BytesSent })
+	r.AddCounterFunc("net.msgs_delivered", "", func() uint64 { return c.net.Totals().MsgsDeliv })
+	r.AddCounterFunc("net.bytes_delivered", "", func() uint64 { return c.net.Totals().BytesDeliv })
+	r.AddCounterFunc("net.msgs_dropped", "", func() uint64 { return c.net.Totals().MsgsDropped })
+	r.AddCounterFunc("net.msgs_dup", "", func() uint64 { return c.net.Totals().MsgsDup })
+
+	if c.ctrl != nil {
+		cs := &c.ctrl.Stats
+		r.AddCounter("ctrl.heartbeats", "", &cs.Heartbeats)
+		r.AddCounter("ctrl.failures", "", &cs.FailuresSeen)
+		r.AddCounter("ctrl.chain_reconfigs", "", &cs.ChainReconfig)
+		r.AddCounter("ctrl.group_reconfigs", "", &cs.GroupReconfig)
+		r.AddCounter("ctrl.recoveries", "", &cs.Recoveries)
+	}
+
+	for i, sw := range c.switches {
+		lbl := fmt.Sprintf("switch=%d", sw.Addr())
+		ss := &sw.Stats
+		r.AddCounter("switch.pkts_processed", lbl, &ss.Processed)
+		r.AddCounter("switch.pkts_dropped", lbl, &ss.Dropped)
+		r.AddCounter("switch.pkts_forwarded", lbl, &ss.Forwarded)
+		r.AddCounter("switch.recirculations", lbl, &ss.Recirculated)
+		r.AddCounter("switch.punts", lbl, &ss.Punted)
+		r.AddCounter("switch.queue_drops", lbl, &ss.QueueDrops)
+		r.AddCounter("switch.msgs_handled", lbl, &ss.MsgsHandled)
+		r.AddCounter("switch.ctrl_ops", lbl, &ss.CtrlOps)
+		swc := sw
+		r.AddGaugeFunc("switch.mem_used_bytes", lbl, func() float64 { return float64(swc.MemoryUsed()) })
+
+		in := c.instances[i]
+		in.EachChain(func(reg uint16, n *chain.Node) {
+			rl := fmt.Sprintf("%s,reg=%d", lbl, reg)
+			cs := &n.Stats
+			r.AddCounter("chain.writes_submitted", rl, &cs.WritesSubmitted)
+			r.AddCounter("chain.writes_committed", rl, &cs.WritesCommitted)
+			r.AddCounter("chain.writes_failed", rl, &cs.WritesFailed)
+			r.AddCounter("chain.retries", rl, &cs.Retries)
+			r.AddCounter("chain.applied", rl, &cs.Applied)
+			r.AddCounter("chain.stale_dropped", rl, &cs.StaleDropped)
+			r.AddCounter("chain.reads_local", rl, &cs.ReadsLocal)
+			r.AddCounter("chain.reads_forwarded", rl, &cs.ReadsForwarded)
+			r.AddCounter("chain.tail_reads", rl, &cs.TailReads)
+			r.AddCounter("chain.acks_sent", rl, &cs.AcksSent)
+			r.AddHistogram("chain.write_latency_ns", rl, n.WriteLatency())
+		})
+		in.EachEWO(func(reg uint16, n *ewo.Node) {
+			rl := fmt.Sprintf("%s,reg=%d", lbl, reg)
+			es := &n.Stats
+			r.AddCounter("ewo.writes", rl, &es.Writes)
+			r.AddCounter("ewo.reads", rl, &es.Reads)
+			r.AddCounter("ewo.updates_sent", rl, &es.UpdatesSent)
+			r.AddCounter("ewo.updates_recv", rl, &es.UpdatesRecv)
+			r.AddCounter("ewo.entries_merged", rl, &es.EntriesMerged)
+			r.AddCounter("ewo.entries_stale", rl, &es.EntriesStale)
+			r.AddCounter("ewo.sync_packets", rl, &es.SyncPackets)
+		})
+	}
+	return r
+}
