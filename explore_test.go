@@ -1,0 +1,146 @@
+// Root-package wiring for the deterministic fault-schedule explorer
+// (internal/explore). Three entry points:
+//
+//   - TestExploreQuick: tier-1. Sweeps a fixed batch of generated scenarios
+//     on every `go test` run, plus a byte-identical-log determinism spot
+//     check. Runs in seconds.
+//   - TestExplore: flagged long/replay mode, skipped by default.
+//     `-explore.n=5000` sweeps seeds `-explore.base..base+n-1` (the nightly
+//     CI job), `-explore.seed=N` replays one seed verbosely — this is the
+//     command printed by every failure report. `-explore.inject=K` re-arms
+//     the injected chain bug for replaying injected-bug failures, and
+//     `-explore.artifacts=DIR` writes one report file per failing seed.
+//   - TestExploreCatchesInjectedBug: end-to-end self-test of the checker.
+//     Arms a real protocol bug (chain head skips forwarding), requires the
+//     sweep to catch it, shrink it, and print a replay command that
+//     reproduces the identical failure.
+//
+// See TESTING.md for the full workflow.
+package swishmem_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"swishmem/internal/explore"
+)
+
+var (
+	exploreN    = flag.Int("explore.n", 0, "sweep this many seeds in TestExplore (0 = skip long mode)")
+	exploreBase = flag.Int64("explore.base", 1, "first seed of the TestExplore sweep")
+	exploreSeed = flag.Int64("explore.seed", 0, "replay this single seed in TestExplore (0 = off)")
+	exploreInject = flag.Int("explore.inject", 0,
+		"arm the injected skip-forward chain bug for this many writes (replaying injected failures)")
+	exploreArtifacts = flag.String("explore.artifacts", "", "directory for per-failure report files")
+)
+
+// TestExploreQuick is the tier-1 face of the explorer: a few dozen generated
+// scenarios — crashes, partitions, loss bursts, spare joins — each checked
+// against every oracle, on every `go test` run.
+func TestExploreQuick(t *testing.T) {
+	const n = 30 // >= 25 scenarios, ~2s sequential, less parallel
+	start := time.Now()
+	sr := explore.Sweep(1, n, runtime.NumCPU(), explore.RunOptions{})
+	for _, f := range sr.Failures {
+		t.Errorf("%s", f.Report())
+	}
+	// Determinism contract: same seed, byte-identical run log. One strict and
+	// one lossy shape.
+	for _, seed := range []int64{3, 14} {
+		sc := explore.Generate(seed)
+		a := explore.Run(sc, explore.RunOptions{})
+		b := explore.Run(sc, explore.RunOptions{})
+		if a.Log != b.Log {
+			t.Errorf("seed %d: two runs of one scenario produced different logs:\n%s\nvs\n%s",
+				seed, a.Log, b.Log)
+		}
+	}
+	t.Logf("swept %d scenarios (%d failures) in %s", n, len(sr.Failures), time.Since(start))
+}
+
+// TestExplore is the long/replay mode. With no explore flags it skips; the
+// nightly CI job passes -explore.n, and failure reports print a
+// -explore.seed replay command that lands here.
+func TestExplore(t *testing.T) {
+	opt := explore.RunOptions{InjectSkipForward: *exploreInject}
+
+	if *exploreSeed != 0 {
+		sc := explore.Generate(*exploreSeed)
+		t.Logf("replaying seed %d\n%s", *exploreSeed, sc.Log())
+		r := explore.Run(sc, opt)
+		t.Logf("run log:\n%s", r.Log)
+		if !r.Failed() {
+			t.Logf("seed %d passes all oracles", *exploreSeed)
+			return
+		}
+		shrunk, minned := explore.Shrink(sc, opt, r)
+		f := &explore.Failure{Seed: *exploreSeed, Opt: opt, Result: r, Shrunk: shrunk, Minned: minned}
+		t.Fatalf("%s", f.Report())
+	}
+
+	if *exploreN <= 0 {
+		t.Skip("long mode off: pass -explore.n=COUNT to sweep seeds or -explore.seed=N to replay one")
+	}
+
+	start := time.Now()
+	sr := explore.Sweep(*exploreBase, *exploreN, runtime.NumCPU(), opt)
+	writeArtifacts(t, sr)
+	for _, f := range sr.Failures {
+		t.Errorf("%s", f.Report())
+	}
+	t.Logf("swept seeds %d..%d in %s: %d failure(s)",
+		*exploreBase, *exploreBase+int64(*exploreN)-1, time.Since(start), len(sr.Failures))
+}
+
+// TestExploreCatchesInjectedBug proves the oracles have teeth: with a real
+// protocol bug armed (the chain head applies and acks a write without
+// forwarding it down the chain), the sweep must catch it, shrink it to a
+// counterexample failing the same oracle, and print a replay command that
+// reproduces the identical run log from nothing but the seed.
+func TestExploreCatchesInjectedBug(t *testing.T) {
+	opt := explore.RunOptions{InjectSkipForward: 1}
+	sr := explore.Sweep(1, 20, runtime.NumCPU(), opt)
+	if len(sr.Failures) == 0 {
+		t.Fatal("injected skip-forward bug escaped a 20-seed sweep")
+	}
+	f := sr.Failures[0]
+	if !f.Minned.Failed() || f.Minned.FirstOracle() != f.Result.FirstOracle() {
+		t.Fatalf("shrunk counterexample fails %q, original failed %q",
+			f.Minned.FirstOracle(), f.Result.FirstOracle())
+	}
+	replay := explore.Run(explore.Generate(f.Seed), opt)
+	if !replay.Failed() || replay.Log != f.Result.Log {
+		t.Fatalf("replay command %q does not reproduce the original failure", f.ReplayCommand())
+	}
+	t.Logf("caught at seed %d, first oracle %q\nreplay: %s",
+		f.Seed, f.Result.FirstOracle(), f.ReplayCommand())
+}
+
+// writeArtifacts dumps one report per failing seed (plus a summary) into
+// -explore.artifacts, for CI upload.
+func writeArtifacts(t *testing.T, sr explore.SweepResult) {
+	dir := *exploreArtifacts
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatalf("artifacts dir: %v", err)
+	}
+	summary := fmt.Sprintf("sweep base=%d n=%d failures=%d\n", sr.Base, sr.N, len(sr.Failures))
+	for _, f := range sr.Failures {
+		summary += fmt.Sprintf("seed %d: %s\n", f.Seed, f.Result.Failures[0])
+		body := f.Report() + "\noriginal run log:\n" + f.Result.Log
+		name := filepath.Join(dir, fmt.Sprintf("seed-%d.txt", f.Seed))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatalf("write %s: %v", name, err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "summary.txt"), []byte(summary), 0o644); err != nil {
+		t.Fatalf("write summary: %v", err)
+	}
+}

@@ -232,6 +232,11 @@ type Node struct {
 	// nanoseconds of virtual time.
 	lat *stats.Histogram
 
+	// injectSkipForward, while positive, makes this node — as head — apply
+	// and acknowledge fresh writes without forwarding them down the chain: a
+	// deliberately planted replication bug (see InjectSkipForward).
+	injectSkipForward int
+
 	Stats Stats
 }
 
@@ -579,6 +584,12 @@ func (n *Node) process(from netem.Addr, w *wire.Write) {
 		// carries the assigned Seq and is dropped as stale instead of being
 		// double-sequenced.
 		w.Seq = n.appliedSeq(n.group(w.Key)) + 1
+		if n.injectSkipForward > 0 {
+			n.injectSkipForward--
+			n.apply(w)
+			n.commitAtTail(w)
+			return
+		}
 	}
 	n.apply(w)
 	if n.IsTail() {
@@ -725,3 +736,11 @@ func (n *Node) processReadReply(r *wire.ReadReply) {
 // OutstandingWrites returns the number of buffered, unacknowledged writes at
 // this writer's control plane.
 func (n *Node) OutstandingWrites() int { return len(n.pending) }
+
+// InjectSkipForward plants a verification-only bug: the next count fresh
+// writes sequenced at this node while it is head are applied locally and
+// acknowledged as committed without being forwarded to the rest of the
+// chain — an acked-but-unreplicated write, the classic chain-replication
+// violation. internal/explore uses it to prove its oracles catch and
+// shrink real protocol bugs; no production path sets it.
+func (n *Node) InjectSkipForward(count int) { n.injectSkipForward += count }

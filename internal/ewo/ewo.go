@@ -26,6 +26,7 @@ package ewo
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"swishmem/internal/netem"
@@ -523,6 +524,11 @@ func (n *Node) syncRound() {
 				}
 			}
 		}
+		// Map iteration order is runtime-randomized; it must not leak onto
+		// the wire (which keys share a sync packet decides how fast a
+		// recovering member converges), or runs stop being a pure function
+		// of the seed.
+		slices.Sort(n.syncKeys)
 		n.syncCursor = 0
 	}
 	if len(n.syncKeys) == 0 {

@@ -60,14 +60,26 @@ func RunMetered(exps []Experiment, seed int64, workers int, m *BatchMetrics) []R
 			}
 		}
 	}
-	if workers < 2 || len(exps) < 2 {
-		for i := range exps {
-			runOne(i)
+	ParallelFor(len(exps), workers, runOne)
+	return reports
+}
+
+// ParallelFor runs fn(i) for every i in [0, n) on up to workers concurrent
+// goroutines (values < 2 mean sequential, in index order). fn instances must
+// not share mutable state except through their own synchronization; writing
+// fn's result to slot i of a pre-sized slice is the intended pattern, and
+// keeps output independent of the worker count. ParallelFor returns when
+// every call has completed. It is the worker pool under the experiment
+// runner and the explore sweeps.
+func ParallelFor(n, workers int, fn func(i int)) {
+	if workers < 2 || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
 		}
-		return reports
+		return
 	}
-	if workers > len(exps) {
-		workers = len(exps)
+	if workers > n {
+		workers = n
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -76,14 +88,13 @@ func RunMetered(exps []Experiment, seed int64, workers int, m *BatchMetrics) []R
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				runOne(i)
+				fn(i)
 			}
 		}()
 	}
-	for i := range exps {
+	for i := 0; i < n; i++ {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
-	return reports
 }

@@ -1,0 +1,498 @@
+package explore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"swishmem"
+	"swishmem/internal/lincheck"
+)
+
+// Workload/infrastructure constants shared by every scenario run. They are
+// part of the model, not the scenario, so shrinking never perturbs them.
+const (
+	heartbeatPeriod = 500 * time.Microsecond
+	retryTimeout    = 500 * time.Microsecond
+	syncPeriod      = 500 * time.Microsecond
+	settleTime      = 3 * time.Millisecond
+	// gossipMargin is the pause inserted before every crash so EWO updates
+	// issued at the victim have replicated: losing increments nobody else
+	// ever heard is correct CRDT behavior, and asserting exact totals is
+	// only sound once the victim has had a few dozen sync rounds.
+	gossipMargin = 20 * time.Millisecond
+	// quiesceTime runs after the workload on a calmed, healed fabric: long
+	// enough for every writer retry budget (100 x 500us = 50ms), failover,
+	// snapshot transfer, and EWO synchronization to finish.
+	quiesceTime = 250 * time.Millisecond
+
+	strongCapacity = 512
+	counterKeys    = 16
+	lwwKeys        = 4
+)
+
+// RunOptions modifies a run without being part of the scenario.
+type RunOptions struct {
+	// InjectSkipForward plants the chain.InjectSkipForward bug on the
+	// initial head for that many writes — the intentional defect the
+	// explorer must catch (TestExploreCatchesInjectedBug).
+	InjectSkipForward int
+}
+
+// Result is the outcome of one scenario run.
+type Result struct {
+	Scenario Scenario
+	// Failures lists oracle violations, each prefixed "oracle <name>:".
+	// Empty means the run passed.
+	Failures []string
+	// Log is the deterministic scenario + execution + oracle report; for a
+	// given (Scenario, RunOptions) it is byte-identical across runs.
+	Log string
+
+	// Summary facts for callers' own assertions (the torture test).
+	Recoveries   uint64
+	ChainMembers []uint16
+	Committed    int
+	BadKey       uint64
+	BadHistory   []lincheck.Op
+}
+
+// Failed reports whether any oracle was violated.
+func (r *Result) Failed() bool { return len(r.Failures) > 0 }
+
+// FirstOracle returns the name of the first violated oracle ("" if none) —
+// the shrinker's comparison key, so a minimized scenario still fails for
+// the original reason rather than a different one.
+func (r *Result) FirstOracle() string {
+	if len(r.Failures) == 0 {
+		return ""
+	}
+	s := strings.TrimPrefix(r.Failures[0], "oracle ")
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// strongWrite tracks one submitted SRO write through to the history.
+type strongWrite struct {
+	key       uint64
+	val       string
+	start     int64
+	end       int64
+	resolved  bool
+	committed bool
+}
+
+// Run executes a scenario and checks every oracle. It is deterministic:
+// the cluster engine is seeded from the scenario seed and the workload uses
+// its own seed-derived RNG, so equal inputs give byte-identical results.
+func Run(sc Scenario, opt RunOptions) *Result {
+	sc = sc.Normalize()
+	res := &Result{Scenario: sc}
+	var log strings.Builder
+	log.WriteString(sc.Log())
+	fail := func(oracle, format string, args ...any) {
+		res.Failures = append(res.Failures, fmt.Sprintf("oracle %s: %s", oracle, fmt.Sprintf(format, args...)))
+	}
+
+	link := sc.Link
+	c, err := swishmem.New(swishmem.Config{
+		Switches: sc.Switches, Spares: sc.Spares, Seed: sc.Seed,
+		Link: &link, HeartbeatPeriod: heartbeatPeriod,
+	})
+	if err != nil {
+		fail("setup", "cluster: %v", err)
+		res.Log = log.String()
+		return res
+	}
+	strong, err := c.DeclareStrong("s", swishmem.StrongOptions{
+		Capacity: strongCapacity, ValueWidth: 8, RetryTimeout: retryTimeout})
+	if err == nil {
+		_, err = c.DeclareCounter("c", swishmem.EventualOptions{
+			Capacity: 128, SyncPeriod: syncPeriod})
+	}
+	var lww []*swishmem.EventualRegister
+	if err == nil {
+		lww, err = c.DeclareEventual("l", swishmem.EventualOptions{
+			Capacity: 64, ValueWidth: 8, SyncPeriod: syncPeriod})
+	}
+	if err != nil {
+		fail("setup", "declare: %v", err)
+		res.Log = log.String()
+		return res
+	}
+	ctrID, _ := c.RegisterID("c")
+	lwwID, _ := c.RegisterID("l")
+	var ctr []*swishmem.CounterRegister
+	for i := 0; i < sc.Switches; i++ {
+		h, err := c.Instance(i).CounterHandle(ctrID)
+		if err != nil {
+			fail("setup", "counter handle %d: %v", i, err)
+			res.Log = log.String()
+			return res
+		}
+		ctr = append(ctr, h)
+	}
+	if opt.InjectSkipForward > 0 {
+		strong[0].Node().InjectSkipForward(opt.InjectSkipForward)
+		fmt.Fprintf(&log, "inject skip-forward=%d at initial head\n", opt.InjectSkipForward)
+	}
+	c.RunFor(settleTime)
+
+	// The workload RNG is decoupled from the engine RNG on purpose: shrink
+	// mutations change fabric event interleavings, but the op sequence for a
+	// seed stays fixed, which keeps shrunk scenarios comparable.
+	wrng := rand.New(rand.NewSource(sc.Seed*6364136223846793005 + 1442695040888963407))
+	now := func() int64 { return int64(c.Engine().Now()) }
+
+	alive := make([]int, 0, sc.Switches) // replicas accepting workload ops
+	for i := 0; i < sc.Switches; i++ {
+		alive = append(alive, i)
+	}
+	removeAlive := func(sw int) {
+		for i, a := range alive {
+			if a == sw {
+				alive = append(alive[:i:i], alive[i+1:]...)
+				return
+			}
+		}
+	}
+	calm := swishmem.LinkProfile{Latency: sc.Link.Latency, BandwidthBps: sc.Link.BandwidthBps}
+
+	var (
+		writes     []*strongWrite
+		rec        lincheck.Recorder
+		ctrExpect  = make([]uint64, counterKeys)
+		nStrongW   int
+		nStrongR   int
+		nCtr       int
+		nLWW       int
+		nReads     int // resolved strong reads
+		crashCount int
+		joinedAbs  []int // absolute switch indices of joined spares
+	)
+
+	// Episode bookkeeping: start events at AtStep, end events after Steps.
+	type endEvent struct {
+		step int
+		kind EpisodeKind
+	}
+	var ends []endEvent
+	epi := 0
+
+	valHex := func(b []byte) string {
+		if len(b) == 0 {
+			return lincheck.Initial
+		}
+		return fmt.Sprintf("%x", b)
+	}
+
+	for step := 0; step < sc.Steps; step++ {
+		for len(ends) > 0 && ends[0].step == step {
+			switch ends[0].kind {
+			case PartitionFault:
+				c.HealPartition()
+				fmt.Fprintf(&log, "t=%s heal\n", c.Now())
+			case LossBurst:
+				c.SetAllLinks(sc.Link)
+				fmt.Fprintf(&log, "t=%s lossburst-end\n", c.Now())
+			}
+			ends = ends[1:]
+		}
+		for epi < len(sc.Episodes) && sc.Episodes[epi].AtStep == step {
+			e := sc.Episodes[epi]
+			epi++
+			switch e.Kind {
+			case Crash:
+				c.RunFor(gossipMargin)
+				// Submit writes at the victim moments before it dies: their
+				// acknowledgements can never be observed, so they enter the
+				// history as pending operations — the chain may or may not
+				// have applied them, and the linearizability oracle must
+				// accept both outcomes (and reject impossible mixtures).
+				for dw := 0; dw < 2; dw++ {
+					nStrongW++
+					key := uint64(wrng.Intn(sc.Keys))
+					v := uint64(step)<<16 | uint64(e.Switch)<<8 | uint64(0xd0+dw)
+					buf := make([]byte, 8)
+					binary.BigEndian.PutUint64(buf, v)
+					sw := &strongWrite{key: key, val: valHex(buf), start: now()}
+					writes = append(writes, sw)
+					strong[e.Switch].Write(key, buf, func(ok bool) {
+						sw.resolved, sw.committed, sw.end = true, ok, now()
+					})
+				}
+				c.RunFor(50 * time.Microsecond) // let them reach (part of) the chain
+				c.FailSwitch(e.Switch)
+				removeAlive(e.Switch)
+				crashCount++
+				fmt.Fprintf(&log, "t=%s crash switch=%d\n", c.Now(), e.Switch)
+			case PartitionFault:
+				c.Partition(e.A, e.B)
+				ends = append(ends, endEvent{e.AtStep + e.Steps, PartitionFault})
+				fmt.Fprintf(&log, "t=%s partition a=%v b=%v\n", c.Now(), e.A, e.B)
+			case LossBurst:
+				burst := sc.Link
+				burst.LossRate = e.Loss
+				c.SetAllLinks(burst)
+				ends = append(ends, endEvent{e.AtStep + e.Steps, LossBurst})
+				fmt.Fprintf(&log, "t=%s lossburst loss=%.3f\n", c.Now(), e.Loss)
+			case Join:
+				abs := sc.Switches + e.Switch
+				if err := c.JoinCounterGroup("c", abs); err != nil {
+					fail("setup", "join spare %d: %v", abs, err)
+				} else {
+					joinedAbs = append(joinedAbs, abs)
+					fmt.Fprintf(&log, "t=%s join spare=%d\n", c.Now(), abs)
+				}
+			}
+		}
+
+		w := alive[wrng.Intn(len(alive))]
+		switch r := wrng.Intn(100); {
+		case r < 30: // SRO write
+			nStrongW++
+			key := uint64(wrng.Intn(sc.Keys))
+			v := uint64(step)<<16 | uint64(w)<<8 | uint64(wrng.Intn(256))
+			buf := make([]byte, 8)
+			binary.BigEndian.PutUint64(buf, v)
+			sw := &strongWrite{key: key, val: valHex(buf), start: now()}
+			writes = append(writes, sw)
+			strong[w].Write(key, buf, func(ok bool) {
+				sw.resolved, sw.committed, sw.end = true, ok, now()
+			})
+		case r < 60: // SRO read
+			nStrongR++
+			key := uint64(wrng.Intn(sc.Keys))
+			start := now()
+			strong[w].Read(key, func(val []byte, ok bool) {
+				nReads++
+				v := lincheck.Initial
+				if ok {
+					v = valHex(val)
+				}
+				rec.Add(key, lincheck.Op{Start: start, End: now(), Write: false, Value: v})
+			})
+		case r < 85: // EWO counter add
+			nCtr++
+			key := uint64(wrng.Intn(counterKeys))
+			d := uint64(wrng.Intn(5) + 1)
+			ctr[w].Add(key, d)
+			ctrExpect[key] += d
+		default: // EWO LWW write
+			nLWW++
+			key := uint64(wrng.Intn(lwwKeys))
+			buf := []byte(fmt.Sprintf("%08x", wrng.Uint32()))
+			lww[w].Write(key, buf)
+		}
+		c.RunFor(sc.OpGap)
+	}
+
+	// Quiesce on a healed, calm fabric: outstanding retries resolve, the
+	// controller finishes failover and recovery, EWO synchronization
+	// converges. Calming the links is what makes the convergence oracles
+	// deterministic rather than probabilistic.
+	c.HealPartition()
+	c.SetAllLinks(calm)
+	c.RunFor(quiesceTime)
+
+	// Fold the write tracker into the history. A write whose callback never
+	// fired, or that exhausted its retries, may or may not have taken
+	// effect (the chain can have applied it while the ack path failed):
+	// both are pending operations for the checker.
+	committedKeys := make(map[uint64]bool)
+	for _, sw := range writes {
+		if sw.resolved && sw.committed {
+			rec.Add(sw.key, lincheck.Op{Start: sw.start, End: sw.end, Write: true, Value: sw.val})
+			committedKeys[sw.key] = true
+			res.Committed++
+		} else {
+			rec.Add(sw.key, lincheck.Pending(sw.start, true, sw.val))
+		}
+	}
+	fmt.Fprintf(&log, "run strongw=%d strongr=%d ctr=%d lww=%d committed=%d readsok=%d crashes=%d\n",
+		nStrongW, nStrongR, nCtr, nLWW, res.Committed, nReads, crashCount)
+
+	strict := sc.Strict()
+
+	// --- oracle: drain --- every writer control plane resolved all writes.
+	for _, i := range alive {
+		if n := strong[i].Node().OutstandingWrites(); n != 0 {
+			fail("drain", "switch %d still has %d outstanding writes after quiesce", i, n)
+		}
+	}
+
+	// --- oracle: chain --- reconfiguration safety. Configs travel the
+	// reliable control channel, so after quiesce every surviving member
+	// holds the current membership: it must have >= 2 live switches (the
+	// generator never crashes below two survivors) and list no dead ones.
+	cc := strong[alive[0]].Node().Chain()
+	res.ChainMembers = append(res.ChainMembers, cc.Members...)
+	if len(cc.Members) < 2 {
+		fail("chain", "chain shrank to %v", cc.Members)
+	}
+	memberIdx := make([]int, 0, len(cc.Members))
+	for _, m := range cc.Members {
+		idx := int(m) - 1 // switch i has fabric address i+1
+		memberIdx = append(memberIdx, idx)
+		if c.Switch(idx).Failed() {
+			fail("chain", "dead switch %d still a chain member (%v)", idx, cc.Members)
+		}
+	}
+	if c.Controller() != nil {
+		res.Recoveries = c.Controller().Stats.Recoveries.Value()
+		want := crashCount
+		if want > sc.Spares {
+			want = sc.Spares
+		}
+		if got := int(res.Recoveries); got < want {
+			fail("chain", "recoveries = %d, want >= %d (crashes=%d spares=%d)",
+				got, want, crashCount, sc.Spares)
+		}
+	}
+
+	// --- oracle: lincheck --- per-key linearizability of the SRO history.
+	// Only asserted in strict scenarios: under loss or partition the chain
+	// package documents a bounded monotone-apply anomaly (an accepted
+	// protocol behavior, not a bug).
+	if strict {
+		if bad, hist, ok := rec.CheckAllDetailed(); !ok {
+			res.BadKey, res.BadHistory = bad, hist
+			fail("lincheck", "key %d history not linearizable (%d ops): %v", bad, len(hist), hist)
+		}
+	}
+
+	// --- oracle: durability --- no committed write lost across failover:
+	// every key with a committed write is present on every current chain
+	// member (commit means the write traversed the whole chain; recovery
+	// snapshots carry it to promoted spares).
+	keys := make([]uint64, 0, len(committedKeys))
+	for k := range committedKeys {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		var first []byte
+		for mi, idx := range memberIdx {
+			val, ok := chainGet(c, idx, k)
+			if !ok {
+				fail("durability", "committed key %d missing on chain member switch %d", k, idx)
+				continue
+			}
+			// --- oracle: agreement --- (strict only) all members hold the
+			// same bytes: lossless forwarding applies every committed write
+			// everywhere, so survivors cannot diverge.
+			if strict {
+				if mi == 0 {
+					first = val
+				} else if string(val) != string(first) {
+					fail("agreement", "key %d differs: member %d has %x, member %d has %x",
+						k, memberIdx[0], first, idx, val)
+				}
+			}
+		}
+	}
+
+	// --- oracle: counter --- exact totals: every increment ever issued is
+	// in the merged sum on every group member (alive replicas + joined
+	// spares), and their full digests agree.
+	ctrNodes := append([]int{}, alive...)
+	ctrNodes = append(ctrNodes, joinedAbs...)
+	for _, i := range ctrNodes {
+		h, err := c.Instance(i).CounterHandle(ctrID)
+		if err != nil {
+			fail("counter", "handle on switch %d: %v", i, err)
+			continue
+		}
+		for k := uint64(0); k < counterKeys; k++ {
+			if got := h.Sum(k); got != ctrExpect[k] {
+				fail("counter", "switch %d key %d sum=%d want %d", i, k, got, ctrExpect[k])
+			}
+		}
+	}
+	if d := digestDisagreement(c, ctrID, ctrNodes); d != "" {
+		fail("counter", "digest disagreement: %s", d)
+	}
+
+	// --- oracle: lww --- convergence: after the calm quiesce all alive
+	// replicas hold identical LWW state.
+	if d := digestDisagreement(c, lwwID, alive); d != "" {
+		fail("lww", "digest disagreement: %s", d)
+	}
+
+	// --- oracle: memory --- every switch respects its SRAM budget, and
+	// identical declarations cost identical SRAM everywhere.
+	first := c.MemoryUsed(0)
+	for i := 0; i < sc.Switches+sc.Spares; i++ {
+		if free := c.Switch(i).MemoryFree(); free < 0 {
+			fail("memory", "switch %d over budget by %d bytes", i, -free)
+		}
+		if used := c.MemoryUsed(i); used != first {
+			fail("memory", "switch %d uses %d bytes, switch 0 uses %d", i, used, first)
+		}
+	}
+
+	for _, f := range res.Failures {
+		log.WriteString("FAIL ")
+		log.WriteString(f)
+		log.WriteByte('\n')
+	}
+	if len(res.Failures) == 0 {
+		log.WriteString("ok all oracles\n")
+	}
+	res.Log = log.String()
+	return res
+}
+
+// chainGet reads the local replica of the "s" register on switch idx.
+func chainGet(c *swishmem.Cluster, idx int, key uint64) ([]byte, bool) {
+	id, _ := c.RegisterID("s")
+	h, err := c.Instance(idx).StrongHandle(id)
+	if err != nil {
+		return nil, false
+	}
+	return h.Node().Get(key)
+}
+
+// digestDisagreement compares the EWO state digests of the given switches
+// for one register; it returns "" when they all agree, or a deterministic
+// description of the first disagreement.
+func digestDisagreement(c *swishmem.Cluster, reg uint16, switches []int) string {
+	var refIdx int
+	var ref string
+	for i, idx := range switches {
+		in := c.Instance(idx)
+		var digest map[uint64]string
+		if h, err := in.CounterHandle(reg); err == nil {
+			digest = h.Node().StateDigest()
+		} else if h, err := in.EventualHandle(reg); err == nil {
+			digest = h.Node().StateDigest()
+		} else {
+			return fmt.Sprintf("switch %d has no node for reg %d", idx, reg)
+		}
+		s := renderDigest(digest)
+		if i == 0 {
+			refIdx, ref = idx, s
+		} else if s != ref {
+			return fmt.Sprintf("switch %d != switch %d for reg %d", idx, refIdx, reg)
+		}
+	}
+	return ""
+}
+
+func renderDigest(d map[uint64]string) string {
+	keys := make([]uint64, 0, len(d))
+	for k := range d {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%d=%s;", k, d[k])
+	}
+	return b.String()
+}

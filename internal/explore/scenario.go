@@ -1,0 +1,357 @@
+// Package explore is a deterministic, seed-replayable randomized model
+// checker for the SwiShmem protocols. From a single int64 seed it generates
+// a whole scenario — cluster shape, link profile, client workload mix, and
+// a fault schedule of switch crashes, partitions, loss bursts, and spare
+// joins — runs it on the simulated cluster, and checks correctness oracles
+// after the run: per-key linearizability of the SRO register (including
+// pending operations from failed writers), exact counter totals and LWW
+// convergence for EWO, chain-reconfiguration safety (no committed write
+// lost across failover), and switch memory-budget invariants.
+//
+// Everything is a pure function of the seed: the same seed produces a
+// byte-identical scenario log, so any failing run is replayable with
+//
+//	go test -run 'TestExplore$' -explore.seed=N
+//
+// On failure the explorer shrinks the scenario — dropping fault episodes,
+// shortening the workload, reducing the cluster, cleaning the link — to a
+// minimal counterexample that still fails the same oracle, and reports both
+// the replay command and the shrunk scenario log. See TESTING.md.
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"swishmem"
+	"swishmem/internal/sim"
+)
+
+// EpisodeKind enumerates fault-schedule episodes.
+type EpisodeKind int
+
+// Episode kinds.
+const (
+	// Crash fail-stops a replica switch (after a gossip-margin pause, so
+	// EWO increments issued at the victim have had time to replicate —
+	// otherwise losing them is correct CRDT behavior, not a bug).
+	Crash EpisodeKind = iota
+	// PartitionFault splits the replicas into two groups for Steps workload
+	// steps, then heals.
+	PartitionFault
+	// LossBurst degrades every inter-switch link to the episode's loss rate
+	// for Steps workload steps, then restores the base profile.
+	LossBurst
+	// Join adds a spare switch to the EWO counter group (§6.3 recovery).
+	Join
+)
+
+func (k EpisodeKind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case PartitionFault:
+		return "partition"
+	case LossBurst:
+		return "lossburst"
+	case Join:
+		return "join"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Episode is one entry of a scenario's fault schedule. Episodes never
+// overlap: each starts at AtStep and (for partitions and loss bursts) ends
+// Steps workload steps later, strictly before the next episode begins.
+type Episode struct {
+	Kind   EpisodeKind
+	AtStep int
+	// Steps is the duration of a partition or loss burst, in workload steps.
+	Steps int
+	// A and B are the partition sides (replica indices).
+	A, B []int
+	// Loss is the burst loss rate.
+	Loss float64
+	// Switch is the crash victim (replica index) or the joining spare's
+	// ordinal (0-based among spares).
+	Switch int
+}
+
+func (e Episode) String() string {
+	switch e.Kind {
+	case Crash:
+		return fmt.Sprintf("episode crash at=%d switch=%d", e.AtStep, e.Switch)
+	case PartitionFault:
+		return fmt.Sprintf("episode partition at=%d steps=%d a=%v b=%v", e.AtStep, e.Steps, e.A, e.B)
+	case LossBurst:
+		return fmt.Sprintf("episode lossburst at=%d steps=%d loss=%.3f", e.AtStep, e.Steps, e.Loss)
+	case Join:
+		return fmt.Sprintf("episode join at=%d spare=%d", e.AtStep, e.Switch)
+	}
+	return "episode ?"
+}
+
+// Scenario is one generated model-checking input: everything Run needs to
+// reproduce an execution exactly.
+type Scenario struct {
+	Seed     int64
+	Switches int // replicas, >= 2
+	Spares   int
+	Link     swishmem.LinkProfile
+	// Steps is the number of workload operations.
+	Steps int
+	// OpGap is the virtual time between workload operations.
+	OpGap time.Duration
+	// Keys is the SRO key-space size (small, to force per-key concurrency).
+	Keys     int
+	Episodes []Episode
+}
+
+// Strict reports whether the SRO register is expected to be linearizable in
+// this scenario. The chain package documents a bounded monotone-apply
+// anomaly under message loss (chain.go, "Departure from textbook chain
+// replication"), so linearizability and member value agreement are asserted
+// only when no messages can be silently dropped: a lossless base link, no
+// partitions, and no loss bursts. Crashes, joins, duplication, reordering,
+// and jitter are all fair game for the strict oracles.
+func (s Scenario) Strict() bool {
+	if s.Link.LossRate > 0 {
+		return false
+	}
+	for _, e := range s.Episodes {
+		if e.Kind == PartitionFault || e.Kind == LossBurst {
+			return false
+		}
+	}
+	return true
+}
+
+// Crashes counts crash episodes.
+func (s Scenario) Crashes() int {
+	n := 0
+	for _, e := range s.Episodes {
+		if e.Kind == Crash {
+			n++
+		}
+	}
+	return n
+}
+
+// Log renders the scenario deterministically — the replay-comparison
+// artifact: same seed, same bytes.
+func (s Scenario) Log() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario seed=%d switches=%d spares=%d steps=%d opgap=%s keys=%d strict=%v\n",
+		s.Seed, s.Switches, s.Spares, s.Steps, s.OpGap, s.Keys, s.Strict())
+	fmt.Fprintf(&b, "link lat=%s jit=%s bw=%.0fbps loss=%.3f dup=%.3f reorder=%.3f\n",
+		time.Duration(s.Link.Latency), time.Duration(s.Link.Jitter),
+		s.Link.BandwidthBps, s.Link.LossRate, s.Link.DupRate, s.Link.ReorderRate)
+	for _, e := range s.Episodes {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Generate derives a scenario from a seed. The generator RNG is independent
+// of the simulation and workload RNGs, so the scenario shape is a function
+// of the seed alone.
+func Generate(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed ^ 0x5ee0c0de))
+	s := Scenario{
+		Seed:     seed,
+		Switches: 2 + rng.Intn(4), // 2..5
+		Spares:   rng.Intn(3),     // 0..2
+		Steps:    80 + rng.Intn(221),
+		OpGap:    time.Duration(30+rng.Intn(41)) * time.Microsecond,
+		Keys:     4 + rng.Intn(13),
+	}
+	s.Link = swishmem.LinkProfile{
+		Latency:      sim.Duration(5+rng.Intn(16)) * 1000, // 5..20us
+		BandwidthBps: 100e9,
+	}
+	if rng.Intn(2) == 0 {
+		s.Link.Jitter = sim.Duration(rng.Intn(26)) * 1000
+	}
+	if rng.Intn(2) == 0 { // lossy fabric: the non-strict regime
+		s.Link.LossRate = 0.005 + rng.Float64()*0.025
+		s.Link.DupRate = rng.Float64() * 0.02
+		s.Link.ReorderRate = rng.Float64() * 0.08
+	}
+
+	// Fault episodes: sequential, non-overlapping, leaving >= 2 replicas.
+	nEp := rng.Intn(4)
+	cursor := 10 + rng.Intn(20)
+	crashes := 0
+	joined := make(map[int]bool)
+	for i := 0; i < nEp && cursor < s.Steps-10; i++ {
+		e := Episode{AtStep: cursor}
+		switch rng.Intn(4) {
+		case 0: // crash
+			if crashes >= s.Switches-2 {
+				continue
+			}
+			e.Kind = Crash
+			e.Switch = rng.Intn(s.Switches)
+			crashes++
+		case 1: // partition
+			if s.Switches < 2 {
+				continue
+			}
+			e.Kind = PartitionFault
+			e.Steps = 10 + rng.Intn(40)
+			cut := 1 + rng.Intn(s.Switches-1)
+			for r := 0; r < s.Switches; r++ {
+				if r < cut {
+					e.A = append(e.A, r)
+				} else {
+					e.B = append(e.B, r)
+				}
+			}
+		case 2: // loss burst
+			e.Kind = LossBurst
+			e.Steps = 10 + rng.Intn(40)
+			e.Loss = 0.05 + rng.Float64()*0.20
+		case 3: // spare join
+			if s.Spares == 0 {
+				continue
+			}
+			sp := rng.Intn(s.Spares)
+			if joined[sp] {
+				continue
+			}
+			joined[sp] = true
+			e.Kind = Join
+			e.Switch = sp
+		}
+		s.Episodes = append(s.Episodes, e)
+		cursor += e.Steps + 15 + rng.Intn(30)
+	}
+	return s.Normalize()
+}
+
+// TortureScenario is the repository's long-standing hand-written stress
+// scenario expressed as a Scenario: 4 replicas + 2 spares on a jittery,
+// lossy, reordering fabric; mixed register traffic; a mid-run partition;
+// and two switch crashes with failover and spare recovery. The root torture
+// test feeds it through Run and asserts on the Result, so the hand-written
+// test and the explorer share one execution and oracle path.
+func TortureScenario(seed int64) Scenario {
+	return Scenario{
+		Seed:     seed,
+		Switches: 4,
+		Spares:   2,
+		Link: swishmem.LinkProfile{Latency: 15_000, Jitter: 20_000,
+			BandwidthBps: 100e9, LossRate: 0.02, DupRate: 0.01, ReorderRate: 0.05},
+		Steps: 390,
+		OpGap: 50 * time.Microsecond,
+		Keys:  12,
+		Episodes: []Episode{
+			{Kind: PartitionFault, AtStep: 150, Steps: 60, A: []int{0, 1}, B: []int{2, 3}},
+			{Kind: Crash, AtStep: 211, Switch: 0},
+			{Kind: Crash, AtStep: 311, Switch: 2},
+		},
+	}.Normalize()
+}
+
+// Normalize repairs a scenario after generation or shrink mutations so Run
+// can assume its invariants: episodes sorted, in range, non-overlapping;
+// crash victims and partition sides are valid replica indices; at least two
+// replicas survive all crashes; joins name existing spares, once each.
+func (s Scenario) Normalize() Scenario {
+	if s.Switches < 2 {
+		s.Switches = 2
+	}
+	if s.Spares < 0 {
+		s.Spares = 0
+	}
+	if s.Steps < 10 {
+		s.Steps = 10
+	}
+	if s.Keys < 1 {
+		s.Keys = 1
+	}
+	if s.OpGap <= 0 {
+		s.OpGap = 50 * time.Microsecond
+	}
+	eps := append([]Episode(nil), s.Episodes...)
+	sort.SliceStable(eps, func(i, j int) bool { return eps[i].AtStep < eps[j].AtStep })
+	var out []Episode
+	crashes := 0
+	crashed := make(map[int]bool)
+	joined := make(map[int]bool)
+	nextFree := 1 // earliest step the next episode may start at
+	for _, e := range eps {
+		if e.AtStep < nextFree {
+			e.AtStep = nextFree
+		}
+		if e.AtStep >= s.Steps {
+			continue
+		}
+		switch e.Kind {
+		case Crash:
+			if e.Switch < 0 || e.Switch >= s.Switches || crashed[e.Switch] || crashes >= s.Switches-2 {
+				continue
+			}
+			crashed[e.Switch] = true
+			crashes++
+			e.Steps = 0
+		case PartitionFault:
+			e.A = filterReplicas(e.A, s.Switches)
+			e.B = filterReplicas(e.B, s.Switches)
+			if len(e.A) == 0 || len(e.B) == 0 {
+				continue
+			}
+			if e.Steps < 1 {
+				e.Steps = 1
+			}
+			if e.AtStep+e.Steps >= s.Steps {
+				e.Steps = s.Steps - 1 - e.AtStep
+				if e.Steps < 1 {
+					continue
+				}
+			}
+		case LossBurst:
+			if e.Loss <= 0 {
+				continue
+			}
+			if e.Steps < 1 {
+				e.Steps = 1
+			}
+			if e.AtStep+e.Steps >= s.Steps {
+				e.Steps = s.Steps - 1 - e.AtStep
+				if e.Steps < 1 {
+					continue
+				}
+			}
+		case Join:
+			if e.Switch < 0 || e.Switch >= s.Spares || joined[e.Switch] {
+				continue
+			}
+			joined[e.Switch] = true
+			e.Steps = 0
+		default:
+			continue
+		}
+		out = append(out, e)
+		nextFree = e.AtStep + e.Steps + 1
+	}
+	s.Episodes = out
+	return s
+}
+
+func filterReplicas(idx []int, switches int) []int {
+	var out []int
+	seen := make(map[int]bool)
+	for _, i := range idx {
+		if i >= 0 && i < switches && !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,78 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"swishmem/internal/experiments"
+)
+
+// Failure is one failing seed from a sweep, with its shrunk counterexample.
+type Failure struct {
+	Seed   int64
+	Opt    RunOptions
+	Result *Result // the original failing run
+	Shrunk Scenario
+	Minned *Result // the shrunk scenario's failing run
+}
+
+// ReplayCommand is the one-liner that reproduces the original failure.
+func (f *Failure) ReplayCommand() string {
+	cmd := fmt.Sprintf("go test -run 'TestExplore$' -explore.seed=%d", f.Seed)
+	if f.Opt.InjectSkipForward > 0 {
+		cmd += fmt.Sprintf(" -explore.inject=%d", f.Opt.InjectSkipForward)
+	}
+	return cmd
+}
+
+// Report renders the failure for humans: what broke, how to replay it, and
+// the minimized scenario.
+func (f *Failure) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d failed %d oracle(s); first: %s\n", f.Seed, len(f.Result.Failures), f.Result.Failures[0])
+	fmt.Fprintf(&b, "replay: %s\n", f.ReplayCommand())
+	b.WriteString("shrunk counterexample:\n")
+	b.WriteString(indent(f.Minned.Log))
+	return b.String()
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "  " + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// SweepResult summarizes a seed sweep.
+type SweepResult struct {
+	Base     int64
+	N        int
+	Failures []*Failure
+}
+
+// Sweep generates and runs n scenarios for seeds base..base+n-1 on up to
+// workers goroutines. Each failing seed is shrunk (within its worker) to a
+// minimal counterexample. Scenario runs are fully independent — each builds
+// its own engine — so results are identical for any worker count; failures
+// come back in ascending seed order.
+func Sweep(base int64, n, workers int, opt RunOptions) SweepResult {
+	results := make([]*Failure, n)
+	experiments.ParallelFor(n, workers, func(i int) {
+		seed := base + int64(i)
+		sc := Generate(seed)
+		r := Run(sc, opt)
+		if !r.Failed() {
+			return
+		}
+		shrunk, minned := Shrink(sc, opt, r)
+		results[i] = &Failure{Seed: seed, Opt: opt, Result: r, Shrunk: shrunk, Minned: minned}
+	})
+	sr := SweepResult{Base: base, N: n}
+	for _, f := range results {
+		if f != nil {
+			sr.Failures = append(sr.Failures, f)
+		}
+	}
+	return sr
+}

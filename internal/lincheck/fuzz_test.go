@@ -1,0 +1,174 @@
+package lincheck
+
+import (
+	"testing"
+)
+
+// refCheck is a brute-force linearizability reference for small histories:
+// enumerate every subset of pending writes and every permutation of the
+// chosen ops, validate the permutation against real-time order (there must
+// exist non-decreasing linearization points t_i ∈ [Start_i, End_i]), and
+// replay register semantics. Exponential, so only usable for ≤ ~7 ops.
+func refCheck(history []Op) bool {
+	var completed, pend []Op
+	for _, o := range history {
+		if o.IsPending() {
+			if o.Write {
+				pend = append(pend, o)
+			}
+			continue
+		}
+		completed = append(completed, o)
+	}
+	for sub := 0; sub < 1<<len(pend); sub++ {
+		ops := append([]Op(nil), completed...)
+		for j := range pend {
+			if sub&(1<<j) != 0 {
+				ops = append(ops, pend[j])
+			}
+		}
+		if permuteOK(ops, make([]bool, len(ops)), nil) {
+			return true
+		}
+	}
+	return false
+}
+
+func permuteOK(ops []Op, taken []bool, order []Op) bool {
+	if len(order) == len(ops) {
+		return validOrder(order)
+	}
+	for i := range ops {
+		if taken[i] {
+			continue
+		}
+		taken[i] = true
+		ok := permuteOK(ops, taken, append(order, ops[i]))
+		taken[i] = false
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func validOrder(order []Op) bool {
+	// Linearization points are real-valued, so a valid assignment exists iff
+	// the greedy non-decreasing t_i = max(t_{i-1}, Start_i) stays ≤ End_i.
+	t := int64(0)
+	value := Initial
+	for _, o := range order {
+		if o.Start > t {
+			t = o.Start
+		}
+		if t > o.End {
+			return false
+		}
+		if o.Write {
+			value = o.Value
+		} else if o.Value != value {
+			return false
+		}
+	}
+	return true
+}
+
+// decodeHistory turns fuzz bytes into a small history: 3 bytes per op
+// (start/flags, duration, value), at most 6 ops so the permutation
+// reference stays tractable.
+func decodeHistory(data []byte) []Op {
+	var h []Op
+	for i := 0; i+2 < len(data) && len(h) < 6; i += 3 {
+		start := int64(data[i] & 15)
+		pending := data[i]&16 != 0
+		write := data[i]&32 != 0
+		value := string(rune('a' + data[i+2]%3))
+		if pending {
+			h = append(h, Pending(start, write, value))
+		} else {
+			h = append(h, Op{start, start + int64(data[i+1]%8), write, value})
+		}
+	}
+	return h
+}
+
+func encodeOp(o Op) [3]byte {
+	var b [3]byte
+	b[0] = byte(o.Start) & 15
+	if o.IsPending() {
+		b[0] |= 16
+	}
+	if o.Write {
+		b[0] |= 32
+	}
+	if !o.IsPending() {
+		b[1] = byte(o.End-o.Start) & 7
+	}
+	b[2] = byte(o.Value[0] - 'a')
+	return b
+}
+
+func encodeHistory(h []Op) []byte {
+	var out []byte
+	for _, o := range h {
+		b := encodeOp(o)
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+// FuzzLincheck cross-validates the windowed Wing-Gong search against the
+// brute-force permutation reference on small generated histories. The seed
+// corpus covers the classically tricky shapes from Lowe's "Testing for
+// linearizability" examples: concurrent write/read pairs where only one
+// ordering is legal, stale reads, flip-flop reads, and pending writes that
+// must not resurface after a completed overwrite.
+func FuzzLincheck(f *testing.F) {
+	seeds := [][]Op{
+		// Lowe Fig. 2-style: read concurrent with two sequential writes may
+		// return either, but the trailing read pins the final value.
+		{{0, 1, true, "a"}, {2, 9, true, "b"}, {3, 8, false, "a"}, {10, 11, false, "b"}},
+		// Illegal: flip-flop between two completed writes.
+		{{0, 5, true, "a"}, {0, 5, true, "b"}, {6, 7, false, "a"}, {8, 9, false, "b"}},
+		// Stale read after completed overwrite.
+		{{0, 1, true, "a"}, {2, 3, true, "b"}, {4, 5, false, "a"}},
+		// Pending write observed, then un-observed (illegal).
+		{Pending(0, true, "a"), {1, 2, false, "a"}, {3, 4, false, "c"}},
+		// Pending write that takes effect (legal).
+		{Pending(0, true, "a"), {1, 2, false, "a"}},
+		// Read before a pending write's invocation cannot observe it.
+		{{0, 1, false, "a"}, Pending(2, true, "a")},
+		// Two pending writes racing with a completed read.
+		{Pending(0, true, "a"), Pending(0, true, "b"), {1, 2, false, "b"}, {3, 4, false, "a"}},
+		// Concurrent chain: overlapping writes with an interleaved read.
+		{{0, 4, true, "a"}, {2, 6, true, "b"}, {3, 5, false, "a"}, {7, 8, false, "a"}},
+	}
+	for _, s := range seeds {
+		f.Add(encodeHistory(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := decodeHistory(data)
+		got := Check(h)
+		want := refCheck(h)
+		if got != want {
+			t.Fatalf("Check = %v, reference = %v, history = %v", got, want, h)
+		}
+	})
+}
+
+// TestRefCheckSanity pins the reference itself on hand-checked cases so a
+// fuzz divergence clearly implicates one side.
+func TestRefCheckSanity(t *testing.T) {
+	if !refCheck([]Op{{0, 1, true, "a"}, {2, 3, false, "a"}}) {
+		t.Fatal("reference rejected legal history")
+	}
+	if refCheck([]Op{{0, 1, true, "a"}, {2, 3, false, "b"}}) {
+		t.Fatal("reference accepted illegal read")
+	}
+	if !refCheck([]Op{Pending(0, true, "a"), {1, 2, false, Initial}}) {
+		t.Fatal("reference rejected ignorable pending write")
+	}
+	if refCheck([]Op{Pending(0, true, "a"), {1, 2, false, "a"}, {3, 4, false, Initial}}) {
+		t.Fatal("reference let a pending write un-apply after being observed")
+	}
+}

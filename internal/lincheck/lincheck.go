@@ -8,17 +8,38 @@
 // (op1 completes before op2 begins ⇒ op1 orders first), in which every read
 // returns the value of the most recent preceding write (or the initial
 // value if none).
+//
+// # Pending operations
+//
+// An operation whose response was never observed — a write submitted at a
+// switch that failed, or whose acknowledgement was lost — is recorded with
+// End = Inf. A pending write may or may not have taken effect; the checker
+// treats it as optional: the history is linearizable iff some subset of the
+// pending writes can be linearized together with all completed operations.
+// Pending reads have no observable effect and are ignored.
+//
+// # Long histories
+//
+// Histories longer than 64 operations are handled by automatic time-windowed
+// splitting: the history is cut at quiescent points (instants where every
+// earlier operation has completed before every later one begins) and each
+// window is checked with the bitmask search, carrying the set of reachable
+// (value, consumed-pending) states across the cut. A window that is itself
+// wider than 64 operations falls back to an unbounded (big-bitset) search,
+// so Check never panics on history length.
 package lincheck
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
-// Op is one completed operation in a history.
+// Op is one operation in a history.
 type Op struct {
 	// Start and End are the invocation and response times. End must be
 	// >= Start. Concurrent operations have overlapping [Start, End].
+	// End = Inf marks a pending operation (no response observed).
 	Start, End int64
 	// Write is true for writes, false for reads.
 	Write bool
@@ -26,10 +47,27 @@ type Op struct {
 	Value string
 }
 
+// Inf is the End time of a pending operation: invoked, but its response was
+// never observed (writer failed, acknowledgement lost, ...).
+const Inf int64 = math.MaxInt64
+
+// Pending builds a pending operation: invoked at start, never completed.
+// Pending writes may or may not have taken effect; Check tries both.
+// Pending reads have no observable effect and are ignored by Check.
+func Pending(start int64, write bool, value string) Op {
+	return Op{Start: start, End: Inf, Write: write, Value: value}
+}
+
+// IsPending reports whether the operation never completed (End = Inf).
+func (o Op) IsPending() bool { return o.End == Inf }
+
 func (o Op) String() string {
 	k := "R"
 	if o.Write {
 		k = "W"
+	}
+	if o.IsPending() {
+		return fmt.Sprintf("%s(%q)@[%d,+inf]", k, o.Value, o.Start)
 	}
 	return fmt.Sprintf("%s(%q)@[%d,%d]", k, o.Value, o.Start, o.End)
 }
@@ -37,54 +75,130 @@ func (o Op) String() string {
 // Initial is the register value before any write.
 const Initial = ""
 
+// maxCarried bounds the cross-window state set before the windowed search
+// gives up and falls back to the unbounded whole-history search.
+const maxCarried = 1024
+
+// state is a cross-window search state: the register value at the cut plus
+// the set of pending writes already linearized (consumed at most once).
+type state struct {
+	value string
+	used  uint64
+}
+
 // Check reports whether the history is linearizable for a single register
 // with the given initial value semantics (reads before any write must
-// return lincheck.Initial). Histories must contain only completed
-// operations; pending operations should either be dropped or completed
-// with an End of +inf by the caller, per standard practice.
+// return lincheck.Initial). Operations with End = Inf are pending (see the
+// package comment); all other operations must be completed.
 //
 // Complexity is exponential in the worst case but fast for the histories
-// produced by protocol tests (≤ a few hundred ops with bounded concurrency).
+// produced by protocol tests: sequential stretches split into independent
+// windows, and concurrency within a window is bounded by the protocol's
+// outstanding-operation limits.
 func Check(history []Op) bool {
-	n := len(history)
-	if n == 0 {
-		return true
-	}
-	ops := make([]Op, n)
-	copy(ops, history)
-	sort.Slice(ops, func(i, j int) bool {
-		if ops[i].Start != ops[j].Start {
-			return ops[i].Start < ops[j].Start
+	var completed, pend []Op
+	for _, o := range history {
+		if o.IsPending() {
+			if o.Write {
+				pend = append(pend, o)
+			}
+			continue // pending reads have no observable effect
 		}
-		return ops[i].End < ops[j].End
+		completed = append(completed, o)
+	}
+	if len(completed) == 0 {
+		return true // any subset of pending writes linearizes in Start order
+	}
+	sort.Slice(completed, func(i, j int) bool {
+		if completed[i].Start != completed[j].Start {
+			return completed[i].Start < completed[j].Start
+		}
+		return completed[i].End < completed[j].End
 	})
-	if n > 64 {
-		// The bitmask search below packs the linearized set into a uint64.
-		// Split longer histories with Partition before checking.
-		panic("lincheck: history longer than 64 ops; partition it first")
+	sort.Slice(pend, func(i, j int) bool { return pend[i].Start < pend[j].Start })
+	if len(pend) > 64 {
+		return checkBig(completed, pend)
 	}
 
-	type stateKey struct {
-		done  uint64
-		value string
-	}
-	visited := make(map[stateKey]bool)
-
-	var search func(done uint64, value string) bool
-	search = func(done uint64, value string) bool {
-		if done == (uint64(1)<<n)-1 {
-			return true
+	// Cut the history at quiescent points: between consecutive completed ops
+	// i-1 and i when every op so far responded strictly before op i began.
+	// Each window is then independent except for the carried register state.
+	type span struct{ from, to int }
+	var wins []span
+	start, maxEnd := 0, completed[0].End
+	for i := 1; i < len(completed); i++ {
+		if maxEnd < completed[i].Start {
+			wins = append(wins, span{start, i})
+			start = i
 		}
-		key := stateKey{done, value}
-		if visited[key] {
+		if completed[i].End > maxEnd {
+			maxEnd = completed[i].End
+		}
+	}
+	wins = append(wins, span{start, len(completed)})
+	for _, w := range wins {
+		if w.to-w.from > 64 {
+			return checkBig(completed, pend)
+		}
+	}
+
+	states := map[state]struct{}{{Initial, 0}: {}}
+	var avail uint64
+	pi := 0
+	for wi, w := range wins {
+		// A pending write becomes available in the first window whose span
+		// covers its Start; it stays available (until consumed) afterwards,
+		// which models taking effect at any later point.
+		limit := int64(math.MaxInt64)
+		if wi+1 < len(wins) {
+			limit = completed[wins[wi+1].from].Start
+		}
+		for pi < len(pend) && pend[pi].Start < limit {
+			avail |= 1 << pi
+			pi++
+		}
+		states = checkWindow(completed[w.from:w.to], pend, avail, states)
+		if len(states) == 0 {
 			return false
 		}
-		visited[key] = true
+		if len(states) > maxCarried {
+			return checkBig(completed, pend)
+		}
+	}
+	return true
+}
 
-		// minEnd: the earliest response among not-yet-linearized ops. Any op
-		// we linearize next must have started before every completed-earlier
-		// op's response — i.e. Start <= minEnd of the remaining ops.
-		minEnd := int64(1<<63 - 1)
+// checkWindow runs the Wing-Gong search over one window of completed ops
+// (sorted by Start, ≤ 64), starting from every state in `in`, and returns
+// the set of (value, consumed-pending) states reachable with the whole
+// window linearized. pend is the global pending-write list; avail marks the
+// pendings usable in this window.
+func checkWindow(ops []Op, pend []Op, avail uint64, in map[state]struct{}) map[state]struct{} {
+	n := len(ops)
+	full := uint64(1)<<n - 1
+	out := make(map[state]struct{})
+	type memoKey struct {
+		done  uint64
+		value string
+		used  uint64
+	}
+	visited := make(map[memoKey]struct{})
+
+	var search func(done uint64, value string, used uint64)
+	search = func(done uint64, value string, used uint64) {
+		if done == full {
+			out[state{value, used}] = struct{}{}
+			return
+		}
+		k := memoKey{done, value, used}
+		if _, seen := visited[k]; seen {
+			return
+		}
+		visited[k] = struct{}{}
+
+		// minEnd: the earliest response among not-yet-linearized completed
+		// ops. Any op linearized next must have started by then.
+		minEnd := int64(math.MaxInt64)
 		for i := 0; i < n; i++ {
 			if done&(1<<i) == 0 && ops[i].End < minEnd {
 				minEnd = ops[i].End
@@ -99,18 +213,114 @@ func Check(history []Op) bool {
 			}
 			o := ops[i]
 			if o.Write {
-				if search(done|(1<<i), o.Value) {
-					return true
-				}
+				search(done|(1<<i), o.Value, used)
 			} else if o.Value == value {
-				if search(done|(1<<i), value) {
-					return true
-				}
+				search(done|(1<<i), value, used)
+			}
+		}
+		// A pending write may take effect at any point after its invocation.
+		for j := range pend {
+			bit := uint64(1) << j
+			if avail&bit == 0 || used&bit != 0 {
+				continue
+			}
+			if pend[j].Start <= minEnd {
+				search(done, pend[j].Value, used|bit)
+			}
+		}
+	}
+	for s := range in {
+		search(0, s.value, s.used)
+	}
+	return out
+}
+
+// checkBig is the unbounded fallback: the same search over the whole
+// history with arbitrary-width bitsets. Exponential worst case, but only
+// reached for >64-op windows with no quiescent cut (or >64 pending writes),
+// which protocol histories do not produce in practice.
+func checkBig(completed, pend []Op) bool {
+	n := len(completed)
+	done := make([]bool, n)
+	used := make([]bool, len(pend))
+	remaining := n
+	visited := make(map[string]struct{})
+	key := func(value string) string {
+		b := make([]byte, 0, n+len(pend)+len(value)+1)
+		for _, d := range done {
+			if d {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+		}
+		for _, u := range used {
+			if u {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+		}
+		b = append(b, 0xff)
+		b = append(b, value...)
+		return string(b)
+	}
+
+	var search func(value string) bool
+	search = func(value string) bool {
+		if remaining == 0 {
+			return true
+		}
+		k := key(value)
+		if _, seen := visited[k]; seen {
+			return false
+		}
+		visited[k] = struct{}{}
+
+		minEnd := int64(math.MaxInt64)
+		for i := 0; i < n; i++ {
+			if !done[i] && completed[i].End < minEnd {
+				minEnd = completed[i].End
+			}
+		}
+		for i := 0; i < n; i++ {
+			if done[i] {
+				continue
+			}
+			if completed[i].Start > minEnd {
+				break
+			}
+			o := completed[i]
+			if !o.Write && o.Value != value {
+				continue
+			}
+			next := value
+			if o.Write {
+				next = o.Value
+			}
+			done[i] = true
+			remaining--
+			ok := search(next)
+			done[i] = false
+			remaining++
+			if ok {
+				return true
+			}
+		}
+		for j := range pend {
+			if used[j] || pend[j].Start > minEnd {
+				continue
+			}
+			used[j] = true
+			ok := search(pend[j].Value)
+			used[j] = false
+			if ok {
+				return true
 			}
 		}
 		return false
 	}
-	return search(0, Initial)
+	return search(Initial)
 }
 
 // Partition splits a multi-key history into per-key histories. SwiShmem
@@ -134,7 +344,7 @@ type Recorder struct {
 	ops  []Op
 }
 
-// Add appends a completed operation on key.
+// Add appends an operation on key (completed, or pending with End = Inf).
 func (r *Recorder) Add(key uint64, op Op) {
 	if op.End < op.Start {
 		panic(fmt.Sprintf("lincheck: op ends before it starts: %v", op))
@@ -143,16 +353,37 @@ func (r *Recorder) Add(key uint64, op Op) {
 	r.ops = append(r.ops, op)
 }
 
+// AddPending appends a pending operation on key (End = Inf): invoked at
+// start but never observed to complete.
+func (r *Recorder) AddPending(key uint64, start int64, write bool, value string) {
+	r.Add(key, Pending(start, write, value))
+}
+
 // Len returns the number of recorded operations.
 func (r *Recorder) Len() int { return len(r.ops) }
 
-// CheckAll verifies every key's sub-history, returning the first violating
-// key (ok=false) or ok=true.
+// CheckAll verifies every key's sub-history in ascending key order,
+// returning the smallest violating key (ok=false) or ok=true. The sorted
+// iteration makes the reported badKey deterministic across runs.
 func (r *Recorder) CheckAll() (badKey uint64, ok bool) {
-	for key, h := range Partition(r.keys, r.ops) {
-		if !Check(h) {
-			return key, false
+	badKey, _, ok = r.CheckAllDetailed()
+	return badKey, ok
+}
+
+// CheckAllDetailed verifies every key's sub-history in ascending key order.
+// On violation it returns the smallest violating key and that key's full
+// sub-history (in recording order) for counterexample reporting.
+func (r *Recorder) CheckAllDetailed() (badKey uint64, history []Op, ok bool) {
+	byKey := Partition(r.keys, r.ops)
+	keys := make([]uint64, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if !Check(byKey[k]) {
+			return k, byKey[k], false
 		}
 	}
-	return 0, true
+	return 0, nil, true
 }

@@ -104,17 +104,167 @@ func TestLongSequentialHistoryFast(t *testing.T) {
 	}
 }
 
-func TestTooLongPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for >64 ops")
-		}
-	}()
-	h := make([]Op, 65)
-	for i := range h {
-		h[i] = Op{int64(i), int64(i), true, "x"}
+func TestLongHistorySplitsIntoWindows(t *testing.T) {
+	// 300 ops, far beyond the 64-op bitmask limit, but with quiescent cuts
+	// between each write/read pair: the windowed splitter must handle it.
+	var h []Op
+	cur := Initial
+	now := int64(0)
+	for i := 0; i < 150; i++ {
+		v := string(rune('a' + i%26))
+		h = append(h, Op{now, now + 5, true, v})
+		h = append(h, Op{now + 3, now + 9, false, v}) // concurrent with its write
+		cur = v
+		now += 20
 	}
-	Check(h)
+	if !Check(h) {
+		t.Fatal("long legal history rejected")
+	}
+	// Corrupt one read deep in the history: must be rejected.
+	bad := make([]Op, len(h))
+	copy(bad, h)
+	bad[201].Value = "ZZZ"
+	if Check(bad) {
+		t.Fatal("corrupted long history accepted")
+	}
+	// Stale read across a window boundary: read an old value after a
+	// completed overwrite two windows earlier.
+	stale := make([]Op, len(h))
+	copy(stale, h)
+	stale[299].Value = stale[280].Value
+	if Check(stale) {
+		t.Fatal("stale cross-window read accepted")
+	}
+	_ = cur
+}
+
+func TestLongConcurrentWindowUsesBigFallback(t *testing.T) {
+	// A 70-op ladder where op i overlaps op i+1: every adjacent pair is
+	// concurrent, so no quiescent cut exists and the >64-op window must go
+	// through the big-bitset fallback. Concurrency width stays 2, so the
+	// memoized search remains fast.
+	var h []Op
+	for i := 0; i < 70; i++ {
+		v := string(rune('a' + i%26))
+		h = append(h, Op{int64(i * 10), int64(i*10 + 15), true, v})
+	}
+	last := h[69].Value
+	h = append(h, Op{800, 801, false, last})
+	if !Check(h) {
+		t.Fatal("legal >64-op concurrent window rejected")
+	}
+	h[70].Value = "ZZZ"
+	if Check(h) {
+		t.Fatal("read of never-written value accepted by big fallback")
+	}
+}
+
+func TestPendingWriteOptional(t *testing.T) {
+	// A pending write may or may not have taken effect; both continuations
+	// are legal.
+	h := []Op{
+		Pending(0, true, "a"),
+		{10, 11, false, "a"}, // it took effect
+	}
+	if !Check(h) {
+		t.Fatal("pending write taking effect rejected")
+	}
+	h[1] = Op{10, 11, false, Initial} // it did not
+	if !Check(h) {
+		t.Fatal("pending write not taking effect rejected")
+	}
+	// But it cannot flip-flop: seen, then unseen.
+	h = []Op{
+		Pending(0, true, "a"),
+		{10, 11, false, "a"},
+		{12, 13, false, Initial},
+	}
+	if Check(h) {
+		t.Fatal("pending write un-applied after being observed")
+	}
+}
+
+func TestPendingWriteCannotTakeEffectEarly(t *testing.T) {
+	// The pending write starts after the read completes: the read cannot
+	// observe it.
+	h := []Op{
+		{0, 1, false, "a"},
+		Pending(5, true, "a"),
+	}
+	if Check(h) {
+		t.Fatal("read observed a write invoked after it completed")
+	}
+}
+
+func TestPendingReadIgnored(t *testing.T) {
+	h := []Op{
+		{0, 1, true, "a"},
+		Pending(2, false, "nonsense"), // no response observed: no constraint
+	}
+	if !Check(h) {
+		t.Fatal("pending read constrained the history")
+	}
+}
+
+func TestPendingAcrossWindows(t *testing.T) {
+	// A pending write from an early window may take effect in a much later
+	// window (e.g. a delayed chain write applying after failover).
+	var h []Op
+	now := int64(0)
+	for i := 0; i < 100; i++ {
+		v := string(rune('a' + i%26))
+		h = append(h, Op{now, now + 5, true, v})
+		h = append(h, Op{now + 6, now + 9, false, v})
+		now += 20
+	}
+	h = append(h, Pending(3, true, "LATE"))
+	h = append(h, Op{now, now + 1, false, "LATE"}) // applied at the very end
+	if !Check(h) {
+		t.Fatal("late-applying pending write rejected")
+	}
+	// Once overwritten by a later completed write, it cannot resurface.
+	h = append(h, Op{now + 10, now + 11, true, "final"})
+	h = append(h, Op{now + 20, now + 21, false, "LATE"})
+	if Check(h) {
+		t.Fatal("pending write resurfaced after completed overwrite")
+	}
+}
+
+func TestCheckAllDetailed(t *testing.T) {
+	var r Recorder
+	r.Add(7, Op{0, 1, true, "a"})
+	r.Add(7, Op{2, 3, false, "a"})
+	if _, _, ok := r.CheckAllDetailed(); !ok {
+		t.Fatal("legal history rejected")
+	}
+	r.Add(9, Op{0, 1, true, "x"})
+	r.Add(9, Op{5, 6, false, "stale"})
+	r.Add(3, Op{0, 1, true, "y"})
+	r.Add(3, Op{5, 6, false, "also-stale"})
+	bad, hist, ok := r.CheckAllDetailed()
+	if ok {
+		t.Fatal("violations not detected")
+	}
+	if bad != 3 {
+		t.Fatalf("badKey = %d, want smallest violating key 3", bad)
+	}
+	if len(hist) != 2 || hist[1].Value != "also-stale" {
+		t.Fatalf("sub-history = %v", hist)
+	}
+}
+
+func TestCheckAllDeterministicBadKey(t *testing.T) {
+	// Multiple violating keys: CheckAll must always report the smallest.
+	for trial := 0; trial < 20; trial++ {
+		var r Recorder
+		for _, k := range []uint64{42, 7, 99, 13} {
+			r.Add(k, Op{0, 1, true, "v"})
+			r.Add(k, Op{5, 6, false, "stale"})
+		}
+		if bad, ok := r.CheckAll(); ok || bad != 7 {
+			t.Fatalf("trial %d: badKey = %d, want 7", trial, bad)
+		}
+	}
 }
 
 func TestPartition(t *testing.T) {

@@ -213,6 +213,16 @@ func (n *Network) linkFor(a, b Addr) *link {
 	return l
 }
 
+// Profile returns the profile of the a->b direction: the configured link,
+// or the network default when the pair was never configured or used. It
+// never materializes a link.
+func (n *Network) Profile(a, b Addr) LinkProfile {
+	if l, ok := n.links[[2]Addr{a, b}]; ok {
+		return l.profile
+	}
+	return n.defaultProfile
+}
+
 // Partition assigns nodes to partition groups. Nodes in different nonzero
 // groups cannot exchange messages; group 0 (the default) talks to everyone.
 func (n *Network) Partition(group int, addrs ...Addr) {

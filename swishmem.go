@@ -196,6 +196,23 @@ func (c *Cluster) SetLink(i, j int, p LinkProfile) {
 	c.net.SetLink(c.switches[i].Addr(), c.switches[j].Addr(), p)
 }
 
+// SetAllLinks overrides the link profile between every pair of switches
+// (replicas and spares alike) — e.g. a cluster-wide loss burst, or calming
+// the fabric before a convergence check. Controller links are untouched so
+// failure detection is not perturbed.
+func (c *Cluster) SetAllLinks(p LinkProfile) {
+	for i := range c.switches {
+		for j := i + 1; j < len(c.switches); j++ {
+			c.SetLink(i, j, p)
+		}
+	}
+}
+
+// Link returns the profile currently governing the i->j direction.
+func (c *Cluster) Link(i, j int) LinkProfile {
+	return c.net.Profile(c.switches[i].Addr(), c.switches[j].Addr())
+}
+
 // Partition splits the replicas into two groups that cannot communicate;
 // HealPartition reverses it.
 func (c *Cluster) Partition(groupA, groupB []int) {

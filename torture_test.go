@@ -1,167 +1,51 @@
-package swishmem
+package swishmem_test
 
 import (
-	"encoding/binary"
 	"fmt"
 	"testing"
-	"time"
+
+	"swishmem/internal/explore"
 )
 
-// TestTortureMixedRegistersUnderFaults is the repository's end-to-end
-// stress scenario: a 4-switch + 2-spare cluster running all three register
-// classes at once, a jittery lossy fabric, a mid-run partition, and two
-// switch failures with automatic failover and recovery — after which every
-// surviving invariant is checked:
+// TestTortureMixedRegistersUnderFaults is the repository's end-to-end stress
+// scenario: a 4-switch + 2-spare cluster running all three register classes
+// at once, a jittery lossy fabric, a mid-run partition, and two switch
+// failures with automatic failover and recovery.
 //
-//   - every committed SRO write is durable and identical on all survivors;
+// The scenario itself lives in explore.TortureScenario, and the execution
+// and invariant checking ride the explorer's shared Run/oracle path — the
+// hand-written stress test and the randomized model checker exercise one
+// code path, so an oracle fix or a protocol regression shows up in both:
+//
+//   - every committed SRO write is durable on every current chain member;
 //   - the EWO counter total equals exactly the sum of all increments;
 //   - the LWW register converged to a single value everywhere;
-//   - the controller recovered the chain with a spare.
+//   - the controller recovered the chain with a spare;
+//   - no switch overran its memory budget.
+//
+// A failure is replayable: explore.Run is deterministic per scenario, so
+// rerunning this test reproduces the identical run log.
 func TestTortureMixedRegistersUnderFaults(t *testing.T) {
 	for seed := int64(1); seed <= 3; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			link := LinkProfile{Latency: 15_000, Jitter: 20_000, BandwidthBps: 100e9,
-				LossRate: 0.02, DupRate: 0.01, ReorderRate: 0.05}
-			c, err := New(Config{
-				Switches: 4, Spares: 2, Seed: seed, Link: &link,
-				HeartbeatPeriod: 500 * time.Microsecond,
-			})
-			if err != nil {
-				t.Fatal(err)
+			if seed > 1 && testing.Short() {
+				t.Skip("-short: torture seeds beyond 1 are covered by the full run and CI")
 			}
-			strong, err := c.DeclareStrong("s", StrongOptions{
-				Capacity: 4096, ValueWidth: 8, RetryTimeout: 500 * time.Microsecond})
-			if err != nil {
-				t.Fatal(err)
+			sc := explore.TortureScenario(seed)
+			r := explore.Run(sc, explore.RunOptions{})
+			if r.Failed() {
+				t.Fatalf("torture seed %d failed:\n%s", seed, r.Log)
 			}
-			ctr, err := c.DeclareCounter("c", EventualOptions{
-				Capacity: 1024, SyncPeriod: 500 * time.Microsecond})
-			if err != nil {
-				t.Fatal(err)
+			if r.Recoveries < 1 {
+				t.Errorf("no chain recovery happened (crashes=%d spares=%d)", sc.Crashes(), sc.Spares)
 			}
-			lww, err := c.DeclareEventual("l", EventualOptions{
-				Capacity: 256, ValueWidth: 8, SyncPeriod: 500 * time.Microsecond})
-			if err != nil {
-				t.Fatal(err)
+			if len(r.ChainMembers) < 2 {
+				t.Errorf("chain shrank to %v", r.ChainMembers)
 			}
-			c.RunFor(3 * time.Millisecond)
-
-			committed := map[uint64]uint64{} // SRO key -> value, as acknowledged
-			var ctrTotal uint64
-			rng := c.Engine().Rand()
-
-			phase := func(n int, alive []int) {
-				for i := 0; i < n; i++ {
-					w := alive[rng.Intn(len(alive))]
-					switch rng.Intn(3) {
-					case 0:
-						k := uint64(rng.Intn(512))
-						v := rng.Uint64()
-						buf := make([]byte, 8)
-						binary.BigEndian.PutUint64(buf, v)
-						strong[w].Write(k, buf, func(ok bool) {
-							if ok {
-								committed[k] = v
-							}
-						})
-					case 1:
-						d := uint64(rng.Intn(5) + 1)
-						ctr[w].Add(uint64(rng.Intn(64)), d)
-						ctrTotal += d
-					case 2:
-						lww[w].Write(3, []byte(fmt.Sprintf("%07x", rng.Int31n(1<<28))))
-					}
-					c.RunFor(50 * time.Microsecond)
-				}
-			}
-
-			phase(150, []int{0, 1, 2, 3})
-
-			// Partition {0,1} vs {2,3} briefly, with traffic from both sides.
-			c.Partition([]int{0, 1}, []int{2, 3})
-			phase(60, []int{0, 1, 2, 3})
-			c.HealPartition()
-			c.RunFor(20 * time.Millisecond)
-
-			// Kill the chain head, keep writing from survivors.
-			c.FailSwitch(0)
-			c.RunFor(20 * time.Millisecond)
-			phase(100, []int{1, 2, 3})
-
-			// Kill another member mid-phase.
-			c.FailSwitch(2)
-			c.RunFor(20 * time.Millisecond)
-			phase(80, []int{1, 3})
-			c.RunFor(500 * time.Millisecond) // quiesce: retries, syncs, recoveries
-
-			// --- invariants ---
-			alive := []int{1, 3, 4, 5} // original survivors + both spares
-			if got := c.Controller().Stats.Recoveries.Value(); got < 1 {
-				t.Errorf("no chain recovery happened (got %d)", got)
-			}
-
-			// SRO durability & agreement among chain members. The current
-			// chain membership after failovers is authoritative.
-			cc := strong[1].Node().Chain()
-			if len(cc.Members) < 2 {
-				t.Fatalf("chain shrank to %v", cc.Members)
-			}
-			for k, v := range committed {
-				want := make([]byte, 8)
-				binary.BigEndian.PutUint64(want, v)
-				// Read through the protocol at a surviving chain member.
-				// Forwarded reads ride the lossy fabric and are not retried
-				// by the protocol (clients retransmit); retry here.
-				var got []byte
-				var ok bool
-				for attempt := 0; attempt < 5 && !ok; attempt++ {
-					strong[1].Read(k, func(val []byte, o bool) { got, ok = val, o })
-					c.RunFor(10 * time.Millisecond)
-				}
-				if !ok {
-					t.Fatalf("committed key %d lost", k)
-				}
-				// The committed map records OUR last acknowledged write; a
-				// concurrent later write from another switch may have
-				// superseded it, so only keys we wrote last deterministically
-				// can be value-checked. Check durability (presence) for all.
-				_ = got
-			}
-
-			// EWO counter exactness on every alive node.
-			for _, i := range alive {
-				var sum uint64
-				h, err := c.Instance(i).CounterHandle(mustIDt(t, c, "c"))
-				if err != nil {
-					// Spares joined chains, not counter groups; skip them.
-					continue
-				}
-				for k := uint64(0); k < 64; k++ {
-					sum += h.Sum(k)
-				}
-				if i == 1 || i == 3 {
-					if sum != ctrTotal {
-						t.Errorf("node %d counter total %d, want %d", i, sum, ctrTotal)
-					}
-				}
-			}
-
-			// LWW convergence among surviving replicas.
-			v1, ok1 := lww[1].Read(3)
-			v3, ok3 := lww[3].Read(3)
-			if ok1 != ok3 || string(v1) != string(v3) {
-				t.Errorf("LWW diverged: %q(%v) vs %q(%v)", v1, ok1, v3, ok3)
+			if r.Committed == 0 {
+				t.Error("no SRO write committed during the torture run")
 			}
 		})
 	}
-}
-
-func mustIDt(t *testing.T, c *Cluster, name string) uint16 {
-	t.Helper()
-	id, ok := c.RegisterID(name)
-	if !ok {
-		t.Fatalf("register %q missing", name)
-	}
-	return id
 }
