@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench tables snapshot trace clean
+.PHONY: all build test race vet bench tables snapshot trace live-soak clean
 
 all: build vet test
 
@@ -35,6 +35,12 @@ EXP ?= E4
 trace:
 	$(GO) run ./cmd/benchtab -e $(EXP) -trace trace.json -metrics metrics.txt
 
+# Loopback live-cluster soak under the race detector: real UDP transport,
+# injected loss, explore oracles over the surviving state.
+live-soak:
+	$(GO) test ./internal/livecluster -race -count=1 -v -run 'TestSoak$$' \
+		-soak.budget=2s -soak.loss=0.05 -soak.out=$(CURDIR)/soak-metrics.txt
+
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_new.json trace.json metrics.txt
+	rm -f BENCH_new.json trace.json metrics.txt soak-metrics.txt

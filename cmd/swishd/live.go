@@ -1,0 +1,171 @@
+package main
+
+// swishd -live: the cross-process deployment mode. Instead of the simulated
+// cluster, each process runs one node over the live UDP transport
+// (internal/netem/live): a controller process is the discovery/config point,
+// member processes run one switch each with the chain + EWO protocols
+// unchanged, and the soak role runs a whole loopback cluster in-process for
+// validation.
+//
+//	swishd -live controller -live.listen 127.0.0.1:7000 -live.members 3
+//	swishd -live member -live.addr 1 -live.controller 127.0.0.1:7000
+//	swishd -live soak -live.budget 2s -live.loss 0.05 -live.replay trace.bin
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/netip"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"swishmem/internal/controller"
+	"swishmem/internal/livecluster"
+	"swishmem/internal/netem"
+	"swishmem/internal/workload"
+)
+
+var (
+	liveListen  = flag.String("live.listen", "127.0.0.1:0", "UDP bind address (controller/member)")
+	liveAddr    = flag.Int("live.addr", 1, "member SwiShmem address (member role)")
+	liveCtrl    = flag.String("live.controller", "", "controller UDP endpoint (member role)")
+	liveMembers = flag.Int("live.members", 3, "expected cluster size")
+	liveLoss    = flag.Float64("live.loss", 0.05, "injected outbound loss (member/soak)")
+	liveBudget  = flag.Duration("live.budget", 2*time.Second, "soak workload budget")
+	liveReplay  = flag.String("live.replay", "", "trafficgen binary trace driving the soak workload")
+	liveMetrics = flag.String("live.metrics", "", "write transport metrics to this file (soak)")
+)
+
+func runLive(role string) {
+	switch role {
+	case "controller":
+		runLiveController()
+	case "member":
+		runLiveMember()
+	case "soak":
+		runLiveSoak()
+	default:
+		log.Fatalf("swishd: unknown -live role %q (want controller | member | soak)", role)
+	}
+}
+
+func runLiveController() {
+	addrs := make([]netem.Addr, *liveMembers)
+	for i := range addrs {
+		addrs[i] = netem.Addr(i + 1)
+	}
+	fab, ctl, err := livecluster.NewLiveController(1, *liveListen, addrs, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fab.Stop()
+	fab.Start()
+	fmt.Printf("swishd: live controller on %s, expecting %d members\n", fab.AddrPort(), *liveMembers)
+	tick := time.NewTicker(2 * time.Second)
+	defer tick.Stop()
+	sig := sigChan()
+	for {
+		select {
+		case <-sig:
+			fmt.Println("swishd: controller shutting down")
+			return
+		case <-tick.C:
+			var stats controller.LiveStats
+			var members []netem.Addr
+			fab.Call(func() {
+				stats = ctl.Stats
+				members = ctl.AliveMembers()
+			})
+			fmt.Printf("[ctrl] alive=%v hellos=%d heartbeats=%d failures=%d\n",
+				members, stats.Hellos, stats.Heartbeats, stats.FailuresSeen)
+		}
+	}
+}
+
+func runLiveMember() {
+	if *liveCtrl == "" {
+		log.Fatal("swishd: -live member needs -live.controller host:port")
+	}
+	ep, err := netip.ParseAddrPort(*liveCtrl)
+	if err != nil {
+		log.Fatalf("swishd: bad -live.controller: %v", err)
+	}
+	m, err := livecluster.NewMember(livecluster.MemberConfig{
+		Addr:         netem.Addr(*liveAddr),
+		Seed:         int64(*liveAddr),
+		ControllerEP: ep,
+		Listen:       *liveListen,
+		Profile:      netem.LinkProfile{LossRate: *liveLoss},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Stop()
+	m.Start()
+	fmt.Printf("swishd: live member %d on %s -> controller %s (loss=%.1f%%)\n",
+		*liveAddr, m.Fabric.AddrPort(), ep, *liveLoss*100)
+	tick := time.NewTicker(2 * time.Second)
+	defer tick.Stop()
+	sig := sigChan()
+	for {
+		select {
+		case <-sig:
+			fmt.Println("swishd: member shutting down")
+			return
+		case <-tick.C:
+			var epoch uint32
+			var group int
+			m.Fabric.Call(func() {
+				epoch = m.Strong.Node().Chain().Epoch
+				group = len(m.Counter.Node().Group())
+			})
+			st := m.Fabric.Node().Stats()
+			fmt.Printf("[member %d] chain epoch=%d group=%d tx=%d rx=%d txdrop=%d\n",
+				*liveAddr, epoch, group, st.Sent, st.Received, st.TxDropped)
+		}
+	}
+}
+
+func runLiveSoak() {
+	cfg := livecluster.SoakConfig{
+		Members: *liveMembers,
+		Seed:    1,
+		Budget:  *liveBudget,
+		Loss:    *liveLoss,
+	}
+	if *liveReplay != "" {
+		tr, err := workload.ReadBinaryFile(*liveReplay)
+		if err != nil {
+			log.Fatalf("swishd: replay trace: %v", err)
+		}
+		cfg.Trace = tr
+		fmt.Printf("swishd: soak driven by %d-packet trace %s\n", len(tr), *liveReplay)
+	}
+	fmt.Printf("swishd: live soak: %d members, budget %v, loss %.1f%%\n",
+		cfg.Members, *liveBudget, *liveLoss*100)
+	rep, err := livecluster.Soak(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("soak: %d strong writes (%d committed), %d counter adds, %d lww writes\n",
+		rep.StrongWrites, rep.Committed, rep.CounterAdds, rep.LWWWrites)
+	if *liveMetrics != "" {
+		check(os.WriteFile(*liveMetrics, []byte(rep.Metrics), 0o644))
+		fmt.Printf("wrote metrics to %s\n", *liveMetrics)
+	}
+	if rep.Failed() {
+		for _, f := range rep.Failures {
+			fmt.Fprintf(os.Stderr, "FAIL %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("ok all oracles")
+}
+
+func sigChan() chan os.Signal {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	return ch
+}

@@ -9,6 +9,12 @@
 //	swishd -nf nat -fail 2 -failafter 50ms    # fail switch #2 mid-run
 //	swishd -nf lb -trace out.json             # virtual-time trace (ui.perfetto.dev)
 //	swishd -nf lb -metrics metrics.txt        # full cluster metrics dump
+//
+// Live (cross-process UDP) mode — see live.go:
+//
+//	swishd -live controller -live.listen 127.0.0.1:7000 -live.members 3
+//	swishd -live member -live.addr 1 -live.controller 127.0.0.1:7000
+//	swishd -live soak -live.budget 2s -live.loss 0.05
 package main
 
 import (
@@ -37,8 +43,14 @@ func main() {
 		flowRate  = flag.Float64("flows", 20000, "new flows per second (connection NFs)")
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 		metout    = flag.String("metrics", "", "write a plain-text dump of every cluster metric to this file")
+		liveMode  = flag.String("live", "", "live UDP mode: controller | member | soak (see live.go)")
 	)
 	flag.Parse()
+
+	if *liveMode != "" {
+		runLive(*liveMode)
+		return
+	}
 
 	link := swishmem.LinkProfile{Latency: 10_000, BandwidthBps: 100e9, LossRate: *loss}
 	cluster, err := swishmem.New(swishmem.Config{

@@ -1,7 +1,8 @@
 // trafficgen synthesizes workload traces (connection churn, DDoS attack
-// mixes, per-user streams) and writes them as binary packet traces — one
-// length-prefixed serialized packet per record with a nanosecond arrival
-// offset — or prints a summary.
+// mixes, per-user streams) and writes them in the workload binary trace
+// format ([8B arrival offset ns][1B flow flags][4B length][serialized
+// packet]; see workload.WriteBinary) — the format the live soak harness and
+// swishd -live replay consume — or prints a summary.
 //
 // Usage:
 //
@@ -11,13 +12,10 @@
 package main
 
 import (
-	"bufio"
-	"encoding/binary"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
-	"os"
 	"time"
 
 	"swishmem/internal/packet"
@@ -66,7 +64,7 @@ func main() {
 	}
 
 	if *out != "" {
-		if err := writeTrace(*out, tr); err != nil {
+		if err := workload.WriteBinaryFile(*out, tr); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %d packets to %s\n", len(tr), *out)
@@ -74,32 +72,6 @@ func main() {
 	if *summary || *out == "" {
 		printSummary(tr)
 	}
-}
-
-// writeTrace writes records of [8B offset ns][4B length][serialized packet].
-func writeTrace(path string, tr workload.Trace) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	w := bufio.NewWriter(f)
-	var hdr [12]byte
-	for i := range tr {
-		raw, err := tr[i].Pkt.Serialize()
-		if err != nil {
-			return fmt.Errorf("packet %d: %w", i, err)
-		}
-		binary.BigEndian.PutUint64(hdr[0:], uint64(tr[i].At))
-		binary.BigEndian.PutUint32(hdr[8:], uint32(len(raw)))
-		if _, err := w.Write(hdr[:]); err != nil {
-			return err
-		}
-		if _, err := w.Write(raw); err != nil {
-			return err
-		}
-	}
-	return w.Flush()
 }
 
 func printSummary(tr workload.Trace) {

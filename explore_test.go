@@ -31,9 +31,9 @@ import (
 )
 
 var (
-	exploreN    = flag.Int("explore.n", 0, "sweep this many seeds in TestExplore (0 = skip long mode)")
-	exploreBase = flag.Int64("explore.base", 1, "first seed of the TestExplore sweep")
-	exploreSeed = flag.Int64("explore.seed", 0, "replay this single seed in TestExplore (0 = off)")
+	exploreN      = flag.Int("explore.n", 0, "sweep this many seeds in TestExplore (0 = skip long mode)")
+	exploreBase   = flag.Int64("explore.base", 1, "first seed of the TestExplore sweep")
+	exploreSeed   = flag.Int64("explore.seed", 0, "replay this single seed in TestExplore (0 = off)")
 	exploreInject = flag.Int("explore.inject", 0,
 		"arm the injected skip-forward chain bug for this many writes (replaying injected failures)")
 	exploreArtifacts = flag.String("explore.artifacts", "", "directory for per-failure report files")

@@ -22,6 +22,7 @@ package controller
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"swishmem/internal/netem"
@@ -105,6 +106,14 @@ type Controller struct {
 
 	// OnFailure, if set, is invoked when a switch is declared dead.
 	OnFailure func(addr netem.Addr)
+
+	// Iteration scratch, reused so the periodic scan allocates nothing in
+	// steady state. Go map ranges are deliberately randomized, so every walk
+	// that can trigger reconfiguration sorts first: with two switches silent
+	// in the same scan tick, failover order (and thus spare selection and the
+	// wire-visible config sequence) must not shift run to run.
+	scanScratch []netem.Addr
+	regScratch  []uint16
 
 	Stats Stats
 }
@@ -199,13 +208,19 @@ func (c *Controller) Monitor(sw *pisa.Switch) {
 // reconfiguration.
 func (c *Controller) scan() {
 	now := c.eng.Now()
-	for addr, last := range c.lastBeat {
-		if c.dead[addr] || now.Sub(last) < c.cfg.FailureTimeout {
+	addrs := c.scanScratch[:0]
+	for addr := range c.lastBeat {
+		addrs = append(addrs, addr)
+	}
+	slices.Sort(addrs)
+	c.scanScratch = addrs
+	for _, addr := range addrs {
+		if c.dead[addr] || now.Sub(c.lastBeat[addr]) < c.cfg.FailureTimeout {
 			continue
 		}
 		c.dead[addr] = true
 		c.Stats.FailuresSeen.Inc()
-		c.traceInstant("failure", "addr", int64(addr), "silence_ns", int64(now.Sub(last)))
+		c.traceInstant("failure", "addr", int64(addr), "silence_ns", int64(now.Sub(c.lastBeat[addr])))
 		c.handleFailure(addr)
 		if c.OnFailure != nil {
 			c.OnFailure(addr)
@@ -282,13 +297,25 @@ func (c *Controller) pushChain(cs *chainState) {
 	}
 }
 
-// handleFailure routes around addr in every chain and group.
+// handleFailure routes around addr in every chain and group, visiting
+// registers in sorted order so the reconfiguration sequence is deterministic.
 func (c *Controller) handleFailure(addr netem.Addr) {
-	for _, cs := range c.chains {
-		c.failChainMember(cs, addr)
+	regs := c.regScratch[:0]
+	for reg := range c.chains {
+		regs = append(regs, reg)
 	}
-	for _, gs := range c.groups {
-		c.failGroupMember(gs, addr)
+	slices.Sort(regs)
+	for _, reg := range regs {
+		c.failChainMember(c.chains[reg], addr)
+	}
+	regs = regs[:0]
+	for reg := range c.groups {
+		regs = append(regs, reg)
+	}
+	slices.Sort(regs)
+	c.regScratch = regs
+	for _, reg := range regs {
+		c.failGroupMember(c.groups[reg], addr)
 	}
 }
 

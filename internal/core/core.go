@@ -8,7 +8,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"swishmem/internal/chain"
 	"swishmem/internal/chain/ctrlplane"
@@ -102,13 +102,12 @@ func (in *Instance) route(from netem.Addr, msg wire.Msg) {
 			in.sw.CtrlDo(func() { n.HandleCtrl(from, m) })
 		}
 	case *wire.ChainConfig:
-		for _, n := range in.chains {
-			n.SetChain(*m)
-		}
+		// Sorted fan-out: config application order must not depend on map
+		// iteration (per-register side effects like retries are scheduled as
+		// the config lands).
+		in.EachChain(func(_ uint16, n *chain.Node) { n.SetChain(*m) })
 	case *wire.GroupConfig:
-		for _, n := range in.ewos {
-			_ = n.SetGroup(*m)
-		}
+		in.EachEWO(func(_ uint16, n *ewo.Node) { _ = n.SetGroup(*m) })
 	}
 }
 
@@ -289,7 +288,7 @@ func sortedRegs[V any](m map[uint16]V) []uint16 {
 	for reg := range m {
 		regs = append(regs, reg)
 	}
-	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+	slices.Sort(regs)
 	return regs
 }
 

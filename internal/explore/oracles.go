@@ -1,0 +1,124 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file factors the explorer's end-state invariants into a data-driven
+// oracle library. The checks operate on plain state views rather than on a
+// *swishmem.Cluster, so any harness that can read surviving replica state —
+// the simulated fault explorer, the live-cluster soak in
+// internal/livecluster — runs the exact same oracles.
+//
+// Each oracle returns a deterministic slice of violation messages (empty
+// means the invariant holds). Callers wrap them with their own "oracle
+// <name>:" prefixes; names are the shrinker's comparison key.
+
+// ChainView is one chain member's readable strong-register state.
+type ChainView struct {
+	// Name identifies the member in failure messages (e.g. "switch 2").
+	Name string
+	// Get reads the member's local replica of a key.
+	Get func(key uint64) ([]byte, bool)
+}
+
+// EWOView is one EWO replica's readable state. Sum is nil for value (LWW)
+// registers.
+type EWOView struct {
+	Name   string
+	Sum    func(key uint64) uint64
+	Digest func() map[uint64]string
+}
+
+// OracleDurability checks that every listed key is present on every chain
+// member: a committed write traversed the whole chain, and recovery
+// snapshots carry it to promoted spares, so no surviving member may lack it.
+func OracleDurability(keys []uint64, members []ChainView) []string {
+	var fails []string
+	for _, k := range sortedKeys(keys) {
+		for _, m := range members {
+			if _, ok := m.Get(k); !ok {
+				fails = append(fails, fmt.Sprintf("committed key %d missing on chain member %s", k, m.Name))
+			}
+		}
+	}
+	return fails
+}
+
+// OracleAgreement checks that every member holds byte-identical values for
+// the listed keys (sound only when forwarding was lossless — strict
+// scenarios; under loss the chain documents a bounded monotone-apply
+// anomaly). Missing keys are OracleDurability's business and are skipped.
+func OracleAgreement(keys []uint64, members []ChainView) []string {
+	var fails []string
+	for _, k := range sortedKeys(keys) {
+		var ref []byte
+		var refName string
+		for _, m := range members {
+			val, ok := m.Get(k)
+			if !ok {
+				continue
+			}
+			if refName == "" {
+				ref, refName = val, m.Name
+			} else if string(val) != string(ref) {
+				fails = append(fails, fmt.Sprintf("key %d differs: %s has %x, %s has %x",
+					k, refName, ref, m.Name, val))
+			}
+		}
+	}
+	return fails
+}
+
+// OracleCounterTotals checks exact counter totals: expect[k] is the sum of
+// every increment ever issued to key k, and every replica's merged Sum must
+// equal it (counters are exact and monotone; a calm sync interval makes the
+// merged value identical everywhere).
+func OracleCounterTotals(expect []uint64, nodes []EWOView) []string {
+	var fails []string
+	for _, n := range nodes {
+		for k := range expect {
+			if got := n.Sum(uint64(k)); got != expect[k] {
+				fails = append(fails, fmt.Sprintf("%s key %d sum=%d want %d", n.Name, k, got, expect[k]))
+			}
+		}
+	}
+	return fails
+}
+
+// OracleConvergence checks that all replicas' full state digests agree
+// (CRDT convergence after a calm quiesce).
+func OracleConvergence(nodes []EWOView) []string {
+	var ref, refName string
+	for i, n := range nodes {
+		s := RenderDigest(n.Digest())
+		if i == 0 {
+			ref, refName = s, n.Name
+		} else if s != ref {
+			return []string{fmt.Sprintf("digest disagreement: %s != %s", n.Name, refName)}
+		}
+	}
+	return nil
+}
+
+// RenderDigest renders an EWO state digest deterministically (sorted keys).
+func RenderDigest(d map[uint64]string) string {
+	keys := make([]uint64, 0, len(d))
+	for k := range d {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%d=%s;", k, d[k])
+	}
+	return b.String()
+}
+
+func sortedKeys(keys []uint64) []uint64 {
+	out := append([]uint64(nil), keys...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
-	"sort"
 	"strings"
 	"time"
 
@@ -374,26 +373,23 @@ func Run(sc Scenario, opt RunOptions) *Result {
 	for k := range committedKeys {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, k := range keys {
-		var first []byte
-		for mi, idx := range memberIdx {
-			val, ok := chainGet(c, idx, k)
-			if !ok {
-				fail("durability", "committed key %d missing on chain member switch %d", k, idx)
-				continue
-			}
-			// --- oracle: agreement --- (strict only) all members hold the
-			// same bytes: lossless forwarding applies every committed write
-			// everywhere, so survivors cannot diverge.
-			if strict {
-				if mi == 0 {
-					first = val
-				} else if string(val) != string(first) {
-					fail("agreement", "key %d differs: member %d has %x, member %d has %x",
-						k, memberIdx[0], first, idx, val)
-				}
-			}
+	chainViews := make([]ChainView, 0, len(memberIdx))
+	for _, idx := range memberIdx {
+		i := idx
+		chainViews = append(chainViews, ChainView{
+			Name: fmt.Sprintf("switch %d", i),
+			Get:  func(key uint64) ([]byte, bool) { return chainGet(c, i, key) },
+		})
+	}
+	for _, f := range OracleDurability(keys, chainViews) {
+		fail("durability", "%s", f)
+	}
+	// --- oracle: agreement --- (strict only) all members hold the same
+	// bytes: lossless forwarding applies every committed write everywhere,
+	// so survivors cannot diverge.
+	if strict {
+		for _, f := range OracleAgreement(keys, chainViews) {
+			fail("agreement", "%s", f)
 		}
 	}
 
@@ -402,26 +398,42 @@ func Run(sc Scenario, opt RunOptions) *Result {
 	// spares), and their full digests agree.
 	ctrNodes := append([]int{}, alive...)
 	ctrNodes = append(ctrNodes, joinedAbs...)
+	var ctrViews []EWOView
 	for _, i := range ctrNodes {
 		h, err := c.Instance(i).CounterHandle(ctrID)
 		if err != nil {
 			fail("counter", "handle on switch %d: %v", i, err)
 			continue
 		}
-		for k := uint64(0); k < counterKeys; k++ {
-			if got := h.Sum(k); got != ctrExpect[k] {
-				fail("counter", "switch %d key %d sum=%d want %d", i, k, got, ctrExpect[k])
-			}
-		}
+		ctrViews = append(ctrViews, EWOView{
+			Name:   fmt.Sprintf("switch %d", i),
+			Sum:    h.Sum,
+			Digest: h.Node().StateDigest,
+		})
 	}
-	if d := digestDisagreement(c, ctrID, ctrNodes); d != "" {
-		fail("counter", "digest disagreement: %s", d)
+	for _, f := range OracleCounterTotals(ctrExpect, ctrViews) {
+		fail("counter", "%s", f)
+	}
+	for _, f := range OracleConvergence(ctrViews) {
+		fail("counter", "%s", f)
 	}
 
 	// --- oracle: lww --- convergence: after the calm quiesce all alive
 	// replicas hold identical LWW state.
-	if d := digestDisagreement(c, lwwID, alive); d != "" {
-		fail("lww", "digest disagreement: %s", d)
+	var lwwViews []EWOView
+	for _, i := range alive {
+		h, err := c.Instance(i).EventualHandle(lwwID)
+		if err != nil {
+			fail("lww", "handle on switch %d: %v", i, err)
+			continue
+		}
+		lwwViews = append(lwwViews, EWOView{
+			Name:   fmt.Sprintf("switch %d", i),
+			Digest: h.Node().StateDigest,
+		})
+	}
+	for _, f := range OracleConvergence(lwwViews) {
+		fail("lww", "%s", f)
 	}
 
 	// --- oracle: memory --- every switch respects its SRAM budget, and
@@ -456,43 +468,4 @@ func chainGet(c *swishmem.Cluster, idx int, key uint64) ([]byte, bool) {
 		return nil, false
 	}
 	return h.Node().Get(key)
-}
-
-// digestDisagreement compares the EWO state digests of the given switches
-// for one register; it returns "" when they all agree, or a deterministic
-// description of the first disagreement.
-func digestDisagreement(c *swishmem.Cluster, reg uint16, switches []int) string {
-	var refIdx int
-	var ref string
-	for i, idx := range switches {
-		in := c.Instance(idx)
-		var digest map[uint64]string
-		if h, err := in.CounterHandle(reg); err == nil {
-			digest = h.Node().StateDigest()
-		} else if h, err := in.EventualHandle(reg); err == nil {
-			digest = h.Node().StateDigest()
-		} else {
-			return fmt.Sprintf("switch %d has no node for reg %d", idx, reg)
-		}
-		s := renderDigest(digest)
-		if i == 0 {
-			refIdx, ref = idx, s
-		} else if s != ref {
-			return fmt.Sprintf("switch %d != switch %d for reg %d", idx, refIdx, reg)
-		}
-	}
-	return ""
-}
-
-func renderDigest(d map[uint64]string) string {
-	keys := make([]uint64, 0, len(d))
-	for k := range d {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	var b strings.Builder
-	for _, k := range keys {
-		fmt.Fprintf(&b, "%d=%s;", k, d[k])
-	}
-	return b.String()
 }

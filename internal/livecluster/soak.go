@@ -1,0 +1,423 @@
+package livecluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"swishmem/internal/explore"
+	"swishmem/internal/netem"
+	"swishmem/internal/obs"
+	"swishmem/internal/packet"
+	"swishmem/internal/workload"
+)
+
+// flowHash maps a 5-tuple onto a stable 64-bit value (FNV-1a) so a trace
+// packet lands on the same member/key in every run.
+func flowHash(k packet.FlowKey) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(b byte) { h = (h ^ uint64(b)) * 1099511628211 }
+	src, dst := k.Src.As4(), k.Dst.As4()
+	for _, b := range src {
+		mix(b)
+	}
+	for _, b := range dst {
+		mix(b)
+	}
+	mix(byte(k.SrcPort >> 8))
+	mix(byte(k.SrcPort))
+	mix(byte(k.DstPort >> 8))
+	mix(byte(k.DstPort))
+	mix(byte(k.Proto))
+	return h
+}
+
+// SoakConfig parameterizes a loopback live-cluster soak.
+type SoakConfig struct {
+	// Members is the cluster size. Default 3.
+	Members int
+	// Seed drives the workload op sequence and per-node fault sampling.
+	Seed int64
+	// Budget is the wall-clock workload duration. Default 2s.
+	Budget time.Duration
+	// Loss is the injected outbound loss rate on every member. Default 0.05
+	// (the acceptance floor).
+	Loss float64
+	// Latency/Jitter/DupRate/ReorderRate complete the injected fault model.
+	// Defaults: 200µs latency, 100µs jitter, 1% dup, 1% reorder.
+	Latency     time.Duration
+	Jitter      time.Duration
+	DupRate     float64
+	ReorderRate float64
+	// OpInterval is the pacing between workload ops. Default 300µs.
+	OpInterval time.Duration
+	// Keys is the strong-register key range. Default 32.
+	Keys int
+	// Trace, when non-empty, drives the workload from a trafficgen packet
+	// trace instead of the synthetic op mix: each packet maps
+	// deterministically (by flow hash) onto a member and an op — flow
+	// starts become strong writes (connection state), flow ends become LWW
+	// writes (last-seen state), and every other packet becomes a counter
+	// increment (per-flow packet counting, the paper's DDoS use case). The
+	// trace loops until Budget elapses.
+	Trace workload.Trace
+}
+
+func (c SoakConfig) withDefaults() SoakConfig {
+	if c.Members == 0 {
+		c.Members = 3
+	}
+	if c.Budget == 0 {
+		c.Budget = 2 * time.Second
+	}
+	if c.Loss == 0 {
+		c.Loss = 0.05
+	}
+	if c.Latency == 0 {
+		c.Latency = 200 * time.Microsecond
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 100 * time.Microsecond
+	}
+	if c.DupRate == 0 {
+		c.DupRate = 0.01
+	}
+	if c.ReorderRate == 0 {
+		c.ReorderRate = 0.01
+	}
+	if c.OpInterval == 0 {
+		c.OpInterval = 300 * time.Microsecond
+	}
+	if c.Keys == 0 {
+		c.Keys = 32
+	}
+	return c
+}
+
+// SoakReport is the outcome of one soak run.
+type SoakReport struct {
+	// Failures lists oracle violations ("oracle <name>: ..."); empty = pass.
+	Failures []string
+	// Workload totals.
+	StrongWrites int
+	Committed    int
+	CounterAdds  int
+	LWWWrites    int
+	// Metrics is the rendered transport/fabric metrics snapshot.
+	Metrics string
+}
+
+// Failed reports whether any oracle was violated.
+func (r *SoakReport) Failed() bool { return len(r.Failures) > 0 }
+
+// soakWrite tracks one strong write through its commit callback (touched
+// only on its member's pump goroutine until the final collection Call).
+type soakWrite struct {
+	key       uint64
+	resolved  bool
+	committed bool
+}
+
+// memberTrack is per-member workload bookkeeping, owned by that member's
+// pump goroutine.
+type memberTrack struct {
+	writes   []*soakWrite
+	ctrAdded [CounterKeys]uint64
+}
+
+// Soak runs a full live-cluster soak on loopback: boot a controller and
+// Members member processes-worth of fabrics, drive a mixed workload under
+// the injected fault model for Budget, calm the network, quiesce, and run
+// the explore durability/counter-total/convergence oracles over the
+// surviving state. The linearizability and agreement oracles are strict-mode
+// (lossless) checks in the explorer and do not apply under injected loss.
+func Soak(cfg SoakConfig) (*SoakReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &SoakReport{}
+	fail := func(oracle, format string, args ...any) {
+		rep.Failures = append(rep.Failures, fmt.Sprintf("oracle %s: %s", oracle, fmt.Sprintf(format, args...)))
+	}
+
+	addrs := make([]netem.Addr, cfg.Members)
+	for i := range addrs {
+		addrs[i] = netem.Addr(i + 1)
+	}
+	ctrlFab, _, err := NewLiveController(cfg.Seed, "", addrs, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("livecluster: controller: %w", err)
+	}
+	defer ctrlFab.Stop()
+	ctrlFab.Start()
+
+	faulty := netem.LinkProfile{
+		Latency:     cfg.Latency,
+		Jitter:      cfg.Jitter,
+		LossRate:    cfg.Loss,
+		DupRate:     cfg.DupRate,
+		ReorderRate: cfg.ReorderRate,
+	}
+	members := make([]*Member, cfg.Members)
+	for i := range members {
+		m, err := NewMember(MemberConfig{
+			Addr:         addrs[i],
+			Seed:         cfg.Seed + int64(i)*7919,
+			ControllerEP: ctrlFab.AddrPort(),
+			Profile:      faulty,
+		})
+		if err != nil {
+			for _, prev := range members {
+				if prev != nil {
+					prev.Stop()
+				}
+			}
+			return nil, fmt.Errorf("livecluster: member %d: %w", i, err)
+		}
+		members[i] = m
+		m.Start()
+	}
+	defer func() {
+		for _, m := range members {
+			m.Stop()
+		}
+	}()
+
+	// Phase 1: bootstrap. Every member must hold a chain config and a full
+	// group before the workload starts.
+	if err := waitConfigured(members, 30*time.Second); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: workload under faults. Ops are posted onto member pumps; all
+	// tracking state is owned by the target pump until collection.
+	tracks := make([]*memberTrack, cfg.Members)
+	for i := range tracks {
+		tracks[i] = &memberTrack{}
+	}
+	wrng := rand.New(rand.NewSource(cfg.Seed*6364136223846793005 + 1442695040888963407))
+	postStrong := func(i int, key uint64, v uint64) {
+		rep.StrongWrites++
+		buf := make([]byte, 8)
+		binary.BigEndian.PutUint64(buf, v)
+		m, tr := members[i], tracks[i]
+		sw := &soakWrite{key: key}
+		m.Fabric.Post(func() {
+			tr.writes = append(tr.writes, sw)
+			m.Strong.Write(key, buf, func(ok bool) {
+				sw.resolved, sw.committed = true, ok
+			})
+		})
+	}
+	postAdd := func(i int, key, d uint64) {
+		rep.CounterAdds++
+		m, tr := members[i], tracks[i]
+		m.Fabric.Post(func() {
+			tr.ctrAdded[key] += d
+			m.Counter.Add(key, d)
+		})
+	}
+	postLWW := func(i int, key uint64, val []byte) {
+		rep.LWWWrites++
+		m := members[i]
+		m.Fabric.Post(func() { m.LWW.Write(key, val) })
+	}
+	start := time.Now()
+	if len(cfg.Trace) > 0 {
+		// Trace-driven: packets arrive in trace order at OpInterval pacing
+		// and map deterministically onto ops; the trace loops until the
+		// budget elapses.
+		for ti := 0; time.Since(start) < cfg.Budget; ti = (ti + 1) % len(cfg.Trace) {
+			tp := &cfg.Trace[ti]
+			fk, ok := tp.Pkt.Flow()
+			if !ok {
+				continue
+			}
+			h := flowHash(fk)
+			i := int(h % uint64(cfg.Members))
+			switch {
+			case tp.FlowStart: // connection state insert
+				postStrong(i, h%uint64(cfg.Keys), h)
+			case tp.FlowEnd: // last-seen state
+				postLWW(i, h%LWWKeys, []byte(fmt.Sprintf("%08x", uint32(h))))
+			default: // per-flow packet counting (the DDoS use case)
+				postAdd(i, h%CounterKeys, 1)
+			}
+			time.Sleep(cfg.OpInterval)
+		}
+	} else {
+		for time.Since(start) < cfg.Budget {
+			i := wrng.Intn(cfg.Members)
+			switch r := wrng.Intn(100); {
+			case r < 40:
+				postStrong(i, uint64(wrng.Intn(cfg.Keys)), wrng.Uint64())
+			case r < 75:
+				postAdd(i, uint64(wrng.Intn(CounterKeys)), uint64(wrng.Intn(5)+1))
+			default:
+				postLWW(i, uint64(wrng.Intn(LWWKeys)), []byte(fmt.Sprintf("%08x", wrng.Uint32())))
+			}
+			time.Sleep(cfg.OpInterval)
+		}
+	}
+
+	// Phase 3: calm the network (shaping off) and quiesce: writer retries
+	// resolve and EWO synchronization converges. Calm links are what make
+	// the convergence oracles deterministic rather than probabilistic.
+	for _, m := range members {
+		m.Fabric.Node().SetProfile(netem.LinkProfile{})
+		m.Fabric.Node().SetRecvLoss(0)
+	}
+	if err := waitQuiesced(members, 30*time.Second); err != nil {
+		return nil, err
+	}
+	time.Sleep(250 * time.Millisecond) // a few calm sync rounds to converge
+
+	// Phase 4: collect workload tracking and surviving state (one Call per
+	// member serializes against its pump).
+	var (
+		committedKeys = map[uint64]bool{}
+		ctrExpect     = make([]uint64, CounterKeys)
+	)
+	for i, m := range members {
+		tr := tracks[i]
+		m.Fabric.Call(func() {
+			for _, w := range tr.writes {
+				if w.resolved && w.committed {
+					committedKeys[w.key] = true
+					rep.Committed++
+				}
+			}
+			for k, d := range tr.ctrAdded {
+				ctrExpect[k] += d
+			}
+		})
+	}
+	keys := make([]uint64, 0, len(committedKeys))
+	for k := range committedKeys {
+		keys = append(keys, k)
+	}
+
+	type snapshot struct {
+		strong map[uint64][]byte
+		sums   [CounterKeys]uint64
+		ctrDig map[uint64]string
+		lwwDig map[uint64]string
+	}
+	snaps := make([]snapshot, cfg.Members)
+	for i, m := range members {
+		snap := &snaps[i]
+		m.Fabric.Call(func() {
+			snap.strong = make(map[uint64][]byte, len(keys))
+			for _, k := range keys {
+				if v, ok := m.Strong.Node().Get(k); ok {
+					snap.strong[k] = append([]byte(nil), v...)
+				}
+			}
+			for k := range snap.sums {
+				snap.sums[k] = m.Counter.Sum(uint64(k))
+			}
+			snap.ctrDig = m.Counter.Node().StateDigest()
+			snap.lwwDig = m.LWW.Node().StateDigest()
+		})
+	}
+
+	// Phase 5: oracles over the snapshots.
+	chainViews := make([]explore.ChainView, cfg.Members)
+	ctrViews := make([]explore.EWOView, cfg.Members)
+	lwwViews := make([]explore.EWOView, cfg.Members)
+	for i := range snaps {
+		snap := &snaps[i]
+		chainViews[i] = explore.ChainView{
+			Name: fmt.Sprintf("member %d", i),
+			Get: func(key uint64) ([]byte, bool) {
+				v, ok := snap.strong[key]
+				return v, ok
+			},
+		}
+		ctrViews[i] = explore.EWOView{
+			Name:   fmt.Sprintf("member %d", i),
+			Sum:    func(key uint64) uint64 { return snap.sums[key] },
+			Digest: func() map[uint64]string { return snap.ctrDig },
+		}
+		lwwViews[i] = explore.EWOView{
+			Name:   fmt.Sprintf("member %d", i),
+			Digest: func() map[uint64]string { return snap.lwwDig },
+		}
+	}
+	for _, f := range explore.OracleDurability(keys, chainViews) {
+		fail("durability", "%s", f)
+	}
+	for _, f := range explore.OracleCounterTotals(ctrExpect, ctrViews) {
+		fail("counter", "%s", f)
+	}
+	for _, f := range explore.OracleConvergence(ctrViews) {
+		fail("counter", "%s", f)
+	}
+	for _, f := range explore.OracleConvergence(lwwViews) {
+		fail("lww", "%s", f)
+	}
+
+	rep.Metrics = renderMetrics(ctrlFab, members)
+	return rep, nil
+}
+
+// waitConfigured polls until every member holds the initial chain + group
+// configuration (epoch >= 1, full group).
+func waitConfigured(members []*Member, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		ready := 0
+		for _, m := range members {
+			var ok bool
+			m.Fabric.Call(func() {
+				ok = m.Strong.Node().Chain().Epoch >= 1 &&
+					len(m.Counter.Node().Group()) == len(members)
+			})
+			if ok {
+				ready++
+			}
+		}
+		if ready == len(members) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("livecluster: bootstrap timeout: %d/%d members configured", ready, len(members))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// waitQuiesced polls until no member has outstanding chain writes.
+func waitQuiesced(members []*Member, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		pending := 0
+		for _, m := range members {
+			var n int
+			m.Fabric.Call(func() { n = m.Strong.Node().OutstandingWrites() })
+			pending += n
+		}
+		if pending == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("livecluster: quiesce timeout: %d writes outstanding", pending)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// renderMetrics registers every fabric's transport counters and renders one
+// text snapshot (the soak's CI artifact).
+func renderMetrics(ctrl interface {
+	RegisterMetrics(*obs.Registry, string)
+}, members []*Member) string {
+	reg := obs.NewRegistry()
+	ctrl.RegisterMetrics(reg, "node=ctrl")
+	for i, m := range members {
+		m.Fabric.RegisterMetrics(reg, fmt.Sprintf("node=%d", i))
+	}
+	var b strings.Builder
+	reg.Snapshot().WriteText(&b)
+	return b.String()
+}

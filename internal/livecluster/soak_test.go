@@ -1,0 +1,82 @@
+package livecluster
+
+import (
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"swishmem/internal/workload"
+)
+
+var (
+	soakBudget = flag.Duration("soak.budget", 800*time.Millisecond,
+		"wall-clock workload budget for the live soak (CI uses a longer one)")
+	soakLoss = flag.Float64("soak.loss", 0.05, "injected outbound loss rate")
+	soakOut  = flag.String("soak.out", "", "write the metrics snapshot to this file")
+)
+
+// TestSoak boots a 3-member loopback cluster plus controller, drives a
+// mixed workload under injected loss for the budget, then runs the explore
+// durability/counter-total/convergence oracles over the surviving state.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live soak needs wall-clock time")
+	}
+	rep, err := Soak(SoakConfig{
+		Seed:   42,
+		Budget: *soakBudget,
+		Loss:   *soakLoss,
+	})
+	if err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+	t.Logf("soak: strongw=%d committed=%d ctr=%d lww=%d",
+		rep.StrongWrites, rep.Committed, rep.CounterAdds, rep.LWWWrites)
+	if *soakOut != "" {
+		if err := os.MkdirAll(filepath.Dir(*soakOut), 0o755); err == nil {
+			_ = os.WriteFile(*soakOut, []byte(rep.Metrics), 0o644)
+		}
+	}
+	if rep.StrongWrites == 0 || rep.CounterAdds == 0 || rep.LWWWrites == 0 {
+		t.Fatalf("workload did not exercise all register classes: %+v", rep)
+	}
+	if rep.Committed == 0 {
+		t.Fatalf("no strong write ever committed")
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("%s", f)
+	}
+	if t.Failed() {
+		t.Logf("transport metrics:\n%s", rep.Metrics)
+	}
+}
+
+// TestSoakTraceDriven runs a short soak where a trafficgen-style packet
+// trace drives the workload: flow starts -> strong writes, flow ends ->
+// LWW writes, everything else -> per-flow counter increments.
+func TestSoakTraceDriven(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live soak needs wall-clock time")
+	}
+	rng := rand.New(rand.NewSource(9))
+	trace, err := workload.GenTrace(rng, workload.TraceConfig{
+		Duration: 20 * time.Millisecond, FlowsPerSec: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Soak(SoakConfig{Seed: 9, Budget: 500 * time.Millisecond, Trace: trace})
+	if err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+	t.Logf("trace soak: strongw=%d committed=%d ctr=%d lww=%d",
+		rep.StrongWrites, rep.Committed, rep.CounterAdds, rep.LWWWrites)
+	if rep.StrongWrites == 0 || rep.CounterAdds == 0 {
+		t.Fatalf("trace did not exercise the register classes: %+v", rep)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,438 @@
+package live
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"swishmem/internal/netem"
+	"swishmem/internal/obs"
+	"swishmem/internal/packet"
+	"swishmem/internal/sim"
+	"swishmem/internal/wire"
+)
+
+// Fabric runs one SwiShmem node (a switch, or the controller) over the live
+// UDP transport while keeping the deterministic single-goroutine engine
+// programming model every protocol layer was written against.
+//
+// The construction: each process owns a private sim.Engine plus a local
+// netem.Network with a zero-cost default profile. Local components (the
+// PISA switch, protocol nodes, timers) attach and run exactly as in
+// simulation. For every remote address the fabric attaches a *relay*
+// endpoint into the local network: a send from the switch to a remote
+// address arrives at the relay as an ordinary netem delivery, and the relay
+// marshals it onto the UDP socket. Inbound datagrams take the reverse trip:
+// the socket's read loop (raw, allocation-free) parks the bytes in an
+// inbox; the pump goroutine decodes them and injects them as local netem
+// deliveries from the relay address. The pump drives the engine with
+// RunUntil(wall-clock elapsed), so every virtual timer — heartbeats, write
+// retries, EWO sync rounds — fires at its wall time and all protocol state
+// stays single-goroutine (no locks were added to any protocol package).
+//
+// Fault injection lives in the transport node (Options.Profile and
+// receive-side loss), not the local network, so shaping applies to real
+// datagrams only.
+type Fabric struct {
+	cfg  FabricConfig
+	addr netem.Addr
+	eng  *sim.Engine
+	nw   *netem.Network
+	node *Node
+
+	mu      sync.Mutex
+	inbox   []inbound
+	inFree  [][]byte
+	posts   []func()
+	started bool
+	fstats  FabricStats
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	stopOnce  sync.Once
+	startWall time.Time
+
+	// Pump-goroutine state (no locking needed).
+	relays map[netem.Addr]bool
+	system func(from netem.Addr, msg wire.Msg) bool
+
+	// Bootstrap state.
+	bootCtrl   netem.Addr
+	peersEpoch atomic.Uint32
+}
+
+// FabricConfig parameterizes a fabric.
+type FabricConfig struct {
+	// Addr is this node's SwiShmem address. Required.
+	Addr netem.Addr
+	// Seed seeds the engine and the transport's fault sampling.
+	Seed int64
+	// Node configures the underlying transport (bind address, shaping).
+	Node Options
+	// MaxIdle bounds the pump's sleep when the engine has nothing scheduled.
+	// Default 5ms.
+	MaxIdle time.Duration
+}
+
+// FabricStats counts fabric events (all mutated on the pump goroutine,
+// snapshotted under the fabric lock).
+type FabricStats struct {
+	Injected       uint64 // datagrams decoded and injected into the engine
+	SystemConsumed uint64 // messages eaten by the system handler (bootstrap)
+	DecodeErr      uint64
+	EgressMsgs     uint64 // local sends relayed onto the socket
+	EgressErrs     uint64
+	PacketDropped  uint64 // data packets (unsupported over live) discarded
+	Posts          uint64
+	PumpRounds     uint64
+}
+
+type inbound struct {
+	from netem.Addr
+	buf  []byte
+}
+
+// NewFabric builds a stopped fabric: engine, local network, and transport
+// node are live, the pump is not. Attach local components (pisa.New against
+// Engine()/Network(), protocol nodes, Bootstrap) and then call Start.
+func NewFabric(cfg FabricConfig) (*Fabric, error) {
+	if cfg.Addr == 0 {
+		return nil, fmt.Errorf("live: fabric needs an address")
+	}
+	if cfg.MaxIdle <= 0 {
+		cfg.MaxIdle = 5 * time.Millisecond
+	}
+	cfg.Node.Seed = cfg.Seed
+	node, err := Listen(cfg.Addr, cfg.Node)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	f := &Fabric{
+		cfg:    cfg,
+		addr:   cfg.Addr,
+		eng:    eng,
+		nw:     netem.New(eng, netem.LinkProfile{}),
+		node:   node,
+		wake:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		relays: make(map[netem.Addr]bool),
+	}
+	node.SetRawHandler(f.onDatagram)
+	return f, nil
+}
+
+// Engine returns the fabric's private engine. Before Start it may be used
+// freely; after Start only from the pump goroutine (Post/Call).
+func (f *Fabric) Engine() *sim.Engine { return f.eng }
+
+// Network returns the fabric's local network (for pisa.New).
+func (f *Fabric) Network() *netem.Network { return f.nw }
+
+// Node returns the transport node (shaping control, stats).
+func (f *Fabric) Node() *Node { return f.node }
+
+// Addr returns the fabric's home address.
+func (f *Fabric) Addr() netem.Addr { return f.addr }
+
+// AddrPort returns the UDP endpoint other processes reach this fabric at.
+func (f *Fabric) AddrPort() netip.AddrPort { return f.node.AddrPort() }
+
+// SetSystemHandler installs a hook that sees every inbound message before
+// injection; returning true consumes it. It runs on the pump goroutine. The
+// controller uses it for Hello/Heartbeat handling without a switch model.
+func (f *Fabric) SetSystemHandler(h func(from netem.Addr, msg wire.Msg) bool) {
+	f.system = h
+}
+
+// AddRemote registers a remote node: transport peer plus local relay
+// endpoint. Safe before Start; after Start it defers to the pump.
+func (f *Fabric) AddRemote(addr netem.Addr, ap netip.AddrPort) {
+	f.node.AddPeerAddrPort(addr, ap)
+	f.onPump(func() { f.ensureRelay(addr) })
+}
+
+// ensureRelay attaches the egress relay endpoint for a remote address.
+// Pump goroutine (or pre-start) only.
+func (f *Fabric) ensureRelay(peer netem.Addr) {
+	if peer == f.addr || f.relays[peer] {
+		return
+	}
+	f.relays[peer] = true
+	to := peer
+	f.nw.Attach(to, func(_ netem.Addr, payload any, _ int) {
+		f.egress(to, payload)
+	})
+}
+
+// egress relays one local netem delivery onto the UDP socket. The delivery's
+// payload reference passes to us; Send marshals synchronously, so pooled
+// payloads release immediately after.
+func (f *Fabric) egress(to netem.Addr, payload any) {
+	msg, ok := payload.(wire.Msg)
+	if !ok {
+		if p, ok := payload.(*packet.Packet); ok {
+			p.Recycle()
+		}
+		f.count(func(s *FabricStats) { s.PacketDropped++ })
+		return
+	}
+	if err := f.node.Send(to, msg); err != nil {
+		f.count(func(s *FabricStats) { s.EgressErrs++ })
+	} else {
+		f.count(func(s *FabricStats) { s.EgressMsgs++ })
+	}
+	if r, ok := payload.(netem.Releasable); ok {
+		r.Release()
+	}
+}
+
+// Bootstrap wires this fabric to the controller's discovery service: the
+// controller endpoint is registered (peer + relay, so heartbeats flow
+// immediately), and a Hello repeats every period until the controller's
+// PeerList arrives. PeerLists are applied automatically: every listed peer
+// is registered and relayed, after which chain and group traffic to any
+// member flows. Call before Start.
+func (f *Fabric) Bootstrap(ctrl netem.Addr, ctrlEP netip.AddrPort, period sim.Duration) {
+	f.bootCtrl = ctrl
+	f.node.AddPeerAddrPort(ctrl, ctrlEP)
+	f.ensureRelay(ctrl)
+	hello := &wire.Hello{From: uint16(f.addr), Gen: 1}
+	f.eng.Every(period, func() {
+		if f.peersEpoch.Load() == 0 {
+			_ = f.node.Send(ctrl, hello)
+		}
+	})
+}
+
+// Bootstrapped reports whether a PeerList has been applied (thread-safe).
+func (f *Fabric) Bootstrapped() bool { return f.peersEpoch.Load() > 0 }
+
+// applyPeerList merges a controller directory broadcast. Pump goroutine.
+func (f *Fabric) applyPeerList(pl *wire.PeerList) {
+	if pl.Epoch < f.peersEpoch.Load() {
+		return
+	}
+	f.peersEpoch.Store(pl.Epoch)
+	for i := range pl.Peers {
+		e := &pl.Peers[i]
+		if netem.Addr(e.Addr) == f.addr {
+			continue
+		}
+		ap := netip.AddrPortFrom(netip.AddrFrom4(e.IP), e.Port)
+		f.node.AddPeerAddrPort(netem.Addr(e.Addr), ap)
+		f.ensureRelay(netem.Addr(e.Addr))
+	}
+}
+
+// onDatagram is the transport raw handler: it runs on the socket read loop,
+// learns unknown senders from the kernel-reported source, and parks a copy
+// of the payload in the inbox for the pump. Buffers recycle through inFree,
+// so a warm fabric receives without allocating.
+func (f *Fabric) onDatagram(from netem.Addr, src netip.AddrPort, payload []byte) {
+	f.node.AddPeerIfAbsent(from, src)
+	f.mu.Lock()
+	var buf []byte
+	if n := len(f.inFree); n > 0 {
+		buf = f.inFree[n-1]
+		f.inFree[n-1] = nil
+		f.inFree = f.inFree[:n-1]
+	}
+	f.inbox = append(f.inbox, inbound{from: from, buf: append(buf[:0], payload...)})
+	f.mu.Unlock()
+	f.signal()
+}
+
+func (f *Fabric) signal() {
+	select {
+	case f.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Post schedules fn on the pump goroutine (the only place engine-side state
+// may be touched after Start).
+func (f *Fabric) Post(fn func()) {
+	f.mu.Lock()
+	f.posts = append(f.posts, fn)
+	f.fstats.Posts++
+	f.mu.Unlock()
+	f.signal()
+}
+
+// Call runs fn on the pump goroutine and waits for it. Must not be called
+// from the pump goroutine itself.
+func (f *Fabric) Call(fn func()) {
+	done := make(chan struct{})
+	f.Post(func() {
+		defer close(done)
+		fn()
+	})
+	<-done
+}
+
+// onPump runs fn inline before Start (setup is single-threaded) and defers
+// to Post afterwards.
+func (f *Fabric) onPump(fn func()) {
+	f.mu.Lock()
+	started := f.started
+	f.mu.Unlock()
+	if !started {
+		fn()
+		return
+	}
+	f.Post(fn)
+}
+
+// Start launches the pump: from here on the engine advances on wall time.
+func (f *Fabric) Start() {
+	f.mu.Lock()
+	if f.started {
+		f.mu.Unlock()
+		return
+	}
+	f.started = true
+	f.startWall = time.Now()
+	f.mu.Unlock()
+	go f.loop()
+}
+
+// Stop halts the pump and closes the transport. Idempotent.
+func (f *Fabric) Stop() {
+	f.stopOnce.Do(func() {
+		f.mu.Lock()
+		started := f.started
+		f.mu.Unlock()
+		close(f.stop)
+		if started {
+			<-f.done
+		}
+		_ = f.node.Close()
+	})
+}
+
+// loop is the pump: wake on inbound traffic, posts, or the next engine
+// deadline; drain; advance virtual time to wall time; sleep until whichever
+// comes first of the next timer and MaxIdle.
+func (f *Fabric) loop() {
+	defer close(f.done)
+	timer := time.NewTimer(f.cfg.MaxIdle)
+	defer timer.Stop()
+	for {
+		select {
+		case <-f.stop:
+			f.pump() // final drain so Call-ers are never stranded
+			return
+		case <-f.wake:
+		case <-timer.C:
+		}
+		f.pump()
+		d := f.cfg.MaxIdle
+		if next, ok := f.eng.NextAt(); ok {
+			until := time.Until(f.startWall.Add(time.Duration(next)))
+			if until < 0 {
+				until = 0
+			}
+			if until < d {
+				d = until
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(d)
+	}
+}
+
+// pump runs queued posts, injects inbound messages, and advances the engine
+// to the current wall-clock time.
+func (f *Fabric) pump() {
+	f.mu.Lock()
+	posts := f.posts
+	f.posts = nil
+	inbox := f.inbox
+	f.inbox = nil
+	f.fstats.PumpRounds++
+	f.mu.Unlock()
+
+	for _, fn := range posts {
+		fn()
+	}
+	for i := range inbox {
+		f.deliver(inbox[i].from, inbox[i].buf)
+	}
+	if len(inbox) > 0 {
+		f.mu.Lock()
+		for i := range inbox {
+			f.inFree = append(f.inFree, inbox[i].buf[:0])
+			inbox[i].buf = nil
+		}
+		f.mu.Unlock()
+	}
+	f.eng.RunUntil(sim.Time(time.Since(f.startWall)))
+}
+
+// deliver decodes one inbound payload and hands it to the system handler or
+// injects it as a local netem delivery from the sender's relay address.
+func (f *Fabric) deliver(from netem.Addr, payload []byte) {
+	msg, err := wire.Unmarshal(payload)
+	if err != nil {
+		f.count(func(s *FabricStats) { s.DecodeErr++ })
+		return
+	}
+	if pl, ok := msg.(*wire.PeerList); ok && f.bootCtrl != 0 && from == f.bootCtrl {
+		f.applyPeerList(pl)
+		f.count(func(s *FabricStats) { s.SystemConsumed++ })
+		return
+	}
+	if f.system != nil && f.system(from, msg) {
+		f.count(func(s *FabricStats) { s.SystemConsumed++ })
+		return
+	}
+	f.ensureRelay(from)
+	f.count(func(s *FabricStats) { s.Injected++ })
+	f.nw.Send(from, f.addr, msg, msg.Size())
+}
+
+func (f *Fabric) count(fn func(*FabricStats)) {
+	f.mu.Lock()
+	fn(&f.fstats)
+	f.mu.Unlock()
+}
+
+// FStats snapshots the fabric counters (thread-safe).
+func (f *Fabric) FStats() FabricStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fstats
+}
+
+// RegisterMetrics exposes transport and fabric counters on a metrics
+// registry under the given label (e.g. `node=3`).
+func (f *Fabric) RegisterMetrics(reg *obs.Registry, labels string) {
+	reg.AddCounterFunc("live.tx.msgs", labels, func() uint64 { return f.node.Stats().Sent })
+	reg.AddCounterFunc("live.tx.bytes", labels, func() uint64 { return f.node.Stats().BytesSent })
+	reg.AddCounterFunc("live.tx.dropped", labels, func() uint64 { return f.node.Stats().TxDropped })
+	reg.AddCounterFunc("live.tx.dup", labels, func() uint64 { return f.node.Stats().TxDup })
+	reg.AddCounterFunc("live.tx.delayed", labels, func() uint64 { return f.node.Stats().TxDelayed })
+	reg.AddCounterFunc("live.rx.msgs", labels, func() uint64 { return f.node.Stats().Received })
+	reg.AddCounterFunc("live.rx.bytes", labels, func() uint64 { return f.node.Stats().BytesReceived })
+	reg.AddCounterFunc("live.rx.dropped", labels, func() uint64 { return f.node.Stats().Dropped })
+	reg.AddCounterFunc("live.rx.decodeerr", labels, func() uint64 { return f.node.Stats().DecodeErr })
+	reg.AddCounterFunc("live.part.dropped", labels, func() uint64 { return f.node.Stats().PartDropped })
+	reg.AddCounterFunc("live.fabric.injected", labels, func() uint64 { return f.FStats().Injected })
+	reg.AddCounterFunc("live.fabric.system", labels, func() uint64 { return f.FStats().SystemConsumed })
+	reg.AddCounterFunc("live.fabric.egress", labels, func() uint64 { return f.FStats().EgressMsgs })
+	reg.AddCounterFunc("live.fabric.egresserr", labels, func() uint64 { return f.FStats().EgressErrs })
+	reg.AddCounterFunc("live.fabric.pktdropped", labels, func() uint64 { return f.FStats().PacketDropped })
+	reg.AddCounterFunc("live.fabric.pumps", labels, func() uint64 { return f.FStats().PumpRounds })
+	reg.AddGaugeFunc("live.fabric.peers", labels, func() float64 { return float64(len(f.node.Peers())) })
+}

@@ -7,15 +7,24 @@
 // control traffic, and a proof that the wire formats are complete.
 //
 // The transport exposes the same shape as netem (addresses, handlers,
-// send), so protocol state machines run unchanged over either. Loss and
-// delay injection hooks make the unreliable-fabric behaviours reproducible
-// on loopback too.
+// send), so protocol state machines run unchanged over either, and it
+// applies the same fault model: a netem.LinkProfile shapes the send path
+// (loss, duplication, latency, jitter, reordering, serialization delay) and
+// receive-side loss plus partition groups complete the parity. All fault
+// sampling is deterministic given the node's seed; the network underneath
+// stays real.
+//
+// Hot-path discipline matches DESIGN.md §6: sends marshal into pooled
+// buffers and receives hand the kernel's read buffer straight to the
+// decoder (wire unmarshalers copy every byte they keep), so the unshaped
+// send and receive paths run at zero allocations per datagram.
 package live
 
 import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/netip"
 	"sync"
 	"time"
 
@@ -26,13 +35,28 @@ import (
 // Handler receives decoded protocol messages.
 type Handler func(from netem.Addr, msg wire.Msg)
 
-// Options configures fault injection applied on receive (deterministic
-// given Seed, applied before delivery so the network itself stays real).
+// RawHandler receives undecoded message payloads (the datagram minus the
+// 2-byte sender header) together with the kernel-reported source endpoint.
+// The payload slice is only valid for the duration of the call: the
+// transport reuses the buffer for the next datagram. Consumers that need
+// the bytes longer must copy (wire.Unmarshal does, field by field).
+type RawHandler func(from netem.Addr, src netip.AddrPort, payload []byte)
+
+// Options configures a node's deterministic fault injection.
 type Options struct {
-	// LossRate drops this fraction of received messages.
+	// LossRate drops this fraction of received messages (applied before
+	// delivery so the network itself stays real).
 	LossRate float64
-	// Seed drives the loss sampling.
+	// Seed drives all fault sampling on this node.
 	Seed int64
+	// Profile shapes the send path with the full netem fault model: LossRate
+	// drops datagrams before they reach the socket, DupRate transmits twice,
+	// Latency+Jitter delay the transmit, ReorderRate adds an extra delay of
+	// up to 4x Latency, and BandwidthBps imposes FIFO serialization delay.
+	// The zero profile transmits synchronously (the zero-alloc hot path).
+	Profile netem.LinkProfile
+	// Listen is the UDP bind address ("ip:port"). Default "127.0.0.1:0".
+	Listen string
 }
 
 // Node is one live transport endpoint bound to a UDP socket.
@@ -40,39 +64,72 @@ type Node struct {
 	addr netem.Addr
 	conn *net.UDPConn
 
-	mu      sync.RWMutex
-	peers   map[netem.Addr]*net.UDPAddr
-	handler Handler
-	opts    Options
-	rng     *rand.Rand
+	mu        sync.RWMutex
+	peers     map[netem.Addr]netip.AddrPort
+	groups    map[netem.Addr]int // partition group per peer (0 = unpartitioned)
+	group     int                // this node's partition group
+	handler   Handler
+	raw       RawHandler
+	lossRate  float64 // receive-side loss
+	profile   netem.LinkProfile
+	rng       *rand.Rand // receive-side loss sampling
+	sendRng   *rand.Rand // send-side shaping
+	busyUntil time.Time  // FIFO serialization (BandwidthBps)
 
-	closed  chan struct{}
-	wg      sync.WaitGroup
-	stats   Stats
-	statsMu sync.Mutex
+	// sendBufs pools marshal buffers (*[]byte); warm sends allocate nothing.
+	sendBufs sync.Pool
+
+	closeOnce sync.Once
+	closeErr  error
+	closed    chan struct{}
+	wg        sync.WaitGroup
+	stats     Stats
+	statsMu   sync.Mutex
 }
 
 // Stats counts transport events.
 type Stats struct {
-	Sent      uint64
-	Received  uint64
-	Dropped   uint64 // injected loss
+	Sent      uint64 // datagrams handed to the socket
+	Received  uint64 // datagrams delivered to the handler
+	Dropped   uint64 // injected receive-side loss
 	DecodeErr uint64
+
+	BytesSent     uint64
+	BytesReceived uint64
+	TxDropped     uint64 // injected send-side loss
+	TxDup         uint64 // injected duplicates
+	TxDelayed     uint64 // datagrams sent through the delay path
+	PartDropped   uint64 // partition drops, both directions
 }
 
-// Listen binds a node to 127.0.0.1 on an ephemeral port.
+// Listen binds a node to opts.Listen (default 127.0.0.1, ephemeral port).
 func Listen(addr netem.Addr, opts Options) (*Node, error) {
-	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	bind := opts.Listen
+	if bind == "" {
+		bind = "127.0.0.1:0"
+	}
+	laddr, err := net.ResolveUDPAddr("udp4", bind)
+	if err != nil {
+		return nil, fmt.Errorf("live: listen address: %w", err)
+	}
+	conn, err := net.ListenUDP("udp4", laddr)
 	if err != nil {
 		return nil, fmt.Errorf("live: listen: %w", err)
 	}
 	n := &Node{
-		addr:   addr,
-		conn:   conn,
-		peers:  make(map[netem.Addr]*net.UDPAddr),
-		opts:   opts,
-		rng:    rand.New(rand.NewSource(opts.Seed)),
-		closed: make(chan struct{}),
+		addr:     addr,
+		conn:     conn,
+		peers:    make(map[netem.Addr]netip.AddrPort),
+		groups:   make(map[netem.Addr]int),
+		lossRate: opts.LossRate,
+		profile:  opts.Profile,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		sendRng:  rand.New(rand.NewSource(opts.Seed ^ 0x5deece66d)),
+		closed:   make(chan struct{}),
+	}
+	n.sendBufs.New = func() any {
+		b := make([]byte, 0, 2048)
+		return &b
 	}
 	n.wg.Add(1)
 	go n.readLoop()
@@ -85,6 +142,11 @@ func (n *Node) Addr() netem.Addr { return n.addr }
 // UDPAddr returns the bound socket address (for peer registration).
 func (n *Node) UDPAddr() *net.UDPAddr { return n.conn.LocalAddr().(*net.UDPAddr) }
 
+// AddrPort returns the bound socket address as a netip.AddrPort.
+func (n *Node) AddrPort() netip.AddrPort {
+	return n.UDPAddr().AddrPort()
+}
+
 // SetHandler installs the message handler. Must be set before traffic flows.
 func (n *Node) SetHandler(h Handler) {
 	n.mu.Lock()
@@ -92,34 +154,220 @@ func (n *Node) SetHandler(h Handler) {
 	n.handler = h
 }
 
-// AddPeer registers where another SwiShmem address lives.
-func (n *Node) AddPeer(addr netem.Addr, udp *net.UDPAddr) {
+// SetRawHandler installs a raw payload handler. When set it preempts the
+// decoded handler: the transport skips wire.Unmarshal and the receive path
+// runs allocation-free. The fabric pump uses this to move decoding onto the
+// engine goroutine.
+func (n *Node) SetRawHandler(h RawHandler) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.peers[addr] = udp
+	n.raw = h
 }
 
-// Send marshals msg and transmits it to the peer registered for to.
-// Unknown peers and socket errors are reported; datagram delivery is, as on
-// the emulated fabric, never guaranteed.
-func (n *Node) Send(to netem.Addr, msg wire.Msg) error {
+// SetProfile replaces the send-side shaping profile (e.g. calming the fault
+// injection before a convergence check).
+func (n *Node) SetProfile(p netem.LinkProfile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.profile = p
+}
+
+// SetRecvLoss replaces the receive-side loss rate.
+func (n *Node) SetRecvLoss(rate float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.lossRate = rate
+}
+
+// SetPartition assigns this node to a partition group. As on the emulated
+// fabric, nodes in different nonzero groups cannot exchange messages; group
+// 0 talks to everyone. The peer's group is whatever SetPeerGroup recorded —
+// each process keeps its own view, mirroring how a real injected partition
+// is configured on every box it affects.
+func (n *Node) SetPartition(group int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.group = group
+}
+
+// SetPeerGroup records the partition group of a peer address.
+func (n *Node) SetPeerGroup(addr netem.Addr, group int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.groups[addr] = group
+}
+
+// HealPartition returns this node and all peers to group 0.
+func (n *Node) HealPartition() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.group = 0
+	for a := range n.groups {
+		delete(n.groups, a)
+	}
+}
+
+// partitionedLocked reports whether traffic with peer is partitioned away.
+// Caller holds n.mu.
+func (n *Node) partitionedLocked(peer netem.Addr) bool {
+	if n.group == 0 {
+		return false
+	}
+	g := n.groups[peer]
+	return g != 0 && g != n.group
+}
+
+// AddPeer registers where another SwiShmem address lives.
+func (n *Node) AddPeer(addr netem.Addr, udp *net.UDPAddr) {
+	n.AddPeerAddrPort(addr, udp.AddrPort())
+}
+
+// AddPeerAddrPort registers a peer endpoint by netip.AddrPort.
+func (n *Node) AddPeerAddrPort(addr netem.Addr, ap netip.AddrPort) {
+	ap = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[addr] = ap
+}
+
+// AddPeerIfAbsent registers a peer endpoint unless the address is already
+// known; it reports whether the entry was added. The fabric's auto-learning
+// path uses it so a datagram's kernel-reported source teaches the node
+// where its sender lives.
+func (n *Node) AddPeerIfAbsent(addr netem.Addr, ap netip.AddrPort) bool {
+	ap = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.peers[addr]; ok {
+		return false
+	}
+	n.peers[addr] = ap
+	return true
+}
+
+// Peer returns the registered endpoint for addr.
+func (n *Node) Peer(addr netem.Addr) (netip.AddrPort, bool) {
 	n.mu.RLock()
+	defer n.mu.RUnlock()
+	ap, ok := n.peers[addr]
+	return ap, ok
+}
+
+// Peers returns a snapshot of the peer table.
+func (n *Node) Peers() map[netem.Addr]netip.AddrPort {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make(map[netem.Addr]netip.AddrPort, len(n.peers))
+	for a, ap := range n.peers {
+		out[a] = ap
+	}
+	return out
+}
+
+// Send marshals msg into a pooled buffer and transmits it to the peer
+// registered for to, applying the node's send-side fault profile. Unknown
+// peers and socket errors are reported; datagram delivery is, as on the
+// emulated fabric, never guaranteed. With the zero profile the path is
+// synchronous and allocation-free warm.
+func (n *Node) Send(to netem.Addr, msg wire.Msg) error {
+	n.mu.Lock()
 	dst, ok := n.peers[to]
-	n.mu.RUnlock()
 	if !ok {
+		n.mu.Unlock()
 		return fmt.Errorf("live: no peer registered for address %d", to)
 	}
-	buf := make([]byte, 2, 2+msg.Size())
-	buf[0] = byte(n.addr >> 8)
-	buf[1] = byte(n.addr)
-	buf = msg.Marshal(buf)
-	if _, err := n.conn.WriteToUDP(buf, dst); err != nil {
+	if n.partitionedLocked(to) {
+		n.mu.Unlock()
+		n.bump(func(s *Stats) { s.PartDropped++ })
+		return nil
+	}
+	p := n.profile
+	var delay time.Duration
+	drop, dup := false, false
+	if p.LossRate > 0 && n.sendRng.Float64() < p.LossRate {
+		drop = true
+	}
+	if !drop {
+		if p.BandwidthBps > 0 {
+			ser := time.Duration(float64((2+msg.Size())*8) / p.BandwidthBps * 1e9)
+			now := time.Now()
+			depart := now
+			if n.busyUntil.After(now) {
+				depart = n.busyUntil
+			}
+			depart = depart.Add(ser)
+			n.busyUntil = depart
+			delay += depart.Sub(now)
+		}
+		delay += time.Duration(p.Latency)
+		if p.Jitter > 0 {
+			delay += time.Duration(n.sendRng.Int63n(int64(p.Jitter) + 1))
+		}
+		if p.ReorderRate > 0 && p.Latency > 0 && n.sendRng.Float64() < p.ReorderRate {
+			delay += time.Duration(n.sendRng.Int63n(int64(4*p.Latency) + 1))
+		}
+		if p.DupRate > 0 && n.sendRng.Float64() < p.DupRate {
+			dup = true
+		}
+	}
+	n.mu.Unlock()
+	if drop {
+		n.bump(func(s *Stats) { s.TxDropped++ })
+		return nil
+	}
+
+	bp := n.sendBufs.Get().(*[]byte)
+	b := append((*bp)[:0], byte(n.addr>>8), byte(n.addr))
+	b = msg.Marshal(b)
+	*bp = b
+
+	if delay <= 0 {
+		err := n.write(dst, b)
+		if dup {
+			n.bump(func(s *Stats) { s.TxDup++ })
+			_ = n.write(dst, b)
+		}
+		n.sendBufs.Put(bp)
+		return err
+	}
+	if dup {
+		// The duplicate needs its own buffer: the delayed writes release
+		// their buffers independently.
+		bp2 := n.sendBufs.Get().(*[]byte)
+		*bp2 = append((*bp2)[:0], b...)
+		n.bump(func(s *Stats) { s.TxDup++ })
+		n.scheduleWrite(delay+time.Duration(p.Latency)/2+1, dst, bp2)
+	}
+	n.scheduleWrite(delay, dst, bp)
+	return nil
+}
+
+// write transmits one framed datagram. Zero-alloc: WriteToUDPAddrPort takes
+// the endpoint by value.
+func (n *Node) write(dst netip.AddrPort, b []byte) error {
+	if _, err := n.conn.WriteToUDPAddrPort(b, dst); err != nil {
 		return fmt.Errorf("live: send: %w", err)
 	}
 	n.statsMu.Lock()
 	n.stats.Sent++
+	n.stats.BytesSent += uint64(len(b))
 	n.statsMu.Unlock()
 	return nil
+}
+
+// scheduleWrite transmits the pooled buffer after d on a timer goroutine
+// (the wall-clock analogue of netem's delayed delivery events). Ownership
+// of bp passes to the timer, which returns it to the pool after the write.
+func (n *Node) scheduleWrite(d time.Duration, dst netip.AddrPort, bp *[]byte) {
+	n.bump(func(s *Stats) { s.TxDelayed++ })
+	time.AfterFunc(d, func() {
+		select {
+		case <-n.closed:
+		default:
+			_ = n.write(dst, *bp)
+		}
+		n.sendBufs.Put(bp)
+	})
 }
 
 // Multicast sends msg to every group member except this node.
@@ -139,17 +387,16 @@ func (n *Node) Stats() Stats {
 	return n.stats
 }
 
-// Close shuts the socket down and waits for the read loop.
+// Close shuts the socket down and waits for the read loop. Safe to call
+// concurrently and repeatedly: a sync.Once runs the teardown exactly once
+// and every caller observes its result.
 func (n *Node) Close() error {
-	select {
-	case <-n.closed:
-		return nil
-	default:
-	}
-	close(n.closed)
-	err := n.conn.Close()
-	n.wg.Wait()
-	return err
+	n.closeOnce.Do(func() {
+		close(n.closed)
+		n.closeErr = n.conn.Close()
+		n.wg.Wait()
+	})
+	return n.closeErr
 }
 
 func (n *Node) readLoop() {
@@ -157,7 +404,7 @@ func (n *Node) readLoop() {
 	buf := make([]byte, 64<<10)
 	for {
 		n.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
-		sz, _, err := n.conn.ReadFromUDP(buf)
+		sz, src, err := n.conn.ReadFromUDPAddrPort(buf)
 		select {
 		case <-n.closed:
 			return
@@ -169,33 +416,55 @@ func (n *Node) readLoop() {
 			}
 			return
 		}
-		if sz < 3 {
-			n.bump(func(s *Stats) { s.DecodeErr++ })
-			continue
-		}
-		from := netem.Addr(uint16(buf[0])<<8 | uint16(buf[1]))
-		msg, err := wire.Unmarshal(append([]byte(nil), buf[2:sz]...))
-		if err != nil {
-			n.bump(func(s *Stats) { s.DecodeErr++ })
-			continue
-		}
-		// Injected loss (deterministic wrt the node's RNG sequence).
-		drop := false
-		n.mu.Lock()
-		if n.opts.LossRate > 0 && n.rng.Float64() < n.opts.LossRate {
-			drop = true
-		}
-		h := n.handler
-		n.mu.Unlock()
-		if drop {
-			n.bump(func(s *Stats) { s.Dropped++ })
-			continue
-		}
-		n.bump(func(s *Stats) { s.Received++ })
-		if h != nil {
-			h(from, msg)
-		}
+		n.processDatagram(src, buf[:sz])
 	}
+}
+
+// processDatagram delivers one framed datagram: sender-address header,
+// receive-side fault injection, then the raw handler (no decode) or the
+// decoded handler. The buffer belongs to the read loop; nothing here may
+// retain it (wire unmarshalers copy, raw handlers are documented not to).
+// The raw delivery path is allocation-free warm.
+func (n *Node) processDatagram(src netip.AddrPort, b []byte) {
+	if len(b) < 3 {
+		n.bump(func(s *Stats) { s.DecodeErr++ })
+		return
+	}
+	from := netem.Addr(uint16(b[0])<<8 | uint16(b[1]))
+	n.mu.Lock()
+	drop := n.lossRate > 0 && n.rng.Float64() < n.lossRate
+	part := n.partitionedLocked(from)
+	h, raw := n.handler, n.raw
+	n.mu.Unlock()
+	if part {
+		n.bump(func(s *Stats) { s.PartDropped++ })
+		return
+	}
+	if drop {
+		n.bump(func(s *Stats) { s.Dropped++ })
+		return
+	}
+	if raw != nil {
+		n.countRecv(len(b))
+		raw(from, src, b[2:])
+		return
+	}
+	msg, err := wire.Unmarshal(b[2:])
+	if err != nil {
+		n.bump(func(s *Stats) { s.DecodeErr++ })
+		return
+	}
+	n.countRecv(len(b))
+	if h != nil {
+		h(from, msg)
+	}
+}
+
+func (n *Node) countRecv(bytes int) {
+	n.statsMu.Lock()
+	n.stats.Received++
+	n.stats.BytesReceived += uint64(bytes)
+	n.statsMu.Unlock()
 }
 
 func (n *Node) bump(f func(*Stats)) {

@@ -1,6 +1,9 @@
 package pisa
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // KVStore is a data-plane-writable exact-match store: the modeling
 // idealization of a register array indexed by a hash of the key with
@@ -78,10 +81,18 @@ func (k *KVStore) Capacity() int { return k.capacity }
 // Bytes returns the SRAM footprint.
 func (k *KVStore) Bytes() int { return k.capacity * (k.keyW + k.valW) }
 
-// Range iterates entries in unspecified order (control-plane snapshots).
+// Range iterates entries in ascending key order (control-plane snapshots).
+// The order must be deterministic: donor snapshot transfers replay the
+// range, and a map-order walk would make post-failure recovery traces
+// differ between identically-seeded runs.
 func (k *KVStore) Range(fn func(key uint64, val []byte) bool) {
-	for key, v := range k.m {
-		if !fn(key, v) {
+	keys := make([]uint64, 0, len(k.m))
+	for key := range k.m {
+		keys = append(keys, key)
+	}
+	slices.Sort(keys)
+	for _, key := range keys {
+		if !fn(key, k.m[key]) {
 			return
 		}
 	}

@@ -2,6 +2,7 @@ package pisa
 
 import (
 	"fmt"
+	"slices"
 
 	"swishmem/internal/obs"
 )
@@ -209,11 +210,17 @@ func (t *Table) Insert(key uint64, val []byte) error {
 // Delete removes an entry (control-plane operation).
 func (t *Table) Delete(key uint64) { delete(t.m, key) }
 
-// Range iterates entries in unspecified order (control-plane operation,
-// used for snapshots).
+// Range iterates entries in ascending key order (control-plane operation,
+// used for snapshots). Deterministic order keeps recovery replay identical
+// across identically-seeded runs.
 func (t *Table) Range(fn func(key uint64, val []byte) bool) {
-	for k, v := range t.m {
-		if !fn(k, v) {
+	keys := make([]uint64, 0, len(t.m))
+	for k := range t.m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	for _, k := range keys {
+		if !fn(k, t.m[k]) {
 			return
 		}
 	}

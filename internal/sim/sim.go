@@ -322,5 +322,15 @@ func (e *Engine) Stop() { e.stopped = true }
 // removed immediately, so every queued event counts.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// NextAt returns the virtual time of the earliest scheduled event. ok is
+// false when the queue is empty. Wall-clock drivers (the live fabric pump)
+// use it to sleep exactly until the next timer instead of polling.
+func (e *Engine) NextAt() (Time, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
 // Processed returns the total number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }

@@ -22,7 +22,7 @@ func TestUnmarshalNeverPanics(t *testing.T) {
 		rng.Read(buf)
 		if n > 0 && i%2 == 0 {
 			// Half the corpus has a valid type tag to reach deep decoders.
-			buf[0] = byte(rng.Intn(int(TGroupConfig)) + 1)
+			buf[0] = byte(rng.Intn(int(TPeerList)) + 1)
 		}
 		msg, err := Unmarshal(buf)
 		if err == nil && msg == nil {
@@ -40,6 +40,7 @@ func TestBitFlippedMessagesDecodeOrError(t *testing.T) {
 		&Write{Reg: 1, Key: 2, Seq: 3, WriteID: 4, Writer: 5, Epoch: 6, Value: []byte("abcdef")},
 		&EWOUpdate{Reg: 1, From: 2, Entries: []EWOEntry{{Key: 1, Value: []byte("xy")}, {Key: 2}}},
 		&ChainConfig{Epoch: 3, Members: []uint16{1, 2, 3}},
+		&PeerList{Epoch: 1, Peers: []PeerEntry{{Addr: 1, IP: [4]byte{127, 0, 0, 1}, Port: 9000}}},
 	}
 	for _, m := range msgs {
 		base := Marshal(m)

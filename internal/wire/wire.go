@@ -32,6 +32,8 @@ const (
 	THeartbeat
 	TChainConfig
 	TGroupConfig
+	THello
+	TPeerList
 )
 
 func (t Type) String() string {
@@ -52,6 +54,10 @@ func (t Type) String() string {
 		return "ChainConfig"
 	case TGroupConfig:
 		return "GroupConfig"
+	case THello:
+		return "Hello"
+	case TPeerList:
+		return "PeerList"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -94,6 +100,10 @@ func Unmarshal(data []byte) (Msg, error) {
 		return unmarshalChainConfig(body)
 	case TGroupConfig:
 		return unmarshalGroupConfig(body)
+	case THello:
+		return unmarshalHello(body)
+	case TPeerList:
+		return unmarshalPeerList(body)
 	default:
 		return nil, fmt.Errorf("wire: unknown type %d", data[0])
 	}
@@ -556,6 +566,94 @@ func (g *GroupConfig) Marshal(dst []byte) []byte {
 		dst = binary.BigEndian.AppendUint16(dst, m)
 	}
 	return dst
+}
+
+// Hello announces a node to the controller over the live UDP transport
+// (netem/live): "address From is reachable at the datagram's source
+// endpoint". Nodes repeat it until the controller's PeerList arrives, so the
+// bootstrap survives loss. The simulated fabric never carries it.
+type Hello struct {
+	From uint16
+	// Gen distinguishes restarts of the same address (a fresh socket gets a
+	// fresh generation, so the controller can update its endpoint map).
+	Gen uint32
+}
+
+// WireType implements Msg.
+func (*Hello) WireType() Type { return THello }
+
+// Size implements Msg.
+func (*Hello) Size() int { return 1 + 2 + 4 }
+
+// Marshal implements Msg.
+func (h *Hello) Marshal(dst []byte) []byte {
+	dst = append(dst, byte(THello))
+	dst = binary.BigEndian.AppendUint16(dst, h.From)
+	return binary.BigEndian.AppendUint32(dst, h.Gen)
+}
+
+func unmarshalHello(b []byte) (*Hello, error) {
+	if len(b) < 6 {
+		return nil, fmt.Errorf("wire: truncated Hello (%d bytes)", len(b))
+	}
+	return &Hello{From: binary.BigEndian.Uint16(b[0:]), Gen: binary.BigEndian.Uint32(b[2:])}, nil
+}
+
+// PeerEntry maps a SwiShmem address to a UDP endpoint (IPv4 only — the live
+// transport binds udp4).
+type PeerEntry struct {
+	Addr uint16
+	IP   [4]byte
+	Port uint16
+}
+
+// PeerList is the controller's directory broadcast for the live transport:
+// every known (address, endpoint) pair, re-sent periodically so nodes that
+// missed an epoch converge. Epochs are monotone; receivers ignore stale
+// lists.
+type PeerList struct {
+	Epoch uint32
+	Peers []PeerEntry
+}
+
+// WireType implements Msg.
+func (*PeerList) WireType() Type { return TPeerList }
+
+// Size implements Msg.
+func (p *PeerList) Size() int { return 1 + 4 + 2 + 8*len(p.Peers) }
+
+// Marshal implements Msg.
+func (p *PeerList) Marshal(dst []byte) []byte {
+	dst = append(dst, byte(TPeerList))
+	dst = binary.BigEndian.AppendUint32(dst, p.Epoch)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(p.Peers)))
+	for i := range p.Peers {
+		e := &p.Peers[i]
+		dst = binary.BigEndian.AppendUint16(dst, e.Addr)
+		dst = append(dst, e.IP[0], e.IP[1], e.IP[2], e.IP[3])
+		dst = binary.BigEndian.AppendUint16(dst, e.Port)
+	}
+	return dst
+}
+
+func unmarshalPeerList(b []byte) (*PeerList, error) {
+	if len(b) < 6 {
+		return nil, fmt.Errorf("wire: truncated PeerList (%d bytes)", len(b))
+	}
+	p := &PeerList{Epoch: binary.BigEndian.Uint32(b[0:])}
+	n := int(binary.BigEndian.Uint16(b[4:]))
+	b = b[6:]
+	if len(b) < 8*n {
+		return nil, fmt.Errorf("wire: truncated PeerList entries")
+	}
+	p.Peers = make([]PeerEntry, n)
+	for i := 0; i < n; i++ {
+		e := &p.Peers[i]
+		e.Addr = binary.BigEndian.Uint16(b[8*i:])
+		copy(e.IP[:], b[8*i+2:8*i+6])
+		e.Port = binary.BigEndian.Uint16(b[8*i+6:])
+	}
+	return p, nil
 }
 
 func unmarshalGroupConfig(b []byte) (*GroupConfig, error) {

@@ -125,6 +125,31 @@ func TestGroupConfigRoundTrip(t *testing.T) {
 	}
 }
 
+func TestHelloRoundTrip(t *testing.T) {
+	h := &Hello{From: 42, Gen: 1 << 30}
+	if got := roundTrip(t, h).(*Hello); *got != *h {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestPeerListRoundTrip(t *testing.T) {
+	pl := &PeerList{Epoch: 7, Peers: []PeerEntry{
+		{Addr: 1, IP: [4]byte{127, 0, 0, 1}, Port: 4001},
+		{Addr: 2, IP: [4]byte{10, 0, 0, 2}, Port: 65535},
+		{Addr: 0xfffe, IP: [4]byte{192, 168, 1, 1}, Port: 1},
+	}}
+	got := roundTrip(t, pl).(*PeerList)
+	if got.Epoch != 7 || !reflect.DeepEqual(got.Peers, pl.Peers) {
+		t.Fatalf("got %+v, want %+v", got, pl)
+	}
+	// An empty directory is legal on the wire.
+	e := &PeerList{Epoch: 1}
+	got = roundTrip(t, e).(*PeerList)
+	if len(got.Peers) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
 func TestUnmarshalErrors(t *testing.T) {
 	if _, err := Unmarshal(nil); err == nil {
 		t.Error("empty: want error")

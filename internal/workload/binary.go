@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"swishmem/internal/packet"
+	"swishmem/internal/sim"
+)
+
+// Binary trace format, shared by the trafficgen writer and every consumer
+// (the live soak harness, swishd -live replay): a stream of records
+//
+//	[8B big-endian arrival offset, ns]
+//	[1B flags: bit0 FlowStart, bit1 FlowEnd]
+//	[4B big-endian packet length]
+//	[serialized packet, Ethernet first]
+//
+// with no file header; EOF terminates the stream.
+
+const (
+	flagFlowStart = 1 << 0
+	flagFlowEnd   = 1 << 1
+
+	// maxRecordBytes rejects corrupt length prefixes before allocating.
+	maxRecordBytes = 64 << 10
+)
+
+// WriteBinary writes tr to w in the binary trace format.
+func WriteBinary(w io.Writer, tr Trace) error {
+	bw := bufio.NewWriter(w)
+	var hdr [13]byte
+	for i := range tr {
+		raw, err := tr[i].Pkt.Serialize()
+		if err != nil {
+			return fmt.Errorf("workload: packet %d: %w", i, err)
+		}
+		binary.BigEndian.PutUint64(hdr[0:], uint64(tr[i].At))
+		hdr[8] = 0
+		if tr[i].FlowStart {
+			hdr[8] |= flagFlowStart
+		}
+		if tr[i].FlowEnd {
+			hdr[8] |= flagFlowEnd
+		}
+		binary.BigEndian.PutUint32(hdr[9:], uint32(len(raw)))
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(raw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteBinaryFile writes tr to a file in the binary trace format.
+func WriteBinaryFile(path string, tr Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBinary parses a binary trace from r.
+func ReadBinary(r io.Reader) (Trace, error) {
+	br := bufio.NewReader(r)
+	var tr Trace
+	var hdr [13]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return tr, nil
+			}
+			return nil, fmt.Errorf("workload: record %d header: %w", len(tr), err)
+		}
+		size := binary.BigEndian.Uint32(hdr[9:])
+		if size == 0 || size > maxRecordBytes {
+			return nil, fmt.Errorf("workload: record %d has bad length %d", len(tr), size)
+		}
+		raw := make([]byte, size)
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return nil, fmt.Errorf("workload: record %d body: %w", len(tr), err)
+		}
+		pkt, err := packet.Decode(raw, true)
+		if err != nil {
+			return nil, fmt.Errorf("workload: record %d: %w", len(tr), err)
+		}
+		tr = append(tr, TimedPacket{
+			At:        sim.Duration(binary.BigEndian.Uint64(hdr[0:])),
+			Pkt:       pkt,
+			FlowStart: hdr[8]&flagFlowStart != 0,
+			FlowEnd:   hdr[8]&flagFlowEnd != 0,
+		})
+	}
+}
+
+// ReadBinaryFile parses a binary trace file.
+func ReadBinaryFile(path string) (Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr, err := GenTrace(rng, TraceConfig{Duration: 5 * time.Millisecond, FlowsPerSec: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) == 0 {
+		t.Fatal("empty trace")
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tr) {
+		t.Fatalf("got %d records, want %d", len(got), len(tr))
+	}
+	for i := range tr {
+		if got[i].At != tr[i].At || got[i].FlowStart != tr[i].FlowStart || got[i].FlowEnd != tr[i].FlowEnd {
+			t.Fatalf("record %d metadata mismatch: got %+v want %+v", i, got[i], tr[i])
+		}
+		wantRaw, _ := tr[i].Pkt.Serialize()
+		gotRaw, err := got[i].Pkt.Serialize()
+		if err != nil {
+			t.Fatalf("record %d reserialize: %v", i, err)
+		}
+		if !bytes.Equal(gotRaw, wantRaw) {
+			t.Fatalf("record %d bytes differ", i)
+		}
+		wantK, _ := tr[i].Pkt.Flow()
+		gotK, ok := got[i].Pkt.Flow()
+		if !ok || gotK != wantK {
+			t.Fatalf("record %d flow key: got %v want %v", i, gotK, wantK)
+		}
+	}
+}
+
+func TestReadBinaryRejectsCorruptLength(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, 9))                // offset + flags
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff}) // absurd length
+	buf.Write([]byte{1, 2, 3})                // truncated body
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("want error for corrupt length prefix")
+	}
+}
