@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench tables snapshot trace live-soak clean
+.PHONY: all build test race vet bench tables snapshot benchdiff profile trace live-soak clean
 
 all: build vet test
 
@@ -20,7 +20,7 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-# Regenerate every paper table/claim (E1-E15).
+# Regenerate every paper table/claim (E1-E16).
 tables:
 	$(GO) run ./cmd/benchtab
 
@@ -28,6 +28,23 @@ tables:
 # before committing: BENCH_1.json, BENCH_2.json, ...).
 snapshot:
 	$(GO) run ./cmd/benchtab -json BENCH_new.json
+
+# Regression guard: regenerate a snapshot and diff it against the newest
+# committed BENCH_N.json. Fails on >10% ns/op regressions, any new hot-path
+# allocation, or (on hosts with >= 4 cpus) a sub-1.8x parallel speedup.
+BENCH_BASE ?= $(lastword $(sort $(wildcard BENCH_[0-9]*.json)))
+benchdiff:
+	$(GO) run ./cmd/benchtab -json BENCH_new.json > /dev/null
+	$(GO) run ./cmd/benchdiff -base $(BENCH_BASE) -new BENCH_new.json
+
+# CPU/heap/mutex profiles of the experiment batch (sharded; override with
+# SHARDS=0 for the sequential profile). Inspect with `go tool pprof`.
+SHARDS ?= 4
+profile:
+	$(GO) run ./cmd/benchtab -shards $(SHARDS) \
+		-cpuprofile cpu.pb.gz -memprofile mem.pb.gz -mutexprofile mutex.pb.gz \
+		> /dev/null
+	@echo "wrote cpu.pb.gz mem.pb.gz mutex.pb.gz (go tool pprof cpu.pb.gz)"
 
 # Virtual-time trace of one experiment (override with EXP=E7 etc.); load
 # trace.json at ui.perfetto.dev.
@@ -43,4 +60,5 @@ live-soak:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_new.json trace.json metrics.txt soak-metrics.txt
+	rm -f BENCH_new.json trace.json metrics.txt soak-metrics.txt \
+		cpu.pb.gz mem.pb.gz mutex.pb.gz

@@ -1,5 +1,5 @@
 // Benchmarks regenerating the paper's tables and claims: one benchmark per
-// experiment in the DESIGN.md index (E1–E15), plus microbenchmarks of the
+// experiment in the DESIGN.md index (E1–E16), plus microbenchmarks of the
 // protocol hot paths. Run with:
 //
 //	go test -bench=. -benchmem
@@ -88,6 +88,10 @@ func BenchmarkEWOCounterAdd(b *testing.B) { experiments.MicroEWOCounterAdd(b) }
 // BenchmarkSROLocalRead measures the clean-key local read path.
 func BenchmarkSROLocalRead(b *testing.B) { experiments.MicroSROLocalRead(b) }
 
+// BenchmarkShardedCounterAdd measures the EWO fast path with the cluster
+// sharded across 3 engines, windowed drain included in the timed region.
+func BenchmarkShardedCounterAdd(b *testing.B) { experiments.MicroShardedCounterAdd(b) }
+
 // --- steady-state allocation budgets ---
 //
 // These tests pin the zero-allocation guarantees the pooled hot paths
@@ -116,6 +120,32 @@ func TestEWOCounterAddAllocBudget(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("EWO counter Add+deliver allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestShardedCounterAddAllocBudget: the sharded steady state allocates
+// nothing either — the per-shard window loop is the same pooled Step as the
+// sequential engine, the barrier is slice resets, and shard wakeups are
+// channel sends of a scalar. This pins the parallel mode's zero-alloc
+// hot-path guarantee.
+func TestShardedCounterAddAllocBudget(t *testing.T) {
+	c, _ := swishmem.New(swishmem.Config{Switches: 3, Seed: 1, Shards: 3})
+	defer c.Close()
+	regs, err := c.DeclareCounter("b", swishmem.EventualOptions{Capacity: 64, DisableSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(2 * time.Millisecond)
+	for i := 0; i < 512; i++ {
+		regs[0].Add(uint64(i%64), 1)
+	}
+	c.RunFor(10 * time.Millisecond)
+	allocs := testing.AllocsPerRun(1000, func() {
+		regs[0].Add(3, 1)
+		c.RunFor(time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("sharded counter Add+window drain allocates %v per op, want 0", allocs)
 	}
 }
 

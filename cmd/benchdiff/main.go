@@ -1,0 +1,175 @@
+// benchdiff is the benchmark regression guard: it compares a freshly
+// generated benchtab snapshot (see cmd/benchtab -json) against a committed
+// baseline and fails when the hot paths got slower or started allocating.
+//
+// Usage:
+//
+//	benchdiff -base BENCH_3.json -new BENCH_new.json
+//	benchdiff -base BENCH_3.json -new BENCH_new.json -tolerance 0.15
+//
+// Checks, in order:
+//
+//  1. Every microbenchmark present in the baseline must be present in the
+//     new snapshot (a vanished benchmark hides a regression).
+//  2. ns/op must not regress by more than -tolerance (default 10%).
+//  3. allocs/op must not increase at all — the pooled hot paths are
+//     zero-alloc by design, and a single new allocation per op is a real
+//     regression, not noise.
+//  4. When the generating machine can overlap shards (cpus >= 4 in the new
+//     snapshot), the parallel-scaling experiment must report a speedup of
+//     at least -minspeedup (default 1.8) at 4 shards. On smaller hosts the
+//     check is skipped: conservative windows still run correctly on one
+//     core, they just cannot overlap, so wall-clock speedup is meaningless
+//     there.
+//
+// Wall times of whole experiments are reported but never gated — they vary
+// with machine load far more than the testing.Benchmark micros do.
+//
+// Exit status: 0 clean, 1 regression, 2 usage or unreadable snapshot.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// micro mirrors cmd/benchtab's microResult.
+type micro struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// experiment mirrors cmd/benchtab's expResult.
+type experiment struct {
+	ID      string             `json:"id"`
+	WallMs  float64            `json:"wall_ms"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// snapshot mirrors cmd/benchtab's snapshot. Schema 2 baselines (no shards/
+// cpus fields) load with zero values, which only disables the speedup gate.
+type snapshot struct {
+	Schema      int          `json:"schema"`
+	Seed        int64        `json:"seed"`
+	CPUs        int          `json:"cpus"`
+	Micro       []micro      `json:"micro"`
+	Experiments []experiment `json:"experiments"`
+}
+
+func load(path string) (*snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(buf, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func main() {
+	var (
+		basePath   = flag.String("base", "", "committed baseline snapshot (required)")
+		newPath    = flag.String("new", "", "freshly generated snapshot (required)")
+		tolerance  = flag.Float64("tolerance", 0.10, "allowed fractional ns/op regression per microbenchmark")
+		minSpeedup = flag.Float64("minspeedup", 1.8, "required parallel speedup at 4 shards (checked only when cpus >= 4)")
+	)
+	flag.Parse()
+	if *basePath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -base and -new are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	failures := 0
+	fail := func(format string, args ...any) {
+		failures++
+		fmt.Printf("FAIL  "+format+"\n", args...)
+	}
+
+	newMicros := make(map[string]micro, len(fresh.Micro))
+	for _, m := range fresh.Micro {
+		newMicros[m.Name] = m
+	}
+	for _, b := range base.Micro {
+		n, ok := newMicros[b.Name]
+		if !ok {
+			fail("%s: present in %s but missing from %s", b.Name, *basePath, *newPath)
+			continue
+		}
+		ratio := 0.0
+		if b.NsPerOp > 0 {
+			ratio = n.NsPerOp/b.NsPerOp - 1
+		}
+		switch {
+		case ratio > *tolerance:
+			fail("%s: %.1f ns/op -> %.1f ns/op (%+.1f%%, tolerance %.0f%%)",
+				b.Name, b.NsPerOp, n.NsPerOp, 100*ratio, 100**tolerance)
+		case n.AllocsPerOp > b.AllocsPerOp:
+			fail("%s: allocs/op grew %d -> %d (hot paths must not add allocations)",
+				b.Name, b.AllocsPerOp, n.AllocsPerOp)
+		default:
+			fmt.Printf("ok    %s: %.1f ns/op (%+.1f%%), %d allocs/op\n",
+				b.Name, n.NsPerOp, 100*ratio, n.AllocsPerOp)
+		}
+	}
+
+	checkSpeedup(fresh, *minSpeedup, fail)
+
+	var baseWall, newWall float64
+	for _, e := range base.Experiments {
+		baseWall += e.WallMs
+	}
+	for _, e := range fresh.Experiments {
+		newWall += e.WallMs
+	}
+	fmt.Printf("info  experiment batch wall time: %.0f ms -> %.0f ms (informational, not gated)\n",
+		baseWall, newWall)
+
+	if failures > 0 {
+		fmt.Printf("benchdiff: %d regression(s) vs %s\n", failures, *basePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: no regressions vs %s\n", *basePath)
+}
+
+// checkSpeedup gates the parallel-simulation speedup claim on hosts with
+// enough cores to overlap 4 shards.
+func checkSpeedup(fresh *snapshot, min float64, fail func(string, ...any)) {
+	if fresh.CPUs < 4 {
+		fmt.Printf("skip  parallel speedup: host has %d cpu(s), shards cannot overlap\n", fresh.CPUs)
+		return
+	}
+	for _, e := range fresh.Experiments {
+		if e.ID != "E16" {
+			continue
+		}
+		sp, ok := e.Metrics["parallel.speedup/shards=4"]
+		if !ok {
+			fail("E16 ran but recorded no parallel.speedup/shards=4 metric")
+			return
+		}
+		if sp < min {
+			fail("parallel speedup at 4 shards is %.2fx, want >= %.2fx (cpus=%d)", sp, min, fresh.CPUs)
+		} else {
+			fmt.Printf("ok    parallel speedup at 4 shards: %.2fx (cpus=%d)\n", sp, fresh.CPUs)
+		}
+		return
+	}
+	fmt.Printf("skip  parallel speedup: snapshot does not include E16\n")
+}

@@ -1,5 +1,5 @@
 // benchtab regenerates the paper's tables and quantitative claims (the
-// experiment index E1–E15 in DESIGN.md) and prints paper-style rows.
+// experiment index E1–E16 in DESIGN.md) and prints paper-style rows.
 //
 // Usage:
 //
@@ -9,9 +9,17 @@
 //	benchtab -list            # list experiments
 //	benchtab -seed 7          # change the deterministic seed
 //	benchtab -parallel 4      # run experiments on 4 workers
+//	benchtab -shards 4        # shard every cluster's simulation across 4 engines
 //	benchtab -json BENCH.json # also write a benchmark regression snapshot
 //	benchtab -e E4 -trace out.json   # virtual-time trace, loadable at ui.perfetto.dev
 //	benchtab -metrics metrics.txt    # batch counters + per-experiment metric sections
+//	benchtab -cpuprofile cpu.pb.gz -memprofile mem.pb.gz -mutexprofile mtx.pb.gz
+//
+// -parallel and -shards are orthogonal: -parallel runs whole experiments on
+// concurrent workers, -shards splits each experiment's simulated switches
+// across engines (deterministically — sharded rows are byte-identical to
+// sequential ones). The profile flags cover the experiment batch, not the
+// -json microbenchmarks; use `go test -bench -cpuprofile` for those.
 //
 // Regenerated rows go to stdout; wall-time diagnostics go to stderr. Every
 // experiment builds its own deterministic simulation, so the stdout rows are
@@ -30,6 +38,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"testing"
 	"time"
@@ -61,22 +71,34 @@ type expResult struct {
 
 // snapshot is the -json output: a benchmark regression record.
 type snapshot struct {
-	Schema      int           `json:"schema"`
-	Seed        int64         `json:"seed"`
-	Parallel    int           `json:"parallel"`
+	Schema   int   `json:"schema"`
+	Seed     int64 `json:"seed"`
+	Parallel int   `json:"parallel"`
+	// Shards is the per-cluster shard count the batch ran with (0 =
+	// sequential engines). Rows are identical either way; wall times are not.
+	Shards int `json:"shards"`
+	// CPUs records runtime.NumCPU() on the generating machine. cmd/benchdiff
+	// gates its parallel-speedup assertion on it: a single-core host runs
+	// the same windows with no overlap, so speedups are only checked when
+	// the host can actually overlap shards.
+	CPUs        int           `json:"cpus"`
 	Micro       []microResult `json:"micro"`
 	Experiments []expResult   `json:"experiments"`
 }
 
 func main() {
 	var (
-		exp      = flag.String("e", "", "experiment ID (E1..E15) or name; empty = all")
+		exp      = flag.String("e", "", "experiment ID (E1..E16) or name; empty = all")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		parallel = flag.Int("parallel", 1, "number of concurrent experiment workers")
 		jsonOut  = flag.String("json", "", "write a benchmark snapshot (micros + wall times) to this file")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (requires -e; forces -parallel 1)")
 		metout   = flag.String("metrics", "", "write a plain-text metrics dump (batch counters + per-experiment sections) to this file")
+		shards   = flag.Int("shards", 0, "shard every experiment cluster across N engines (0 = sequential; rows are byte-identical either way)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the experiment batch to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (after the batch) to this file")
+		mtxProf  = flag.String("mutexprofile", "", "write a mutex-contention profile of the batch to this file")
 	)
 	flag.Parse()
 
@@ -87,8 +109,11 @@ func main() {
 			os.Exit(2)
 		}
 		// The tracer sink appends without locking; tracing forces a
-		// sequential run.
+		// sequential run. It also forces sequential simulation: the sink
+		// receives one tracer per cluster, which in sharded mode would be
+		// shard 0's ring only.
 		*parallel = 1
+		*shards = 0
 		experiments.SetTracing(1<<18, func(tr *obs.Tracer) { tracers = append(tracers, tr) })
 	}
 
@@ -110,12 +135,50 @@ func main() {
 		run = []experiments.Experiment{e}
 	}
 
+	if *shards != 0 {
+		experiments.SetShards(*shards)
+		defer experiments.SetShards(0)
+	}
+	if *mtxProf != "" {
+		runtime.SetMutexProfileFraction(5)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *cpuProf, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "start cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	start := time.Now()
 	var bm experiments.BatchMetrics
 	reports := experiments.RunMetered(run, *seed, *parallel, &bm)
 	batchWall := time.Since(start)
 
-	snap := snapshot{Schema: 2, Seed: *seed, Parallel: *parallel}
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *cpuProf)
+	}
+	if *memProf != "" {
+		if err := writeProfile(*memProf, "allocs"); err != nil {
+			fmt.Fprintf(os.Stderr, "write heap profile: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *memProf)
+	}
+	if *mtxProf != "" {
+		if err := writeProfile(*mtxProf, "mutex"); err != nil {
+			fmt.Fprintf(os.Stderr, "write mutex profile: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *mtxProf)
+	}
+
+	snap := snapshot{Schema: 3, Seed: *seed, Parallel: *parallel, Shards: *shards, CPUs: runtime.NumCPU()}
 	for _, r := range reports {
 		fmt.Print(r.Result.String())
 		fmt.Println()
@@ -180,6 +243,26 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+}
+
+// writeProfile dumps the named runtime profile (heap/allocs after a GC,
+// mutex, ...) to path in pprof format.
+func writeProfile(path, name string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	p := pprof.Lookup(name)
+	if p == nil {
+		f.Close()
+		return fmt.Errorf("unknown profile %q", name)
+	}
+	if err := p.WriteTo(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeTrace merges the tracers of every cluster the experiment built into

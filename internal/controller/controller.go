@@ -58,6 +58,13 @@ type Config struct {
 	// FailureTimeout is the silence threshold declaring a switch dead.
 	// Default 4x the heartbeat period.
 	FailureTimeout sim.Duration
+	// ConfigDelay is the one-way latency of the reliable control channel
+	// (out-of-band TCP in a real deployment): every configuration push and
+	// every completion notification back to the controller arrives this
+	// long after it was issued. Default 50us. In a sharded simulation it
+	// must be at least the group lookahead — the cluster folds it into the
+	// lookahead computation, so the default is always safe.
+	ConfigDelay sim.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +73,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FailureTimeout == 0 {
 		c.FailureTimeout = 4 * c.HeartbeatPeriod
+	}
+	if c.ConfigDelay == 0 {
+		c.ConfigDelay = 50 * time.Microsecond
 	}
 	return c
 }
@@ -107,6 +117,11 @@ type Controller struct {
 	// OnFailure, if set, is invoked when a switch is declared dead.
 	OnFailure func(addr netem.Addr)
 
+	// mail keys the controller's outgoing control-channel posts. Every
+	// config push travels as a posted message arriving ConfigDelay later on
+	// the target's engine, identically in sequential and sharded runs.
+	mail *sim.Mailbox
+
 	// Iteration scratch, reused so the periodic scan allocates nothing in
 	// steady state. Go map ranges are deliberately randomized, so every walk
 	// that can trigger reconfiguration sorts first: with two switches silent
@@ -130,14 +145,35 @@ func New(eng *sim.Engine, nw *netem.Network, cfg Config) *Controller {
 		dead:     make(map[netem.Addr]bool),
 		chains:   make(map[uint16]*chainState),
 		groups:   make(map[uint16]*groupState),
+		mail:     sim.NewMailbox(uint64(cfg.Addr)),
 	}
 	nw.Attach(cfg.Addr, c.receive)
 	eng.Every(cfg.HeartbeatPeriod, c.scan)
 	return c
 }
 
+// ctrlCall delivers fn to sw's control plane over the reliable control
+// channel: it arrives ConfigDelay later on sw's engine and is charged as a
+// control-plane op there. Replaces the old direct CtrlDo call, which would
+// mutate a foreign shard's queue from the controller's goroutine.
+func (c *Controller) ctrlCall(sw *pisa.Switch, fn func()) {
+	c.mail.Post(c.eng, sw.Engine(), c.cfg.ConfigDelay, func() { sw.CtrlDo(fn) })
+}
+
+// post delivers fn to sw's engine after ConfigDelay without the CtrlDo
+// wrapper, for operations that manage their own control-plane charging
+// (StartSnapshotTransfer runs its body under the donor's CtrlDo already).
+func (c *Controller) post(sw *pisa.Switch, fn func()) {
+	c.mail.Post(c.eng, sw.Engine(), c.cfg.ConfigDelay, fn)
+}
+
 // Addr returns the controller's network address.
 func (c *Controller) Addr() netem.Addr { return c.cfg.Addr }
+
+// ConfigDelay returns the effective control-channel one-way latency. The
+// cluster folds it into the group lookahead in sharded runs (posts must
+// never undercut the conservative window).
+func (c *Controller) ConfigDelay() sim.Duration { return c.cfg.ConfigDelay }
 
 // traceInstant emits a controller-lane instant with up to two int args.
 func (c *Controller) traceInstant(name, k1 string, v1 int64, k2 string, v2 int64) {
@@ -261,7 +297,7 @@ func (c *Controller) AttachChainListener(reg uint16, m ChainMember) {
 	if cs.joining != nil {
 		cc.Joining = uint16(cs.joining.Switch().Addr())
 	}
-	m.Switch().CtrlDo(func() { m.SetChain(cc) })
+	c.ctrlCall(m.Switch(), func() { m.SetChain(cc) })
 }
 
 // ChainEpoch returns the chain's current epoch (for tests/metrics).
@@ -293,7 +329,7 @@ func (c *Controller) pushChain(cs *chainState) {
 	for _, m := range targets {
 		cfg := cc
 		node := m
-		node.Switch().CtrlDo(func() { node.SetChain(cfg) })
+		c.ctrlCall(node.Switch(), func() { node.SetChain(cfg) })
 	}
 }
 
@@ -372,7 +408,7 @@ func (c *Controller) startRecovery(cs *chainState) {
 	cs.spares = cs.spares[1:]
 	cs.joining = spare
 	c.traceInstant("recovery.start", "spare", int64(spare.Switch().Addr()), "epoch", int64(cs.epoch))
-	spare.Switch().CtrlDo(spare.BeginJoin)
+	c.ctrlCall(spare.Switch(), spare.BeginJoin)
 	c.pushChain(cs) // config with Joining set: tail starts forwarding commits
 	c.beginTransfer(cs)
 }
@@ -384,8 +420,13 @@ func (c *Controller) startRecovery(cs *chainState) {
 func (c *Controller) beginTransfer(cs *chainState) {
 	spare := cs.joining
 	donor := cs.members[0]
+	donorSw := donor.Switch()
 	epochAtStart := cs.epoch
-	donor.StartSnapshotTransfer(spare.Switch().Addr(), func() {
+	// The promotion body mutates controller state, so it must run on the
+	// controller's engine; the donor reports completion with a post from
+	// its own shard (donorSw.PostTo), mirroring the notification's trip
+	// back over the control channel.
+	promote := func() {
 		// Promote unless the world changed underneath the transfer.
 		if cs.joining != spare || cs.epoch != epochAtStart {
 			return
@@ -395,6 +436,13 @@ func (c *Controller) beginTransfer(cs *chainState) {
 		c.pushChain(cs)
 		c.Stats.Recoveries.Inc()
 		c.traceInstant("recovery.done", "promoted", int64(spare.Switch().Addr()), "epoch", int64(cs.epoch))
+	}
+	to := spare.Switch().Addr()
+	delay := c.cfg.ConfigDelay
+	c.post(donorSw, func() {
+		donor.StartSnapshotTransfer(to, func() {
+			donorSw.PostTo(c.eng, delay, promote)
+		})
 	})
 }
 
@@ -424,14 +472,15 @@ func (c *Controller) ReplaceChainMember(reg uint16, old netem.Addr, newM ChainMe
 		return fmt.Errorf("controller: switch %d is not a member of chain %d", old, reg)
 	}
 	cs.joining = newM
-	newM.Switch().CtrlDo(newM.BeginJoin)
+	c.ctrlCall(newM.Switch(), newM.BeginJoin)
 	c.pushChain(cs) // Joining set: tail forwards fresh commits
 	donor := cs.members[0]
 	if donor.Switch().Addr() == old && len(cs.members) > 1 {
 		donor = cs.members[1] // do not snapshot from the switch being retired
 	}
+	donorSw := donor.Switch()
 	epochAtStart := cs.epoch
-	donor.StartSnapshotTransfer(newM.Switch().Addr(), func() {
+	promote := func() {
 		if cs.joining != newM || cs.epoch != epochAtStart {
 			return
 		}
@@ -447,6 +496,13 @@ func (c *Controller) ReplaceChainMember(reg uint16, old netem.Addr, newM ChainMe
 		cs.members = out
 		c.pushChain(cs)
 		c.Stats.Recoveries.Inc()
+	}
+	to := newM.Switch().Addr()
+	delay := c.cfg.ConfigDelay
+	c.post(donorSw, func() {
+		donor.StartSnapshotTransfer(to, func() {
+			donorSw.PostTo(c.eng, delay, promote)
+		})
 	})
 	return nil
 }
@@ -483,7 +539,7 @@ func (c *Controller) pushGroup(gs *groupState) {
 	for _, m := range gs.members {
 		cfg := gc
 		node := m
-		node.Switch().CtrlDo(func() { _ = node.SetGroup(cfg) })
+		c.ctrlCall(node.Switch(), func() { _ = node.SetGroup(cfg) })
 	}
 }
 

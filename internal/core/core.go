@@ -97,9 +97,15 @@ func (in *Instance) route(from netem.Addr, msg wire.Msg) {
 			return
 		}
 		// Control-plane baseline registers handle their updates on the
-		// co-processor.
+		// co-processor. The callback outlives this handler, so hold a
+		// reference: pooled cross-shard clones are recycled once the
+		// data-plane dispatch releases them.
 		if n, ok := in.cps[m.Reg]; ok {
-			in.sw.CtrlDo(func() { n.HandleCtrl(from, m) })
+			m.Ref()
+			in.sw.CtrlDo(func() {
+				n.HandleCtrl(from, m)
+				m.Release()
+			})
 		}
 	case *wire.ChainConfig:
 		// Sorted fan-out: config application order must not depend on map

@@ -26,6 +26,7 @@ package ewo
 
 import (
 	"fmt"
+	"math/rand"
 	"slices"
 	"time"
 
@@ -165,7 +166,25 @@ type Node struct {
 	syncKeys   []uint64
 	syncCursor int
 
+	// rng drives this node's sync-target sampling. It is a private stream
+	// seeded from (engine seed, addr, reg) rather than the engine's shared
+	// source, so the node draws the same sequence no matter what other
+	// nodes do — required for sharded runs to match sequential ones.
+	rng *rand.Rand
+
 	Stats Stats
+}
+
+// nodeSeed mixes the engine seed with a node's stable identity (splitmix64
+// finalizer) to seed its private random stream.
+func nodeSeed(seed int64, addr, reg uint64) int64 {
+	z := uint64(seed) ^ 0x9e3779b97f4a7c15 ^ addr<<40 ^ reg<<24
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
 }
 
 // NewNode allocates the register array on sw.
@@ -181,6 +200,7 @@ func NewNode(sw *pisa.Switch, cfg Config) (*Node, error) {
 		sw:    sw,
 		cfg:   cfg,
 		clock: timesync.NewSynced(sw.Engine(), timesync.NodeID(sw.Addr()), cfg.ClockSkew),
+		rng:   rand.New(rand.NewSource(nodeSeed(sw.Engine().Seed(), uint64(sw.Addr()), uint64(cfg.Reg)))),
 	}
 	n.ufreeFn = func(u *wire.EWOUpdate) { n.ufree = append(n.ufree, u) }
 	// Charge SRAM per the §7 layout.
@@ -551,7 +571,7 @@ func (n *Node) syncRound() {
 	// Random member other than self.
 	var target netem.Addr
 	for tries := 0; tries < 8; tries++ {
-		target = n.group[n.sw.Engine().Rand().Intn(len(n.group))]
+		target = n.group[n.rng.Intn(len(n.group))]
 		if target != n.sw.Addr() {
 			break
 		}

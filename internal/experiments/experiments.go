@@ -1,5 +1,5 @@
 // Package experiments regenerates every table and quantitative claim of the
-// SwiShmem paper (see DESIGN.md §3 for the experiment index E1–E15). Each
+// SwiShmem paper (see DESIGN.md §3 for the experiment index E1–E16). Each
 // experiment builds its own deterministic cluster, drives the workload the
 // paper's analysis assumes, and reports paper-style rows.
 //
@@ -75,6 +75,7 @@ func All() []Experiment {
 		{"E13", "read-path", "ablation: local reads vs always-at-tail (NetChain)", ReadPathAblation},
 		{"E14", "group-sharing", "ablation: §7 seq-group sharing SRAM/forwarding trade", GroupSharingAblation},
 		{"E15", "loss-anomaly", "extension: §9 anomaly window under chain-hop loss", LossAnomaly},
+		{"E16", "parallel-scaling", "extension: deterministic parallel simulation across shard counts", ParallelScaling},
 	}
 }
 

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"sync"
+
 	"swishmem"
 	"swishmem/internal/obs"
 )
@@ -25,11 +27,59 @@ func SetTracing(capacity int, sink func(*obs.Tracer)) {
 	traceCfg.sink = sink
 }
 
+// shardCfg is the package-level parallel-simulation hook consulted by
+// newCluster, the -shards counterpart of traceCfg. Because sharded runs are
+// byte-identical to sequential ones, turning this on changes wall time
+// only, never a single table row. Sharded clusters own worker goroutines;
+// they are tracked here and released by CloseClusters (the runner calls it
+// after every batch).
+var shardCfg struct {
+	sync.Mutex
+	shards int
+	open   []*swishmem.Cluster
+}
+
+// SetShards makes every cluster an experiment builds run on n parallel
+// simulation shards (0 restores sequential). Experiments that set
+// Config.Shards themselves (the parallel-scaling experiment) are not
+// overridden.
+func SetShards(n int) {
+	shardCfg.Lock()
+	shardCfg.shards = n
+	shardCfg.Unlock()
+}
+
+// CloseClusters releases the worker goroutines of every sharded cluster
+// built since the last call. Idempotent and safe concurrently.
+func CloseClusters() {
+	shardCfg.Lock()
+	open := shardCfg.open
+	shardCfg.open = nil
+	shardCfg.Unlock()
+	for _, c := range open {
+		c.Close()
+	}
+}
+
 // newCluster is the constructor every experiment uses instead of calling
-// swishmem.New directly, so the tracing hook above sees every cluster.
+// swishmem.New directly, so the tracing and sharding hooks above see every
+// cluster.
 func newCluster(cfg swishmem.Config) (*swishmem.Cluster, error) {
+	shardCfg.Lock()
+	if cfg.Shards == 0 {
+		cfg.Shards = shardCfg.shards
+	}
+	shardCfg.Unlock()
 	c, err := swishmem.New(cfg)
-	if err == nil && traceCfg.sink != nil {
+	if err != nil {
+		return c, err
+	}
+	if c.Shards() > 1 {
+		shardCfg.Lock()
+		shardCfg.open = append(shardCfg.open, c)
+		shardCfg.Unlock()
+	}
+	if traceCfg.sink != nil {
 		traceCfg.sink(c.EnableTracing(traceCfg.capacity))
 	}
 	return c, err

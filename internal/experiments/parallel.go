@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"swishmem"
+	"swishmem/internal/stats"
+)
+
+// ParallelScaling (E16) validates the deterministic parallel simulation
+// mode end to end: the same 8-switch mixed workload (SRO chain writes from
+// every switch, EWO counters with periodic sync, heartbeats, one failure +
+// recovery) runs sequentially and on 2, 4, and 8 shards, and every
+// model-visible outcome — commits, counter sums, fabric totals, event
+// counts — must be byte-identical across the rows.
+//
+// The table carries only mode-independent columns so the experiment output
+// stays byte-stable whatever the host machine; wall-clock seconds and the
+// derived speedups land in Metrics (excluded from String() by design)
+// under parallel.wall_seconds and parallel.speedup, alongside
+// parallel.cpus. Speedup claims are only meaningful when parallel.cpus
+// covers the shard count — a single-core host runs the same windows with
+// no overlap.
+func ParallelScaling(seed int64) *Result {
+	res := &Result{ID: "E16", Title: "parallel simulation: determinism and scaling across shard counts"}
+	tab := stats.NewTable("E16: 8-switch mixed workload, sequential vs sharded (identical rows = deterministic)",
+		"Shards", "Events", "Windows", "Commits", "Counter sum", "Net msgs", "Recoveries", "Matches seq")
+
+	type outcome struct {
+		events    uint64
+		commits   int
+		ctrSum    uint64
+		netMsgs   uint64
+		recovered uint64
+	}
+	var base outcome
+	identical := true
+	for _, shards := range []int{1, 2, 4, 8} {
+		wallStart := time.Now()
+		c, err := newCluster(swishmem.Config{Switches: 8, Spares: 1, Seed: seed, Shards: shards})
+		if err != nil {
+			panic(err)
+		}
+		strong, err := c.DeclareStrong("s", swishmem.StrongOptions{Capacity: 1 << 10, ValueWidth: 8})
+		if err != nil {
+			panic(err)
+		}
+		cnt, err := c.DeclareCounter("c", swishmem.EventualOptions{Capacity: 64})
+		if err != nil {
+			panic(err)
+		}
+		c.RunFor(2 * time.Millisecond)
+
+		// Per-switch commit counters: completion callbacks run on the shard
+		// of the switch whose handle was driven, so each switch gets its own
+		// slot and the driver sums them after the run.
+		commitBy := make([]int, 8)
+		for round := 0; round < 120; round++ {
+			for w := 0; w < 8; w++ {
+				wc := w
+				strong[w].Write(uint64(round*8+w), []byte("12345678"), func(ok bool) {
+					if ok {
+						commitBy[wc]++
+					}
+				})
+				cnt[w].Add(uint64((round+w)%64), uint64(w+1))
+			}
+			if round == 60 {
+				c.FailSwitch(3)
+			}
+			c.RunFor(500 * time.Microsecond)
+		}
+		c.RunFor(100 * time.Millisecond)
+
+		var o outcome
+		o.events = c.EventsProcessed()
+		for _, n := range commitBy {
+			o.commits += n
+		}
+		for k := uint64(0); k < 64; k++ {
+			o.ctrSum += cnt[0].Sum(k)
+		}
+		o.netMsgs = c.NetworkTotals().MsgsSent
+		o.recovered = c.Controller().Stats.Recoveries.Value()
+
+		var windows uint64
+		if g := c.ShardGroup(); g != nil {
+			windows = g.Windows()
+		}
+		if shards == 1 {
+			base = o
+		}
+		match := o == base
+		if !match {
+			identical = false
+		}
+		tab.AddRow(c.Shards(), o.events, windows, o.commits, o.ctrSum, o.netMsgs, o.recovered, match)
+
+		wall := time.Since(wallStart).Seconds()
+		lbl := fmt.Sprintf("shards=%d", shards)
+		if res.Metrics == nil {
+			res.Metrics = make(map[string]float64)
+		}
+		res.Metrics["parallel.wall_seconds/"+lbl] = wall
+		if shards == 1 {
+			res.Metrics["parallel.base_wall_seconds"] = wall
+		} else if base := res.Metrics["parallel.base_wall_seconds"]; base > 0 && wall > 0 {
+			res.Metrics["parallel.speedup/"+lbl] = base / wall
+		}
+		c.Close()
+	}
+	res.Metrics["parallel.cpus"] = float64(runtime.NumCPU())
+	res.Tables = append(res.Tables, tab)
+	if identical {
+		res.note("all shard counts reproduce the sequential outcome exactly (events, commits, sums, fabric totals)")
+	} else {
+		res.note("SHAPE VIOLATION: sharded execution diverged from sequential")
+	}
+	res.note("wall-clock speedups are in Metrics (parallel.speedup/*); meaningful only when parallel.cpus >= shard count")
+	return res
+}

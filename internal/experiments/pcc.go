@@ -68,18 +68,22 @@ func runPCC(seed int64, sharded bool, policy topology.Policy, fail bool) int {
 		panic(err)
 	}
 	vip := packet.Addr4(203, 0, 113, 80)
-	seen := make(map[uint64]map[swishmem.Addr]bool)
+	// Egress callbacks run on the shard of their own switch, so each switch
+	// records into a private map; the driver takes the set-union afterwards
+	// (order-independent, hence mode-independent).
+	seenBy := make([]map[uint64]map[swishmem.Addr]bool, len(lbs))
 	for i := range lbs {
-		l := lbs[i]
+		l, mine := lbs[i], make(map[uint64]map[swishmem.Addr]bool)
+		seenBy[i] = mine
 		l.Egress = func(p *swishmem.Packet) {
 			k, _ := p.Flow()
 			orig := k
 			orig.Dst = vip
 			id := nf.FlowID(orig)
-			if seen[id] == nil {
-				seen[id] = make(map[swishmem.Addr]bool)
+			if mine[id] == nil {
+				mine[id] = make(map[swishmem.Addr]bool)
 			}
-			seen[id][p.IP.Dst] = true
+			mine[id][p.IP.Dst] = true
 		}
 		l.Install()
 	}
@@ -124,6 +128,17 @@ func runPCC(seed int64, sharded bool, policy topology.Policy, fail bool) int {
 		c.RunFor(100 * time.Millisecond)
 	}
 
+	seen := make(map[uint64]map[swishmem.Addr]bool)
+	for _, mine := range seenBy {
+		for id, dips := range mine {
+			if seen[id] == nil {
+				seen[id] = make(map[swishmem.Addr]bool)
+			}
+			for dip := range dips {
+				seen[id][dip] = true
+			}
+		}
+	}
 	violations := 0
 	for _, dips := range seen {
 		if len(dips) > 1 {

@@ -44,6 +44,9 @@ type BatchMetrics struct {
 // RunMetered is Run with batch accounting: if m is non-nil each completed
 // experiment adds its table/note counts to m from whichever worker ran it.
 func RunMetered(exps []Experiment, seed int64, workers int, m *BatchMetrics) []Report {
+	// Sharded clusters (SetShards) park worker goroutines; release every
+	// cluster the batch opened once all experiments are done.
+	defer CloseClusters()
 	reports := make([]Report, len(exps))
 	runOne := func(i int) {
 		start := time.Now()

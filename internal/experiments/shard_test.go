@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestExperimentsShardedRowsIdentical runs the full registry sequentially
+// and again with the -shards hook active, and requires every rendered table
+// row and note to match byte for byte. This is the experiments half of the
+// parallel-simulation contract: turning on shards changes wall time, never
+// a result. (E16 sets its own shard counts and is exercised by its own
+// rows; it is skipped here to avoid double-driving the hook.)
+func TestExperimentsShardedRowsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole registry twice")
+	}
+	const seed = 1
+	var exps []Experiment
+	for _, e := range All() {
+		if e.ID != "E16" {
+			exps = append(exps, e)
+		}
+	}
+
+	render := func(shards int) map[string]string {
+		SetShards(shards)
+		defer SetShards(0)
+		defer CloseClusters()
+		out := make(map[string]string, len(exps))
+		for _, e := range exps {
+			out[e.ID] = e.Run(seed).String()
+		}
+		return out
+	}
+	seq := render(0)
+	shd := render(4)
+	for _, e := range exps {
+		if seq[e.ID] != shd[e.ID] {
+			t.Errorf("%s (%s): sharded output diverged from sequential:\n%s",
+				e.ID, e.Name, diffLines(seq[e.ID], shd[e.ID]))
+		}
+	}
+}
+
+func diffLines(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(w) || i < len(g); i++ {
+		var lw, lg string
+		if i < len(w) {
+			lw = w[i]
+		}
+		if i < len(g) {
+			lg = g[i]
+		}
+		if lw != lg {
+			return fmt.Sprintf("line %d:\n  sequential: %s\n  sharded:    %s", i+1, lw, lg)
+		}
+	}
+	return "lengths differ"
+}

@@ -39,6 +39,11 @@ type RunOptions struct {
 	// initial head for that many writes — the intentional defect the
 	// explorer must catch (TestExploreCatchesInjectedBug).
 	InjectSkipForward int
+	// Shards runs the cluster on that many parallel simulation shards
+	// (0/1: sequential). Results — Log, Failures, everything — are
+	// byte-identical across shard counts (TestExploreShardDeterminism), so
+	// explorations can use all cores without weakening reproducibility.
+	Shards int
 }
 
 // Result is the outcome of one scenario run.
@@ -101,13 +106,14 @@ func Run(sc Scenario, opt RunOptions) *Result {
 	link := sc.Link
 	c, err := swishmem.New(swishmem.Config{
 		Switches: sc.Switches, Spares: sc.Spares, Seed: sc.Seed,
-		Link: &link, HeartbeatPeriod: heartbeatPeriod,
+		Link: &link, HeartbeatPeriod: heartbeatPeriod, Shards: opt.Shards,
 	})
 	if err != nil {
 		fail("setup", "cluster: %v", err)
 		res.Log = log.String()
 		return res
 	}
+	defer c.Close()
 	strong, err := c.DeclareStrong("s", swishmem.StrongOptions{
 		Capacity: strongCapacity, ValueWidth: 8, RetryTimeout: retryTimeout})
 	if err == nil {
@@ -146,7 +152,15 @@ func Run(sc Scenario, opt RunOptions) *Result {
 	// mutations change fabric event interleavings, but the op sequence for a
 	// seed stays fixed, which keeps shrunk scenarios comparable.
 	wrng := rand.New(rand.NewSource(sc.Seed*6364136223846793005 + 1442695040888963407))
+	// now is for DRIVER use only (between runs, when all shard clocks
+	// agree). Completion callbacks run on the shard of the switch that was
+	// driven and must read that switch's own clock — in a sharded run the
+	// shard-0 clock is mid-window and touching it would race.
 	now := func() int64 { return int64(c.Engine().Now()) }
+	swClock := func(i int) func() int64 {
+		eng := c.Switch(i).Engine()
+		return func() int64 { return int64(eng.Now()) }
+	}
 
 	alive := make([]int, 0, sc.Switches) // replicas accepting workload ops
 	for i := 0; i < sc.Switches; i++ {
@@ -170,10 +184,14 @@ func Run(sc Scenario, opt RunOptions) *Result {
 		nStrongR   int
 		nCtr       int
 		nLWW       int
-		nReads     int // resolved strong reads
 		crashCount int
 		joinedAbs  []int // absolute switch indices of joined spares
 	)
+	// Read completions land on the shard of the switch that served them, so
+	// each switch records into its own recorder/counter; they merge into rec
+	// in switch order after the run — an order independent of shard layout.
+	readRecs := make([]lincheck.Recorder, sc.Switches)
+	nReadsBy := make([]int, sc.Switches)
 
 	// Episode bookkeeping: start events at AtStep, end events after Steps.
 	type endEvent struct {
@@ -221,8 +239,9 @@ func Run(sc Scenario, opt RunOptions) *Result {
 					binary.BigEndian.PutUint64(buf, v)
 					sw := &strongWrite{key: key, val: valHex(buf), start: now()}
 					writes = append(writes, sw)
+					clock := swClock(e.Switch)
 					strong[e.Switch].Write(key, buf, func(ok bool) {
-						sw.resolved, sw.committed, sw.end = true, ok, now()
+						sw.resolved, sw.committed, sw.end = true, ok, clock()
 					})
 				}
 				c.RunFor(50 * time.Microsecond) // let them reach (part of) the chain
@@ -261,20 +280,22 @@ func Run(sc Scenario, opt RunOptions) *Result {
 			binary.BigEndian.PutUint64(buf, v)
 			sw := &strongWrite{key: key, val: valHex(buf), start: now()}
 			writes = append(writes, sw)
+			clock := swClock(w)
 			strong[w].Write(key, buf, func(ok bool) {
-				sw.resolved, sw.committed, sw.end = true, ok, now()
+				sw.resolved, sw.committed, sw.end = true, ok, clock()
 			})
 		case r < 60: // SRO read
 			nStrongR++
 			key := uint64(wrng.Intn(sc.Keys))
 			start := now()
+			rrec, clock, wc := &readRecs[w], swClock(w), w
 			strong[w].Read(key, func(val []byte, ok bool) {
-				nReads++
+				nReadsBy[wc]++
 				v := lincheck.Initial
 				if ok {
 					v = valHex(val)
 				}
-				rec.Add(key, lincheck.Op{Start: start, End: now(), Write: false, Value: v})
+				rrec.Add(key, lincheck.Op{Start: start, End: clock(), Write: false, Value: v})
 			})
 		case r < 85: // EWO counter add
 			nCtr++
@@ -299,10 +320,16 @@ func Run(sc Scenario, opt RunOptions) *Result {
 	c.SetAllLinks(calm)
 	c.RunFor(quiesceTime)
 
-	// Fold the write tracker into the history. A write whose callback never
-	// fired, or that exhausted its retries, may or may not have taken
+	// Merge the per-switch read histories in switch order (shard-layout
+	// independent), then fold the write tracker in. A write whose callback
+	// never fired, or that exhausted its retries, may or may not have taken
 	// effect (the chain can have applied it while the ack path failed):
 	// both are pending operations for the checker.
+	nReads := 0
+	for i := range readRecs {
+		nReads += nReadsBy[i]
+		readRecs[i].Each(func(key uint64, op lincheck.Op) { rec.Add(key, op) })
+	}
 	committedKeys := make(map[uint64]bool)
 	for _, sw := range writes {
 		if sw.resolved && sw.committed {

@@ -1,0 +1,97 @@
+package explore
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestExploreShardDeterminism is the explorer's half of the parallel-
+// simulation contract: for every generated scenario the full Result —
+// the byte-exact Log, the oracle Failures, the summary facts — must be
+// identical whether the cluster ran sequentially or on 2 or 8 shards.
+// Together with the cluster-level identity tests this means any failure a
+// sharded exploration finds replays exactly under `-run` sequentially.
+func TestExploreShardDeterminism(t *testing.T) {
+	const seeds = 30
+	type key struct {
+		seed   int64
+		shards int
+	}
+	results := make(map[key]*Result)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 4)
+	for seed := int64(1); seed <= seeds; seed++ {
+		for _, shards := range []int{1, 2, 8} {
+			wg.Add(1)
+			go func(seed int64, shards int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				r := Run(Generate(seed), RunOptions{Shards: shards})
+				mu.Lock()
+				results[key{seed, shards}] = r
+				mu.Unlock()
+			}(seed, shards)
+		}
+	}
+	wg.Wait()
+
+	failed := 0
+	for seed := int64(1); seed <= seeds; seed++ {
+		want := results[key{seed, 1}]
+		if want.Failed() {
+			failed++
+		}
+		for _, shards := range []int{2, 8} {
+			got := results[key{seed, shards}]
+			if got.Log != want.Log {
+				t.Errorf("seed %d shards=%d: log diverged from sequential\n-- sequential --\n%s\n-- sharded --\n%s",
+					seed, shards, want.Log, got.Log)
+			}
+			if len(got.Failures) != len(want.Failures) {
+				t.Errorf("seed %d shards=%d: %d failures vs %d sequential",
+					seed, shards, len(got.Failures), len(want.Failures))
+			}
+			if got.Committed != want.Committed || got.Recoveries != want.Recoveries {
+				t.Errorf("seed %d shards=%d: committed/recoveries %d/%d vs %d/%d",
+					seed, shards, got.Committed, got.Recoveries, want.Committed, want.Recoveries)
+			}
+			if t.Failed() {
+				t.FailNow()
+			}
+		}
+	}
+	// The oracles must stay armed in every mode: a sweep of 30 generated
+	// scenarios on a healthy build passes everywhere.
+	if failed > 0 {
+		t.Logf("%d/%d scenarios failed oracles (identically in every mode)", failed, seeds)
+	}
+}
+
+// TestExploreShardedCatchesInjectedBug: the injected-defect detection that
+// anchors the explorer's credibility must also fire under sharded
+// execution, with the same oracle verdict.
+func TestExploreShardedCatchesInjectedBug(t *testing.T) {
+	var verdicts []string
+	for _, shards := range []int{1, 4} {
+		found := false
+		for seed := int64(1); seed <= 20 && !found; seed++ {
+			sc := Generate(seed)
+			if !sc.Strict() {
+				continue
+			}
+			r := Run(sc, RunOptions{InjectSkipForward: 3, Shards: shards})
+			if r.Failed() {
+				found = true
+				verdicts = append(verdicts, r.FirstOracle())
+			}
+		}
+		if !found {
+			t.Fatalf("shards=%d: injected skip-forward bug not caught in 20 strict seeds", shards)
+		}
+	}
+	if len(verdicts) == 2 && verdicts[0] != verdicts[1] {
+		t.Fatalf("different first oracle across modes: %v", verdicts)
+	}
+}

@@ -362,6 +362,14 @@ func (r *Recorder) AddPending(key uint64, start int64, write bool, value string)
 // Len returns the number of recorded operations.
 func (r *Recorder) Len() int { return len(r.ops) }
 
+// Each visits the recorded operations in recording order, for merging
+// several recorders (e.g. per-shard histories) into one.
+func (r *Recorder) Each(fn func(key uint64, op Op)) {
+	for i := range r.ops {
+		fn(r.keys[i], r.ops[i])
+	}
+}
+
 // CheckAll verifies every key's sub-history in ascending key order,
 // returning the smallest violating key (ok=false) or ok=true. The sorted
 // iteration makes the reported badKey deterministic across runs.

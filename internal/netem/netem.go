@@ -14,10 +14,30 @@
 // declare the size their wire encoding would have (the encodings themselves
 // are implemented and tested in internal/wire and used verbatim by the live
 // UDP transport in netem/live).
+//
+// # Sharded execution
+//
+// A network built with NewSharded spans the engines of a sim.Group: each
+// attached node lives on one shard, sends execute on the sender's shard,
+// and deliveries execute on the destination's shard. Same-shard deliveries
+// take the exact sequential path; cross-shard deliveries are appended to a
+// per-shard outbox (owned by the sending shard's goroutine, so no locks)
+// and injected into destination queues at the group's window barrier.
+// Determinism does not depend on the injection order: every delivery
+// carries a (timestamp, directed-link, per-link-sequence) key and engine
+// queues order events by that key, so a sharded run executes deliveries in
+// exactly the order a sequential run would (see internal/sim/shard.go).
+//
+// All model randomness (loss, jitter, reorder, duplication) comes from
+// per-link streams seeded by (engine seed, from, to) — never from the
+// shared engine source — so the draw sequence of one link is independent of
+// traffic on other links and of how links are spread across shards.
 package netem
 
 import (
 	"fmt"
+	"math/rand"
+	"reflect"
 	"sort"
 
 	"swishmem/internal/obs"
@@ -40,6 +60,42 @@ type Releasable interface {
 	Release()
 }
 
+// RemoteMsg is implemented by payloads that cannot be shared across shard
+// boundaries by pointer: pooled messages (their free lists belong to the
+// creating shard) and messages the receiver mutates. When a delivery
+// crosses shards the network calls CloneRemote at the barrier and hands the
+// clone to the destination, releasing the original on the sending side —
+// the shard boundary acts as a serialization boundary, exactly like the
+// live UDP transport's encode/decode. Clones must not be pooled.
+//
+// Payloads implementing Releasable but not RemoteMsg cannot cross shards
+// (the network panics): a pooled object must never be released from a
+// foreign shard. Plain payloads pass by pointer; ownership transfers to
+// the receiver, and the sender must treat the object as immutable after
+// Send.
+type RemoteMsg interface {
+	CloneRemote() any
+}
+
+// RemotePooled is an optional extension of RemoteMsg for payloads that cross
+// shards on the hot path (EWO updates, heartbeats). Instead of a fresh
+// allocation per crossing, the network keeps a free list of clones per
+// (destination shard, concrete type): the barrier pops a drained clone and
+// asks the payload to refill it, and the receiving shard's final Release
+// pushes it back via the recycle hook. The barrier and the shard windows
+// strictly alternate, so the pool needs no locking, and steady-state
+// cross-shard traffic allocates nothing.
+type RemotePooled interface {
+	RemoteMsg
+	// CloneRemotePooled deep-copies the message for the receiving shard.
+	// prev, when non-nil, is an earlier clone of the same concrete type whose
+	// receiver has fully released it; its storage must be reused. The clone
+	// must hand itself to recycle when its reference count drains (bind the
+	// hook once per object — a reused prev already carries it) and must come
+	// back holding exactly one reference for the receiver to release.
+	CloneRemotePooled(prev any, recycle func(any)) any
+}
+
 // LinkProfile describes the behaviour of one direction of a link.
 type LinkProfile struct {
 	// Latency is the propagation delay.
@@ -54,7 +110,7 @@ type LinkProfile struct {
 	// DupRate is the probability a message is delivered twice.
 	DupRate float64
 	// ReorderRate is the probability a message gets an extra delay of up to
-	// 4x Latency, letting later messages overtake it.
+	// ReorderLagMax, letting later messages overtake it.
 	ReorderRate float64
 }
 
@@ -66,6 +122,24 @@ func DataCenter() LinkProfile {
 // Lossy returns profile p with the given loss rate.
 func (p LinkProfile) Lossy(rate float64) LinkProfile { p.LossRate = rate; return p }
 
+// DupLag is the extra delay of the second copy of a duplicated message:
+// half a propagation delay, plus one tick so the duplicate never ties with
+// the original.
+func (p LinkProfile) DupLag() sim.Duration { return p.Latency/2 + 1 }
+
+// ReorderLagMax bounds the extra delay a reordered message can pick up
+// (uniform in [0, ReorderLagMax]).
+func (p LinkProfile) ReorderLagMax() sim.Duration { return 4 * p.Latency }
+
+// MinDelay is the smallest possible send-to-arrival delay on the link.
+// Every stochastic component (jitter, serialization, reorder lag, DupLag)
+// is non-negative, so no delivery — duplicated or reordered — ever arrives
+// earlier than Latency after its send. This is the lookahead invariant the
+// parallel simulation relies on: the conservative window width derived from
+// cross-shard MinDelay values can never be violated by a reordered or
+// duplicated copy.
+func (p LinkProfile) MinDelay() sim.Duration { return p.Latency }
+
 // LinkStats accumulates per-direction accounting.
 type LinkStats struct {
 	MsgsSent    uint64
@@ -76,10 +150,44 @@ type LinkStats struct {
 	MsgsDup     uint64
 }
 
+func (s *LinkStats) add(o *LinkStats) {
+	s.MsgsSent += o.MsgsSent
+	s.BytesSent += o.BytesSent
+	s.MsgsDropped += o.MsgsDropped
+	s.MsgsDeliv += o.MsgsDeliv
+	s.BytesDeliv += o.BytesDeliv
+	s.MsgsDup += o.MsgsDup
+}
+
+// link is one direction of a pair. Its fields are split by owner so a
+// sharded run never writes the same word from two goroutines: everything
+// except recv is touched only at send time (sender's shard); recv only at
+// delivery time (destination's shard).
 type link struct {
 	profile   LinkProfile
 	busyUntil sim.Time
-	stats     LinkStats
+	// rng drives this link's loss/jitter/reorder/dup draws. Seeded from
+	// (engine seed, from, to) and created on first stochastic use, so
+	// deterministic links (the common case) never pay for it.
+	rng *rand.Rand
+	// seq numbers scheduled arrivals; with the directed link id it forms
+	// the delivery's deterministic ordering key.
+	seq uint64
+	// sent is the sender-owned half: MsgsSent/BytesSent/MsgsDup plus drops
+	// decided at send time (loss, partition).
+	sent LinkStats
+	// recv is the receiver-owned half: MsgsDeliv/BytesDeliv plus drops
+	// decided at arrival (down node, partition formed in flight).
+	recv LinkStats
+}
+
+// stats merges both halves into the public view.
+func (l *link) statsMerged() LinkStats {
+	s := l.sent
+	s.MsgsDeliv = l.recv.MsgsDeliv
+	s.BytesDeliv = l.recv.BytesDeliv
+	s.MsgsDropped += l.recv.MsgsDropped
+	return s
 }
 
 type endpoint struct {
@@ -87,18 +195,42 @@ type endpoint struct {
 	up      bool
 }
 
+// crossMsg is one cross-shard delivery parked in a sender-shard outbox
+// until the next window barrier.
+type crossMsg struct {
+	at       sim.Time
+	khi, klo uint64
+	l        *link
+	from, to Addr
+	payload  any
+	size     int
+}
+
 // Network is the emulated fabric.
 type Network struct {
-	eng            *sim.Engine
+	engines        []*sim.Engine
+	group          *sim.Group // nil in sequential mode
+	shardOf        func(Addr) int
+	seed           int64
 	defaultProfile LinkProfile
 	nodes          map[Addr]*endpoint
 	links          map[[2]Addr]*link
 	partition      map[Addr]int // group id; different nonzero groups can't talk
-	totals         LinkStats
-	// dfree pools in-flight delivery records so steady-state Send/Multicast
-	// allocates nothing. The network belongs to one engine (one goroutine),
-	// so a plain free list suffices.
-	dfree []*delivery
+	// totals are per executing shard (one row in sequential mode); Totals
+	// sums them so no row is ever written from two goroutines.
+	totals []LinkStats
+	// dfree pools in-flight delivery records, one free list per shard: a
+	// record is always taken and returned on the destination's shard (same-
+	// shard sends run there already; cross-shard records materialize at the
+	// single-threaded barrier).
+	dfree [][]*delivery
+	// outbox parks cross-shard deliveries per sending shard.
+	outbox [][]crossMsg
+	// rfree pools shard-crossing clones per destination shard and concrete
+	// payload type (see RemotePooled); recycleTo[i] is the bound release
+	// hook feeding shard i's pool.
+	rfree     []map[reflect.Type][]any
+	recycleTo []func(any)
 }
 
 // delivery is one scheduled message arrival. Its run closure is bound once
@@ -109,17 +241,19 @@ type delivery struct {
 	from, to Addr
 	payload  any
 	size     int
+	shard    int // destination shard: the pool the record returns to
 	run      func()
 }
 
-func (n *Network) getDelivery() *delivery {
-	if ln := len(n.dfree); ln > 0 {
-		d := n.dfree[ln-1]
-		n.dfree[ln-1] = nil
-		n.dfree = n.dfree[:ln-1]
+func (n *Network) getDelivery(shard int) *delivery {
+	free := n.dfree[shard]
+	if ln := len(free); ln > 0 {
+		d := free[ln-1]
+		free[ln-1] = nil
+		n.dfree[shard] = free[:ln-1]
 		return d
 	}
-	d := &delivery{n: n}
+	d := &delivery{n: n, shard: shard}
 	d.run = d.deliver
 	return d
 }
@@ -130,14 +264,15 @@ func (d *delivery) deliver() {
 	// Return the record to the pool before invoking the handler so nested
 	// sends can reuse it; all needed fields are copied out above.
 	d.l, d.payload = nil, nil
-	n.dfree = append(n.dfree, d)
+	n.dfree[d.shard] = append(n.dfree[d.shard], d)
 
+	eng := n.engines[d.shard]
 	dst, ok := n.nodes[to]
 	if !ok || !dst.up || n.partitioned(from, to) {
-		l.stats.MsgsDropped++
-		n.totals.MsgsDropped++
-		if tr := n.eng.Tracer(); tr.Enabled() {
-			rec := tr.Emit(obs.PhaseInstant, int64(n.eng.Now()), 0, obs.PidFabric, "net", "drop.recv")
+		l.recv.MsgsDropped++
+		n.totals[d.shard].MsgsDropped++
+		if tr := eng.Tracer(); tr.Enabled() {
+			rec := tr.Emit(obs.PhaseInstant, int64(eng.Now()), 0, obs.PidFabric, "net", "drop.recv")
 			rec.K1, rec.V1 = "from", int64(from)
 			rec.K2, rec.V2 = "to", int64(to)
 		}
@@ -146,10 +281,10 @@ func (d *delivery) deliver() {
 		}
 		return
 	}
-	l.stats.MsgsDeliv++
-	l.stats.BytesDeliv += uint64(size)
-	n.totals.MsgsDeliv++
-	n.totals.BytesDeliv += uint64(size)
+	l.recv.MsgsDeliv++
+	l.recv.BytesDeliv += uint64(size)
+	n.totals[d.shard].MsgsDeliv++
+	n.totals[d.shard].BytesDeliv += uint64(size)
 	// The delivery's payload reference passes to the receiver here.
 	dst.handler(from, payload, size)
 }
@@ -157,25 +292,89 @@ func (d *delivery) deliver() {
 // New creates a network over eng where unset links use defaultProfile.
 func New(eng *sim.Engine, defaultProfile LinkProfile) *Network {
 	return &Network{
-		eng:            eng,
+		engines:        []*sim.Engine{eng},
+		seed:           eng.Seed(),
 		defaultProfile: defaultProfile,
 		nodes:          make(map[Addr]*endpoint),
 		links:          make(map[[2]Addr]*link),
 		partition:      make(map[Addr]int),
+		totals:         make([]LinkStats, 1),
+		dfree:          make([][]*delivery, 1),
+		outbox:         make([][]crossMsg, 1),
 	}
 }
 
-// Engine returns the underlying simulation engine.
-func (n *Network) Engine() *sim.Engine { return n.eng }
+// NewSharded creates a network spanning the engines of a sim.Group.
+// shardOf maps every address that will ever be attached to its shard (it
+// must be pure and total). The network registers its cross-shard outbox
+// drain as a group barrier hook.
+//
+// Topology mutations (Attach, Detach, SetLink, Partition, SetNodeUp, stats
+// reads) are driver operations: they may only happen between Group.RunUntil
+// calls, never from model callbacks, because shard goroutines read the
+// topology maps without locks while a window runs.
+func NewSharded(g *sim.Group, defaultProfile LinkProfile, shardOf func(Addr) int) *Network {
+	engines := g.Engines()
+	n := &Network{
+		engines:        engines,
+		group:          g,
+		shardOf:        shardOf,
+		seed:           engines[0].Seed(),
+		defaultProfile: defaultProfile,
+		nodes:          make(map[Addr]*endpoint),
+		links:          make(map[[2]Addr]*link),
+		partition:      make(map[Addr]int),
+		totals:         make([]LinkStats, len(engines)),
+		dfree:          make([][]*delivery, len(engines)),
+		outbox:         make([][]crossMsg, len(engines)),
+		rfree:          make([]map[reflect.Type][]any, len(engines)),
+		recycleTo:      make([]func(any), len(engines)),
+	}
+	for i := range n.rfree {
+		pool := make(map[reflect.Type][]any)
+		n.rfree[i] = pool
+		n.recycleTo[i] = func(x any) {
+			t := reflect.TypeOf(x)
+			pool[t] = append(pool[t], x)
+		}
+	}
+	g.AddFlush(n.flushCross)
+	return n
+}
+
+// Engine returns the underlying simulation engine (shard 0's when sharded).
+func (n *Network) Engine() *sim.Engine { return n.engines[0] }
+
+// shardIdx maps an address to its shard (always 0 in sequential mode).
+func (n *Network) shardIdx(a Addr) int {
+	if n.shardOf == nil {
+		return 0
+	}
+	return n.shardOf(a)
+}
+
+// engineFor returns the engine that owns a's events.
+func (n *Network) engineFor(a Addr) *sim.Engine { return n.engines[n.shardIdx(a)] }
 
 // Attach registers a node; messages addressed to addr invoke h. Attaching an
 // existing address replaces its handler (used when a failed switch is
-// replaced by a fresh one).
+// replaced by a fresh one). In sharded mode attaching also materializes the
+// links between addr and every other known node, so the hot send path never
+// inserts into the links map concurrently.
 func (n *Network) Attach(addr Addr, h Handler) {
 	n.nodes[addr] = &endpoint{handler: h, up: true}
+	if n.group != nil {
+		for other := range n.nodes {
+			if other == addr {
+				continue
+			}
+			n.linkFor(addr, other)
+			n.linkFor(other, addr)
+		}
+	}
 }
 
-// Detach removes a node entirely.
+// Detach removes a node entirely. Its links remain materialized.
 func (n *Network) Detach(addr Addr) { delete(n.nodes, addr) }
 
 // SetNodeUp marks a node up or down. A down node neither sends nor receives —
@@ -213,6 +412,42 @@ func (n *Network) linkFor(a, b Addr) *link {
 	return l
 }
 
+// sendLink is linkFor for the hot path: in sharded mode every link a send
+// can use was materialized at Attach, so a miss is a contract violation
+// (it would race on the map), not a condition to repair.
+func (n *Network) sendLink(a, b Addr) *link {
+	if l, ok := n.links[[2]Addr{a, b}]; ok {
+		return l
+	}
+	if n.group != nil {
+		panic(fmt.Sprintf("netem: send %d->%d on a link never materialized by Attach", a, b))
+	}
+	return n.linkFor(a, b)
+}
+
+// linkRand returns the link's private random stream, creating it on first
+// stochastic use. The seed depends only on (engine seed, from, to): the
+// stream is identical no matter when the link first draws, what other links
+// do, or how nodes are sharded.
+func (n *Network) linkRand(l *link, from, to Addr) *rand.Rand {
+	if l.rng == nil {
+		l.rng = rand.New(rand.NewSource(linkSeed(n.seed, from, to)))
+	}
+	return l.rng
+}
+
+// linkSeed mixes the engine seed with the directed pair (splitmix64
+// finalizer, same family as the deterministic HashIndex).
+func linkSeed(seed int64, from, to Addr) int64 {
+	z := uint64(seed) ^ 0x9e3779b97f4a7c15 ^ uint64(from)<<32 ^ uint64(to)<<16
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
 // Profile returns the profile of the a->b direction: the configured link,
 // or the network default when the pair was never configured or used. It
 // never materializes a link.
@@ -221,6 +456,24 @@ func (n *Network) Profile(a, b Addr) LinkProfile {
 		return l.profile
 	}
 	return n.defaultProfile
+}
+
+// MinCrossShardLatency returns the smallest MinDelay over directed links
+// whose endpoints live on different shards. The network default is always
+// included (any not-yet-configured pair falls back to it), making the
+// result safe for pairs that have never talked. This is the fabric's
+// contribution to the group lookahead; the cluster recomputes it after
+// every profile change.
+func (n *Network) MinCrossShardLatency() sim.Duration {
+	min := n.defaultProfile.MinDelay()
+	for k, l := range n.links {
+		if n.shardIdx(k[0]) != n.shardIdx(k[1]) {
+			if d := l.profile.MinDelay(); d < min {
+				min = d
+			}
+		}
+	}
+	return min
 }
 
 // Partition assigns nodes to partition groups. Nodes in different nonzero
@@ -241,7 +494,8 @@ func (n *Network) partitioned(a, b Addr) bool {
 
 // Send transmits payload of the given wire size from->to. It reports whether
 // the message entered the network (false if the sender is down/unknown).
-// Delivery is never guaranteed.
+// Delivery is never guaranteed. Send must run on the sending node's shard
+// (model callbacks do so naturally) or in driver code between runs.
 func (n *Network) Send(from, to Addr, payload any, size int) bool {
 	if size < 0 {
 		panic(fmt.Sprintf("netem: negative size %d", size))
@@ -250,28 +504,29 @@ func (n *Network) Send(from, to Addr, payload any, size int) bool {
 	if !ok || !src.up {
 		return false
 	}
-	l := n.linkFor(from, to)
-	l.stats.MsgsSent++
-	l.stats.BytesSent += uint64(size)
-	n.totals.MsgsSent++
-	n.totals.BytesSent += uint64(size)
+	l := n.sendLink(from, to)
+	eng := n.engineFor(from)
+	shard := n.shardIdx(from)
+	l.sent.MsgsSent++
+	l.sent.BytesSent += uint64(size)
+	n.totals[shard].MsgsSent++
+	n.totals[shard].BytesSent += uint64(size)
 
 	if n.partitioned(from, to) {
-		l.stats.MsgsDropped++
-		n.totals.MsgsDropped++
-		n.traceDrop("drop.partition", from, to)
+		l.sent.MsgsDropped++
+		n.totals[shard].MsgsDropped++
+		n.traceDrop(eng, "drop.partition", from, to)
 		return true
 	}
-	rng := n.eng.Rand()
-	if l.profile.LossRate > 0 && rng.Float64() < l.profile.LossRate {
-		l.stats.MsgsDropped++
-		n.totals.MsgsDropped++
-		n.traceDrop("drop.loss", from, to)
+	if l.profile.LossRate > 0 && n.linkRand(l, from, to).Float64() < l.profile.LossRate {
+		l.sent.MsgsDropped++
+		n.totals[shard].MsgsDropped++
+		n.traceDrop(eng, "drop.loss", from, to)
 		return true
 	}
 
 	// Serialization delay with FIFO queueing at the sender side of the link.
-	now := n.eng.Now()
+	now := eng.Now()
 	depart := now
 	if l.profile.BandwidthBps > 0 {
 		ser := sim.Duration(float64(size*8) / l.profile.BandwidthBps * 1e9)
@@ -283,50 +538,111 @@ func (n *Network) Send(from, to Addr, payload any, size int) bool {
 	}
 	delay := depart.Sub(now) + l.profile.Latency
 	if l.profile.Jitter > 0 {
-		delay += sim.Duration(rng.Int63n(int64(l.profile.Jitter) + 1))
+		delay += sim.Duration(n.linkRand(l, from, to).Int63n(int64(l.profile.Jitter) + 1))
 	}
-	if l.profile.ReorderRate > 0 && rng.Float64() < l.profile.ReorderRate {
-		delay += sim.Duration(rng.Int63n(int64(4*l.profile.Latency) + 1))
+	if l.profile.ReorderRate > 0 && n.linkRand(l, from, to).Float64() < l.profile.ReorderRate {
+		delay += sim.Duration(n.linkRand(l, from, to).Int63n(int64(l.profile.ReorderLagMax()) + 1))
 	}
 
-	n.scheduleDelivery(delay, l, from, to, payload, size)
-	if l.profile.DupRate > 0 && rng.Float64() < l.profile.DupRate {
-		l.stats.MsgsDup++
-		n.totals.MsgsDup++
-		n.traceDrop("dup", from, to)
-		n.scheduleDelivery(delay+l.profile.Latency/2+1, l, from, to, payload, size)
+	n.scheduleDelivery(eng, shard, delay, l, from, to, payload, size)
+	if l.profile.DupRate > 0 && n.linkRand(l, from, to).Float64() < l.profile.DupRate {
+		l.sent.MsgsDup++
+		n.totals[shard].MsgsDup++
+		n.traceDrop(eng, "dup", from, to)
+		n.scheduleDelivery(eng, shard, delay+l.profile.DupLag(), l, from, to, payload, size)
 	}
 	return true
 }
 
 // traceDrop emits a fabric instant for a loss/partition/duplication
 // decision made at send time.
-func (n *Network) traceDrop(name string, from, to Addr) {
-	tr := n.eng.Tracer()
+func (n *Network) traceDrop(eng *sim.Engine, name string, from, to Addr) {
+	tr := eng.Tracer()
 	if !tr.Enabled() {
 		return
 	}
-	rec := tr.Emit(obs.PhaseInstant, int64(n.eng.Now()), 0, obs.PidFabric, "net", name)
+	rec := tr.Emit(obs.PhaseInstant, int64(eng.Now()), 0, obs.PidFabric, "net", name)
 	rec.K1, rec.V1 = "from", int64(from)
 	rec.K2, rec.V2 = "to", int64(to)
 }
 
 // scheduleDelivery queues one arrival, taking a payload reference for pooled
-// payloads. Each arrival gets its own pooled record (duplicates included).
-func (n *Network) scheduleDelivery(delay sim.Duration, l *link, from, to Addr, payload any, size int) {
+// payloads. Each arrival gets its own pooled record (duplicates included)
+// and a (directed link, sequence) ordering key assigned at send time, so
+// its position among same-timestamp events is fixed before anyone knows
+// which queue it lands in.
+func (n *Network) scheduleDelivery(eng *sim.Engine, shard int, delay sim.Duration, l *link, from, to Addr, payload any, size int) {
+	if delay < l.profile.MinDelay() {
+		panic(fmt.Sprintf("netem: delivery delay %v below link MinDelay %v (lookahead invariant)", delay, l.profile.MinDelay()))
+	}
 	if r, ok := payload.(Releasable); ok {
 		r.Ref()
 	}
-	if tr := n.eng.Tracer(); tr.Enabled() {
+	if tr := eng.Tracer(); tr.Enabled() {
 		// One flight span per scheduled arrival, covering send -> arrival.
-		rec := tr.Emit(obs.PhaseSpan, int64(n.eng.Now()), int64(delay), obs.PidFabric, "net", "msg")
+		rec := tr.Emit(obs.PhaseSpan, int64(eng.Now()), int64(delay), obs.PidFabric, "net", "msg")
 		rec.K1, rec.V1 = "from", int64(from)
 		rec.K2, rec.V2 = "to", int64(to)
 		rec.K3, rec.V3 = "bytes", int64(size)
 	}
-	d := n.getDelivery()
-	d.l, d.from, d.to, d.payload, d.size = l, from, to, payload, size
-	n.eng.ScheduleAfter(delay, d.run)
+	khi := sim.KeyClassDeliver | uint64(from)<<16 | uint64(to)
+	klo := l.seq
+	l.seq++
+	at := eng.Now().Add(delay)
+	dst := n.shardIdx(to)
+	if dst == shard {
+		d := n.getDelivery(dst)
+		d.l, d.from, d.to, d.payload, d.size = l, from, to, payload, size
+		eng.ScheduleKeyed(at, khi, klo, d.run)
+		return
+	}
+	// Cross-shard: park in this shard's outbox; the barrier injects it.
+	n.outbox[shard] = append(n.outbox[shard], crossMsg{
+		at: at, khi: khi, klo: klo, l: l, from: from, to: to, payload: payload, size: size,
+	})
+}
+
+// flushCross drains every shard outbox into the destination queues. It runs
+// as a group barrier hook (all shards quiescent), which makes it safe to
+// touch destination pools and to release sender-pooled payloads. Injection
+// order is irrelevant for determinism — the events carry their merge keys —
+// so a simple shard-order walk suffices.
+func (n *Network) flushCross() {
+	for si := range n.outbox {
+		box := n.outbox[si]
+		for i := range box {
+			m := &box[i]
+			payload := m.payload
+			dst := n.shardIdx(m.to)
+			if pm, ok := payload.(RemotePooled); ok {
+				t := reflect.TypeOf(payload)
+				var prev any
+				if pool := n.rfree[dst][t]; len(pool) > 0 {
+					prev = pool[len(pool)-1]
+					pool[len(pool)-1] = nil
+					n.rfree[dst][t] = pool[:len(pool)-1]
+				}
+				clone := pm.CloneRemotePooled(prev, n.recycleTo[dst])
+				if r, ok := payload.(Releasable); ok {
+					r.Release()
+				}
+				payload = clone
+			} else if rm, ok := payload.(RemoteMsg); ok {
+				clone := rm.CloneRemote()
+				if r, ok := payload.(Releasable); ok {
+					r.Release()
+				}
+				payload = clone
+			} else if _, ok := payload.(Releasable); ok {
+				panic(fmt.Sprintf("netem: pooled payload %T crossing shards must implement RemoteMsg", payload))
+			}
+			d := n.getDelivery(dst)
+			d.l, d.from, d.to, d.payload, d.size = m.l, m.from, m.to, payload, m.size
+			n.engines[dst].ScheduleKeyed(m.at, m.khi, m.klo, d.run)
+			*m = crossMsg{}
+		}
+		n.outbox[si] = box[:0]
+	}
 }
 
 // Multicast sends payload to every address in group except from itself.
@@ -341,7 +657,7 @@ func (n *Network) Multicast(from Addr, group []Addr, payload any, size int) {
 }
 
 // Stats returns accounting for the a->b direction.
-func (n *Network) Stats(a, b Addr) LinkStats { return n.linkFor(a, b).stats }
+func (n *Network) Stats(a, b Addr) LinkStats { return n.linkFor(a, b).statsMerged() }
 
 // EachLink invokes fn for every directed link the network knows about, in
 // ascending (from, to) order so output built from it is deterministic.
@@ -361,18 +677,27 @@ func (n *Network) EachLink(fn func(from, to Addr, s LinkStats)) {
 		return keys[i][1] < keys[j][1]
 	})
 	for _, k := range keys {
-		fn(k[0], k[1], n.links[k].stats)
+		fn(k[0], k[1], n.links[k].statsMerged())
 	}
 }
 
-// Totals returns network-wide accounting.
-func (n *Network) Totals() LinkStats { return n.totals }
+// Totals returns network-wide accounting (summed over shards).
+func (n *Network) Totals() LinkStats {
+	var s LinkStats
+	for i := range n.totals {
+		s.add(&n.totals[i])
+	}
+	return s
+}
 
 // ResetTotals zeroes all accounting (per-link and global); used between
 // experiment phases.
 func (n *Network) ResetTotals() {
-	n.totals = LinkStats{}
+	for i := range n.totals {
+		n.totals[i] = LinkStats{}
+	}
 	for _, l := range n.links {
-		l.stats = LinkStats{}
+		l.sent = LinkStats{}
+		l.recv = LinkStats{}
 	}
 }

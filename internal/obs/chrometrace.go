@@ -36,16 +36,18 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	return WriteChromeTrace(w, t)
 }
 
+// placed is an event plus the pid-lane offset of its source tracer.
+type placed struct {
+	ev     Event
+	offset int32
+}
+
 // WriteChromeTrace merges the retained events of several tracers into one
 // Chrome trace-event JSON document. Tracer i's lanes are offset by
 // i * (1<<21) so independent clusters (e.g. one per experiment) never
 // collide: switch addresses are uint16 and the reserved lanes stop below
 // the stride.
 func WriteChromeTrace(w io.Writer, tracers ...*Tracer) error {
-	type placed struct {
-		ev     Event
-		offset int32
-	}
 	var all []placed
 	for i, tr := range tracers {
 		if tr == nil {
@@ -62,7 +64,85 @@ func WriteChromeTrace(w io.Writer, tracers ...*Tracer) error {
 		}
 		return all[i].ev.Seq < all[j].ev.Seq
 	})
+	return writeChromeEvents(w, all)
+}
 
+// canonicalLess is a total order over an event's full content, ignoring Seq.
+// Seq is emission order on one tracer — a sequential engine and a set of
+// shard tracers number the same model events differently — so any export
+// meant to be byte-identical across execution modes must order by content
+// instead. The model never emits two fully identical records with distinct
+// meanings, so ties are harmless.
+func canonicalLess(a, b *Event) bool {
+	switch {
+	case a.TS != b.TS:
+		return a.TS < b.TS
+	case a.Pid != b.Pid:
+		return a.Pid < b.Pid
+	case a.Cat != b.Cat:
+		return a.Cat < b.Cat
+	case a.Name != b.Name:
+		return a.Name < b.Name
+	case a.Ph != b.Ph:
+		return a.Ph < b.Ph
+	case a.Dur != b.Dur:
+		return a.Dur < b.Dur
+	case a.K1 != b.K1:
+		return a.K1 < b.K1
+	case a.V1 != b.V1:
+		return a.V1 < b.V1
+	case a.K2 != b.K2:
+		return a.K2 < b.K2
+	case a.V2 != b.V2:
+		return a.V2 < b.V2
+	case a.K3 != b.K3:
+		return a.K3 < b.K3
+	case a.V3 != b.V3:
+		return a.V3 < b.V3
+	case a.KS != b.KS:
+		return a.KS < b.KS
+	default:
+		return a.VS < b.VS
+	}
+}
+
+// MergeCanonical combines the retained events of several tracers — e.g. the
+// per-shard rings of one parallel cluster — into a single content-ordered
+// list with Seq reassigned 1..n in that order. Because the order depends
+// only on event content, a sequential run and a sharded run of the same
+// model merge to the same list, provided no ring dropped events (check
+// Tracer.Dropped; per-shard rings wrap independently).
+func MergeCanonical(tracers ...*Tracer) []Event {
+	var all []Event
+	for _, tr := range tracers {
+		if tr == nil {
+			continue
+		}
+		all = append(all, tr.Events()...)
+	}
+	sort.Slice(all, func(i, j int) bool { return canonicalLess(&all[i], &all[j]) })
+	for i := range all {
+		all[i].Seq = uint64(i + 1)
+	}
+	return all
+}
+
+// WriteChromeTraceCanonical writes the canonical content-ordered merge of
+// the tracers as Chrome trace-event JSON. Unlike WriteChromeTrace it does
+// NOT offset lanes per tracer: the tracers are understood as shards of one
+// cluster sharing a single lane space. The output is byte-identical for a
+// sequential and a sharded run of the same model.
+func WriteChromeTraceCanonical(w io.Writer, tracers ...*Tracer) error {
+	merged := MergeCanonical(tracers...)
+	all := make([]placed, len(merged))
+	for i, ev := range merged {
+		all[i] = placed{ev: ev}
+	}
+	return writeChromeEvents(w, all)
+}
+
+// writeChromeEvents serialises pre-merged, pre-ordered events.
+func writeChromeEvents(w io.Writer, all []placed) error {
 	bw := bufio.NewWriter(w)
 	bw.WriteString("{\"traceEvents\":[")
 	first := true

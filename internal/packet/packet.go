@@ -241,6 +241,15 @@ func (p *Packet) Clone() *Packet {
 	return q
 }
 
+// CloneRemote implements netem.RemoteMsg: a packet crossing a simulation
+// shard boundary is deep-copied because pooled packets carry a pointer to
+// their creating switch's pool, which the receiving shard must never touch.
+// The clone is unpooled; the original is simply dropped (its pool slot is
+// reincarnated by GC pressure instead of recycling — cross-shard packet
+// forwarding is rare enough that this does not show up in allocation
+// budgets).
+func (p *Packet) CloneRemote() any { return p.Clone() }
+
 func (p *Packet) String() string {
 	if p.IP == nil {
 		return "non-IP packet"

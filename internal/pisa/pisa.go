@@ -137,6 +137,12 @@ type Switch struct {
 	arrivalSeq uint64
 	failed     bool
 
+	// mail keys control-plane posts originating at this switch (snapshot
+	// completion notifications back to the controller). The key is derived
+	// from the switch address, so post ordering is identical in sequential
+	// and sharded executions.
+	mail *sim.Mailbox
+
 	// tfree pools dispatch records so steady-state packet and message
 	// processing schedules without allocating.
 	tfree []*task
@@ -260,6 +266,7 @@ func New(eng *sim.Engine, nw *netem.Network, cfg Config) *Switch {
 		net:      nw,
 		slot:     sim.Duration(1e9 / cfg.PipelinePPS),
 		ctrlSlot: sim.Duration(1e9 / cfg.CtrlOpsPerSec),
+		mail:     sim.NewMailbox(uint64(cfg.Addr)),
 	}
 	if s.slot <= 0 {
 		s.slot = 1
@@ -557,6 +564,17 @@ func (s *Switch) ctrlDispatch(t *task) {
 	}
 	s.ctrlNextFree = start.Add(s.ctrlSlot)
 	s.eng.Schedule(start.Add(s.cfg.CtrlLatency), t.run)
+}
+
+// PostTo schedules fn on engine to, d after this switch's current time,
+// keyed by this switch's mailbox. It is how control-plane notifications
+// leave the switch for another entity's engine (e.g. a donor reporting
+// snapshot completion to the controller): in a sharded run a direct
+// cross-engine Schedule would race and order nondeterministically, while a
+// post carries a (source, counter) key that sorts the same in both modes.
+// d must be at least the group lookahead when to is on another shard.
+func (s *Switch) PostTo(to *sim.Engine, d sim.Duration, fn func()) {
+	s.mail.Post(s.eng, to, d, fn)
 }
 
 // CtrlAfter schedules fn on the control plane after at least d (a

@@ -14,7 +14,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -44,13 +43,35 @@ func (t Time) String() string { return Duration(t).String() }
 // cancelled it returns to the engine's free list and is reincarnated by the
 // next At/After/Schedule call. gen distinguishes incarnations so a stale
 // Timer handle can never cancel a recycled event.
+//
+// Ordering: events run in (at, khi, klo) order. Locally scheduled events
+// carry khi==0 and klo==engine sequence number, preserving the historical
+// FIFO tie-break among equal timestamps. Cross-entity events (network
+// deliveries, control-plane posts) carry a caller-supplied key whose value
+// depends only on the modeled source entity — never on which engine or
+// shard scheduled it — so sharded and sequential executions order ties
+// identically (see shard.go).
 type event struct {
 	at  Time
-	seq uint64 // tie-break: FIFO among equal timestamps
+	khi uint64 // ordering class+source; 0 for locally scheduled events
+	klo uint64 // per-source sequence; engine seq for local events
 	fn  func()
 	idx int    // heap index, -1 when not queued
 	gen uint64 // incremented every time the event returns to the pool
 	eng *Engine
+}
+
+// eventLess is the total event order: timestamp, then key class+source,
+// then per-source sequence. Keys are unique within an engine, so the order
+// is strict and heap insertion order never matters.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.khi != b.khi {
+		return a.khi < b.khi
+	}
+	return a.klo < b.klo
 }
 
 // Timer is a handle to a scheduled event; it can be stopped before firing.
@@ -75,7 +96,7 @@ func (t *Timer) Stop() bool {
 		rec := tr.Emit(obs.PhaseInstant, int64(eng.now), 0, obs.PidSim, "sim", "timer.cancel")
 		rec.K1, rec.V1 = "deadline_ns", int64(ev.at)
 	}
-	heap.Remove(&eng.queue, ev.idx)
+	eng.queue.removeAt(ev.idx)
 	eng.release(ev)
 	return true
 }
@@ -83,33 +104,104 @@ func (t *Timer) Stop() bool {
 // Pending reports whether the timer has not yet fired or been stopped.
 func (t *Timer) Pending() bool { return t.live() }
 
+// eventQueue is an inlined 4-ary min-heap specialized to *event: no
+// heap.Interface boxing, no virtual Less/Swap calls, and a branching factor
+// of 4 halves the tree depth versus the binary container/heap (better for
+// the pop-heavy access pattern of a drain loop — pops dominate and each
+// level costs one cache line of child pointers).
 type eventQueue []*event
 
 func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+
+// up sifts the event at index i toward the root.
+func (q eventQueue) up(i int) {
+	ev := q[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !eventLess(ev, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		q[i].idx = i
+		i = p
 	}
-	return q[i].seq < q[j].seq
+	q[i] = ev
+	ev.idx = i
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
+
+// down sifts the event at index i toward the leaves. It reports whether the
+// event moved.
+func (q eventQueue) down(i int) bool {
+	ev := q[i]
+	n := len(q)
+	start := i
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for k := c + 1; k < end; k++ {
+			if eventLess(q[k], q[m]) {
+				m = k
+			}
+		}
+		if !eventLess(q[m], ev) {
+			break
+		}
+		q[i] = q[m]
+		q[i].idx = i
+		i = m
+	}
+	q[i] = ev
+	ev.idx = i
+	return i != start
 }
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
+
+// push inserts ev into the heap.
+func (q *eventQueue) push(ev *event) {
 	ev.idx = len(*q)
 	*q = append(*q, ev)
+	q.up(ev.idx)
 }
-func (q *eventQueue) Pop() any {
+
+// pop removes and returns the minimum event.
+func (q *eventQueue) pop() *event {
 	old := *q
 	n := len(old)
-	ev := old[n-1]
+	top := old[0]
+	last := old[n-1]
 	old[n-1] = nil
-	ev.idx = -1
 	*q = old[:n-1]
-	return ev
+	if n > 1 {
+		old[0] = last
+		last.idx = 0
+		(*q).down(0)
+	}
+	top.idx = -1
+	return top
+}
+
+// removeAt deletes the event at heap index i (Timer.Stop's eager removal).
+func (q *eventQueue) removeAt(i int) {
+	old := *q
+	n := len(old)
+	ev := old[i]
+	last := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	if i < n-1 {
+		old[i] = last
+		last.idx = i
+		if !(*q).down(i) {
+			(*q).up(i)
+		}
+	}
+	ev.idx = -1
 }
 
 // Engine is a discrete-event simulator.
@@ -118,6 +210,7 @@ type Engine struct {
 	queue   eventQueue
 	seq     uint64
 	rng     *rand.Rand
+	seed    int64
 	stopped bool
 	// free is the event pool: steady-state scheduling allocates nothing.
 	free []*event
@@ -127,16 +220,36 @@ type Engine struct {
 	// an engine reference; nil (the default) means tracing is off and the
 	// guards below reduce to one branch.
 	tracer *obs.Tracer
+	// group/shard are set when the engine is one shard of a parallel Group
+	// (see shard.go); both are nil/0 for a standalone sequential engine.
+	group *Group
+	shard int
+	// posts is the outbox of cross-shard Mailbox posts issued while this
+	// shard executed its window; the Group drains it at the next barrier.
+	posts []post
 }
 
 // NewEngine returns an engine whose random source is seeded with seed.
 // The same seed and same schedule of calls yields an identical run.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{rng: rand.New(rand.NewSource(seed)), seed: seed}
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// Seed returns the seed the engine was constructed with. Model components
+// that need their own deterministic random stream (per-link jitter, per-node
+// sampling) derive it from this seed plus a stable entity identifier, so the
+// stream does not depend on how entities interleave on the shared engine —
+// a requirement for sharded executions to match sequential ones.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Shard returns the index of this engine within its Group (0 standalone).
+func (e *Engine) Shard() int { return e.shard }
+
+// Group returns the parallel group this engine belongs to, nil standalone.
+func (e *Engine) Group() *Group { return e.group }
 
 // Rand returns the engine's deterministic random source. All model
 // randomness (loss, jitter, workload sampling) must come from here.
@@ -155,18 +268,41 @@ func (e *Engine) schedule(at Time, fn func()) *event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, e.now))
 	}
-	var ev *event
+	ev := e.alloc()
+	ev.at, ev.fn, ev.khi, ev.klo = at, fn, 0, e.seq
+	e.seq++
+	e.queue.push(ev)
+	return ev
+}
+
+// alloc takes an event from the pool (or allocates one).
+func (e *Engine) alloc() *event {
 	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
+		ev := e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
-	} else {
-		ev = &event{eng: e}
+		return ev
 	}
-	ev.at, ev.fn, ev.seq = at, fn, e.seq
-	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	return &event{eng: e}
+}
+
+// ScheduleKeyed schedules fn at the absolute time at with an explicit
+// ordering key. khi must be non-zero (zero is reserved for local events,
+// which sort first among equal timestamps) and (khi, klo) must be unique
+// per timestamp — callers keep a monotone klo counter per source entity.
+// Because the key depends only on the modeled source, the event sorts
+// identically whether it was merged into one global queue (sequential) or
+// injected at a shard barrier (parallel).
+func (e *Engine) ScheduleKeyed(at Time, khi, klo uint64, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: keyed scheduling at %v before now %v", at, e.now))
+	}
+	if khi == 0 {
+		panic("sim: ScheduleKeyed requires a non-zero khi (0 is reserved for local events)")
+	}
+	ev := e.alloc()
+	ev.at, ev.fn, ev.khi, ev.klo = at, fn, khi, klo
+	e.queue.push(ev)
 }
 
 // release returns an event (already removed from the queue) to the pool,
@@ -268,12 +404,14 @@ func (e *Engine) Step() bool {
 	if e.queue.Len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
+	ev := e.queue.pop()
 	e.now = ev.at
 	fn := ev.fn
 	if tr := e.tracer; tr.Enabled() {
-		rec := tr.Emit(obs.PhaseInstant, int64(ev.at), 0, obs.PidSim, "sim", "event")
-		rec.K1, rec.V1 = "seq", int64(ev.seq)
+		// No per-event key in the record: local sequence numbers are
+		// engine-relative, so emitting them would make traces differ
+		// between sequential and sharded runs of the same model.
+		tr.Emit(obs.PhaseInstant, int64(ev.at), 0, obs.PidSim, "sim", "event")
 	}
 	// Release before running so fn's own scheduling can reuse the event.
 	e.release(ev)

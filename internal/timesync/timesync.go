@@ -75,11 +75,22 @@ type Synced struct {
 }
 
 // NewSynced creates a synchronized clock for node with a random constant
-// offset bounded by maxSkew, drawn from the engine's deterministic RNG.
+// offset bounded by maxSkew. The offset is a pure function of the engine
+// seed and the node id — not a draw from the engine's shared stream — so it
+// does not depend on construction order and is identical whether the node
+// lives on a sequential engine or on one shard of a parallel group seeded
+// with the same value.
 func NewSynced(eng *sim.Engine, node NodeID, maxSkew sim.Duration) *Synced {
 	var off sim.Duration
 	if maxSkew > 0 {
-		off = sim.Duration(eng.Rand().Int63n(int64(2*maxSkew)+1)) - maxSkew
+		// splitmix64 finalizer over (seed, node); reduce to [-maxSkew, +maxSkew].
+		z := uint64(eng.Seed()) ^ 0x9e3779b97f4a7c15 ^ uint64(node)<<40
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+		off = sim.Duration(z%uint64(2*maxSkew+1)) - maxSkew
 	}
 	return &Synced{node: node, eng: eng, offset: off}
 }

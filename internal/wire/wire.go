@@ -369,6 +369,59 @@ func (u *EWOUpdate) Release() {
 	}
 }
 
+// CloneRemote implements netem.RemoteMsg: a pooled update crossing a shard
+// boundary is deep-copied (entries and value bytes) so the original can
+// return to its creator's free list while the receiving shard keeps an
+// independent, unpooled object. This mirrors what the live UDP transport's
+// encode/decode does at a process boundary.
+func (u *EWOUpdate) CloneRemote() any {
+	c := &EWOUpdate{Reg: u.Reg, From: u.From, Slot: u.Slot, Sync: u.Sync}
+	if len(u.Entries) > 0 {
+		c.Entries = make([]EWOEntry, len(u.Entries))
+		copy(c.Entries, u.Entries)
+		for i := range c.Entries {
+			if v := c.Entries[i].Value; v != nil {
+				c.Entries[i].Value = append([]byte(nil), v...)
+			}
+		}
+	}
+	return c
+}
+
+// CloneRemotePooled implements netem.RemotePooled: the deep copy of
+// CloneRemote, but reusing a drained earlier clone's storage (struct, entry
+// array, per-entry value buffers) and wired to return itself to the
+// destination shard's clone pool on its final Release. Steady-state EWO
+// multicast across shards therefore allocates nothing.
+func (u *EWOUpdate) CloneRemotePooled(prev any, recycle func(any)) any {
+	var c *EWOUpdate
+	if prev != nil {
+		c = prev.(*EWOUpdate)
+	} else {
+		c = &EWOUpdate{}
+		c.free = func(x *EWOUpdate) { recycle(x) }
+	}
+	c.Reg, c.From, c.Slot, c.Sync = u.Reg, u.From, u.Slot, u.Sync
+	es := c.Entries[:0]
+	for i := range u.Entries {
+		src := &u.Entries[i]
+		var buf []byte
+		if i < cap(es) {
+			// Reclaim the value buffer parked in the recycled entry slot.
+			buf = es[:cap(es)][i].Value[:0]
+		}
+		if src.Value != nil {
+			buf = append(buf, src.Value...)
+		} else {
+			buf = nil
+		}
+		es = append(es, EWOEntry{Key: src.Key, Stamp: src.Stamp, Value: buf})
+	}
+	c.Entries = es
+	c.refs = 1
+	return c
+}
+
 // WireType implements Msg.
 func (*EWOUpdate) WireType() Type { return TEWOUpdate }
 
@@ -474,6 +527,29 @@ func (h *Heartbeat) Release() {
 	case h.refs < 0:
 		panic("wire: Heartbeat over-released")
 	}
+}
+
+// CloneRemote implements netem.RemoteMsg (see EWOUpdate.CloneRemote): the
+// clone is unpooled, so the receiver's Release is a no-op and the original
+// stays on its creator's free list.
+func (h *Heartbeat) CloneRemote() any {
+	return &Heartbeat{From: h.From, Seq: h.Seq}
+}
+
+// CloneRemotePooled implements netem.RemotePooled (see
+// EWOUpdate.CloneRemotePooled): cross-shard heartbeats recycle through the
+// destination shard's clone pool instead of allocating.
+func (h *Heartbeat) CloneRemotePooled(prev any, recycle func(any)) any {
+	var c *Heartbeat
+	if prev != nil {
+		c = prev.(*Heartbeat)
+	} else {
+		c = &Heartbeat{}
+		c.free = func(x *Heartbeat) { recycle(x) }
+	}
+	c.From, c.Seq = h.From, h.Seq
+	c.refs = 1
+	return c
 }
 
 // WireType implements Msg.

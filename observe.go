@@ -7,6 +7,7 @@ import (
 	"swishmem/internal/chain"
 	"swishmem/internal/ewo"
 	"swishmem/internal/obs"
+	"swishmem/internal/sim"
 )
 
 // Tracer re-exports the observability tracer type.
@@ -23,30 +24,59 @@ type MetricsSnapshot = obs.Snapshot
 // Every component reaches the tracer through the engine, so this one call
 // instruments the simulator, the fabric, every switch, and every protocol
 // node. Call before driving load; events already past are not recorded.
+//
+// In a sharded cluster every shard gets its own ring of the given capacity
+// (tracers are single-goroutine, like the shard they observe) and the
+// shard-0 tracer is returned; Tracers exposes all of them and WriteTrace
+// merges them deterministically.
 func (c *Cluster) EnableTracing(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = 1 << 16
 	}
-	tr := obs.NewTracer(capacity)
-	c.eng.SetTracer(tr)
-	return tr
+	engines := []*sim.Engine{c.eng}
+	if c.group != nil {
+		engines = c.group.Engines()
+	}
+	c.tracers = c.tracers[:0]
+	for _, e := range engines {
+		tr := obs.NewTracer(capacity)
+		e.SetTracer(tr)
+		c.tracers = append(c.tracers, tr)
+	}
+	return c.tracers[0]
 }
 
-// DisableTracing detaches the tracer, restoring the untraced hot paths to
+// DisableTracing detaches the tracers, restoring the untraced hot paths to
 // a single never-taken branch.
-func (c *Cluster) DisableTracing() { c.eng.SetTracer(nil) }
+func (c *Cluster) DisableTracing() {
+	engines := []*sim.Engine{c.eng}
+	if c.group != nil {
+		engines = c.group.Engines()
+	}
+	for _, e := range engines {
+		e.SetTracer(nil)
+	}
+	c.tracers = nil
+}
 
-// Tracer returns the attached tracer, or nil when tracing is off.
+// Tracer returns the attached (shard-0) tracer, or nil when tracing is off.
 func (c *Cluster) Tracer() *Tracer { return c.eng.Tracer() }
+
+// Tracers returns every attached tracer, one per shard (length 1 when
+// sequential), or nil when tracing is off.
+func (c *Cluster) Tracers() []*Tracer { return c.tracers }
 
 // WriteTrace exports the recorded trace as Chrome trace-event JSON
 // (loadable at ui.perfetto.dev). It errors if tracing was never enabled.
+// The export is the canonical content-ordered merge of all shard rings, so
+// a sequential and a sharded run of the same seeded model produce
+// byte-identical documents (as long as no ring wrapped; see
+// Tracer.Dropped).
 func (c *Cluster) WriteTrace(w io.Writer) error {
-	tr := c.eng.Tracer()
-	if tr == nil {
+	if len(c.tracers) == 0 {
 		return fmt.Errorf("swishmem: tracing not enabled")
 	}
-	return tr.WriteChromeTrace(w)
+	return obs.WriteChromeTraceCanonical(w, c.tracers...)
 }
 
 // Metrics builds a registry over every live stats source in the cluster:
@@ -56,8 +86,8 @@ func (c *Cluster) WriteTrace(w io.Writer) error {
 // once stays current; snapshot it before/after a phase and Diff.
 func (c *Cluster) Metrics() *MetricsRegistry {
 	r := obs.NewRegistry()
-	r.AddCounterFunc("sim.events_processed", "", c.eng.Processed)
-	r.AddGaugeFunc("sim.events_pending", "", func() float64 { return float64(c.eng.Pending()) })
+	r.AddCounterFunc("sim.events_processed", "", c.EventsProcessed)
+	r.AddGaugeFunc("sim.events_pending", "", func() float64 { return float64(c.EventsPending()) })
 
 	r.AddCounterFunc("net.msgs_sent", "", func() uint64 { return c.net.Totals().MsgsSent })
 	r.AddCounterFunc("net.bytes_sent", "", func() uint64 { return c.net.Totals().BytesSent })

@@ -105,17 +105,30 @@ type Config struct {
 	// DisableController turns off the central controller (tests that manage
 	// configuration by hand).
 	DisableController bool
+	// Shards selects parallel simulation: 0 or 1 runs the classic
+	// single-threaded engine; K > 1 partitions the switches round-robin
+	// across K shard engines advanced together in conservative time windows
+	// bounded by the minimum cross-shard link latency (the controller lives
+	// on shard 0). Results are byte-identical to a sequential run with the
+	// same seed. The count is capped at the number of switches, and the
+	// cluster falls back to sequential when there are fewer than two nodes
+	// or the default link has zero latency (no lookahead). Sharded clusters
+	// own worker goroutines: call Close when done.
+	Shards int
 }
 
 // Cluster is a running emulated SwiShmem deployment.
 type Cluster struct {
-	cfg  Config
-	eng  *sim.Engine
-	net  *netem.Network
-	ctrl *controller.Controller
+	cfg   Config
+	eng   *sim.Engine // shard-0 engine when sharded
+	group *sim.Group  // nil in sequential mode
+	net   *netem.Network
+	ctrl  *controller.Controller
 
 	switches  []*pisa.Switch // replicas then spares
 	instances []*core.Instance
+
+	tracers []*Tracer // per-shard tracers while tracing is enabled
 
 	dir      *controller.Directory
 	regNames map[string]uint16
@@ -138,19 +151,54 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Link != nil {
 		link = *cfg.Link
 	}
-	eng := sim.NewEngine(cfg.Seed)
-	nw := netem.New(eng, link)
-	c := &Cluster{cfg: cfg, eng: eng, net: nw,
+	total := cfg.Switches + cfg.Spares
+
+	// Resolve the effective shard count: capped at the switch count, and
+	// collapsed to sequential when parallelism cannot help (one node) or
+	// cannot be conservative (a zero-latency default link gives no
+	// lookahead, so windows would be empty).
+	shards := cfg.Shards
+	if shards > total {
+		shards = total
+	}
+	if total < 2 || link.MinDelay() <= 0 {
+		shards = 1
+	}
+
+	c := &Cluster{cfg: cfg,
 		dir: controller.NewDirectory(), regNames: make(map[string]uint16), nextReg: 1}
 
+	var nw *netem.Network
+	if shards > 1 {
+		c.group = sim.NewGroup(cfg.Seed, shards)
+		c.eng = c.group.Engines()[0]
+		// The controller lives on shard 0; switch i lives on shard i%K.
+		// Addresses are assigned below as i+1, so the mapping is pure
+		// arithmetic — total over every address that can ever appear.
+		k := shards
+		nw = netem.NewSharded(c.group, link, func(a netem.Addr) int {
+			if i := int(a) - 1; i >= 0 && i < total {
+				return i % k
+			}
+			return 0
+		})
+	} else {
+		c.eng = sim.NewEngine(cfg.Seed)
+		nw = netem.New(c.eng, link)
+	}
+	c.net = nw
+
 	if !cfg.DisableController {
-		c.ctrl = controller.New(eng, nw, controller.Config{
+		c.ctrl = controller.New(c.eng, nw, controller.Config{
 			Addr:            ControllerAddr,
 			HeartbeatPeriod: sim.Duration(cfg.HeartbeatPeriod),
 		})
 	}
-	total := cfg.Switches + cfg.Spares
 	for i := 0; i < total; i++ {
+		eng := c.eng
+		if c.group != nil {
+			eng = c.group.Engines()[i%shards]
+		}
 		sw := pisa.New(eng, nw, pisa.Config{
 			Addr:          SwitchAddr(i + 1),
 			MemoryBytes:   cfg.SwitchMemory,
@@ -163,20 +211,89 @@ func New(cfg Config) (*Cluster, error) {
 			c.ctrl.Monitor(sw)
 		}
 	}
+	if c.group != nil {
+		c.refreshLookahead()
+	}
 	return c, nil
 }
 
-// Engine returns the cluster's simulation engine.
+// refreshLookahead recomputes the group's conservative window width: the
+// smallest delay any cross-shard interaction can have, which is the minimum
+// cross-shard link latency and (with a controller) the control-channel
+// delay. Called after construction and after every link-profile change.
+func (c *Cluster) refreshLookahead() {
+	la := c.net.MinCrossShardLatency()
+	if c.ctrl != nil && c.ctrl.ConfigDelay() < la {
+		la = c.ctrl.ConfigDelay()
+	}
+	if la <= 0 {
+		panic("swishmem: zero-latency cross-shard link in sharded mode (disable Shards or give the link a latency)")
+	}
+	c.group.SetLookahead(la)
+}
+
+// Engine returns the cluster's simulation engine (shard 0's when sharded —
+// use it only for driver-side scheduling, never to reach another shard's
+// switch).
 func (c *Cluster) Engine() *Engine { return c.eng }
 
+// ShardGroup returns the parallel shard group, or nil in sequential mode.
+func (c *Cluster) ShardGroup() *sim.Group { return c.group }
+
+// Shards returns the effective shard count (1 in sequential mode).
+func (c *Cluster) Shards() int {
+	if c.group == nil {
+		return 1
+	}
+	return c.group.Shards()
+}
+
+// Close releases cluster resources (the shard worker goroutines). It is a
+// no-op for sequential clusters and idempotent; no cluster method may be
+// called after Close.
+func (c *Cluster) Close() {
+	if c.group != nil {
+		c.group.Close()
+	}
+}
+
 // Run drains all pending events (to quiescence).
-func (c *Cluster) Run() { c.eng.Run() }
+func (c *Cluster) Run() {
+	if c.group != nil {
+		c.group.Run()
+		return
+	}
+	c.eng.Run()
+}
 
 // RunFor advances virtual time by d.
-func (c *Cluster) RunFor(d time.Duration) { c.eng.RunFor(sim.Duration(d)) }
+func (c *Cluster) RunFor(d time.Duration) {
+	if c.group != nil {
+		c.group.RunFor(sim.Duration(d))
+		return
+	}
+	c.eng.RunFor(sim.Duration(d))
+}
 
 // Now returns the current virtual time as a duration since cluster start.
 func (c *Cluster) Now() time.Duration { return time.Duration(c.eng.Now()) }
+
+// EventsProcessed returns the total number of simulation events executed
+// (summed across shards when sharded).
+func (c *Cluster) EventsProcessed() uint64 {
+	if c.group != nil {
+		return c.group.Processed()
+	}
+	return c.eng.Processed()
+}
+
+// EventsPending returns the number of scheduled-but-unprocessed events.
+func (c *Cluster) EventsPending() int {
+	if c.group != nil {
+		return c.group.Pending()
+	}
+	return c.eng.Pending()
+}
 
 // Size returns the number of replica switches (excluding spares).
 func (c *Cluster) Size() int { return c.cfg.Switches }
@@ -191,9 +308,15 @@ func (c *Cluster) Instance(i int) *core.Instance { return c.instances[i] }
 // failure by heartbeat timeout and reconfigures chains and groups.
 func (c *Cluster) FailSwitch(i int) { c.switches[i].Fail() }
 
-// SetLink overrides the link profile between switches i and j.
+// SetLink overrides the link profile between switches i and j. In sharded
+// mode the group lookahead shrinks to match a lower cross-shard latency;
+// a zero-latency profile between cross-shard switches is rejected (panic)
+// because it would void the conservative window.
 func (c *Cluster) SetLink(i, j int, p LinkProfile) {
 	c.net.SetLink(c.switches[i].Addr(), c.switches[j].Addr(), p)
+	if c.group != nil {
+		c.refreshLookahead()
+	}
 }
 
 // SetAllLinks overrides the link profile between every pair of switches
@@ -203,8 +326,11 @@ func (c *Cluster) SetLink(i, j int, p LinkProfile) {
 func (c *Cluster) SetAllLinks(p LinkProfile) {
 	for i := range c.switches {
 		for j := i + 1; j < len(c.switches); j++ {
-			c.SetLink(i, j, p)
+			c.net.SetLink(c.switches[i].Addr(), c.switches[j].Addr(), p)
 		}
+	}
+	if c.group != nil {
+		c.refreshLookahead()
 	}
 }
 
