@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench tables snapshot benchdiff profile trace live-soak clean
+.PHONY: all build test race vet bench tables snapshot benchdiff pps profile trace live-soak clean
 
 all: build vet test
 
@@ -20,7 +20,7 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-# Regenerate every paper table/claim (E1-E16).
+# Regenerate every paper table/claim (E1-E17).
 tables:
 	$(GO) run ./cmd/benchtab
 
@@ -31,11 +31,17 @@ snapshot:
 
 # Regression guard: regenerate a snapshot and diff it against the newest
 # committed BENCH_N.json. Fails on >10% ns/op regressions, any new hot-path
-# allocation, or (on hosts with >= 4 cpus) a sub-1.8x parallel speedup.
+# allocation, (on hosts with >= 4 cpus) a sub-1.8x parallel speedup, or a
+# >10% packets/sec drop on any macro shared with the baseline.
 BENCH_BASE ?= $(lastword $(sort $(wildcard BENCH_[0-9]*.json)))
 benchdiff:
-	$(GO) run ./cmd/benchtab -json BENCH_new.json > /dev/null
+	$(GO) run ./cmd/benchtab -pps -json BENCH_new.json > /dev/null
 	$(GO) run ./cmd/benchdiff -base $(BENCH_BASE) -new BENCH_new.json
+
+# Packets/sec headline: the E17 throughput table plus the sim/live macro
+# rates (sim hot path at burst 64, live UDP pump single-core and sharded).
+pps:
+	$(GO) run ./cmd/benchtab -pps -e E17
 
 # CPU/heap/mutex profiles of the experiment batch (sharded; override with
 # SHARDS=0 for the sequential profile). Inspect with `go tool pprof`.

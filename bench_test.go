@@ -1,5 +1,5 @@
 // Benchmarks regenerating the paper's tables and claims: one benchmark per
-// experiment in the DESIGN.md index (E1–E16), plus microbenchmarks of the
+// experiment in the DESIGN.md index (E1–E17), plus microbenchmarks of the
 // protocol hot paths. Run with:
 //
 //	go test -bench=. -benchmem

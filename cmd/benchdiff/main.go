@@ -21,6 +21,10 @@
 //     check is skipped: conservative windows still run correctly on one
 //     core, they just cannot overlap, so wall-clock speedup is meaningless
 //     there.
+//  5. Every -pps macro present in both snapshots must keep at least
+//     (1 - -ppstolerance) of its baseline packets/sec, and on cpus >= 4
+//     the multicore live pump must hold -minppsscale of the single-pump
+//     rate (self-disabling on smaller hosts, mirroring check 4).
 //
 // Wall times of whole experiments are reported but never gated — they vary
 // with machine load far more than the testing.Benchmark micros do.
@@ -50,14 +54,23 @@ type experiment struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
+// macro mirrors cmd/benchtab's MacroResult (schema 4 packets/sec rows).
+type macro struct {
+	Name string  `json:"name"`
+	PPS  float64 `json:"pps"`
+	Ops  uint64  `json:"ops"`
+}
+
 // snapshot mirrors cmd/benchtab's snapshot. Schema 2 baselines (no shards/
-// cpus fields) load with zero values, which only disables the speedup gate.
+// cpus fields) load with zero values, which only disables the speedup gate;
+// schema 3 baselines have no macro rows, which only disables the pps floor.
 type snapshot struct {
 	Schema      int          `json:"schema"`
 	Seed        int64        `json:"seed"`
 	CPUs        int          `json:"cpus"`
 	Micro       []micro      `json:"micro"`
 	Experiments []experiment `json:"experiments"`
+	Macro       []macro      `json:"macro,omitempty"`
 }
 
 func load(path string) (*snapshot, error) {
@@ -78,6 +91,8 @@ func main() {
 		newPath    = flag.String("new", "", "freshly generated snapshot (required)")
 		tolerance  = flag.Float64("tolerance", 0.10, "allowed fractional ns/op regression per microbenchmark")
 		minSpeedup = flag.Float64("minspeedup", 1.8, "required parallel speedup at 4 shards (checked only when cpus >= 4)")
+		ppsTol     = flag.Float64("ppstolerance", 0.10, "allowed fractional packets/sec drop per -pps macro")
+		minPPS     = flag.Float64("minppsscale", 0.9, "required multicore/single pps ratio for the sharded pump (checked only when cpus >= 4)")
 	)
 	flag.Parse()
 	if *basePath == "" || *newPath == "" {
@@ -130,6 +145,7 @@ func main() {
 	}
 
 	checkSpeedup(fresh, *minSpeedup, fail)
+	checkPPS(base, fresh, *ppsTol, *minPPS, fail)
 
 	var baseWall, newWall float64
 	for _, e := range base.Experiments {
@@ -172,4 +188,54 @@ func checkSpeedup(fresh *snapshot, min float64, fail func(string, ...any)) {
 		return
 	}
 	fmt.Printf("skip  parallel speedup: snapshot does not include E16\n")
+}
+
+// checkPPS holds the packets/sec floor: every macro present in BOTH
+// snapshots must not drop by more than tol, and on hosts with the cores to
+// overlap decode shards the multicore pump must keep at least minScale of
+// the single-pump rate (on smaller hosts the scale gate self-disables — the
+// sharded pump still merges correctly there, it just cannot run faster).
+func checkPPS(base, fresh *snapshot, tol, minScale float64, fail func(string, ...any)) {
+	if len(fresh.Macro) == 0 {
+		if len(base.Macro) > 0 {
+			fail("baseline has %d pps macro(s) but the new snapshot has none (run benchtab with -pps)", len(base.Macro))
+		}
+		return
+	}
+	freshPPS := make(map[string]macro, len(fresh.Macro))
+	for _, m := range fresh.Macro {
+		freshPPS[m.Name] = m
+	}
+	for _, b := range base.Macro {
+		n, ok := freshPPS[b.Name]
+		if !ok {
+			fail("pps %s: present in baseline but missing from new snapshot", b.Name)
+			continue
+		}
+		drop := 0.0
+		if b.PPS > 0 {
+			drop = 1 - n.PPS/b.PPS
+		}
+		if drop > tol {
+			fail("pps %s: %.0f -> %.0f pkts/s (-%.1f%%, tolerance %.0f%%)",
+				b.Name, b.PPS, n.PPS, 100*drop, 100*tol)
+		} else {
+			fmt.Printf("ok    pps %s: %.0f pkts/s (%+.1f%%)\n", b.Name, n.PPS, -100*drop)
+		}
+	}
+	single, okS := freshPPS["live.pps/pump=1"]
+	multi, okM := freshPPS["live.pps/multicore"]
+	if !okS || !okM {
+		return
+	}
+	if fresh.CPUs < 4 {
+		fmt.Printf("skip  multicore pump scale: host has %d cpu(s), decode shards cannot overlap\n", fresh.CPUs)
+		return
+	}
+	if single.PPS > 0 && multi.PPS < minScale*single.PPS {
+		fail("multicore pump is %.2fx the single pump (%.0f vs %.0f pkts/s), want >= %.2fx (cpus=%d)",
+			multi.PPS/single.PPS, multi.PPS, single.PPS, minScale, fresh.CPUs)
+	} else if single.PPS > 0 {
+		fmt.Printf("ok    multicore pump scale: %.2fx single (cpus=%d)\n", multi.PPS/single.PPS, fresh.CPUs)
+	}
 }

@@ -1,5 +1,5 @@
 // benchtab regenerates the paper's tables and quantitative claims (the
-// experiment index E1–E16 in DESIGN.md) and prints paper-style rows.
+// experiment index E1–E17 in DESIGN.md) and prints paper-style rows.
 //
 // Usage:
 //
@@ -11,6 +11,7 @@
 //	benchtab -parallel 4      # run experiments on 4 workers
 //	benchtab -shards 4        # shard every cluster's simulation across 4 engines
 //	benchtab -json BENCH.json # also write a benchmark regression snapshot
+//	benchtab -pps             # run the packets/sec macro benchmarks too
 //	benchtab -e E4 -trace out.json   # virtual-time trace, loadable at ui.perfetto.dev
 //	benchtab -metrics metrics.txt    # batch counters + per-experiment metric sections
 //	benchtab -cpuprofile cpu.pb.gz -memprofile mem.pb.gz -mutexprofile mtx.pb.gz
@@ -84,6 +85,10 @@ type snapshot struct {
 	CPUs        int           `json:"cpus"`
 	Micro       []microResult `json:"micro"`
 	Experiments []expResult   `json:"experiments"`
+	// Macro holds the -pps packets/sec macro rows (schema 4). cmd/benchdiff
+	// floors every macro shared with the baseline and gates the multicore
+	// pump scale when the host has the cores for it.
+	Macro []experiments.MacroResult `json:"macro,omitempty"`
 }
 
 func main() {
@@ -96,6 +101,7 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (requires -e; forces -parallel 1)")
 		metout   = flag.String("metrics", "", "write a plain-text metrics dump (batch counters + per-experiment sections) to this file")
 		shards   = flag.Int("shards", 0, "shard every experiment cluster across N engines (0 = sequential; rows are byte-identical either way)")
+		ppsMode  = flag.Bool("pps", false, "also run the packets/sec macro benchmarks (recorded in the -json snapshot)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the experiment batch to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (after the batch) to this file")
 		mtxProf  = flag.String("mutexprofile", "", "write a mutex-contention profile of the batch to this file")
@@ -178,7 +184,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *mtxProf)
 	}
 
-	snap := snapshot{Schema: 3, Seed: *seed, Parallel: *parallel, Shards: *shards, CPUs: runtime.NumCPU()}
+	snap := snapshot{Schema: 4, Seed: *seed, Parallel: *parallel, Shards: *shards, CPUs: runtime.NumCPU()}
 	for _, r := range reports {
 		fmt.Print(r.Result.String())
 		fmt.Println()
@@ -212,6 +218,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *metout)
+	}
+
+	if *ppsMode {
+		for _, m := range experiments.Macros(*seed) {
+			fmt.Printf("pps   %-22s %12.0f pkts/s  (%d ops in %.0f ms)\n", m.Name, m.PPS, m.Ops, m.WallMs)
+			snap.Macro = append(snap.Macro, m)
+		}
 	}
 
 	if *jsonOut == "" {

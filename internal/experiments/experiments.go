@@ -1,5 +1,5 @@
 // Package experiments regenerates every table and quantitative claim of the
-// SwiShmem paper (see DESIGN.md §3 for the experiment index E1–E16). Each
+// SwiShmem paper (see DESIGN.md §3 for the experiment index E1–E17). Each
 // experiment builds its own deterministic cluster, drives the workload the
 // paper's analysis assumes, and reports paper-style rows.
 //
@@ -76,6 +76,7 @@ func All() []Experiment {
 		{"E14", "group-sharing", "ablation: §7 seq-group sharing SRAM/forwarding trade", GroupSharingAblation},
 		{"E15", "loss-anomaly", "extension: §9 anomaly window under chain-hop loss", LossAnomaly},
 		{"E16", "parallel-scaling", "extension: deterministic parallel simulation across shard counts", ParallelScaling},
+		{"E17", "packet-rate", "extension: batched hot-path packets/sec over burst size x shards", PacketRate},
 	}
 }
 

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"swishmem"
+	"swishmem/internal/netem"
+	"swishmem/internal/netem/live"
+	"swishmem/internal/sim"
+	"swishmem/internal/stats"
+	"swishmem/internal/wire"
+)
+
+// PacketRate (E17) is the throughput headline: messages per wall-clock
+// second through the batched hot path, swept over workload burst size (how
+// many same-tick operations each switch issues per round, which controls how
+// large the coalesced delivery bursts get) and simulation shard count. The
+// deterministic columns — events, delivered messages, counter sums, and a
+// match-vs-base flag — prove the batching layers change NOTHING observable
+// while the wall-clock rate moves; the rates themselves land in Metrics
+// (pps/batch=B,shards=K) so the table stays byte-stable across hosts.
+func PacketRate(seed int64) *Result {
+	res := &Result{ID: "E17", Title: "packet rate: batched dispatch + delivery coalescing over burst size x shards"}
+	tab := stats.NewTable("E17: 8-switch EWO counter blast, per-(batch,shards) outcomes (identical rows per batch = deterministic)",
+		"Batch", "Shards", "Events", "Msgs deliv", "Counter sum", "Matches base")
+
+	type outcome struct {
+		events uint64
+		msgs   uint64
+		ctrSum uint64
+	}
+	res.Metrics = make(map[string]float64)
+	identical := true
+	for _, batch := range []int{1, 8, 64} {
+		var base outcome
+		for _, shards := range []int{1, 2, 4} {
+			o, wall := ppsRun(seed, batch, shards)
+			if shards == 1 {
+				base = o
+			}
+			match := o == base
+			if !match {
+				identical = false
+			}
+			tab.AddRow(batch, shards, o.events, o.msgs, o.ctrSum, match)
+			lbl := fmt.Sprintf("batch=%d,shards=%d", batch, shards)
+			res.Metrics["pps/"+lbl] = float64(o.msgs) / wall
+			res.Metrics["pps.wall_seconds/"+lbl] = wall
+		}
+	}
+	res.Metrics["pps.cpus"] = float64(runtime.NumCPU())
+	res.Tables = append(res.Tables, tab)
+	if identical {
+		res.note("every shard count reproduces the sequential outcome exactly at every batch size (coalescing is invisible)")
+	} else {
+		res.note("SHAPE VIOLATION: batched/sharded execution diverged from sequential")
+	}
+	res.note("wall-clock packet rates are in Metrics (pps/batch=B,shards=K); compare across rows, not across hosts")
+	return res
+}
+
+// ppsRun drives one E17 cell: each of 8 switches issues `batch` counter
+// increments per round at the same virtual instant (the coalescible burst),
+// with rounds scaled so total operations are identical across batch sizes.
+func ppsRun(seed int64, batch, shards int) (struct {
+	events uint64
+	msgs   uint64
+	ctrSum uint64
+}, float64) {
+	var o struct {
+		events uint64
+		msgs   uint64
+		ctrSum uint64
+	}
+	const opsPerSwitch = 768
+	start := time.Now()
+	c, err := newCluster(swishmem.Config{Switches: 8, Seed: seed, Shards: shards})
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+	cnt, err := c.DeclareCounter("c", swishmem.EventualOptions{Capacity: 128})
+	if err != nil {
+		panic(err)
+	}
+	c.RunFor(2 * time.Millisecond)
+	rounds := opsPerSwitch / batch
+	for round := 0; round < rounds; round++ {
+		for w := 0; w < 8; w++ {
+			for b := 0; b < batch; b++ {
+				cnt[w].Add(uint64((round*batch+b+w)%128), uint64(w+1))
+			}
+		}
+		c.RunFor(200 * time.Microsecond)
+	}
+	c.RunFor(50 * time.Millisecond)
+
+	o.events = c.EventsProcessed()
+	o.msgs = c.NetworkTotals().MsgsDeliv
+	for k := uint64(0); k < 128; k++ {
+		o.ctrSum += cnt[0].Sum(k)
+	}
+	return o, time.Since(start).Seconds()
+}
+
+// MacroResult is one packets/sec macro row in the benchtab snapshot
+// (schema 4): a wall-clock throughput number with its op count, so
+// cmd/benchdiff can hold a floor under the headline rates.
+type MacroResult struct {
+	Name   string             `json:"name"`
+	About  string             `json:"about"`
+	PPS    float64            `json:"pps"`
+	Ops    uint64             `json:"ops"`
+	WallMs float64            `json:"wall_ms"`
+	Meta   map[string]float64 `json:"meta,omitempty"`
+}
+
+// Macros runs the packets/sec macro benchmarks: the simulated hot path at
+// the largest burst size, and the live UDP loopback pump single-core and
+// sharded. Unlike the experiment tables these are wall-clock measurements —
+// they go into the snapshot for cmd/benchdiff's pps floor, not to stdout.
+func Macros(seed int64) []MacroResult {
+	out := []MacroResult{simPPSMacro(seed)}
+	out = append(out, livePPSMacro("live.pps/pump=1", "loopback UDP pump, single goroutine", 0))
+	out = append(out, livePPSMacro("live.pps/multicore", "loopback UDP pump, 4 decode shards + keyed merge", 4))
+	return out
+}
+
+// simPPSMacro measures the simulated fabric's delivered messages per wall
+// second under the E17 batch=64 workload, sequentially (the pure hot-path
+// number, no window coordination).
+func simPPSMacro(seed int64) MacroResult {
+	o, wall := ppsRun(seed, 64, 1)
+	return MacroResult{
+		Name:   "sim.pps/batch=64",
+		About:  "simulated fabric: 8-switch EWO blast, 64-op bursts, sequential engine",
+		PPS:    float64(o.msgs) / wall,
+		Ops:    o.msgs,
+		WallMs: wall * 1000,
+		Meta:   map[string]float64{"events": float64(o.events)},
+	}
+}
+
+// livePPSMacro measures the live loopback path: a coalescing sender fabric
+// blasts heartbeat bursts at a receiver; the rate is the receiver's injected
+// messages per wall second of blast time. pumpShards > 1 exercises the
+// multi-core decode + keyed-merge pump.
+func livePPSMacro(name, about string, pumpShards int) MacroResult {
+	const (
+		burst  = 64
+		budget = 400 * time.Millisecond
+	)
+	sender, err := live.NewFabric(live.FabricConfig{Addr: 1, Seed: 1, Coalesce: true})
+	if err != nil {
+		panic(err)
+	}
+	defer sender.Stop()
+	recv, err := live.NewFabric(live.FabricConfig{Addr: 2, Seed: 2, PumpShards: pumpShards})
+	if err != nil {
+		panic(err)
+	}
+	defer recv.Stop()
+
+	recv.SetSystemHandler(func(netem.Addr, wire.Msg) bool { return true })
+	sender.Network().Attach(1, func(netem.Addr, any, int) {})
+	sender.AddRemote(2, recv.AddrPort())
+	recv.AddRemote(1, sender.AddrPort())
+
+	// The sender's engine re-arms a blast every virtual 100µs; each blast is
+	// one pump round, so the whole burst coalesces into few datagrams.
+	hb := &wire.Heartbeat{From: 1}
+	sender.Engine().Every(sim.Duration(100*time.Microsecond), func() {
+		for i := 0; i < burst; i++ {
+			hb.Seq++
+			sender.Network().Send(1, 2, hb, hb.Size())
+		}
+	})
+	start := time.Now()
+	recv.Start()
+	sender.Start()
+	time.Sleep(budget)
+	sender.Stop()
+	// Let in-flight datagrams drain before reading the receiver's counters.
+	time.Sleep(20 * time.Millisecond)
+	wall := time.Since(start).Seconds()
+	recv.Stop()
+	st := recv.FStats()
+	got := st.Injected + st.SystemConsumed
+	return MacroResult{
+		Name:   name,
+		About:  about,
+		PPS:    float64(got) / wall,
+		Ops:    got,
+		WallMs: wall * 1000,
+		Meta: map[string]float64{
+			"decode_err":  float64(st.DecodeErr),
+			"pump_rounds": float64(st.PumpRounds),
+			"pump_shards": float64(pumpShards),
+		},
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"swishmem/internal/explore"
 	"swishmem/internal/netem"
+	"swishmem/internal/netem/live"
 	"swishmem/internal/obs"
 	"swishmem/internal/packet"
 	"swishmem/internal/workload"
@@ -149,6 +150,7 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 		return nil, fmt.Errorf("livecluster: controller: %w", err)
 	}
 	defer ctrlFab.Stop()
+	soakStart := time.Now()
 	ctrlFab.Start()
 
 	faulty := netem.LinkProfile{
@@ -355,6 +357,28 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 	}
 	for _, f := range explore.OracleConvergence(lwwViews) {
 		fail("lww", "%s", f)
+	}
+
+	// Pump-efficiency oracle: every pump round is provoked by a wake (a post,
+	// an inbound datagram, a decoded batch) or an engine timer deadline, so
+	// rounds are bounded by rx+posts plus the fabric's timer rate. A spinning
+	// pump (the old 5ms MaxIdle default burned 200 idle rounds/s; a busy-loop
+	// regression burns far more) blows through the residual budget. The
+	// controller gets a tight residual (its only timers are the 20ms scan and
+	// 100ms resend, ~60 rounds/s); members get a loose one (5ms EWO sync
+	// timers × 2 registers plus write retries).
+	wall := time.Since(soakStart)
+	checkPump := func(name string, fs live.FabricStats, rx uint64, perSec float64) {
+		budget := fs.Posts + rx + uint64(wall.Seconds()*perSec) + 100
+		if fs.PumpRounds > budget {
+			fail("pump", "%s: %d pump rounds > budget %d (posts=%d rx=%d wall=%v): pump is spinning",
+				name, fs.PumpRounds, budget, fs.Posts, rx, wall)
+		}
+	}
+	checkPump("ctrl", ctrlFab.FStats(), ctrlFab.Node().Stats().Received, 150)
+	for i, m := range members {
+		checkPump(fmt.Sprintf("member %d", i), m.Fabric.FStats(),
+			m.Fabric.Node().Stats().Received, 2000)
 	}
 
 	rep.Metrics = renderMetrics(ctrlFab, members)

@@ -60,6 +60,23 @@ type Fabric struct {
 	relays map[netem.Addr]bool
 	system func(from netem.Addr, msg wire.Msg) bool
 
+	// Egress coalescing state (pump goroutine only): one reusable batch
+	// builder per destination, plus the destinations opened this round.
+	batches map[netem.Addr]*wire.BatchBuilder
+	dirty   []netem.Addr
+
+	// Sharded decode state (PumpShards > 1): the socket goroutine stamps
+	// every datagram with a global arrival sequence and routes it by sender
+	// to a shard inbox; workers decode in parallel; the pump merges decoded
+	// messages back into exact arrival order (nextInj is the next sequence
+	// it may inject, pend the per-shard already-decoded queues).
+	shards  []*pumpShard
+	rxSeq   uint64 // socket goroutine only
+	nextInj uint64 // pump goroutine only
+	pend    []pendQueue
+	decStop chan struct{}
+	decWG   sync.WaitGroup
+
 	// Bootstrap state.
 	bootCtrl   netem.Addr
 	peersEpoch atomic.Uint32
@@ -73,18 +90,39 @@ type FabricConfig struct {
 	Seed int64
 	// Node configures the underlying transport (bind address, shaping).
 	Node Options
-	// MaxIdle bounds the pump's sleep when the engine has nothing scheduled.
-	// Default 5ms.
+	// MaxIdle optionally caps the pump's sleep, waking it at least every
+	// MaxIdle even with nothing to do. The default (0) imposes no cap: the
+	// pump sleeps exactly until the next engine deadline, or indefinitely
+	// when nothing is scheduled, relying on inbound traffic and posts to
+	// wake it — an idle fabric burns no PumpRounds. (Earlier versions
+	// defaulted to 5ms and used it as the idle sleep bound, which made an
+	// idle fabric spin at 200 wakeups/s.)
 	MaxIdle time.Duration
+	// Coalesce packs messages relayed to one destination during a single
+	// pump round into multi-update wire.Batch datagrams, flushed at the end
+	// of the round or when a batch reaches CoalesceLimit bytes. An EWO sync
+	// round's run of updates then costs one datagram instead of N. Off by
+	// default (one datagram per message).
+	Coalesce bool
+	// CoalesceLimit caps a coalesced datagram's payload bytes. Default 1200
+	// (under a typical 1500-byte MTU with headroom for headers).
+	CoalesceLimit int
+	// PumpShards spreads inbound datagram decoding across this many worker
+	// goroutines, keyed by sender address, with the pump re-merging decoded
+	// messages into exact socket-arrival order before injection — the keyed
+	// merge discipline of the sharded simulator applied to the live path.
+	// 0 or 1 decodes on the pump goroutine itself.
+	PumpShards int
 }
 
 // FabricStats counts fabric events (all mutated on the pump goroutine,
 // snapshotted under the fabric lock).
 type FabricStats struct {
-	Injected       uint64 // datagrams decoded and injected into the engine
+	Injected       uint64 // messages decoded and injected into the engine
 	SystemConsumed uint64 // messages eaten by the system handler (bootstrap)
 	DecodeErr      uint64
 	EgressMsgs     uint64 // local sends relayed onto the socket
+	EgressBatches  uint64 // coalesced datagrams flushed (Coalesce mode only)
 	EgressErrs     uint64
 	PacketDropped  uint64 // data packets (unsupported over live) discarded
 	Posts          uint64
@@ -94,6 +132,37 @@ type FabricStats struct {
 type inbound struct {
 	from netem.Addr
 	buf  []byte
+	seq  uint64 // global arrival stamp (sharded pump only)
+}
+
+// pumpShard is one decode worker's mailbox pair: raw datagrams in, decoded
+// messages out. Both sides are double-buffered swaps under the shard mutex.
+type pumpShard struct {
+	mu     sync.Mutex
+	in     []inbound
+	inFree [][]byte
+	out    []decoded
+	wake   chan struct{}
+}
+
+// decoded is one datagram's decode result, still stamped with its arrival
+// sequence. A coalesced datagram expands to several messages; a datagram
+// whose decode failed outright keeps msgs nil (a tombstone the merge skips —
+// without it the sequence stream would have a permanent gap and injection
+// would stall).
+type decoded struct {
+	seq  uint64
+	from netem.Addr
+	msgs []wire.Msg
+	errs uint32 // decode errors (frame-level for batches)
+}
+
+// pendQueue is the pump-side FIFO of decoded-but-not-yet-injected datagrams
+// from one shard; entries are seq-ascending because the shard preserves its
+// own arrival order end to end.
+type pendQueue struct {
+	items []decoded
+	head  int
 }
 
 // NewFabric builds a stopped fabric: engine, local network, and transport
@@ -103,8 +172,8 @@ func NewFabric(cfg FabricConfig) (*Fabric, error) {
 	if cfg.Addr == 0 {
 		return nil, fmt.Errorf("live: fabric needs an address")
 	}
-	if cfg.MaxIdle <= 0 {
-		cfg.MaxIdle = 5 * time.Millisecond
+	if cfg.Coalesce && cfg.CoalesceLimit <= 0 {
+		cfg.CoalesceLimit = 1200
 	}
 	cfg.Node.Seed = cfg.Seed
 	node, err := Listen(cfg.Addr, cfg.Node)
@@ -122,6 +191,17 @@ func NewFabric(cfg FabricConfig) (*Fabric, error) {
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 		relays: make(map[netem.Addr]bool),
+	}
+	if cfg.Coalesce {
+		f.batches = make(map[netem.Addr]*wire.BatchBuilder)
+	}
+	if cfg.PumpShards > 1 {
+		f.shards = make([]*pumpShard, cfg.PumpShards)
+		f.pend = make([]pendQueue, cfg.PumpShards)
+		f.decStop = make(chan struct{})
+		for i := range f.shards {
+			f.shards[i] = &pumpShard{wake: make(chan struct{}, 1)}
+		}
 	}
 	node.SetRawHandler(f.onDatagram)
 	return f, nil
@@ -171,8 +251,12 @@ func (f *Fabric) ensureRelay(peer netem.Addr) {
 }
 
 // egress relays one local netem delivery onto the UDP socket. The delivery's
-// payload reference passes to us; Send marshals synchronously, so pooled
-// payloads release immediately after.
+// payload reference passes to us; both Send and the batch builder marshal
+// synchronously, so pooled payloads release immediately after. In Coalesce
+// mode the message is framed into the destination's open batch instead of
+// sent directly; the pump flushes open batches at the end of every round
+// (flushEgress), so coalescing never delays a message past the round that
+// produced it.
 func (f *Fabric) egress(to netem.Addr, payload any) {
 	msg, ok := payload.(wire.Msg)
 	if !ok {
@@ -182,7 +266,22 @@ func (f *Fabric) egress(to netem.Addr, payload any) {
 		f.count(func(s *FabricStats) { s.PacketDropped++ })
 		return
 	}
-	if err := f.node.Send(to, msg); err != nil {
+	if f.cfg.Coalesce {
+		bb := f.batches[to]
+		if bb == nil {
+			bb = &wire.BatchBuilder{}
+			bb.Reset()
+			f.batches[to] = bb
+		}
+		if bb.Count() > 0 && bb.Len()+2+msg.Size() > f.cfg.CoalesceLimit {
+			f.flushBatch(to, bb)
+		}
+		if bb.Count() == 0 {
+			f.dirty = append(f.dirty, to)
+		}
+		bb.Add(msg)
+		f.count(func(s *FabricStats) { s.EgressMsgs++ })
+	} else if err := f.node.Send(to, msg); err != nil {
 		f.count(func(s *FabricStats) { s.EgressErrs++ })
 	} else {
 		f.count(func(s *FabricStats) { s.EgressMsgs++ })
@@ -190,6 +289,30 @@ func (f *Fabric) egress(to netem.Addr, payload any) {
 	if r, ok := payload.(netem.Releasable); ok {
 		r.Release()
 	}
+}
+
+// flushBatch sends one destination's open batch and resets the builder.
+// Pump goroutine only.
+func (f *Fabric) flushBatch(to netem.Addr, bb *wire.BatchBuilder) {
+	if err := f.node.SendEncoded(to, bb.Bytes()); err != nil {
+		f.count(func(s *FabricStats) { s.EgressErrs++ })
+	} else {
+		f.count(func(s *FabricStats) { s.EgressBatches++ })
+	}
+	bb.Reset()
+}
+
+// flushEgress closes out every batch opened during this pump round.
+func (f *Fabric) flushEgress() {
+	if len(f.dirty) == 0 {
+		return
+	}
+	for _, to := range f.dirty {
+		if bb := f.batches[to]; bb.Count() > 0 {
+			f.flushBatch(to, bb)
+		}
+	}
+	f.dirty = f.dirty[:0]
 }
 
 // Bootstrap wires this fabric to the controller's discovery service: the
@@ -232,10 +355,31 @@ func (f *Fabric) applyPeerList(pl *wire.PeerList) {
 
 // onDatagram is the transport raw handler: it runs on the socket read loop,
 // learns unknown senders from the kernel-reported source, and parks a copy
-// of the payload in the inbox for the pump. Buffers recycle through inFree,
-// so a warm fabric receives without allocating.
+// of the payload in the inbox for the pump — or, with PumpShards, stamps it
+// with the global arrival sequence and routes it to its sender's decode
+// shard. Buffers recycle through the inbox free lists, so a warm fabric
+// receives without allocating.
 func (f *Fabric) onDatagram(from netem.Addr, src netip.AddrPort, payload []byte) {
 	f.node.AddPeerIfAbsent(from, src)
+	if f.shards != nil {
+		s := f.shards[int(from)%len(f.shards)]
+		seq := f.rxSeq
+		f.rxSeq++
+		s.mu.Lock()
+		var buf []byte
+		if n := len(s.inFree); n > 0 {
+			buf = s.inFree[n-1]
+			s.inFree[n-1] = nil
+			s.inFree = s.inFree[:n-1]
+		}
+		s.in = append(s.in, inbound{from: from, buf: append(buf[:0], payload...), seq: seq})
+		s.mu.Unlock()
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+		return
+	}
 	f.mu.Lock()
 	var buf []byte
 	if n := len(f.inFree); n > 0 {
@@ -246,6 +390,78 @@ func (f *Fabric) onDatagram(from netem.Addr, src netip.AddrPort, payload []byte)
 	f.inbox = append(f.inbox, inbound{from: from, buf: append(buf[:0], payload...)})
 	f.mu.Unlock()
 	f.signal()
+}
+
+// decodeLoop is one shard's worker: drain raw datagrams, decode them off the
+// pump goroutine, publish the results, wake the pump. Decoding is pure
+// (wire.Unmarshal copies what it keeps), so workers share nothing but their
+// own mailboxes.
+func (f *Fabric) decodeLoop(s *pumpShard) {
+	defer f.decWG.Done()
+	var batch []inbound
+	for {
+		stopping := false
+		select {
+		case <-f.decStop:
+			stopping = true
+		case <-s.wake:
+		}
+		for {
+			s.mu.Lock()
+			batch, s.in = s.in, batch[:0]
+			s.mu.Unlock()
+			if len(batch) == 0 {
+				break
+			}
+			out := make([]decoded, 0, len(batch))
+			for i := range batch {
+				d := decoded{seq: batch[i].seq, from: batch[i].from}
+				d.msgs, d.errs = decodePayload(batch[i].buf)
+				out = append(out, d)
+			}
+			s.mu.Lock()
+			s.out = append(s.out, out...)
+			for i := range batch {
+				s.inFree = append(s.inFree, batch[i].buf[:0])
+				batch[i].buf = nil
+			}
+			s.mu.Unlock()
+			f.signal()
+		}
+		if stopping {
+			return
+		}
+	}
+}
+
+// decodePayload decodes one datagram into its injectable messages. A
+// coalesced wire.Batch expands frame by frame; bad frames are skipped and
+// counted, matching the unsharded receive path. A nil msgs result is a
+// tombstone: the datagram's sequence number is consumed without injecting.
+func decodePayload(buf []byte) (msgs []wire.Msg, errs uint32) {
+	if len(buf) > 0 && wire.Type(buf[0]) == wire.TBatch {
+		if err := wire.WalkBatch(buf[1:], func(frame []byte) error {
+			if len(frame) == 0 || wire.Type(frame[0]) == wire.TBatch {
+				errs++
+				return nil
+			}
+			m, err := wire.Unmarshal(frame)
+			if err != nil {
+				errs++
+				return nil
+			}
+			msgs = append(msgs, m)
+			return nil
+		}); err != nil {
+			return nil, errs + 1
+		}
+		return msgs, errs
+	}
+	m, err := wire.Unmarshal(buf)
+	if err != nil {
+		return nil, 1
+	}
+	return []wire.Msg{m}, 0
 }
 
 func (f *Fabric) signal() {
@@ -289,7 +505,8 @@ func (f *Fabric) onPump(fn func()) {
 	f.Post(fn)
 }
 
-// Start launches the pump: from here on the engine advances on wall time.
+// Start launches the pump (and the decode workers, when sharded): from here
+// on the engine advances on wall time.
 func (f *Fabric) Start() {
 	f.mu.Lock()
 	if f.started {
@@ -299,7 +516,21 @@ func (f *Fabric) Start() {
 	f.started = true
 	f.startWall = time.Now()
 	f.mu.Unlock()
+	for _, s := range f.shards {
+		f.decWG.Add(1)
+		go f.decodeLoop(s)
+	}
 	go f.loop()
+}
+
+// stopWorkers shuts the decode workers down and waits for them; each drains
+// its inbox on the way out, so the final pump sees every decoded datagram.
+func (f *Fabric) stopWorkers() {
+	if f.shards == nil {
+		return
+	}
+	close(f.decStop)
+	f.decWG.Wait()
 }
 
 // Stop halts the pump and closes the transport. Idempotent.
@@ -316,44 +547,63 @@ func (f *Fabric) Stop() {
 	})
 }
 
-// loop is the pump: wake on inbound traffic, posts, or the next engine
-// deadline; drain; advance virtual time to wall time; sleep until whichever
-// comes first of the next timer and MaxIdle.
+// loop is the pump: drain and advance, then sleep exactly until the next
+// engine deadline — or indefinitely when nothing is scheduled, since every
+// external input (inbound datagrams, posts, decoded batches) signals wake.
+// A fabric with an empty queue therefore costs zero wakeups, where the old
+// MaxIdle-bounded sleep spun at the idle bound. MaxIdle, when set, caps the
+// sleep as an opt-in periodic heartbeat.
 func (f *Fabric) loop() {
 	defer close(f.done)
-	timer := time.NewTimer(f.cfg.MaxIdle)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
 	defer timer.Stop()
 	for {
+		f.pump()
+		var timerC <-chan time.Time
+		if d, ok := f.sleepFor(); ok {
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(d)
+			timerC = timer.C
+		}
 		select {
 		case <-f.stop:
+			f.stopWorkers()
 			f.pump() // final drain so Call-ers are never stranded
 			return
 		case <-f.wake:
-		case <-timer.C:
+		case <-timerC: // nil (blocks forever) when nothing is scheduled
 		}
-		f.pump()
-		d := f.cfg.MaxIdle
-		if next, ok := f.eng.NextAt(); ok {
-			until := time.Until(f.startWall.Add(time.Duration(next)))
-			if until < 0 {
-				until = 0
-			}
-			if until < d {
-				d = until
-			}
-		}
-		if !timer.Stop() {
-			select {
-			case <-timer.C:
-			default:
-			}
-		}
-		timer.Reset(d)
 	}
 }
 
-// pump runs queued posts, injects inbound messages, and advances the engine
-// to the current wall-clock time.
+// sleepFor returns how long the pump may sleep: until the next engine
+// deadline, capped by MaxIdle when configured. ok is false when there is no
+// deadline to wake for (sleep until signaled).
+func (f *Fabric) sleepFor() (time.Duration, bool) {
+	var d time.Duration
+	next, ok := f.eng.NextAt()
+	if ok {
+		if d = time.Until(f.startWall.Add(time.Duration(next))); d < 0 {
+			d = 0
+		}
+	}
+	if f.cfg.MaxIdle > 0 && (!ok || d > f.cfg.MaxIdle) {
+		return f.cfg.MaxIdle, true
+	}
+	return d, ok
+}
+
+// pump runs queued posts, injects inbound messages (via the decode shards
+// when sharded), advances the engine to the current wall-clock time, and
+// flushes any egress batches the round opened.
 func (f *Fabric) pump() {
 	f.mu.Lock()
 	posts := f.posts
@@ -365,6 +615,9 @@ func (f *Fabric) pump() {
 
 	for _, fn := range posts {
 		fn()
+	}
+	if f.shards != nil {
+		f.drainShards()
 	}
 	for i := range inbox {
 		f.deliver(inbox[i].from, inbox[i].buf)
@@ -378,16 +631,90 @@ func (f *Fabric) pump() {
 		f.mu.Unlock()
 	}
 	f.eng.RunUntil(sim.Time(time.Since(f.startWall)))
+	f.flushEgress()
 }
 
-// deliver decodes one inbound payload and hands it to the system handler or
-// injects it as a local netem delivery from the sender's relay address.
+// drainShards collects decoded datagrams from every shard and injects them in
+// exact socket-arrival order: only the datagram whose sequence equals nextInj
+// may inject, so decode parallelism never reorders the stream. A gap (a
+// datagram still being decoded) stalls injection; its worker's signal() will
+// re-run the pump. Tombstones (msgs nil) consume their sequence so a corrupt
+// datagram cannot stall everything behind it.
+func (f *Fabric) drainShards() {
+	for i, s := range f.shards {
+		s.mu.Lock()
+		if len(s.out) > 0 {
+			f.pend[i].items = append(f.pend[i].items, s.out...)
+			for j := range s.out {
+				s.out[j] = decoded{}
+			}
+			s.out = s.out[:0]
+		}
+		s.mu.Unlock()
+	}
+	for {
+		advanced := false
+		for i := range f.pend {
+			q := &f.pend[i]
+			for q.head < len(q.items) && q.items[q.head].seq == f.nextInj {
+				d := &q.items[q.head]
+				if d.errs > 0 {
+					n := uint64(d.errs)
+					f.count(func(s *FabricStats) { s.DecodeErr += n })
+				}
+				for _, m := range d.msgs {
+					f.inject(d.from, m)
+				}
+				*d = decoded{}
+				q.head++
+				f.nextInj++
+				advanced = true
+			}
+			if q.head == len(q.items) && q.head > 0 {
+				q.items = q.items[:0]
+				q.head = 0
+			}
+		}
+		if !advanced {
+			return
+		}
+	}
+}
+
+// deliver decodes one inbound payload — expanding coalesced batches frame by
+// frame — and injects the result. Bad frames inside a batch are skipped and
+// counted; a framing-level error discards the datagram with one DecodeErr,
+// matching the sharded decode path.
 func (f *Fabric) deliver(from netem.Addr, payload []byte) {
-	msg, err := wire.Unmarshal(payload)
+	if len(payload) > 0 && wire.Type(payload[0]) == wire.TBatch {
+		if err := wire.WalkBatch(payload[1:], func(frame []byte) error {
+			f.deliverOne(from, frame)
+			return nil
+		}); err != nil {
+			f.count(func(s *FabricStats) { s.DecodeErr++ })
+		}
+		return
+	}
+	f.deliverOne(from, payload)
+}
+
+// deliverOne unmarshals a single wire frame and injects it.
+func (f *Fabric) deliverOne(from netem.Addr, frame []byte) {
+	if len(frame) == 0 || wire.Type(frame[0]) == wire.TBatch {
+		f.count(func(s *FabricStats) { s.DecodeErr++ })
+		return
+	}
+	msg, err := wire.Unmarshal(frame)
 	if err != nil {
 		f.count(func(s *FabricStats) { s.DecodeErr++ })
 		return
 	}
+	f.inject(from, msg)
+}
+
+// inject hands one decoded message to the system handler or injects it as a
+// local netem delivery from the sender's relay address. Pump goroutine only.
+func (f *Fabric) inject(from netem.Addr, msg wire.Msg) {
 	if pl, ok := msg.(*wire.PeerList); ok && f.bootCtrl != 0 && from == f.bootCtrl {
 		f.applyPeerList(pl)
 		f.count(func(s *FabricStats) { s.SystemConsumed++ })
@@ -431,6 +758,7 @@ func (f *Fabric) RegisterMetrics(reg *obs.Registry, labels string) {
 	reg.AddCounterFunc("live.fabric.injected", labels, func() uint64 { return f.FStats().Injected })
 	reg.AddCounterFunc("live.fabric.system", labels, func() uint64 { return f.FStats().SystemConsumed })
 	reg.AddCounterFunc("live.fabric.egress", labels, func() uint64 { return f.FStats().EgressMsgs })
+	reg.AddCounterFunc("live.fabric.egressbatches", labels, func() uint64 { return f.FStats().EgressBatches })
 	reg.AddCounterFunc("live.fabric.egresserr", labels, func() uint64 { return f.FStats().EgressErrs })
 	reg.AddCounterFunc("live.fabric.pktdropped", labels, func() uint64 { return f.FStats().PacketDropped })
 	reg.AddCounterFunc("live.fabric.pumps", labels, func() uint64 { return f.FStats().PumpRounds })

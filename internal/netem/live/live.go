@@ -264,32 +264,40 @@ func (n *Node) Peers() map[netem.Addr]netip.AddrPort {
 	return out
 }
 
-// Send marshals msg into a pooled buffer and transmits it to the peer
-// registered for to, applying the node's send-side fault profile. Unknown
-// peers and socket errors are reported; datagram delivery is, as on the
-// emulated fabric, never guaranteed. With the zero profile the path is
-// synchronous and allocation-free warm.
-func (n *Node) Send(to netem.Addr, msg wire.Msg) error {
+// sendPlan is one outbound datagram's shaping decision, computed under the
+// node lock and executed after it is released.
+type sendPlan struct {
+	dst    netip.AddrPort
+	delay  time.Duration
+	dupLag time.Duration
+	drop   bool
+	dup    bool
+	part   bool
+}
+
+// plan resolves the destination endpoint and samples the send-side fault
+// profile for a datagram of the given on-wire size (sender header included).
+func (n *Node) plan(to netem.Addr, size int) (sendPlan, error) {
+	var pl sendPlan
 	n.mu.Lock()
 	dst, ok := n.peers[to]
 	if !ok {
 		n.mu.Unlock()
-		return fmt.Errorf("live: no peer registered for address %d", to)
+		return pl, fmt.Errorf("live: no peer registered for address %d", to)
 	}
+	pl.dst = dst
 	if n.partitionedLocked(to) {
 		n.mu.Unlock()
-		n.bump(func(s *Stats) { s.PartDropped++ })
-		return nil
+		pl.part = true
+		return pl, nil
 	}
 	p := n.profile
-	var delay time.Duration
-	drop, dup := false, false
 	if p.LossRate > 0 && n.sendRng.Float64() < p.LossRate {
-		drop = true
+		pl.drop = true
 	}
-	if !drop {
+	if !pl.drop {
 		if p.BandwidthBps > 0 {
-			ser := time.Duration(float64((2+msg.Size())*8) / p.BandwidthBps * 1e9)
+			ser := time.Duration(float64(size*8) / p.BandwidthBps * 1e9)
 			now := time.Now()
 			depart := now
 			if n.busyUntil.After(now) {
@@ -297,49 +305,97 @@ func (n *Node) Send(to netem.Addr, msg wire.Msg) error {
 			}
 			depart = depart.Add(ser)
 			n.busyUntil = depart
-			delay += depart.Sub(now)
+			pl.delay += depart.Sub(now)
 		}
-		delay += time.Duration(p.Latency)
+		pl.delay += time.Duration(p.Latency)
 		if p.Jitter > 0 {
-			delay += time.Duration(n.sendRng.Int63n(int64(p.Jitter) + 1))
+			pl.delay += time.Duration(n.sendRng.Int63n(int64(p.Jitter) + 1))
 		}
 		if p.ReorderRate > 0 && p.Latency > 0 && n.sendRng.Float64() < p.ReorderRate {
-			delay += time.Duration(n.sendRng.Int63n(int64(4*p.Latency) + 1))
+			pl.delay += time.Duration(n.sendRng.Int63n(int64(4*p.Latency) + 1))
 		}
 		if p.DupRate > 0 && n.sendRng.Float64() < p.DupRate {
-			dup = true
+			pl.dup = true
+			pl.dupLag = time.Duration(p.Latency)/2 + 1
 		}
 	}
 	n.mu.Unlock()
-	if drop {
-		n.bump(func(s *Stats) { s.TxDropped++ })
-		return nil
-	}
+	return pl, nil
+}
 
-	bp := n.sendBufs.Get().(*[]byte)
-	b := append((*bp)[:0], byte(n.addr>>8), byte(n.addr))
-	b = msg.Marshal(b)
-	*bp = b
-
-	if delay <= 0 {
-		err := n.write(dst, b)
-		if dup {
+// transmit executes a plan over a framed datagram held in a pooled buffer.
+// Ownership of bp passes in; it returns to the pool after the last write.
+func (n *Node) transmit(pl sendPlan, bp *[]byte) error {
+	b := *bp
+	if pl.delay <= 0 {
+		err := n.write(pl.dst, b)
+		if pl.dup {
 			n.bump(func(s *Stats) { s.TxDup++ })
-			_ = n.write(dst, b)
+			_ = n.write(pl.dst, b)
 		}
 		n.sendBufs.Put(bp)
 		return err
 	}
-	if dup {
+	if pl.dup {
 		// The duplicate needs its own buffer: the delayed writes release
 		// their buffers independently.
 		bp2 := n.sendBufs.Get().(*[]byte)
 		*bp2 = append((*bp2)[:0], b...)
 		n.bump(func(s *Stats) { s.TxDup++ })
-		n.scheduleWrite(delay+time.Duration(p.Latency)/2+1, dst, bp2)
+		n.scheduleWrite(pl.delay+pl.dupLag, pl.dst, bp2)
 	}
-	n.scheduleWrite(delay, dst, bp)
+	n.scheduleWrite(pl.delay, pl.dst, bp)
 	return nil
+}
+
+// Send marshals msg into a pooled buffer and transmits it to the peer
+// registered for to, applying the node's send-side fault profile. Unknown
+// peers and socket errors are reported; datagram delivery is, as on the
+// emulated fabric, never guaranteed. With the zero profile the path is
+// synchronous and allocation-free warm.
+func (n *Node) Send(to netem.Addr, msg wire.Msg) error {
+	pl, err := n.plan(to, 2+msg.Size())
+	if err != nil {
+		return err
+	}
+	if pl.part {
+		n.bump(func(s *Stats) { s.PartDropped++ })
+		return nil
+	}
+	if pl.drop {
+		n.bump(func(s *Stats) { s.TxDropped++ })
+		return nil
+	}
+	bp := n.sendBufs.Get().(*[]byte)
+	b := append((*bp)[:0], byte(n.addr>>8), byte(n.addr))
+	b = msg.Marshal(b)
+	*bp = b
+	return n.transmit(pl, bp)
+}
+
+// SendEncoded transmits an already wire-encoded payload (a complete Marshal
+// encoding, type tag first — typically a coalesced wire.Batch frame built by
+// a BatchBuilder) with the same shaping, framing, and pooling as Send. The
+// payload is copied into a pooled buffer, so the caller may reuse it
+// immediately.
+func (n *Node) SendEncoded(to netem.Addr, payload []byte) error {
+	pl, err := n.plan(to, 2+len(payload))
+	if err != nil {
+		return err
+	}
+	if pl.part {
+		n.bump(func(s *Stats) { s.PartDropped++ })
+		return nil
+	}
+	if pl.drop {
+		n.bump(func(s *Stats) { s.TxDropped++ })
+		return nil
+	}
+	bp := n.sendBufs.Get().(*[]byte)
+	b := append((*bp)[:0], byte(n.addr>>8), byte(n.addr))
+	b = append(b, payload...)
+	*bp = b
+	return n.transmit(pl, bp)
 }
 
 // write transmits one framed datagram. Zero-alloc: WriteToUDPAddrPort takes

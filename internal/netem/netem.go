@@ -179,6 +179,14 @@ type link struct {
 	// recv is the receiver-owned half: MsgsDeliv/BytesDeliv plus drops
 	// decided at arrival (down node, partition formed in flight).
 	recv LinkStats
+	// pending is the open delivery burst for this link: the most recently
+	// scheduled arrival batch, joinable while later sends compute the same
+	// arrival time. For a same-shard link it is touched at send and at fire,
+	// both on the owning shard's goroutine; for a cross-shard link it is
+	// touched at the barrier (coordinator, all shards quiescent) and at fire
+	// (destination shard window), which strictly alternate. The fired burst
+	// clears it, so it never dangles.
+	pending *burst
 }
 
 // stats merges both halves into the public view.
@@ -219,11 +227,21 @@ type Network struct {
 	// totals are per executing shard (one row in sequential mode); Totals
 	// sums them so no row is ever written from two goroutines.
 	totals []LinkStats
+	// coalesce enables burst delivery: a run of sends arriving on the same
+	// directed link at the same virtual time rides one queued event instead
+	// of N. Deliveries of one link at one timestamp are already consecutive
+	// in the (khi, klo) event order, so bursting is invisible to the model —
+	// order, stats, event counts, and traces are byte-identical either way
+	// (the burst credits the coalesced dispatches back, see burst.deliver).
+	// On by default; SetCoalesce(false) restores one event per arrival.
+	coalesce bool
 	// dfree pools in-flight delivery records, one free list per shard: a
 	// record is always taken and returned on the destination's shard (same-
 	// shard sends run there already; cross-shard records materialize at the
 	// single-threaded barrier).
 	dfree [][]*delivery
+	// bfree pools burst records with the same shard discipline as dfree.
+	bfree [][]*burst
 	// outbox parks cross-shard deliveries per sending shard.
 	outbox [][]crossMsg
 	// rfree pools shard-crossing clones per destination shard and concrete
@@ -289,6 +307,95 @@ func (d *delivery) deliver() {
 	dst.handler(from, payload, size)
 }
 
+// burstItem is one coalesced arrival inside a burst.
+type burstItem struct {
+	payload any
+	size    int
+}
+
+// burst is one scheduled arrival event carrying the run of deliveries that
+// share a directed link and an arrival time. The ordering key of the first
+// member places the whole run: same-(link, time) deliveries are consecutive
+// in the event order anyway (one khi, ascending klo), so delivering members
+// back-to-back reproduces the uncoalesced order exactly while paying the
+// heap push/pop and pool round-trip once per run instead of once per
+// message.
+type burst struct {
+	n        *Network
+	l        *link
+	from, to Addr
+	at       sim.Time
+	shard    int // destination shard: the pool the record returns to
+	items    []burstItem
+	run      func()
+}
+
+func (n *Network) getBurst(shard int) *burst {
+	free := n.bfree[shard]
+	if ln := len(free); ln > 0 {
+		b := free[ln-1]
+		free[ln-1] = nil
+		n.bfree[shard] = free[:ln-1]
+		return b
+	}
+	b := &burst{n: n, shard: shard}
+	b.run = b.deliver
+	return b
+}
+
+func (b *burst) deliver() {
+	n, l := b.n, b.l
+	from, to := b.from, b.to
+	// Close the burst before delivering: a send executed by a handler below
+	// (even at this same timestamp) must open a fresh burst, never join a
+	// fired one. The guard matters because a dup/reorder arrival may have
+	// replaced pending with a later burst of this link.
+	if l.pending == b {
+		l.pending = nil
+	}
+	shard := b.shard
+	eng := n.engines[shard]
+	items := b.items
+	// The k-1 dispatches this event coalesced away still count as events
+	// (and still emit their trace instants below): event totals and traces
+	// are model-visible, and the determinism contract keeps them identical
+	// with coalescing on or off.
+	eng.CreditEvents(uint64(len(items) - 1))
+	for i := range items {
+		payload, size := items[i].payload, items[i].size
+		items[i] = burstItem{}
+		if i > 0 {
+			eng.EmitEventInstant()
+		}
+		// Re-check the destination per member: a handler may take the node
+		// down mid-burst, and the remaining members must drop exactly as
+		// their individual delivery events would have.
+		dst, ok := n.nodes[to]
+		if !ok || !dst.up || n.partitioned(from, to) {
+			l.recv.MsgsDropped++
+			n.totals[shard].MsgsDropped++
+			if tr := eng.Tracer(); tr.Enabled() {
+				rec := tr.Emit(obs.PhaseInstant, int64(eng.Now()), 0, obs.PidFabric, "net", "drop.recv")
+				rec.K1, rec.V1 = "from", int64(from)
+				rec.K2, rec.V2 = "to", int64(to)
+			}
+			if r, ok := payload.(Releasable); ok {
+				r.Release()
+			}
+			continue
+		}
+		l.recv.MsgsDeliv++
+		l.recv.BytesDeliv += uint64(size)
+		n.totals[shard].MsgsDeliv++
+		n.totals[shard].BytesDeliv += uint64(size)
+		// Each member's payload reference passes to the receiver here.
+		dst.handler(from, payload, size)
+	}
+	b.items = items[:0]
+	b.l = nil
+	n.bfree[shard] = append(n.bfree[shard], b)
+}
+
 // New creates a network over eng where unset links use defaultProfile.
 func New(eng *sim.Engine, defaultProfile LinkProfile) *Network {
 	return &Network{
@@ -298,8 +405,10 @@ func New(eng *sim.Engine, defaultProfile LinkProfile) *Network {
 		nodes:          make(map[Addr]*endpoint),
 		links:          make(map[[2]Addr]*link),
 		partition:      make(map[Addr]int),
+		coalesce:       true,
 		totals:         make([]LinkStats, 1),
 		dfree:          make([][]*delivery, 1),
+		bfree:          make([][]*burst, 1),
 		outbox:         make([][]crossMsg, 1),
 	}
 }
@@ -324,8 +433,10 @@ func NewSharded(g *sim.Group, defaultProfile LinkProfile, shardOf func(Addr) int
 		nodes:          make(map[Addr]*endpoint),
 		links:          make(map[[2]Addr]*link),
 		partition:      make(map[Addr]int),
+		coalesce:       true,
 		totals:         make([]LinkStats, len(engines)),
 		dfree:          make([][]*delivery, len(engines)),
+		bfree:          make([][]*burst, len(engines)),
 		outbox:         make([][]crossMsg, len(engines)),
 		rfree:          make([]map[reflect.Type][]any, len(engines)),
 		recycleTo:      make([]func(any), len(engines)),
@@ -344,6 +455,12 @@ func NewSharded(g *sim.Group, defaultProfile LinkProfile, shardOf func(Addr) int
 
 // Engine returns the underlying simulation engine (shard 0's when sharded).
 func (n *Network) Engine() *sim.Engine { return n.engines[0] }
+
+// SetCoalesce enables or disables burst delivery (on by default). A driver
+// operation: call it between runs, never from model callbacks. Both settings
+// produce byte-identical runs — the knob exists for that A/B proof and for
+// isolating the optimization when profiling.
+func (n *Network) SetCoalesce(on bool) { n.coalesce = on }
 
 // shardIdx maps an address to its shard (always 0 in sequential mode).
 func (n *Network) shardIdx(a Addr) int {
@@ -591,6 +708,18 @@ func (n *Network) scheduleDelivery(eng *sim.Engine, shard int, delay sim.Duratio
 	at := eng.Now().Add(delay)
 	dst := n.shardIdx(to)
 	if dst == shard {
+		if n.coalesce {
+			if b := l.pending; b != nil && b.at == at {
+				b.items = append(b.items, burstItem{payload, size})
+				return
+			}
+			b := n.getBurst(dst)
+			b.l, b.from, b.to, b.at = l, from, to, at
+			b.items = append(b.items, burstItem{payload, size})
+			l.pending = b
+			eng.ScheduleKeyed(at, khi, klo, b.run)
+			return
+		}
 		d := n.getDelivery(dst)
 		d.l, d.from, d.to, d.payload, d.size = l, from, to, payload, size
 		eng.ScheduleKeyed(at, khi, klo, d.run)
@@ -635,6 +764,26 @@ func (n *Network) flushCross() {
 				payload = clone
 			} else if _, ok := payload.(Releasable); ok {
 				panic(fmt.Sprintf("netem: pooled payload %T crossing shards must implement RemoteMsg", payload))
+			}
+			// Burst grouping applies the same join-or-replace rule the send
+			// path uses for same-shard links. A link's outbox entries appear
+			// in send order (one sender shard per directed link), so the
+			// bursts formed here are exactly the ones a sequential run forms
+			// at send time — event counts and traces stay identical across
+			// shard layouts.
+			if n.coalesce {
+				if b := m.l.pending; b != nil && b.at == m.at {
+					b.items = append(b.items, burstItem{payload, m.size})
+					*m = crossMsg{}
+					continue
+				}
+				b := n.getBurst(dst)
+				b.l, b.from, b.to, b.at = m.l, m.from, m.to, m.at
+				b.items = append(b.items, burstItem{payload, m.size})
+				m.l.pending = b
+				n.engines[dst].ScheduleKeyed(m.at, m.khi, m.klo, b.run)
+				*m = crossMsg{}
+				continue
 			}
 			d := n.getDelivery(dst)
 			d.l, d.from, d.to, d.payload, d.size = m.l, m.from, m.to, payload, m.size

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestBatchSameTimestampOrdering: a batch drain must still interleave
+// correctly with events a callback schedules AT the current timestamp —
+// local (khi==0) events sort before keyed deliveries at equal times, so the
+// batch loop must re-consult the heap after every dispatch rather than
+// pre-draining the run.
+func TestBatchSameTimestampOrdering(t *testing.T) {
+	eng := NewEngine(1)
+	var got []string
+	eng.ScheduleKeyed(10, KeyClassDeliver|1, 0, func() { got = append(got, "d0") })
+	eng.ScheduleKeyed(10, KeyClassDeliver|1, 1, func() { got = append(got, "d1") })
+	eng.Schedule(10, func() {
+		got = append(got, "local")
+		// Scheduled mid-batch at the current timestamp: a local event must
+		// run before the already-queued keyed deliveries.
+		eng.Schedule(10, func() { got = append(got, "local2") })
+	})
+	eng.Run()
+	want := []string{"local", "local2", "d0", "d1"}
+	if len(got) != len(want) {
+		t.Fatalf("ran %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestBatchStopMidBatch: Stop inside a same-timestamp run halts the batch
+// immediately; later events at the same timestamp stay queued.
+func TestBatchStopMidBatch(t *testing.T) {
+	eng := NewEngine(1)
+	ran := 0
+	for i := 0; i < 5; i++ {
+		i := i
+		eng.ScheduleKeyed(10, KeyClassDeliver|1, uint64(i), func() {
+			ran++
+			if i == 1 {
+				eng.Stop()
+			}
+		})
+	}
+	eng.Run()
+	if ran != 2 {
+		t.Fatalf("ran %d events after mid-batch Stop, want 2", ran)
+	}
+	if eng.Pending() != 3 {
+		t.Fatalf("pending = %d after Stop, want 3", eng.Pending())
+	}
+	if eng.Processed() != 2 {
+		t.Fatalf("processed = %d, want 2", eng.Processed())
+	}
+}
+
+// TestBatchProcessedCount: the per-batch counter fold must equal one per
+// dispatched event across mixed timestamps.
+func TestBatchProcessedCount(t *testing.T) {
+	eng := NewEngine(1)
+	total := 0
+	for _, at := range []Time{5, 5, 5, 9, 9, 12} {
+		eng.Schedule(at, func() { total++ })
+	}
+	if n := eng.Run(); n != 6 || total != 6 || eng.Processed() != 6 {
+		t.Fatalf("Run=%d total=%d Processed=%d, want 6 each", n, total, eng.Processed())
+	}
+	if eng.Now() != 12 {
+		t.Fatalf("clock = %v, want 12", eng.Now())
+	}
+}
+
+// TestBatchDispatchAllocBudget: draining a warm same-timestamp batch
+// allocates nothing — the batch loop is pops, pooled releases, and one
+// counter fold.
+func TestBatchDispatchAllocBudget(t *testing.T) {
+	eng := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		eng.ScheduleAfter(1, fn)
+	}
+	eng.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		at := eng.Now().Add(1)
+		for i := 0; i < 16; i++ {
+			eng.Schedule(at, fn)
+		}
+		eng.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("batched dispatch allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestCreditEvents pins the accounting hook the burst layer uses to keep
+// coalesced runs indistinguishable from per-message events.
+func TestCreditEvents(t *testing.T) {
+	eng := NewEngine(1)
+	eng.Schedule(1, func() { eng.CreditEvents(4) })
+	eng.Run()
+	if got := eng.Processed(); got != 5 {
+		t.Fatalf("processed = %d, want 5 (1 real + 4 credited)", got)
+	}
+}

@@ -257,11 +257,13 @@ func (g *Group) Close() {
 }
 
 // runWindow drains this shard's local queue up to (excluding) end. It is
-// the per-shard hot loop: identical to sequential Step except for the
+// the per-shard hot loop: identical to the sequential drain except for the
 // window bound, and allocation-free (pooled events, no channel traffic).
+// Same-timestamp runs go through runBatch, so the batching amortizations
+// apply per shard too.
 func (e *Engine) runWindow(end Time) {
 	for len(e.queue) > 0 && e.queue[0].at < end {
-		e.Step()
+		e.runBatch()
 	}
 }
 

@@ -420,12 +420,46 @@ func (e *Engine) Step() bool {
 	return true
 }
 
+// runBatch pops and executes the run of events sharing the earliest queued
+// timestamp. The clock store, tracer guard, and processed-counter update are
+// hoisted out of the per-event iteration, so a burst of same-timestamp events
+// (a sync round fanning out, a coalesced delivery run) pays them once. The
+// loop stays incremental — pop, run, re-examine the heap top — because a
+// callback may schedule new events at the current timestamp (local khi==0
+// events sort before queued keyed ones) and the heap comparator is the only
+// correct merge order. The caller guarantees the queue is non-empty and the
+// head timestamp satisfies its bound; every event at one timestamp satisfies
+// the same bound, so bounds are re-checked only between batches.
+func (e *Engine) runBatch() {
+	t := e.queue[0].at
+	e.now = t
+	tr := e.tracer
+	n := uint64(0)
+	for {
+		ev := e.queue.pop()
+		fn := ev.fn
+		if tr.Enabled() {
+			// No per-event key in the record (see Step).
+			tr.Emit(obs.PhaseInstant, int64(t), 0, obs.PidSim, "sim", "event")
+		}
+		// Release before running so fn's own scheduling can reuse the event.
+		e.release(ev)
+		fn()
+		n++
+		if e.stopped || len(e.queue) == 0 || e.queue[0].at != t {
+			break
+		}
+	}
+	e.processed += n
+}
+
 // Run processes events until the queue is empty or Stop is called.
 // It returns the number of events processed.
 func (e *Engine) Run() uint64 {
 	e.stopped = false
 	start := e.processed
-	for !e.stopped && e.Step() {
+	for !e.stopped && len(e.queue) > 0 {
+		e.runBatch()
 	}
 	return e.processed - start
 }
@@ -435,14 +469,8 @@ func (e *Engine) Run() uint64 {
 func (e *Engine) RunUntil(deadline Time) uint64 {
 	e.stopped = false
 	start := e.processed
-	for !e.stopped {
-		if e.queue.Len() == 0 {
-			break
-		}
-		if e.queue[0].at > deadline {
-			break
-		}
-		e.Step()
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.runBatch()
 	}
 	if e.now < deadline {
 		e.now = deadline
@@ -470,5 +498,27 @@ func (e *Engine) NextAt() (Time, bool) {
 	return e.queue[0].at, true
 }
 
-// Processed returns the total number of events executed so far.
+// Processed returns the total number of events executed so far. The count is
+// defined over logical dispatches: a batched dispatcher that runs k coalesced
+// deliveries inside one queued event credits the remaining k-1 through
+// CreditEvents, so the number is identical whether or not coalescing is on.
 func (e *Engine) Processed() uint64 { return e.processed }
+
+// CreditEvents adds n to the processed-event counter without running any
+// event. Batched dispatchers (netem's coalesced delivery bursts) use it so a
+// run of k deliveries carried by one queued event still accounts for k
+// events — event counts are a model-visible observable, and the determinism
+// contract keeps them byte-identical with coalescing on or off.
+func (e *Engine) CreditEvents(n uint64) { e.processed += n }
+
+// EmitEventInstant writes one "sim event" trace instant at the current time,
+// the record Step/runBatch would have emitted had a dispatch been its own
+// queued event. Batched dispatchers call it before each coalesced dispatch
+// after the first (whose instant the engine already emitted) and pair it
+// with CreditEvents, keeping Chrome traces byte-identical with coalescing on
+// or off — handler-emitted records interleave exactly as they would have.
+func (e *Engine) EmitEventInstant() {
+	if tr := e.tracer; tr.Enabled() {
+		tr.Emit(obs.PhaseInstant, int64(e.now), 0, obs.PidSim, "sim", "event")
+	}
+}

@@ -1,0 +1,232 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func sampleBatch() *Batch {
+	return &Batch{Msgs: []Msg{
+		&Heartbeat{From: 1, Seq: 7},
+		&Write{Reg: 2, Key: 3, Seq: 4, WriteID: 5, Writer: 6, Epoch: 7, Value: []byte("abc")},
+		&EWOUpdate{Reg: 1, From: 2, Entries: []EWOEntry{{Key: 9, Value: []byte("xy")}}},
+	}}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	b := sampleBatch()
+	got := roundTrip(t, b).(*Batch)
+	if len(got.Msgs) != len(b.Msgs) {
+		t.Fatalf("got %d msgs, want %d", len(got.Msgs), len(b.Msgs))
+	}
+	for i := range b.Msgs {
+		if !reflect.DeepEqual(got.Msgs[i], b.Msgs[i]) {
+			t.Fatalf("msg %d: got %+v, want %+v", i, got.Msgs[i], b.Msgs[i])
+		}
+	}
+}
+
+// TestBatchBuilderMatchesMarshal pins the builder to the struct encoding:
+// the coalescing egress must produce exactly what Batch.Marshal would.
+func TestBatchBuilderMatchesMarshal(t *testing.T) {
+	b := sampleBatch()
+	var bb BatchBuilder
+	for _, m := range b.Msgs {
+		bb.Add(m)
+	}
+	if !bytes.Equal(bb.Bytes(), Marshal(b)) {
+		t.Fatalf("builder encoding diverges from Batch.Marshal:\n%x\n%x", bb.Bytes(), Marshal(b))
+	}
+	if bb.Count() != len(b.Msgs) || bb.Len() != b.Size() {
+		t.Fatalf("Count=%d Len=%d, want %d/%d", bb.Count(), bb.Len(), len(b.Msgs), b.Size())
+	}
+	// Reset keeps the buffer and produces an independent second batch.
+	bb.Reset()
+	hb := &Heartbeat{From: 9, Seq: 1}
+	bb.Add(hb)
+	if !bytes.Equal(bb.Bytes(), Marshal(&Batch{Msgs: []Msg{hb}})) {
+		t.Fatal("builder encoding wrong after Reset")
+	}
+}
+
+// TestWalkBatchOrder checks frames are visited in order and zero-copy (the
+// frame slices alias the input buffer).
+func TestWalkBatchOrder(t *testing.T) {
+	b := sampleBatch()
+	raw := Marshal(b)
+	i := 0
+	err := WalkBatch(raw[1:], func(frame []byte) error {
+		want := Marshal(b.Msgs[i])
+		if !bytes.Equal(frame, want) {
+			t.Fatalf("frame %d = %x, want %x", i, frame, want)
+		}
+		if cap(frame) == 0 || &frame[0] == &want[0] {
+			t.Fatal("frame does not alias the walked buffer")
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(b.Msgs) {
+		t.Fatalf("walked %d frames, want %d", i, len(b.Msgs))
+	}
+}
+
+// TestBatchTruncations cuts a valid batch at every length: every prefix must
+// be a clean error (no panic), and the callback must never run on a partial
+// batch — validation is all-or-nothing.
+func TestBatchTruncations(t *testing.T) {
+	raw := Marshal(sampleBatch())
+	for cut := 1; cut < len(raw); cut++ {
+		calls := 0
+		err := WalkBatch(raw[1:cut], func([]byte) error { calls++; return nil })
+		if err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+		if calls != 0 {
+			t.Fatalf("truncation to %d bytes ran %d callbacks before failing", cut, calls)
+		}
+		if _, uerr := Unmarshal(raw[:cut]); uerr == nil {
+			t.Fatalf("Unmarshal accepted truncation to %d bytes", cut)
+		}
+	}
+}
+
+func TestBatchZeroCount(t *testing.T) {
+	raw := []byte{byte(TBatch), 0, 0}
+	if _, err := Unmarshal(raw); err == nil {
+		t.Fatal("zero-count batch accepted by Unmarshal")
+	}
+	if err := WalkBatch(raw[1:], func([]byte) error { return nil }); err == nil {
+		t.Fatal("zero-count batch accepted by WalkBatch")
+	}
+}
+
+func TestBatchTrailingGarbage(t *testing.T) {
+	raw := Marshal(sampleBatch())
+	raw = append(raw, 0xde, 0xad)
+	calls := 0
+	if err := WalkBatch(raw[1:], func([]byte) error { calls++; return nil }); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	if calls != 0 {
+		t.Fatalf("callback ran %d times on a garbage-tailed batch", calls)
+	}
+	if _, err := Unmarshal(raw); err == nil {
+		t.Fatal("Unmarshal accepted trailing garbage")
+	}
+}
+
+// TestBatchCountBomb rejects a header whose count cannot possibly fit the
+// body, before touching any frame.
+func TestBatchCountBomb(t *testing.T) {
+	raw := []byte{byte(TBatch), 0xff, 0xff, 0, 1, 42}
+	if _, err := Unmarshal(raw); err == nil {
+		t.Fatal("count bomb accepted")
+	}
+}
+
+func TestBatchNestedRejected(t *testing.T) {
+	inner := Marshal(&Batch{Msgs: []Msg{&Heartbeat{From: 1}}})
+	raw := []byte{byte(TBatch)}
+	raw = binary.BigEndian.AppendUint16(raw, 1)
+	raw = binary.BigEndian.AppendUint16(raw, uint16(len(inner)))
+	raw = append(raw, inner...)
+	if _, err := Unmarshal(raw); err == nil {
+		t.Fatal("nested batch accepted")
+	}
+}
+
+// TestBatchBadSubMessage: a structurally valid batch whose frame fails its
+// own decoder errors out of Unmarshal (all-or-nothing at this layer; the
+// fabric's per-frame skip policy lives above WalkBatch).
+func TestBatchBadSubMessage(t *testing.T) {
+	raw := []byte{byte(TBatch)}
+	raw = binary.BigEndian.AppendUint16(raw, 1)
+	raw = binary.BigEndian.AppendUint16(raw, 3)
+	raw = append(raw, 0xff, 0x00, 0x01) // unknown tag
+	if _, err := Unmarshal(raw); err == nil {
+		t.Fatal("bad sub-message accepted")
+	}
+}
+
+// TestWalkBatchNeverPanics feeds WalkBatch random soup, plus soup wearing a
+// plausible header, asserting totality — the live receive path walks raw
+// datagrams straight off the socket.
+func TestWalkBatchNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("WalkBatch panicked: %v", r)
+		}
+	}()
+	for i := 0; i < 50000; i++ {
+		n := rng.Intn(96)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		if n >= 2 && i%2 == 0 {
+			// Half the corpus has a small count so the scan goes deep.
+			binary.BigEndian.PutUint16(buf, uint16(rng.Intn(8)))
+		}
+		_ = WalkBatch(buf, func(frame []byte) error {
+			_, _ = Unmarshal(frame)
+			return nil
+		})
+	}
+}
+
+// TestBatchBitFlipped flips bits in valid batch encodings: clean decode or
+// clean error, never a panic, and a successful walk never yields a frame
+// outside the original buffer.
+func TestBatchBitFlipped(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	base := Marshal(sampleBatch())
+	for trial := 0; trial < 5000; trial++ {
+		buf := append([]byte(nil), base...)
+		flips := rng.Intn(4) + 1
+		for f := 0; f < flips; f++ {
+			buf[rng.Intn(len(buf))] ^= 1 << rng.Intn(8)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on bit-flipped batch: %v", r)
+				}
+			}()
+			Unmarshal(buf)
+		}()
+	}
+}
+
+func BenchmarkBatchBuilderAdd(b *testing.B) {
+	hb := &Heartbeat{From: 1, Seq: 2}
+	var bb BatchBuilder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bb.Reset()
+		for k := 0; k < 16; k++ {
+			bb.Add(hb)
+		}
+		_ = bb.Bytes()
+	}
+}
+
+func BenchmarkWalkBatch(b *testing.B) {
+	var bb BatchBuilder
+	hb := &Heartbeat{From: 1, Seq: 2}
+	for k := 0; k < 16; k++ {
+		bb.Add(hb)
+	}
+	raw := bb.Bytes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := WalkBatch(raw[1:], func([]byte) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -22,7 +22,7 @@ func TestUnmarshalNeverPanics(t *testing.T) {
 		rng.Read(buf)
 		if n > 0 && i%2 == 0 {
 			// Half the corpus has a valid type tag to reach deep decoders.
-			buf[0] = byte(rng.Intn(int(TPeerList)) + 1)
+			buf[0] = byte(rng.Intn(int(TBatch)) + 1)
 		}
 		msg, err := Unmarshal(buf)
 		if err == nil && msg == nil {

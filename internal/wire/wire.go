@@ -34,6 +34,7 @@ const (
 	TGroupConfig
 	THello
 	TPeerList
+	TBatch
 )
 
 func (t Type) String() string {
@@ -58,6 +59,8 @@ func (t Type) String() string {
 		return "Hello"
 	case TPeerList:
 		return "PeerList"
+	case TBatch:
+		return "Batch"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -104,6 +107,8 @@ func Unmarshal(data []byte) (Msg, error) {
 		return unmarshalHello(body)
 	case TPeerList:
 		return unmarshalPeerList(body)
+	case TBatch:
+		return unmarshalBatch(body)
 	default:
 		return nil, fmt.Errorf("wire: unknown type %d", data[0])
 	}
@@ -747,4 +752,157 @@ func unmarshalGroupConfig(b []byte) (*GroupConfig, error) {
 		g.Members[i] = binary.BigEndian.Uint16(b[2*i:])
 	}
 	return g, nil
+}
+
+// Batch is a multi-update datagram: a run of sub-messages coalesced into one
+// wire frame so a sync round's worth of EWO updates (or any same-destination
+// burst) costs one datagram instead of N. Layout after the type tag:
+//
+//	[u16 count] then count x ([u16 len][sub-message bytes])
+//
+// A sub-message is a complete Marshal encoding, tag included. Batches never
+// nest: a TBatch frame inside a batch is a decode error. Receivers on the
+// hot path should not decode through this struct at all — WalkBatch visits
+// the raw frames in place so pooled sub-message decoding stays zero-copy.
+type Batch struct {
+	Msgs []Msg
+}
+
+// WireType implements Msg.
+func (*Batch) WireType() Type { return TBatch }
+
+// Size implements Msg.
+func (b *Batch) Size() int {
+	n := 1 + 2
+	for _, m := range b.Msgs {
+		n += 2 + m.Size()
+	}
+	return n
+}
+
+// Marshal implements Msg.
+func (b *Batch) Marshal(dst []byte) []byte {
+	dst = append(dst, byte(TBatch))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(b.Msgs)))
+	for _, m := range b.Msgs {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(m.Size()))
+		dst = m.Marshal(dst)
+	}
+	return dst
+}
+
+func unmarshalBatch(b []byte) (*Batch, error) {
+	out := &Batch{}
+	err := WalkBatch(b, func(frame []byte) error {
+		if len(frame) > 0 && Type(frame[0]) == TBatch {
+			return fmt.Errorf("wire: nested Batch")
+		}
+		m, err := Unmarshal(frame)
+		if err != nil {
+			return err
+		}
+		out.Msgs = append(out.Msgs, m)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WalkBatch validates a batch body (everything after the TBatch tag) and
+// then invokes fn once per sub-message frame, in order. Validation is
+// all-or-nothing and happens before the first callback: a truncated length
+// prefix, a frame running past the buffer, a count that cannot fit, or
+// trailing garbage after the last frame rejects the whole datagram — fn
+// never sees a partial batch, so a pooled decoder cannot leak half-taken
+// buffers. An fn error aborts the walk and is returned as-is.
+func WalkBatch(body []byte, fn func(frame []byte) error) error {
+	if len(body) < 2 {
+		return fmt.Errorf("wire: truncated Batch header (%d bytes)", len(body))
+	}
+	count := int(binary.BigEndian.Uint16(body))
+	if count == 0 {
+		// The egress never sends an empty batch; one on the wire is noise.
+		return fmt.Errorf("wire: empty Batch")
+	}
+	rest := body[2:]
+	if len(rest) < 2*count {
+		// Each frame costs at least its own length prefix; a count that
+		// cannot fit is a framing bomb, not a message.
+		return fmt.Errorf("wire: Batch count %d exceeds body (%d bytes)", count, len(rest))
+	}
+	scan := rest
+	for i := 0; i < count; i++ {
+		if len(scan) < 2 {
+			return fmt.Errorf("wire: truncated Batch frame %d length", i)
+		}
+		n := int(binary.BigEndian.Uint16(scan))
+		scan = scan[2:]
+		if len(scan) < n {
+			return fmt.Errorf("wire: truncated Batch frame %d (%d < %d)", i, len(scan), n)
+		}
+		scan = scan[n:]
+	}
+	if len(scan) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes after Batch frames", len(scan))
+	}
+	for i := 0; i < count; i++ {
+		n := int(binary.BigEndian.Uint16(rest))
+		if err := fn(rest[2 : 2+n]); err != nil {
+			return err
+		}
+		rest = rest[2+n:]
+	}
+	return nil
+}
+
+// BatchBuilder accumulates sub-messages into a reusable batch encoding for
+// the coalescing egress path: one builder per destination, Reset between
+// datagrams, and the backing buffer is retained across uses so steady-state
+// batching allocates nothing.
+type BatchBuilder struct {
+	buf   []byte // [TBatch][u16 count placeholder][frames...]
+	count int
+}
+
+// Reset empties the builder, keeping its buffer.
+func (b *BatchBuilder) Reset() {
+	if b.buf == nil {
+		b.buf = make([]byte, 3, 1<<10)
+	}
+	b.buf = b.buf[:3]
+	b.buf[0] = byte(TBatch)
+	b.count = 0
+}
+
+// Count returns the number of sub-messages added since the last Reset.
+func (b *BatchBuilder) Count() int { return b.count }
+
+// Len returns the encoded datagram length so far (header included).
+func (b *BatchBuilder) Len() int {
+	if b.buf == nil {
+		return 3
+	}
+	return len(b.buf)
+}
+
+// Add appends one sub-message frame.
+func (b *BatchBuilder) Add(m Msg) {
+	if b.buf == nil {
+		b.Reset()
+	}
+	b.buf = binary.BigEndian.AppendUint16(b.buf, uint16(m.Size()))
+	b.buf = m.Marshal(b.buf)
+	b.count++
+}
+
+// Bytes finalizes the count header and returns the encoded datagram. The
+// slice aliases the builder's buffer and is valid until the next Add/Reset.
+func (b *BatchBuilder) Bytes() []byte {
+	if b.buf == nil {
+		b.Reset()
+	}
+	binary.BigEndian.PutUint16(b.buf[1:], uint16(b.count))
+	return b.buf
 }

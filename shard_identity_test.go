@@ -18,7 +18,7 @@ import (
 // identityWorkload drives a mixed workload (SRO writes with retries, EWO
 // counters with periodic sync, a lossy link, a switch failure and chain
 // recovery) and renders everything observable into one deterministic string.
-func identityWorkload(t *testing.T, shards int, seed int64) string {
+func identityWorkload(t *testing.T, shards int, seed int64, mut ...func(*swishmem.Config)) string {
 	t.Helper()
 	lossy := swishmem.LinkProfile{
 		Latency:      12 * time.Microsecond,
@@ -28,9 +28,13 @@ func identityWorkload(t *testing.T, shards int, seed int64) string {
 		ReorderRate:  0.05,
 		Jitter:       3 * time.Microsecond,
 	}
-	c, err := swishmem.New(swishmem.Config{
+	cfg := swishmem.Config{
 		Switches: 5, Spares: 1, Seed: seed, Shards: shards, Link: &lossy,
-	})
+	}
+	for _, m := range mut {
+		m(&cfg)
+	}
+	c, err := swishmem.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
