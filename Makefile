@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench tables snapshot benchdiff pps profile trace live-soak clean
+.PHONY: all build test race vet bench tables snapshot benchdiff pps profile trace timeline live-soak clean
 
 all: build vet test
 
@@ -58,13 +58,26 @@ EXP ?= E4
 trace:
 	$(GO) run ./cmd/benchtab -e $(EXP) -trace trace.json -metrics metrics.txt
 
+# Metrics timeline of one sim run (override NF=ddos etc.), schema-validated
+# by cmd/timelinecheck. The same JSONL document streams from the live soak
+# (-soak.timeline) and from any live swishd role (-live.timeline).
+NF ?= lb
+timeline:
+	$(GO) run ./cmd/swishd -nf $(NF) -duration 100ms -timeline timeline.jsonl
+	$(GO) run ./cmd/timelinecheck timeline.jsonl
+
 # Loopback live-cluster soak under the race detector: real UDP transport,
-# injected loss, explore oracles over the surviving state.
+# injected loss, explore oracles over the surviving state, plus the metrics
+# timeline (and, on failure, flight recorder) artifacts.
 live-soak:
 	$(GO) test ./internal/livecluster -race -count=1 -v -run 'TestSoak$$' \
-		-soak.budget=2s -soak.loss=0.05 -soak.out=$(CURDIR)/soak-metrics.txt
+		-soak.budget=2s -soak.loss=0.05 -soak.out=$(CURDIR)/soak-metrics.txt \
+		-soak.timeline=$(CURDIR)/soak-timeline.jsonl \
+		-soak.flightrec=$(CURDIR)/soak-flightrec.txt
+	$(GO) run ./cmd/timelinecheck soak-timeline.jsonl
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_new.json trace.json metrics.txt soak-metrics.txt \
+	rm -f BENCH_new.json trace.json metrics.txt timeline.jsonl \
+		soak-metrics.txt soak-timeline.jsonl soak-flightrec.txt \
 		cpu.pb.gz mem.pb.gz mutex.pb.gz

@@ -73,16 +73,65 @@ type snapshot struct {
 	Macro       []macro      `json:"macro,omitempty"`
 }
 
+// load reads a snapshot leniently: the document itself must be JSON, but a
+// section or row that no longer matches this binary's schema is skipped with
+// a printed note instead of aborting the diff, so benchdiff keeps working
+// against snapshots from an older or newer benchtab. A skipped row only
+// relaxes the specific gate that needed it; everything parseable is still
+// checked.
 func load(path string) (*snapshot, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var s snapshot
-	if err := json.Unmarshal(buf, &s); err != nil {
+	var sections map[string]json.RawMessage
+	if err := json.Unmarshal(buf, &sections); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return &s, nil
+	s := &snapshot{}
+	scalarField(path, sections, "schema", &s.Schema)
+	scalarField(path, sections, "seed", &s.Seed)
+	scalarField(path, sections, "cpus", &s.CPUs)
+	s.Micro = sectionRows[micro](path, sections, "micro")
+	s.Experiments = sectionRows[experiment](path, sections, "experiments")
+	s.Macro = sectionRows[macro](path, sections, "macro")
+	return s, nil
+}
+
+func scalarField[T any](path string, sections map[string]json.RawMessage, name string, dst *T) {
+	raw, ok := sections[name]
+	if !ok {
+		return
+	}
+	if err := json.Unmarshal(raw, dst); err != nil {
+		fmt.Printf("note  %s: ignoring %q field with unknown shape\n", path, name)
+	}
+}
+
+func sectionRows[T any](path string, sections map[string]json.RawMessage, name string) []T {
+	raw, ok := sections[name]
+	if !ok {
+		return nil
+	}
+	var items []json.RawMessage
+	if err := json.Unmarshal(raw, &items); err != nil {
+		fmt.Printf("note  %s: ignoring %q section with unknown shape\n", path, name)
+		return nil
+	}
+	out := make([]T, 0, len(items))
+	skipped := 0
+	for _, item := range items {
+		var v T
+		if err := json.Unmarshal(item, &v); err != nil {
+			skipped++
+			continue
+		}
+		out = append(out, v)
+	}
+	if skipped > 0 {
+		fmt.Printf("note  %s: skipped %d %q row(s) with unknown shape\n", path, skipped, name)
+	}
+	return out
 }
 
 func main() {

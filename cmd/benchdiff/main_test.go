@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadForwardCompat feeds load() a snapshot from a hypothetical future
+// benchtab: the metrics and pps sections use shapes this binary does not
+// know. The loader must keep every parseable row, skip the rest, and never
+// error — schema drift relaxes gates, it does not break the diff.
+func TestLoadForwardCompat(t *testing.T) {
+	doc := `{
+		"schema": 7,
+		"seed": 1,
+		"cpus": 8,
+		"fleet": {"hosts": ["a", "b"]},
+		"micro": [
+			{"name": "old/ok", "ns_per_op": 10.0, "allocs_per_op": 0},
+			{"name": "new/row", "ns_per_op": {"p50": 9.0, "p99": 14.0}}
+		],
+		"experiments": [
+			{"id": "E16", "wall_ms": 5.0, "metrics": {"parallel.speedup/shards=4": 3.1}},
+			{"id": "E99", "wall_ms": 1.0, "metrics": {"verdict": "pass"}}
+		],
+		"macro": {"rows": [{"name": "live.pps/pump=1", "pps": 1e6}]}
+	}`
+	path := filepath.Join(t.TempDir(), "future.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := load(path)
+	if err != nil {
+		t.Fatalf("future-schema snapshot must load leniently, got: %v", err)
+	}
+	if s.Schema != 7 || s.CPUs != 8 {
+		t.Errorf("scalar fields lost: schema=%d cpus=%d", s.Schema, s.CPUs)
+	}
+	if len(s.Micro) != 1 || s.Micro[0].Name != "old/ok" {
+		t.Errorf("want the one parseable micro row, got %+v", s.Micro)
+	}
+	// E99's metrics map holds a string value; that row is skipped, E16 stays.
+	if len(s.Experiments) != 1 || s.Experiments[0].ID != "E16" {
+		t.Errorf("want only the parseable experiment row, got %+v", s.Experiments)
+	}
+	// The whole macro section changed from an array to an object: dropped,
+	// which just disables the pps floor.
+	if len(s.Macro) != 0 {
+		t.Errorf("unknown-shape macro section must be dropped, got %+v", s.Macro)
+	}
+}
+
+// TestLoadCurrentSchema pins the lenient loader against a well-formed
+// schema-4 snapshot: nothing may be skipped.
+func TestLoadCurrentSchema(t *testing.T) {
+	doc := `{
+		"schema": 4, "seed": 1, "cpus": 4,
+		"micro": [{"name": "m", "ns_per_op": 5.0, "bytes_per_op": 0, "allocs_per_op": 0}],
+		"experiments": [{"id": "E16", "wall_ms": 2.0, "metrics": {"parallel.speedup/shards=4": 2.0}}],
+		"macro": [{"name": "live.pps/pump=1", "pps": 2e6, "ops": 100}]
+	}`
+	path := filepath.Join(t.TempDir(), "current.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Micro) != 1 || len(s.Experiments) != 1 || len(s.Macro) != 1 {
+		t.Errorf("current-schema rows lost: %+v", s)
+	}
+	if s.Macro[0].PPS != 2e6 || s.Micro[0].NsPerOp != 5.0 {
+		t.Errorf("row values corrupted: %+v", s)
+	}
+}
+
+// TestLoadTopLevelGarbage keeps the hard failure: an unreadable document is
+// still an error (exit 2 in main), leniency is per-section only.
+func TestLoadTopLevelGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(path); err == nil {
+		t.Fatal("top-level garbage must still fail to load")
+	}
+}

@@ -14,16 +14,20 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/netip"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
 	"swishmem/internal/controller"
 	"swishmem/internal/livecluster"
 	"swishmem/internal/netem"
+	"swishmem/internal/netem/live"
+	"swishmem/internal/obs"
 	"swishmem/internal/workload"
 )
 
@@ -36,7 +40,101 @@ var (
 	liveBudget  = flag.Duration("live.budget", 2*time.Second, "soak workload budget")
 	liveReplay  = flag.String("live.replay", "", "trafficgen binary trace driving the soak workload")
 	liveMetrics = flag.String("live.metrics", "", "write transport metrics to this file (soak)")
+	httpAddr    = flag.String("http", "",
+		"serve /metrics (Prometheus) and /timeline (JSONL) over HTTP on this address (live controller/member)")
+	liveTimelineF = flag.String("live.timeline", "",
+		"append the JSONL metrics timeline to this file (all live roles)")
 )
+
+// liveTelemetry is the continuous observability of one live node: a metrics
+// timeline sampled every second under the node's pump lock, plus an optional
+// HTTP endpoint serving /metrics and /timeline. Every registry read — scrape
+// snapshots, stream ticks, tail reads — runs under Fabric.Call, so scrapes
+// serialize with the pump instead of racing it.
+type liveTelemetry struct {
+	fab    *live.Fabric
+	reg    *obs.Registry
+	stream *obs.Stream
+	srv    *obs.TelemetryServer
+	out    *os.File
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// startLiveTelemetry wires the node's timeline (to -live.timeline, or
+// discarded when unset, with the tail ring kept either way) and, with
+// -http set, the scrape endpoint.
+func startLiveTelemetry(fab *live.Fabric, reg *obs.Registry, node string) (*liveTelemetry, error) {
+	lt := &liveTelemetry{fab: fab, reg: reg, stop: make(chan struct{}), done: make(chan struct{})}
+	var w io.Writer = io.Discard
+	if *liveTimelineF != "" {
+		f, err := os.Create(*liveTimelineF)
+		if err != nil {
+			return nil, err
+		}
+		lt.out, w = f, f
+	}
+	lt.stream = obs.NewStream(reg, w, obs.StreamConfig{
+		Interval: time.Second, Node: node, Tail: 120,
+	})
+	start := time.Now()
+	go func() {
+		defer close(lt.done)
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-lt.stop:
+				return
+			case <-tick.C:
+				ts := time.Since(start).Nanoseconds()
+				fab.Call(func() { lt.stream.Tick(ts) })
+			}
+		}
+	}()
+	if *httpAddr != "" {
+		srv, err := obs.StartTelemetry(*httpAddr,
+			func() (obs.Snapshot, error) {
+				var s obs.Snapshot
+				fab.Call(func() { s = reg.Snapshot() })
+				return s, nil
+			},
+			func() []string {
+				var rows []string
+				fab.Call(func() { rows = lt.stream.Tail() })
+				return rows
+			})
+		if err != nil {
+			lt.Close()
+			return nil, err
+		}
+		lt.srv = srv
+		fmt.Printf("swishd: serving /metrics and /timeline on http://%s\n", srv.Addr())
+	}
+	return lt, nil
+}
+
+// Close flushes the final snapshot to stdout, closes the timeline file
+// cleanly, and stops the scrape endpoint — the SIGINT/SIGTERM path.
+func (lt *liveTelemetry) Close() {
+	close(lt.stop)
+	<-lt.done
+	if lt.srv != nil {
+		lt.srv.Close()
+	}
+	var snap obs.Snapshot
+	lt.fab.Call(func() {
+		snap = lt.reg.Snapshot()
+		lt.stream.Close()
+	})
+	if lt.out != nil {
+		if err := lt.out.Close(); err == nil {
+			fmt.Printf("swishd: timeline closed (%d rows)\n", lt.stream.Rows())
+		}
+	}
+	fmt.Println("swishd: final metrics snapshot:")
+	snap.WriteText(os.Stdout)
+}
 
 func runLive(role string) {
 	switch role {
@@ -63,6 +161,15 @@ func runLiveController() {
 	defer fab.Stop()
 	fab.Start()
 	fmt.Printf("swishd: live controller on %s, expecting %d members\n", fab.AddrPort(), *liveMembers)
+	reg := obs.NewRegistry()
+	fab.RegisterMetrics(reg, "node=ctrl")
+	reg.AddGaugeFunc("live.members_alive", "node=ctrl", func() float64 {
+		return float64(len(ctl.AliveMembers())) // gauge funcs run under fab.Call
+	})
+	lt, err := startLiveTelemetry(fab, reg, "ctrl")
+	if err != nil {
+		log.Fatalf("swishd: telemetry: %v", err)
+	}
 	tick := time.NewTicker(2 * time.Second)
 	defer tick.Stop()
 	sig := sigChan()
@@ -70,6 +177,7 @@ func runLiveController() {
 		select {
 		case <-sig:
 			fmt.Println("swishd: controller shutting down")
+			lt.Close()
 			return
 		case <-tick.C:
 			var stats controller.LiveStats
@@ -106,6 +214,13 @@ func runLiveMember() {
 	m.Start()
 	fmt.Printf("swishd: live member %d on %s -> controller %s (loss=%.1f%%)\n",
 		*liveAddr, m.Fabric.AddrPort(), ep, *liveLoss*100)
+	node := strconv.Itoa(*liveAddr)
+	reg := obs.NewRegistry()
+	m.RegisterMetrics(reg, "node="+node)
+	lt, err := startLiveTelemetry(m.Fabric, reg, node)
+	if err != nil {
+		log.Fatalf("swishd: telemetry: %v", err)
+	}
 	tick := time.NewTicker(2 * time.Second)
 	defer tick.Stop()
 	sig := sigChan()
@@ -113,6 +228,7 @@ func runLiveMember() {
 		select {
 		case <-sig:
 			fmt.Println("swishd: member shutting down")
+			lt.Close()
 			return
 		case <-tick.C:
 			var epoch uint32
@@ -135,6 +251,23 @@ func runLiveSoak() {
 		Budget:  *liveBudget,
 		Loss:    *liveLoss,
 	}
+	// SIGINT/SIGTERM ends the workload early but still runs the oracles and
+	// renders the telemetry artifacts.
+	stop := make(chan struct{})
+	go func() {
+		<-sigChan()
+		fmt.Println("swishd: soak interrupted, finishing up")
+		close(stop)
+	}()
+	cfg.Stop = stop
+	var timelineFile *os.File
+	if *liveTimelineF != "" {
+		f, err := os.Create(*liveTimelineF)
+		if err != nil {
+			log.Fatalf("swishd: timeline: %v", err)
+		}
+		timelineFile, cfg.Timeline = f, f
+	}
 	if *liveReplay != "" {
 		tr, err := workload.ReadBinaryFile(*liveReplay)
 		if err != nil {
@@ -151,6 +284,10 @@ func runLiveSoak() {
 	}
 	fmt.Printf("soak: %d strong writes (%d committed), %d counter adds, %d lww writes\n",
 		rep.StrongWrites, rep.Committed, rep.CounterAdds, rep.LWWWrites)
+	if timelineFile != nil {
+		check(timelineFile.Close())
+		fmt.Printf("wrote %d timeline rows to %s\n", rep.TimelineRows, *liveTimelineF)
+	}
 	if *liveMetrics != "" {
 		check(os.WriteFile(*liveMetrics, []byte(rep.Metrics), 0o644))
 		fmt.Printf("wrote metrics to %s\n", *liveMetrics)
@@ -158,6 +295,9 @@ func runLiveSoak() {
 	if rep.Failed() {
 		for _, f := range rep.Failures {
 			fmt.Fprintf(os.Stderr, "FAIL %s\n", f)
+		}
+		if rep.FlightRecord != "" {
+			fmt.Fprintf(os.Stderr, "%s", rep.FlightRecord)
 		}
 		os.Exit(1)
 	}

@@ -44,6 +44,10 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 		metout    = flag.String("metrics", "", "write a plain-text dump of every cluster metric to this file")
 		liveMode  = flag.String("live", "", "live UDP mode: controller | member | soak (see live.go)")
+		timelineOut = flag.String("timeline", "",
+			"stream a JSONL metrics timeline (virtual-time sampled) to this file")
+		timelineIvl = flag.Duration("timeline.interval", time.Millisecond,
+			"virtual-time sampling interval for -timeline")
 	)
 	flag.Parse()
 
@@ -67,6 +71,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// The timeline starts after deploy so the NF's registers are in the
+	// stream's registry (StreamMetrics binds the metric set at call time).
+	var timelineFile *os.File
+	var timeline *swishmem.MetricsStream
+	if *timelineOut != "" {
+		timelineFile, err = os.Create(*timelineOut)
+		check(err)
+		timeline, err = cluster.StreamMetrics(timelineFile, *timelineIvl, swishmem.StreamOptions{})
+		check(err)
+	}
+
 	cluster.RunFor(2 * time.Millisecond)
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -127,6 +143,11 @@ func main() {
 		check(cluster.Metrics().Snapshot().WriteText(f))
 		check(f.Close())
 		fmt.Printf("wrote metrics to %s\n", *metout)
+	}
+	if timelineFile != nil {
+		check(cluster.StopStreaming())
+		check(timelineFile.Close())
+		fmt.Printf("wrote %d timeline rows to %s\n", timeline.Rows(), *timelineOut)
 	}
 }
 

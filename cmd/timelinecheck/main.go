@@ -1,0 +1,139 @@
+// timelinecheck validates a JSONL metrics timeline (the artifact emitted by
+// swishd -timeline, the live soak, and Cluster.StreamMetrics) against the
+// stream schema, so CI fails fast on a malformed document instead of
+// uploading garbage.
+//
+// Usage:
+//
+//	timelinecheck timeline.jsonl [more.jsonl ...]
+//	timelinecheck < timeline.jsonl
+//
+// Checks:
+//
+//   - every line is a JSON object: a schema header (nonzero "timeline"
+//     field) or a sample row
+//   - headers carry the schema version this binary understands and a
+//     positive interval
+//   - every node's rows are preceded by a header for that node
+//   - rows have a positive timestamp, strictly monotone per node, and every
+//     sample has a name
+//
+// Exit status: 0 valid, 1 schema violation, 2 usage or unreadable input.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"swishmem/internal/obs"
+)
+
+type header struct {
+	Timeline   int    `json:"timeline"`
+	IntervalNs int64  `json:"interval_ns"`
+	Node       string `json:"node"`
+}
+
+type row struct {
+	TS      int64  `json:"ts"`
+	Node    string `json:"node"`
+	Samples []struct {
+		Name string `json:"name"`
+	} `json:"samples"`
+}
+
+func main() {
+	if len(os.Args) > 1 {
+		bad := false
+		for _, path := range os.Args[1:] {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "timelinecheck: %v\n", err)
+				os.Exit(2)
+			}
+			if !checkDoc(path, f) {
+				bad = true
+			}
+			f.Close()
+		}
+		if bad {
+			os.Exit(1)
+		}
+		return
+	}
+	if !checkDoc("<stdin>", os.Stdin) {
+		os.Exit(1)
+	}
+}
+
+// checkDoc validates one JSONL document and prints a one-line summary.
+func checkDoc(name string, r io.Reader) bool {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lastTS := map[string]int64{}
+	headed := map[string]bool{}
+	headers, rows, violations := 0, 0, 0
+	bad := func(line int, format string, args ...any) {
+		violations++
+		fmt.Fprintf(os.Stderr, "timelinecheck: %s:%d: %s\n", name, line, fmt.Sprintf(format, args...))
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			bad(lineNo, "empty line")
+			continue
+		}
+		var h header
+		if err := json.Unmarshal(line, &h); err != nil {
+			bad(lineNo, "not a JSON object: %v", err)
+			continue
+		}
+		if h.Timeline != 0 {
+			headers++
+			if h.Timeline != obs.TimelineSchema {
+				bad(lineNo, "schema %d, this binary understands %d", h.Timeline, obs.TimelineSchema)
+			}
+			if h.IntervalNs <= 0 {
+				bad(lineNo, "header has no positive interval_ns")
+			}
+			headed[h.Node] = true
+			continue
+		}
+		var rw row
+		if err := json.Unmarshal(line, &rw); err != nil {
+			bad(lineNo, "row does not parse: %v", err)
+			continue
+		}
+		rows++
+		if !headed[rw.Node] {
+			bad(lineNo, "row for node %q precedes its schema header", rw.Node)
+			headed[rw.Node] = true // report once per node
+		}
+		if rw.TS <= 0 {
+			bad(lineNo, "row has no positive ts")
+		} else if rw.TS <= lastTS[rw.Node] {
+			bad(lineNo, "node %q ts %d not strictly monotone (prev %d)", rw.Node, rw.TS, lastTS[rw.Node])
+		}
+		lastTS[rw.Node] = rw.TS
+		for i, s := range rw.Samples {
+			if s.Name == "" {
+				bad(lineNo, "sample %d has no name", i)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "timelinecheck: %s: %v\n", name, err)
+		os.Exit(2)
+	}
+	if headers == 0 && violations == 0 {
+		bad(lineNo, "document has no schema header")
+	}
+	fmt.Printf("%s: %d header(s), %d row(s), %d node(s), %d violation(s)\n",
+		name, headers, rows, len(lastTS), violations)
+	return violations == 0
+}

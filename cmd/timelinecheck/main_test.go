@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckDocValid(t *testing.T) {
+	doc := `{"timeline":1,"interval_ns":1000000,"windows":8}
+{"ts":1000000,"samples":[{"name":"a","delta":1}]}
+{"ts":2000000,"samples":[{"name":"a","delta":2},{"name":"b","value":3}]}
+{"timeline":1,"interval_ns":1000000,"windows":8,"node":"ctrl"}
+{"ts":1000000,"node":"ctrl","samples":[]}
+`
+	if !checkDoc("valid", strings.NewReader(doc)) {
+		t.Fatal("valid document rejected")
+	}
+}
+
+func TestCheckDocViolations(t *testing.T) {
+	cases := map[string]string{
+		"no header":       `{"ts":1,"samples":[]}` + "\n",
+		"bad schema":      `{"timeline":99,"interval_ns":1}` + "\n",
+		"zero interval":   `{"timeline":1,"interval_ns":0}` + "\n",
+		"non-monotone ts": "{\"timeline\":1,\"interval_ns\":1}\n{\"ts\":5,\"samples\":[]}\n{\"ts\":5,\"samples\":[]}\n",
+		"nameless sample": "{\"timeline\":1,\"interval_ns\":1}\n{\"ts\":1,\"samples\":[{\"delta\":1}]}\n",
+		"not json":        "{\"timeline\":1,\"interval_ns\":1}\nnope\n",
+		"unheaded node":   "{\"timeline\":1,\"interval_ns\":1}\n{\"ts\":1,\"node\":\"x\",\"samples\":[]}\n",
+	}
+	for name, doc := range cases {
+		if checkDoc(name, strings.NewReader(doc)) {
+			t.Errorf("%s: document accepted", name)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -80,6 +81,11 @@ func TestExplore(t *testing.T) {
 		}
 		shrunk, minned := explore.Shrink(sc, opt, r)
 		f := &explore.Failure{Seed: *exploreSeed, Opt: opt, Result: r, Shrunk: shrunk, Minned: minned}
+		bopt := opt
+		bopt.BlackBox = true
+		if rerun := explore.Run(sc, bopt); rerun.Log == r.Log {
+			f.BlackBox = rerun.BlackBox
+		}
 		t.Fatalf("%s", f.Report())
 	}
 
@@ -116,6 +122,23 @@ func TestExploreCatchesInjectedBug(t *testing.T) {
 	replay := explore.Run(explore.Generate(f.Seed), opt)
 	if !replay.Failed() || replay.Log != f.Result.Log {
 		t.Fatalf("replay command %q does not reproduce the original failure", f.ReplayCommand())
+	}
+	// The failure carries its flight record: last trace events, a final
+	// metrics snapshot, and the timeline tail, all of which reach the
+	// counterexample artifact through Report().
+	report := f.Report()
+	for _, want := range []string{
+		"flight recorder: last",
+		"final metrics snapshot",
+		"chain.writes_committed",
+		"timeline tail",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("failure report missing flight-record section %q:\n%s", want, report)
+		}
+	}
+	if !strings.Contains(f.BlackBox, "t=") {
+		t.Errorf("flight record has no trace events:\n%s", f.BlackBox)
 	}
 	t.Logf("caught at seed %d, first oracle %q\nreplay: %s",
 		f.Seed, f.Result.FirstOracle(), f.ReplayCommand())

@@ -3,6 +3,7 @@ package explore
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math/rand"
 	"strings"
 	"time"
@@ -44,7 +45,24 @@ type RunOptions struct {
 	// byte-identical across shard counts (TestExploreShardDeterminism), so
 	// explorations can use all cores without weakening reproducibility.
 	Shards int
+	// BlackBox arms the flight recorder: the run carries a trace ring and a
+	// metrics timeline, and a failing Result gets the rendered record (last
+	// trace events, final snapshot, timeline tail) in Result.BlackBox.
+	// Instrumentation is passive — Log and Failures stay byte-identical to an
+	// unarmed run — but it costs tracer writes on every event, so sweeps run
+	// unarmed and re-run only failing seeds with the recorder on.
+	BlackBox bool
 }
+
+// Flight-recorder shape: enough trace tail to see the failure's final
+// moments, a timeline sampled fine enough to catch the failing window.
+const (
+	blackBoxTraceCap  = 1 << 18
+	blackBoxLastN     = 64
+	blackBoxInterval  = 500 * time.Microsecond
+	blackBoxTailRows  = 32
+	blackBoxTimelineW = 8
+)
 
 // Result is the outcome of one scenario run.
 type Result struct {
@@ -54,7 +72,12 @@ type Result struct {
 	Failures []string
 	// Log is the deterministic scenario + execution + oracle report; for a
 	// given (Scenario, RunOptions) it is byte-identical across runs.
+	// RunOptions.BlackBox does not change it.
 	Log string
+	// BlackBox is the rendered flight record of a failing run when
+	// RunOptions.BlackBox was set ("" otherwise): the last trace events, the
+	// final metrics snapshot, and the timeline tail.
+	BlackBox string
 
 	// Summary facts for callers' own assertions (the torture test).
 	Recoveries   uint64
@@ -114,6 +137,9 @@ func Run(sc Scenario, opt RunOptions) *Result {
 		return res
 	}
 	defer c.Close()
+	if opt.BlackBox {
+		c.EnableTracing(blackBoxTraceCap)
+	}
 	strong, err := c.DeclareStrong("s", swishmem.StrongOptions{
 		Capacity: strongCapacity, ValueWidth: 8, RetryTimeout: retryTimeout})
 	if err == nil {
@@ -145,6 +171,15 @@ func Run(sc Scenario, opt RunOptions) *Result {
 	if opt.InjectSkipForward > 0 {
 		strong[0].Node().InjectSkipForward(opt.InjectSkipForward)
 		fmt.Fprintf(&log, "inject skip-forward=%d at initial head\n", opt.InjectSkipForward)
+	}
+	if opt.BlackBox {
+		// The timeline goes nowhere; the flight record keeps only the tail
+		// ring. Streaming after the declares so chain/EWO metrics are sampled.
+		if _, err := c.StreamMetrics(io.Discard, blackBoxInterval, swishmem.StreamOptions{
+			Windows: blackBoxTimelineW, Tail: blackBoxTailRows,
+		}); err != nil {
+			fail("setup", "stream: %v", err)
+		}
 	}
 	c.RunFor(settleTime)
 
@@ -482,6 +517,9 @@ func Run(sc Scenario, opt RunOptions) *Result {
 	}
 	if len(res.Failures) == 0 {
 		log.WriteString("ok all oracles\n")
+	}
+	if opt.BlackBox && len(res.Failures) > 0 {
+		res.BlackBox = c.FlightRecord(blackBoxLastN).String()
 	}
 	res.Log = log.String()
 	return res

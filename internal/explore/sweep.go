@@ -14,6 +14,11 @@ type Failure struct {
 	Result *Result // the original failing run
 	Shrunk Scenario
 	Minned *Result // the shrunk scenario's failing run
+	// BlackBox is the flight record of the failing run (last trace events,
+	// final metrics snapshot, timeline tail), captured by re-running the seed
+	// with the recorder armed — determinism makes the rerun reproduce the
+	// failure exactly.
+	BlackBox string
 }
 
 // ReplayCommand is the one-liner that reproduces the original failure.
@@ -33,6 +38,9 @@ func (f *Failure) Report() string {
 	fmt.Fprintf(&b, "replay: %s\n", f.ReplayCommand())
 	b.WriteString("shrunk counterexample:\n")
 	b.WriteString(indent(f.Minned.Log))
+	if f.BlackBox != "" {
+		b.WriteString(indent(f.BlackBox))
+	}
 	return b.String()
 }
 
@@ -66,7 +74,19 @@ func Sweep(base int64, n, workers int, opt RunOptions) SweepResult {
 			return
 		}
 		shrunk, minned := Shrink(sc, opt, r)
-		results[i] = &Failure{Seed: seed, Opt: opt, Result: r, Shrunk: shrunk, Minned: minned}
+		f := &Failure{Seed: seed, Opt: opt, Result: r, Shrunk: shrunk, Minned: minned}
+		// Re-run the failing seed with the flight recorder armed. The armed
+		// run is guaranteed byte-identical in Log/Failures, so the recorder
+		// captures exactly the failure the sweep saw; the guard documents the
+		// invariant rather than trusting it silently.
+		bopt := opt
+		bopt.BlackBox = true
+		if rerun := Run(sc, bopt); rerun.Log == r.Log {
+			f.BlackBox = rerun.BlackBox
+		} else {
+			f.BlackBox = "flight recorder: armed rerun diverged from the original run (instrumentation is supposed to be passive — investigate)\n"
+		}
+		results[i] = f
 	})
 	sr := SweepResult{Base: base, N: n}
 	for _, f := range results {

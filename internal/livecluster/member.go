@@ -17,6 +17,7 @@ import (
 	"swishmem/internal/ewo"
 	"swishmem/internal/netem"
 	"swishmem/internal/netem/live"
+	"swishmem/internal/obs"
 	"swishmem/internal/pisa"
 	"swishmem/internal/sim"
 	"swishmem/internal/wire"
@@ -122,6 +123,38 @@ func NewMember(cfg MemberConfig) (*Member, error) {
 	startHeartbeats(sw, cfg.HeartbeatPeriod)
 	f.Bootstrap(ControllerAddr, cfg.ControllerEP, cfg.HelloPeriod)
 	return m, nil
+}
+
+// RegisterMetrics registers the member's transport counters plus its
+// protocol counters and chain write-latency histogram under the given label
+// set (e.g. "node=2"). The underlying structs are owned by the member's
+// pump goroutine: snapshot or stream the registry only under Fabric.Call,
+// or after the pump has stopped.
+func (m *Member) RegisterMetrics(reg *obs.Registry, labels string) {
+	m.Fabric.RegisterMetrics(reg, labels)
+	cn := m.Strong.Node()
+	cs := &cn.Stats
+	reg.AddCounter("chain.writes_submitted", labels, &cs.WritesSubmitted)
+	reg.AddCounter("chain.writes_committed", labels, &cs.WritesCommitted)
+	reg.AddCounter("chain.writes_failed", labels, &cs.WritesFailed)
+	reg.AddCounter("chain.retries", labels, &cs.Retries)
+	reg.AddCounter("chain.applied", labels, &cs.Applied)
+	reg.AddHistogram("chain.write_latency_ns", labels, cn.WriteLatency())
+	for _, e := range []struct {
+		reg  string
+		node *ewo.Node
+	}{{"counter", m.Counter.Node()}, {"lww", m.LWW.Node()}} {
+		rl := labels + ",reg=" + e.reg
+		if labels == "" {
+			rl = "reg=" + e.reg
+		}
+		es := &e.node.Stats
+		reg.AddCounter("ewo.writes", rl, &es.Writes)
+		reg.AddCounter("ewo.updates_sent", rl, &es.UpdatesSent)
+		reg.AddCounter("ewo.updates_recv", rl, &es.UpdatesRecv)
+		reg.AddCounter("ewo.entries_merged", rl, &es.EntriesMerged)
+		reg.AddCounter("ewo.sync_packets", rl, &es.SyncPackets)
+	}
 }
 
 // Start launches the member's pump.

@@ -3,7 +3,9 @@ package livecluster
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math/rand"
+	"strconv"
 	"strings"
 	"time"
 
@@ -13,6 +15,14 @@ import (
 	"swishmem/internal/obs"
 	"swishmem/internal/packet"
 	"swishmem/internal/workload"
+)
+
+// Flight-recorder and timeline shape for soak runs.
+const (
+	soakTraceCap  = 1 << 14
+	soakLastN     = 64
+	soakTailRows  = 16
+	soakTimelineW = 8
 )
 
 // flowHash maps a 5-tuple onto a stable 64-bit value (FNV-1a) so a trace
@@ -64,6 +74,20 @@ type SoakConfig struct {
 	// increment (per-flow packet counting, the paper's DDoS use case). The
 	// trace loops until Budget elapses.
 	Trace workload.Trace
+	// Timeline, when non-nil, receives a continuous JSONL metrics timeline:
+	// one schema header + row stream per node (the controller and every
+	// member), each row tagged with its node label, sampled every
+	// SampleInterval of wall clock under that node's pump lock. Controller
+	// rows carry a soak.members_alive gauge (the availability series);
+	// member rows carry transport counter deltas (pps) and per-window
+	// chain write-latency quantiles.
+	Timeline io.Writer
+	// SampleInterval paces the timeline sampler. Default 100ms.
+	SampleInterval time.Duration
+	// Stop, when non-nil, ends the workload phase early when it becomes
+	// readable (e.g. closed on SIGINT): the run still calms the network,
+	// quiesces, runs the oracles, and renders its telemetry.
+	Stop <-chan struct{}
 }
 
 func (c SoakConfig) withDefaults() SoakConfig {
@@ -94,6 +118,9 @@ func (c SoakConfig) withDefaults() SoakConfig {
 	if c.Keys == 0 {
 		c.Keys = 32
 	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = 100 * time.Millisecond
+	}
 	return c
 }
 
@@ -106,8 +133,15 @@ type SoakReport struct {
 	Committed    int
 	CounterAdds  int
 	LWWWrites    int
-	// Metrics is the rendered transport/fabric metrics snapshot.
+	// Metrics is the rendered transport/fabric/protocol metrics snapshot.
 	Metrics string
+	// TimelineRows counts the rows emitted to SoakConfig.Timeline (0 when no
+	// timeline writer was configured).
+	TimelineRows int
+	// FlightRecord is the rendered flight record of a failing run ("" on
+	// pass): the last trace events across every node, the final metrics
+	// snapshot, and the timeline tail.
+	FlightRecord string
 }
 
 // Failed reports whether any oracle was violated.
@@ -145,11 +179,16 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 	for i := range addrs {
 		addrs[i] = netem.Addr(i + 1)
 	}
-	ctrlFab, _, err := NewLiveController(cfg.Seed, "", addrs, 0, 0)
+	ctrlFab, ctl, err := NewLiveController(cfg.Seed, "", addrs, 0, 0)
 	if err != nil {
 		return nil, fmt.Errorf("livecluster: controller: %w", err)
 	}
 	defer ctrlFab.Stop()
+	// Every node carries a small trace ring from boot: if an oracle fails,
+	// the flight record dumps each ring's tail. Attached before Start, while
+	// setup is still single-threaded.
+	tracers := []*obs.Tracer{obs.NewTracer(soakTraceCap)}
+	ctrlFab.Engine().SetTracer(tracers[0])
 	soakStart := time.Now()
 	ctrlFab.Start()
 
@@ -177,6 +216,9 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 			return nil, fmt.Errorf("livecluster: member %d: %w", i, err)
 		}
 		members[i] = m
+		tr := obs.NewTracer(soakTraceCap)
+		m.Fabric.Engine().SetTracer(tr)
+		tracers = append(tracers, tr)
 		m.Start()
 	}
 	defer func() {
@@ -189,6 +231,53 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 	// group before the workload starts.
 	if err := waitConfigured(members, 30*time.Second); err != nil {
 		return nil, err
+	}
+
+	// Timeline sampler: one stream per node, every tick wrapped in that
+	// node's Fabric.Call so registry reads serialize with its pump. The
+	// sampler is the only goroutine flushing to cfg.Timeline, so rows from
+	// different nodes interleave at line granularity only.
+	var (
+		streams    []*obs.Stream
+		stopSample chan struct{}
+		sampleDone chan struct{}
+	)
+	if cfg.Timeline != nil {
+		ctrlReg := obs.NewRegistry()
+		ctrlFab.RegisterMetrics(ctrlReg, "node=ctrl")
+		ctrlReg.AddGaugeFunc("soak.members_alive", "node=ctrl",
+			func() float64 { return float64(len(ctl.AliveMembers())) })
+		streamOpts := func(node string) obs.StreamConfig {
+			return obs.StreamConfig{
+				Interval: cfg.SampleInterval, Windows: soakTimelineW,
+				Node: node, Tail: soakTailRows,
+			}
+		}
+		streams = append(streams, obs.NewStream(ctrlReg, cfg.Timeline, streamOpts("ctrl")))
+		for i, m := range members {
+			mreg := obs.NewRegistry()
+			m.RegisterMetrics(mreg, fmt.Sprintf("node=%d", i))
+			streams = append(streams, obs.NewStream(mreg, cfg.Timeline, streamOpts(strconv.Itoa(i))))
+		}
+		stopSample, sampleDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(sampleDone)
+			ticker := time.NewTicker(cfg.SampleInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopSample:
+					return
+				case <-ticker.C:
+					ts := time.Since(soakStart).Nanoseconds()
+					ctrlFab.Call(func() { streams[0].Tick(ts) })
+					for i, m := range members {
+						s := streams[i+1]
+						m.Fabric.Call(func() { s.Tick(ts) })
+					}
+				}
+			}
+		}()
 	}
 
 	// Phase 2: workload under faults. Ops are posted onto member pumps; all
@@ -225,11 +314,22 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 		m.Fabric.Post(func() { m.LWW.Write(key, val) })
 	}
 	start := time.Now()
+	stopped := func() bool {
+		if cfg.Stop == nil {
+			return false
+		}
+		select {
+		case <-cfg.Stop:
+			return true
+		default:
+			return false
+		}
+	}
 	if len(cfg.Trace) > 0 {
 		// Trace-driven: packets arrive in trace order at OpInterval pacing
 		// and map deterministically onto ops; the trace loops until the
 		// budget elapses.
-		for ti := 0; time.Since(start) < cfg.Budget; ti = (ti + 1) % len(cfg.Trace) {
+		for ti := 0; time.Since(start) < cfg.Budget && !stopped(); ti = (ti + 1) % len(cfg.Trace) {
 			tp := &cfg.Trace[ti]
 			fk, ok := tp.Pkt.Flow()
 			if !ok {
@@ -248,7 +348,7 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 			time.Sleep(cfg.OpInterval)
 		}
 	} else {
-		for time.Since(start) < cfg.Budget {
+		for time.Since(start) < cfg.Budget && !stopped() {
 			i := wrng.Intn(cfg.Members)
 			switch r := wrng.Intn(100); {
 			case r < 40:
@@ -381,7 +481,38 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 			m.Fabric.Node().Stats().Received, 2000)
 	}
 
-	rep.Metrics = renderMetrics(ctrlFab, members)
+	// Wind down telemetry: stop the sampler, flush the streams, then stop
+	// every pump (Stop is idempotent; the deferred Stops become no-ops).
+	// With all pumps parked, registries and tracer rings are free to read
+	// from this goroutine.
+	if stopSample != nil {
+		close(stopSample)
+		<-sampleDone
+	}
+	var timelineTail []string
+	for _, s := range streams {
+		s.Close()
+		rep.TimelineRows += s.Rows()
+		timelineTail = append(timelineTail, s.Tail()...)
+	}
+	ctrlFab.Stop()
+	for _, m := range members {
+		m.Stop()
+	}
+
+	final := obs.NewRegistry()
+	ctrlFab.RegisterMetrics(final, "node=ctrl")
+	for i, m := range members {
+		m.RegisterMetrics(final, fmt.Sprintf("node=%d", i))
+	}
+	var mb strings.Builder
+	final.Snapshot().WriteText(&mb)
+	rep.Metrics = mb.String()
+
+	if rep.Failed() {
+		fr := obs.NewFlightRecord(soakLastN, final.Snapshot(), timelineTail, tracers...)
+		rep.FlightRecord = fr.String()
+	}
 	return rep, nil
 }
 
@@ -429,19 +560,4 @@ func waitQuiesced(members []*Member, timeout time.Duration) error {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-}
-
-// renderMetrics registers every fabric's transport counters and renders one
-// text snapshot (the soak's CI artifact).
-func renderMetrics(ctrl interface {
-	RegisterMetrics(*obs.Registry, string)
-}, members []*Member) string {
-	reg := obs.NewRegistry()
-	ctrl.RegisterMetrics(reg, "node=ctrl")
-	for i, m := range members {
-		m.Fabric.RegisterMetrics(reg, fmt.Sprintf("node=%d", i))
-	}
-	var b strings.Builder
-	reg.Snapshot().WriteText(&b)
-	return b.String()
 }

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Flight recorder: the black box attached to an oracle failure. Every
+// failing run already has the raw material on hand — tracer rings, a metrics
+// registry, a timeline stream — and a FlightRecord freezes the relevant tail
+// of each so the counterexample artifact is self-contained: what the system
+// was doing in its final moments, what every counter read at the end, and
+// how the time series got there.
+
+// FlightRecord is a frozen failure context.
+type FlightRecord struct {
+	// Events is the last-N canonical merge of the tracer rings (content
+	// order, shard-layout independent).
+	Events []Event
+	// TotalEvents counts every event the rings ever saw (including
+	// overwritten and truncated ones), so readers know how much history the
+	// ring kept.
+	TotalEvents uint64
+	// Snapshot is the final metrics reading.
+	Snapshot Snapshot
+	// Timeline is the tail of the metrics timeline (JSONL rows).
+	Timeline []string
+}
+
+// NewFlightRecord assembles a record: the last lastN events of the
+// canonically merged tracer rings (0 keeps everything retained), the given
+// final snapshot, and the timeline tail.
+func NewFlightRecord(lastN int, snap Snapshot, timeline []string, tracers ...*Tracer) *FlightRecord {
+	fr := &FlightRecord{Snapshot: snap, Timeline: timeline}
+	for _, tr := range tracers {
+		if tr != nil {
+			fr.TotalEvents += tr.Total()
+		}
+	}
+	fr.Events = MergeCanonical(tracers...)
+	if lastN > 0 && len(fr.Events) > lastN {
+		fr.Events = fr.Events[len(fr.Events)-lastN:]
+	}
+	return fr
+}
+
+// Render writes the record as a human-readable report section.
+func (fr *FlightRecord) Render(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "flight recorder: last %d of %d trace events\n", len(fr.Events), fr.TotalEvents)
+	for i := range fr.Events {
+		bw.WriteString("  ")
+		bw.WriteString(formatEvent(&fr.Events[i]))
+		bw.WriteByte('\n')
+	}
+	fmt.Fprintf(bw, "final metrics snapshot (%d samples):\n", len(fr.Snapshot.Samples))
+	var txt strings.Builder
+	if err := fr.Snapshot.WriteText(&txt); err != nil {
+		return err
+	}
+	for _, line := range strings.Split(strings.TrimRight(txt.String(), "\n"), "\n") {
+		bw.WriteString("  ")
+		bw.WriteString(line)
+		bw.WriteByte('\n')
+	}
+	fmt.Fprintf(bw, "timeline tail (%d rows):\n", len(fr.Timeline))
+	for _, row := range fr.Timeline {
+		bw.WriteString("  ")
+		bw.WriteString(row)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// String renders the record (Render into a string).
+func (fr *FlightRecord) String() string {
+	var b strings.Builder
+	fr.Render(&b)
+	return b.String()
+}
+
+// formatEvent renders one trace event as a single line:
+//
+//	t=1.234567ms span [chain] write.commit pid=2 dur=50µs key=7 verdict=ok
+func formatEvent(ev *Event) string {
+	var b strings.Builder
+	ph := "inst"
+	if ev.Ph == PhaseSpan {
+		ph = "span"
+	}
+	fmt.Fprintf(&b, "t=%-12v %s [%s] %s pid=%d", time.Duration(ev.TS), ph, ev.Cat, ev.Name, ev.Pid)
+	if ev.Dur != 0 {
+		fmt.Fprintf(&b, " dur=%v", time.Duration(ev.Dur))
+	}
+	if ev.K1 != "" {
+		fmt.Fprintf(&b, " %s=%d", ev.K1, ev.V1)
+	}
+	if ev.K2 != "" {
+		fmt.Fprintf(&b, " %s=%d", ev.K2, ev.V2)
+	}
+	if ev.K3 != "" {
+		fmt.Fprintf(&b, " %s=%d", ev.K3, ev.V3)
+	}
+	if ev.KS != "" {
+		fmt.Fprintf(&b, " %s=%s", ev.KS, ev.VS)
+	}
+	return b.String()
+}

@@ -125,6 +125,69 @@ func TestRegistrySnapshot(t *testing.T) {
 	}
 }
 
+// TestSnapshotDiffHistogram pins Diff semantics for histogram-derived
+// samples: counts subtract (they are monotone), distribution fields stay
+// absolute — log-bucket quantiles do not subtract meaningfully.
+func TestSnapshotDiffHistogram(t *testing.T) {
+	h := stats.NewHistogram()
+	h.Observe(100)
+	h.Observe(200)
+	r := NewRegistry()
+	r.AddHistogram("chain.write_latency_ns", "switch=1", h)
+
+	before := r.Snapshot()
+	h.Observe(400)
+	h.Observe(800)
+	h.Observe(1600)
+	after := r.Snapshot()
+	d := after.Diff(before)
+
+	if v, ok := d.Value("chain.write_latency_ns", "switch=1"); !ok || v != 3 {
+		t.Fatalf("hist Diff count = %v,%v want 3,true", v, ok)
+	}
+	sm := d.Samples[0]
+	if sm.Kind != KindHist.String() {
+		t.Fatalf("kind = %q", sm.Kind)
+	}
+	if sm.P50 != after.Samples[0].P50 || sm.P99 != after.Samples[0].P99 || sm.Max != after.Samples[0].Max {
+		t.Fatalf("quantiles must stay absolute: diff %+v vs after %+v", sm, after.Samples[0])
+	}
+	// A histogram absent from prev keeps its absolute count.
+	h2 := stats.NewHistogram()
+	h2.Observe(5)
+	r.AddHistogram("chain.write_latency_ns", "switch=2", h2)
+	d2 := r.Snapshot().Diff(before)
+	if v, _ := d2.Value("chain.write_latency_ns", "switch=2"); v != 1 {
+		t.Fatalf("new hist Diff = %v, want absolute 1", v)
+	}
+}
+
+// TestSnapshotWritersEmpty pins the writers' behavior on an empty registry:
+// WriteText emits nothing, WriteJSON emits a valid document with zero
+// samples.
+func TestSnapshotWritersEmpty(t *testing.T) {
+	s := NewRegistry().Snapshot()
+	var txt strings.Builder
+	if err := s.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if txt.String() != "" {
+		t.Fatalf("empty WriteText produced %q", txt.String())
+	}
+	var js strings.Builder
+	if err := s.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	checkJSONSnapshot(t, js.String(), 0)
+	var prom strings.Builder
+	if err := s.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if prom.String() != "" {
+		t.Fatalf("empty WritePrometheus produced %q", prom.String())
+	}
+}
+
 func TestSnapshotWriters(t *testing.T) {
 	r := NewRegistry()
 	r.AddCounterFunc("a.count", "x=1", func() uint64 { return 3 })

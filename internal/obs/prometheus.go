@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-exposition rendering of a Snapshot (format version 0.0.4,
+// what every scraper speaks). Dotted metric names become underscored
+// families, the pre-rendered "k=v,k=v" label strings become proper label
+// sets, and histograms are exported as summaries (quantile-labelled series
+// plus _sum/_count) since log-bucket boundaries do not map onto Prometheus'
+// cumulative le-buckets. Samples are already sorted by (name, labels), so
+// each family is contiguous and gets exactly one TYPE line.
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	prevName := ""
+	for _, sm := range s.Samples {
+		name := promName(sm.Name)
+		if sm.Name != prevName {
+			prevName = sm.Name
+			bw.WriteString("# TYPE ")
+			bw.WriteString(name)
+			switch sm.Kind {
+			case KindCounter.String():
+				bw.WriteString(" counter\n")
+			case KindHist.String():
+				bw.WriteString(" summary\n")
+			default:
+				bw.WriteString(" gauge\n")
+			}
+		}
+		if sm.Kind != KindHist.String() {
+			bw.WriteString(name)
+			bw.WriteString(promLabels(sm.Labels, "", ""))
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(sm.Value))
+			bw.WriteByte('\n')
+			continue
+		}
+		for _, q := range [...]struct {
+			q string
+			v float64
+		}{{"0.5", sm.P50}, {"0.99", sm.P99}, {"1", sm.Max}} {
+			bw.WriteString(name)
+			bw.WriteString(promLabels(sm.Labels, "quantile", q.q))
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(q.v))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString(name)
+		bw.WriteString("_sum")
+		bw.WriteString(promLabels(sm.Labels, "", ""))
+		bw.WriteByte(' ')
+		bw.WriteString(formatValue(sm.Mean * sm.Value))
+		bw.WriteByte('\n')
+		bw.WriteString(name)
+		bw.WriteString("_count")
+		bw.WriteString(promLabels(sm.Labels, "", ""))
+		bw.WriteByte(' ')
+		bw.WriteString(formatValue(sm.Value))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// promName maps a dotted metric name onto the Prometheus grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders a pre-rendered "k=v,k=v" label string (plus an optional
+// extra pair) as a {k="v",...} label set; "" when there are no labels.
+func promLabels(labels, extraK, extraV string) string {
+	var parts []string
+	if labels != "" {
+		for _, kv := range strings.Split(labels, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				k, v = kv, ""
+			}
+			parts = append(parts, promName(k)+"="+strconv.Quote(v))
+		}
+	}
+	if extraK != "" {
+		parts = append(parts, extraK+"="+strconv.Quote(extraV))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"swishmem/internal/stats"
+)
+
+// timelineRow is the decoded shape of one data row, for assertions.
+type timelineRow struct {
+	TS      int64  `json:"ts"`
+	Node    string `json:"node"`
+	Samples []struct {
+		Name   string  `json:"name"`
+		Labels string  `json:"labels"`
+		Delta  float64 `json:"delta"`
+		Value  float64 `json:"value"`
+		N      uint64  `json:"n"`
+		P50    float64 `json:"p50"`
+		P90    float64 `json:"p90"`
+		P99    float64 `json:"p99"`
+		RollN  uint64  `json:"roll_n"`
+	} `json:"samples"`
+}
+
+func TestStreamRows(t *testing.T) {
+	var c stats.Counter
+	var g stats.Gauge
+	h := stats.NewHistogram()
+	reg := NewRegistry()
+	reg.AddCounter("x.ops", "node=1", &c)
+	reg.AddGaugeFunc("x.depth", "", g.Value)
+	reg.AddHistogram("x.lat_ns", "", h)
+
+	var out strings.Builder
+	s := NewStream(reg, &out, StreamConfig{Interval: time.Millisecond, Windows: 4, Node: "n0", Tail: 2})
+
+	// Tick 1: counter moved, histogram saw two values.
+	c.Add(5)
+	g.Set(2)
+	h.Observe(100)
+	h.Observe(1000)
+	if err := s.Tick(1e6); err != nil {
+		t.Fatal(err)
+	}
+	// Tick 2: quiet interval — only the gauge appears.
+	if err := s.Tick(2e6); err != nil {
+		t.Fatal(err)
+	}
+	// Tick 3: counter moves again; histogram interval has one value but the
+	// rolling window still covers tick 1's observations.
+	c.Add(3)
+	h.Observe(500)
+	if err := s.Tick(3e6); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 4 { // header + 3 rows
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), out.String())
+	}
+	var hdr struct {
+		Timeline   int    `json:"timeline"`
+		IntervalNS int64  `json:"interval_ns"`
+		Windows    int    `json:"windows"`
+		Node       string `json:"node"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		t.Fatalf("header not JSON: %v\n%s", err, lines[0])
+	}
+	if hdr.Timeline != TimelineSchema || hdr.IntervalNS != 1e6 || hdr.Windows != 4 || hdr.Node != "n0" {
+		t.Fatalf("header wrong: %+v", hdr)
+	}
+
+	rows := make([]timelineRow, 3)
+	for i := range rows {
+		if err := json.Unmarshal([]byte(lines[i+1]), &rows[i]); err != nil {
+			t.Fatalf("row %d not JSON: %v\n%s", i, err, lines[i+1])
+		}
+	}
+	find := func(r timelineRow, name string) (int, bool) {
+		for i, sm := range r.Samples {
+			if sm.Name == name {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+
+	if rows[0].TS != 1e6 || rows[0].Node != "n0" {
+		t.Fatalf("row 0 stamp wrong: %+v", rows[0])
+	}
+	if i, ok := find(rows[0], "x.ops"); !ok || rows[0].Samples[i].Delta != 5 {
+		t.Fatalf("row 0 counter delta wrong: %+v", rows[0])
+	}
+	if i, ok := find(rows[0], "x.lat_ns"); !ok || rows[0].Samples[i].N != 2 ||
+		rows[0].Samples[i].P50 < 90 || rows[0].Samples[i].P99 < 900 {
+		t.Fatalf("row 0 histogram interval wrong: %+v", rows[0])
+	}
+
+	// Quiet interval: counter and histogram suppressed, gauge retained.
+	if _, ok := find(rows[1], "x.ops"); ok {
+		t.Fatalf("unchanged counter leaked into quiet row: %+v", rows[1])
+	}
+	if _, ok := find(rows[1], "x.lat_ns"); ok {
+		t.Fatalf("empty histogram interval leaked into quiet row: %+v", rows[1])
+	}
+	if i, ok := find(rows[1], "x.depth"); !ok || rows[1].Samples[i].Value != 2 {
+		t.Fatalf("gauge missing from quiet row: %+v", rows[1])
+	}
+
+	if i, ok := find(rows[2], "x.ops"); !ok || rows[2].Samples[i].Delta != 3 {
+		t.Fatalf("row 2 counter delta wrong: %+v", rows[2])
+	}
+	if i, ok := find(rows[2], "x.lat_ns"); !ok || rows[2].Samples[i].N != 1 ||
+		rows[2].Samples[i].RollN != 3 {
+		t.Fatalf("row 2 windowed rollup wrong (want interval n=1, rolling n=3): %+v", rows[2])
+	}
+
+	// The tail ring retains the last Tail rows.
+	tail := s.Tail()
+	if len(tail) != 2 || tail[0] != lines[2] || tail[1] != lines[3] {
+		t.Fatalf("tail ring wrong: %q", tail)
+	}
+	if s.Rows() != 3 {
+		t.Fatalf("Rows = %d, want 3", s.Rows())
+	}
+}
+
+// TestStreamDeterministic pins byte-identical output for identical inputs —
+// the property the sim facade's timeline relies on.
+func TestStreamDeterministic(t *testing.T) {
+	run := func() string {
+		var c stats.Counter
+		h := stats.NewHistogram()
+		reg := NewRegistry()
+		reg.AddCounter("a.ops", "", &c)
+		reg.AddHistogram("a.lat", "", h)
+		var out strings.Builder
+		s := NewStream(reg, &out, StreamConfig{Interval: time.Millisecond})
+		for i := 1; i <= 5; i++ {
+			c.Add(uint64(i))
+			h.Observe(float64(i * 37))
+			s.Tick(int64(i) * 1e6)
+		}
+		s.Close()
+		return out.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("identical runs produced different timelines:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestStreamStickyError(t *testing.T) {
+	reg := NewRegistry()
+	reg.AddCounterFunc("a", "", func() uint64 { return 1 })
+	s := NewStream(reg, failWriter{}, StreamConfig{})
+	if err := s.Tick(1); err == nil {
+		t.Fatal("write error not surfaced")
+	}
+	if err := s.Close(); err == nil {
+		t.Fatal("Close lost the sticky error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }
+
+func TestWritePrometheus(t *testing.T) {
+	var c stats.Counter
+	c.Add(7)
+	h := stats.NewHistogram()
+	h.Observe(100)
+	h.Observe(300)
+	reg := NewRegistry()
+	reg.AddCounter("chain.writes_committed", "switch=2,reg=1", &c)
+	reg.AddGaugeFunc("switch.mem_used_bytes", "switch=1", func() float64 { return 1.5 })
+	reg.AddHistogram("chain.write_latency_ns", "switch=2,reg=1", h)
+
+	var out strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"# TYPE chain_writes_committed counter",
+		`chain_writes_committed{switch="2",reg="1"} 7`,
+		"# TYPE switch_mem_used_bytes gauge",
+		`switch_mem_used_bytes{switch="1"} 1.5`,
+		"# TYPE chain_write_latency_ns summary",
+		`chain_write_latency_ns{switch="2",reg="1",quantile="0.5"}`,
+		`chain_write_latency_ns{switch="2",reg="1",quantile="0.99"}`,
+		`chain_write_latency_ns_sum{switch="2",reg="1"} 400`,
+		`chain_write_latency_ns_count{switch="2",reg="1"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+	// Exactly one TYPE line per family.
+	if n := strings.Count(text, "# TYPE chain_write_latency_ns summary"); n != 1 {
+		t.Fatalf("TYPE line repeated %d times:\n%s", n, text)
+	}
+}
+
+func TestFlightRecord(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 12; i++ {
+		ev := tr.Emit(PhaseInstant, int64(i)*100, 0, PidSim, "sim", "event")
+		ev.K1, ev.V1 = "i", int64(i)
+	}
+	sp := tr.Emit(PhaseSpan, 1200, 50, 3, "chain", "write.commit")
+	sp.KS, sp.VS = "verdict", "ok"
+
+	var c stats.Counter
+	c.Add(41)
+	reg := NewRegistry()
+	reg.AddCounter("chain.writes_committed", "switch=1", &c)
+
+	fr := NewFlightRecord(4, reg.Snapshot(), []string{`{"ts":1}`, `{"ts":2}`}, tr)
+	if len(fr.Events) != 4 {
+		t.Fatalf("kept %d events, want 4", len(fr.Events))
+	}
+	if fr.TotalEvents != 13 {
+		t.Fatalf("TotalEvents = %d, want 13", fr.TotalEvents)
+	}
+	text := fr.String()
+	for _, want := range []string{
+		"flight recorder: last 4 of 13 trace events",
+		"[chain] write.commit",
+		"verdict=ok",
+		"final metrics snapshot (1 samples):",
+		"chain.writes_committed{switch=1}  41",
+		"timeline tail (2 rows):",
+		`{"ts":2}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestTelemetryServer(t *testing.T) {
+	var c stats.Counter
+	c.Add(3)
+	reg := NewRegistry()
+	reg.AddCounter("x.ops", "", &c)
+
+	ts, err := StartTelemetry("127.0.0.1:0",
+		func() (Snapshot, error) { return reg.Snapshot(), nil },
+		func() []string { return []string{`{"ts":1}`, `{"ts":2}`} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", ts.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "x_ops 3") {
+		t.Fatalf("/metrics = %d:\n%s", code, body)
+	}
+	if code, body := get("/timeline"); code != 200 || body != "{\"ts\":1}\n{\"ts\":2}\n" {
+		t.Fatalf("/timeline = %d:\n%q", code, body)
+	}
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// TelemetryServer serves the live observability endpoints:
+//
+//	/metrics   Prometheus text exposition of a fresh Snapshot
+//	/timeline  the recent timeline rows (JSONL), newest last
+//
+// The callbacks own their synchronization: live nodes hand in closures that
+// read under Fabric.Call, so a scrape serializes with the pump instead of
+// racing it.
+type TelemetryServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartTelemetry binds addr (e.g. "127.0.0.1:9100"; port 0 picks one) and
+// serves scrapes in a background goroutine. snapshot is called per /metrics
+// request; an error turns into a 503 (e.g. the node is shutting down).
+// timeline may be nil, which makes /timeline a 404.
+func StartTelemetry(addr string, snapshot func() (Snapshot, error), timeline func() []string) (*TelemetryServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: telemetry listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap, err := snapshot()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap.WritePrometheus(w)
+	})
+	mux.HandleFunc("/timeline", func(w http.ResponseWriter, r *http.Request) {
+		if timeline == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for _, row := range timeline() {
+			fmt.Fprintln(w, row)
+		}
+	})
+	ts := &TelemetryServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go ts.srv.Serve(ln)
+	return ts, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (ts *TelemetryServer) Addr() string { return ts.ln.Addr().String() }
+
+// Close stops serving. Safe to call once.
+func (ts *TelemetryServer) Close() error { return ts.srv.Close() }

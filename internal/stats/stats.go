@@ -214,6 +214,102 @@ func (h *Histogram) Reset() {
 	}
 }
 
+// CopyFrom makes h an exact copy of src, reusing h's bucket array.
+func (h *Histogram) CopyFrom(src *Histogram) {
+	h.count, h.sum, h.min, h.max = src.count, src.sum, src.min, src.max
+	copy(h.buckets, src.buckets)
+}
+
+func bucketLower(i int) float64 {
+	if i == 0 {
+		return 0
+	}
+	return math.Pow(histGrowth, float64(i))
+}
+
+// AddDelta merges the observations cur gained since prev was captured —
+// i.e. the interval cur−prev — into h. Counts, sums, and bucket arrays
+// subtract exactly (they are monotone), so interval quantiles are as
+// accurate as the live histogram's. Min/max cannot be recovered from
+// cumulative state; they are approximated from the bounds of the first and
+// last bucket that gained observations (within one bucket, ~2%), clamped by
+// the cumulative max. prev must be an earlier capture of the same stream
+// (e.g. via CopyFrom); cur must not have been Reset in between.
+func (h *Histogram) AddDelta(cur, prev *Histogram) {
+	dc := cur.count - prev.count
+	if dc == 0 {
+		return
+	}
+	h.count += dc
+	h.sum += cur.sum - prev.sum
+	for i := range h.buckets {
+		d := cur.buckets[i] - prev.buckets[i]
+		if d == 0 {
+			continue
+		}
+		h.buckets[i] += d
+		if lo := bucketLower(i); lo < h.min {
+			h.min = lo
+		}
+		up := bucketUpper(i)
+		if up > cur.max {
+			up = cur.max
+		}
+		if up > h.max {
+			h.max = up
+		}
+	}
+}
+
+// WindowedHistogram is a ring of N interval histograms: observations land in
+// the current window, Advance seals it and rotates, and Rollup merges the
+// retained windows — so quantiles cover the recent past instead of
+// everything since boot. The ring holds the current window plus the N-1 most
+// recently sealed ones. Single-goroutine, like Histogram.
+type WindowedHistogram struct {
+	win []*Histogram
+	cur int
+}
+
+// NewWindowedHistogram returns a ring of n windows (n < 2 is raised to 2:
+// one current, one sealed).
+func NewWindowedHistogram(n int) *WindowedHistogram {
+	if n < 2 {
+		n = 2
+	}
+	w := &WindowedHistogram{win: make([]*Histogram, n)}
+	for i := range w.win {
+		w.win[i] = NewHistogram()
+	}
+	return w
+}
+
+// Observe records one value into the current window.
+func (w *WindowedHistogram) Observe(v float64) { w.win[w.cur].Observe(v) }
+
+// Current returns the live (unsealed) window.
+func (w *WindowedHistogram) Current() *Histogram { return w.win[w.cur] }
+
+// Advance seals the current window, rotates to the next slot (evicting the
+// oldest sealed window), and returns the just-sealed window. The returned
+// histogram stays valid until the ring wraps back to its slot.
+func (w *WindowedHistogram) Advance() *Histogram {
+	sealed := w.win[w.cur]
+	w.cur = (w.cur + 1) % len(w.win)
+	w.win[w.cur].Reset()
+	return sealed
+}
+
+// Rollup merges every retained window (sealed and current) into dst.
+func (w *WindowedHistogram) Rollup(dst *Histogram) {
+	for _, h := range w.win {
+		dst.Merge(h)
+	}
+}
+
+// Windows returns the ring size.
+func (w *WindowedHistogram) Windows() int { return len(w.win) }
+
 // Summary returns a one-line latency summary treating values as nanoseconds.
 func (h *Histogram) Summary() string {
 	if h.count == 0 {

@@ -240,6 +240,107 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+func TestHistogramCopyFrom(t *testing.T) {
+	src := NewHistogram()
+	for i := 1; i <= 50; i++ {
+		src.Observe(float64(i * 100))
+	}
+	dst := NewHistogram()
+	dst.Observe(9) // overwritten by the copy
+	dst.CopyFrom(src)
+	if dst.Count() != src.Count() || dst.Sum() != src.Sum() ||
+		dst.Min() != src.Min() || dst.Max() != src.Max() ||
+		dst.Quantile(0.5) != src.Quantile(0.5) {
+		t.Fatalf("copy diverged: dst=%s src=%s", dst.Summary(), src.Summary())
+	}
+	// The copy is deep: observing into src must not move dst.
+	src.Observe(1e9)
+	if dst.Max() == src.Max() {
+		t.Fatal("CopyFrom aliased the bucket array")
+	}
+}
+
+// TestHistogramAddDelta pins the interval-capture contract: bucket counts of
+// (cur - prev) subtract exactly, so interval quantiles match a histogram
+// that observed only the interval's values directly.
+func TestHistogramAddDelta(t *testing.T) {
+	live, prev := NewHistogram(), NewHistogram()
+	direct := NewHistogram() // observes only the second interval
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		live.Observe(math.Exp(rng.Float64()*9) * 100)
+	}
+	prev.CopyFrom(live)
+	interval := NewHistogram()
+	interval.AddDelta(live, prev)
+	if interval.Count() != 0 {
+		t.Fatalf("empty interval has count %d", interval.Count())
+	}
+	for i := 0; i < 3000; i++ {
+		v := math.Exp(rng.Float64()*9) * 100
+		live.Observe(v)
+		direct.Observe(v)
+	}
+	interval.AddDelta(live, prev)
+	if interval.Count() != direct.Count() {
+		t.Fatalf("interval count = %d, want %d", interval.Count(), direct.Count())
+	}
+	if math.Abs(interval.Sum()-direct.Sum()) > 1e-6*direct.Sum() {
+		t.Fatalf("interval sum = %v, want %v", interval.Sum(), direct.Sum())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got, want := interval.Quantile(q), direct.Quantile(q)
+		if rel := math.Abs(got-want) / want; rel > 0.05 {
+			t.Errorf("interval q%v = %v, direct %v (rel err %.3f)", q, got, want, rel)
+		}
+	}
+	// Min/max are bucket-bound approximations: within one bucket (~2%).
+	if rel := math.Abs(interval.Min()-direct.Min()) / direct.Min(); rel > 0.03 {
+		t.Errorf("interval min = %v, direct %v", interval.Min(), direct.Min())
+	}
+	if rel := math.Abs(interval.Max()-direct.Max()) / direct.Max(); rel > 0.03 {
+		t.Errorf("interval max = %v, direct %v", interval.Max(), direct.Max())
+	}
+}
+
+func TestWindowedHistogram(t *testing.T) {
+	w := NewWindowedHistogram(3)
+	if w.Windows() != 3 {
+		t.Fatalf("Windows = %d", w.Windows())
+	}
+	w.Observe(100)
+	w.Observe(200)
+	sealed := w.Advance()
+	if sealed.Count() != 2 || sealed.Min() != 100 || sealed.Max() != 200 {
+		t.Fatalf("sealed window wrong: %s", sealed.Summary())
+	}
+	if w.Current().Count() != 0 {
+		t.Fatal("new current window not empty")
+	}
+	w.Observe(300)
+	w.Advance()
+	w.Observe(400)
+
+	roll := NewHistogram()
+	w.Rollup(roll)
+	if roll.Count() != 4 || roll.Min() != 100 || roll.Max() != 400 {
+		t.Fatalf("rollup over all retained windows wrong: %s", roll.Summary())
+	}
+
+	// Another advance wraps the ring onto the first window (ring of 3:
+	// current + 2 sealed); its observations disappear from the rollup.
+	w.Advance()
+	roll = NewHistogram()
+	w.Rollup(roll)
+	if roll.Count() != 2 || roll.Min() != 300 || roll.Max() != 400 {
+		t.Fatalf("rollup after eviction wrong: %s", roll.Summary())
+	}
+
+	if NewWindowedHistogram(0).Windows() != 2 {
+		t.Fatal("window floor not applied")
+	}
+}
+
 func BenchmarkHistogramObserve(b *testing.B) {
 	h := NewHistogram()
 	b.ReportAllocs()

@@ -3,6 +3,7 @@ package swishmem
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"swishmem/internal/chain"
 	"swishmem/internal/ewo"
@@ -18,6 +19,15 @@ type MetricsRegistry = obs.Registry
 
 // MetricsSnapshot re-exports a point-in-time metrics reading.
 type MetricsSnapshot = obs.Snapshot
+
+// MetricsStream re-exports the timeline streamer type.
+type MetricsStream = obs.Stream
+
+// StreamOptions re-exports the timeline streamer configuration.
+type StreamOptions = obs.StreamConfig
+
+// FlightRecord re-exports the frozen failure-context record.
+type FlightRecord = obs.FlightRecord
 
 // EnableTracing attaches a virtual-time event tracer retaining the most
 // recent capacity events (<= 0 picks a default of 64k) and returns it.
@@ -77,6 +87,60 @@ func (c *Cluster) WriteTrace(w io.Writer) error {
 		return fmt.Errorf("swishmem: tracing not enabled")
 	}
 	return obs.WriteChromeTraceCanonical(w, c.tracers...)
+}
+
+// StreamMetrics attaches a metrics timeline to the cluster: from now on,
+// every RunFor pauses at each interval boundary of virtual time and appends
+// one JSONL row to w — counter deltas, gauge readings, and per-interval
+// latency quantiles (see obs.Stream for the schema). Sampling happens at
+// driver level, between simulation chunks, when every shard sits exactly at
+// the tick time: the event stream, traces, and metrics are byte-identical to
+// an unstreamed run, and the timeline itself is byte-identical across shard
+// counts. opts.Interval is forced to interval; zero-valued opts fields keep
+// their defaults. Streaming costs nothing on hot paths — it only reads the
+// always-on stats structs at tick boundaries.
+//
+// The registry is built when StreamMetrics is called, so declare registers
+// first: registers declared afterwards do not join the timeline.
+//
+// Cluster.Run (drain to quiescence) does not tick the timeline: its end time
+// is data-dependent, so timed runs (RunFor) are the streaming driver.
+func (c *Cluster) StreamMetrics(w io.Writer, interval time.Duration, opts StreamOptions) (*MetricsStream, error) {
+	if c.stream != nil {
+		return nil, fmt.Errorf("swishmem: metrics streaming already enabled")
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("swishmem: streaming interval must be positive")
+	}
+	opts.Interval = interval
+	c.stream = obs.NewStream(c.Metrics(), w, opts)
+	c.streamPeriod = sim.Duration(interval)
+	c.streamTick = c.eng.Now().Add(c.streamPeriod)
+	return c.stream, nil
+}
+
+// StopStreaming flushes and detaches the timeline stream, returning its
+// first error (if any). A no-op when streaming was never enabled.
+func (c *Cluster) StopStreaming() error {
+	if c.stream == nil {
+		return nil
+	}
+	err := c.stream.Close()
+	c.stream = nil
+	return err
+}
+
+// FlightRecord freezes the cluster's current observability state into a
+// failure report: the last lastN trace events (canonically merged across
+// shards; empty if tracing is off), a final metrics snapshot, and the
+// timeline tail (empty if streaming is off). Harnesses call this at the
+// moment an oracle fails, so the artifact carries the system's last moments.
+func (c *Cluster) FlightRecord(lastN int) *FlightRecord {
+	var tail []string
+	if c.stream != nil {
+		tail = c.stream.Tail()
+	}
+	return obs.NewFlightRecord(lastN, c.Metrics().Snapshot(), tail, c.tracers...)
 }
 
 // Metrics builds a registry over every live stats source in the cluster:

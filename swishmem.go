@@ -50,6 +50,7 @@ import (
 	"swishmem/internal/core"
 	"swishmem/internal/ewo"
 	"swishmem/internal/netem"
+	"swishmem/internal/obs"
 	"swishmem/internal/pisa"
 	"swishmem/internal/sim"
 )
@@ -134,6 +135,14 @@ type Cluster struct {
 	instances []*core.Instance
 
 	tracers []*Tracer // per-shard tracers while tracing is enabled
+
+	// Timeline streaming state (see StreamMetrics). Ticks are driver-level:
+	// RunFor chunks its advance at tick boundaries so the stream samples with
+	// every shard exactly at the tick time, keeping the event stream and the
+	// timeline identical across shard counts.
+	stream       *obs.Stream
+	streamTick   sim.Time
+	streamPeriod sim.Duration
 
 	dir      *controller.Directory
 	regNames map[string]uint16
@@ -274,13 +283,35 @@ func (c *Cluster) Run() {
 	c.eng.Run()
 }
 
-// RunFor advances virtual time by d.
+// RunFor advances virtual time by d. With metrics streaming enabled the
+// advance is chunked at timeline tick boundaries; the chunking is invisible
+// to the model (RunUntil leaves the clock exactly at each boundary, and a
+// run split into chunks is event-identical to an unsplit one).
 func (c *Cluster) RunFor(d time.Duration) {
+	deadline := c.now().Add(sim.Duration(d))
+	for c.stream != nil && c.streamTick <= deadline {
+		c.advanceTo(c.streamTick)
+		c.stream.Tick(int64(c.streamTick))
+		c.streamTick = c.streamTick.Add(c.streamPeriod)
+	}
+	c.advanceTo(deadline)
+}
+
+// now returns the current virtual time (group clock when sharded).
+func (c *Cluster) now() sim.Time {
 	if c.group != nil {
-		c.group.RunFor(sim.Duration(d))
+		return c.group.Now()
+	}
+	return c.eng.Now()
+}
+
+// advanceTo runs the simulation to exactly t.
+func (c *Cluster) advanceTo(t sim.Time) {
+	if c.group != nil {
+		c.group.RunUntil(t)
 		return
 	}
-	c.eng.RunFor(sim.Duration(d))
+	c.eng.RunUntil(t)
 }
 
 // Now returns the current virtual time as a duration since cluster start.
