@@ -1,5 +1,5 @@
 // Benchmarks regenerating the paper's tables and claims: one benchmark per
-// experiment in the DESIGN.md index (E1–E17), plus microbenchmarks of the
+// experiment in the DESIGN.md index (E1–E18), plus microbenchmarks of the
 // protocol hot paths. Run with:
 //
 //	go test -bench=. -benchmem
@@ -191,3 +191,7 @@ func BenchmarkE14_GroupSharing(b *testing.B) { benchExperiment(b, "E14") }
 
 // BenchmarkE15_LossAnomaly regenerates the §9 anomaly-window measurement.
 func BenchmarkE15_LossAnomaly(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkE18_NthLossAnomaly compares the anomaly rate under deterministic
+// every-Nth loss vs random loss at matched long-run rates.
+func BenchmarkE18_NthLossAnomaly(b *testing.B) { benchExperiment(b, "E18") }

@@ -97,6 +97,83 @@ func TestPartitionMinorityWriteCommitsAfterHeal(t *testing.T) {
 	}
 }
 
+// TestOneWayHeartbeatLossEvictsThenRevives covers the asymmetric-partition
+// trap for the failure detector: the victim->controller direction dies (its
+// heartbeats vanish) while controller->victim stays healthy. The controller
+// must evict the — actually healthy — switch, and because the config path
+// still works the victim immediately learns it is out: no split-brain, and
+// the surviving chain keeps committing. Healing the direction lets the
+// heartbeats flow again and the revival path walks the victim back in.
+func TestOneWayHeartbeatLossEvictsThenRevives(t *testing.T) {
+	c := newFaultCluster(t, Config{Switches: 3, Seed: 3,
+		HeartbeatPeriod: 500 * time.Microsecond})
+	strong, err := c.DeclareStrong("s", StrongOptions{
+		Capacity: 64, ValueWidth: 8, RetryTimeout: 500 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, err := c.DeclareCounter("c", EventualOptions{
+		Capacity: 64, SyncPeriod: 500 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(2 * time.Millisecond)
+	ctr[0].Add(1, 10)
+	c.RunFor(2 * time.Millisecond)
+
+	const victim = 1
+	vAddr := c.Switch(victim).Addr()
+	def := c.Link(0, 1) // the cluster-wide default profile
+	dead := def
+	dead.Deny = DenyBlackhole
+	c.SetControllerLink(victim, dead, def)
+	c.RunFor(10 * time.Millisecond)
+
+	ctrl := c.Controller()
+	if !ctrl.Dead(vAddr) {
+		t.Fatal("one-way heartbeat loss not detected: silence must mean dead")
+	}
+	if ctrl.Stats.FailuresSeen.Value() == 0 {
+		t.Fatal("no failure recorded for the muted switch")
+	}
+	// The reconfigured chain (victim excluded) still serves writes, and
+	// counter traffic keeps flowing among the survivors.
+	committed := false
+	val := make([]byte, 8)
+	binary.BigEndian.PutUint64(val, 0xabcd)
+	strong[0].Write(5, val, func(ok bool) { committed = ok })
+	ctr[2].Add(1, 3)
+	c.RunFor(10 * time.Millisecond)
+	if !committed {
+		t.Fatal("write did not commit while the healthy-but-muted switch was evicted")
+	}
+
+	// Heal the heartbeat direction: the very next beat revives the victim and
+	// the controller walks it back into its chain (spare path) and group.
+	c.SetControllerLink(victim, def, def)
+	c.RunFor(30 * time.Millisecond)
+	if ctrl.Dead(vAddr) {
+		t.Fatal("victim still dead after the heartbeat path healed")
+	}
+	if ctrl.Stats.Revivals.Value() == 0 {
+		t.Fatal("no revival recorded after heal")
+	}
+	// Group rejoin reconciles both ways: every replica — including the one
+	// that missed the mid-outage increments — converges to the exact total.
+	for i := 0; i < 3; i++ {
+		if got := ctr[i].Sum(1); got != 13 {
+			t.Errorf("node %d sum = %d, want exact total 13", i, got)
+		}
+	}
+	// And the re-formed chain commits with the victim back in the loop.
+	committed = false
+	strong[victim].Write(6, val, func(ok bool) { committed = ok })
+	c.RunFor(10 * time.Millisecond)
+	if !committed {
+		t.Error("write via revived switch did not commit")
+	}
+}
+
 // TestJoinCounterGroupUnderConcurrentWrites exercises §6.3 EWO recovery with
 // traffic in flight: a spare joins the counter group mid-workload and must
 // converge to the exact total, including increments issued both before and

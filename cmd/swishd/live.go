@@ -10,6 +10,7 @@ package main
 //	swishd -live controller -live.listen 127.0.0.1:7000 -live.members 3
 //	swishd -live member -live.addr 1 -live.controller 127.0.0.1:7000
 //	swishd -live soak -live.budget 2s -live.loss 0.05 -live.replay trace.bin
+//	swishd -live soak -live.corrupt 0.08 -live.nthloss 7 -live.asym 0.15 -live.pause 100ms
 
 import (
 	"flag"
@@ -37,6 +38,14 @@ var (
 	liveCtrl    = flag.String("live.controller", "", "controller UDP endpoint (member role)")
 	liveMembers = flag.Int("live.members", 3, "expected cluster size")
 	liveLoss    = flag.Float64("live.loss", 0.05, "injected outbound loss (member/soak)")
+	liveCorrupt = flag.Float64("live.corrupt", 0,
+		"injected payload bit-corruption rate; flipped frames must die at the receiver's CRC (member/soak)")
+	liveNthLoss = flag.Int("live.nthloss", 0,
+		"deterministically drop every Nth outbound datagram, 0 = off (member/soak)")
+	liveAsym = flag.Float64("live.asym", 0,
+		"extra one-way loss member 0 -> last member, 0 = off (soak; per-direction profile)")
+	livePause = flag.Duration("live.pause", 0,
+		"freeze one member mid-soak for this long, 0 = off; keep under the 200ms failure timeout (soak)")
 	liveBudget  = flag.Duration("live.budget", 2*time.Second, "soak workload budget")
 	liveReplay  = flag.String("live.replay", "", "trafficgen binary trace driving the soak workload")
 	liveMetrics = flag.String("live.metrics", "", "write transport metrics to this file (soak)")
@@ -205,7 +214,8 @@ func runLiveMember() {
 		Seed:         int64(*liveAddr),
 		ControllerEP: ep,
 		Listen:       *liveListen,
-		Profile:      netem.LinkProfile{LossRate: *liveLoss},
+		Profile: netem.LinkProfile{LossRate: *liveLoss,
+			CorruptRate: *liveCorrupt, LossEveryN: *liveNthLoss},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -246,10 +256,14 @@ func runLiveMember() {
 
 func runLiveSoak() {
 	cfg := livecluster.SoakConfig{
-		Members: *liveMembers,
-		Seed:    1,
-		Budget:  *liveBudget,
-		Loss:    *liveLoss,
+		Members:     *liveMembers,
+		Seed:        1,
+		Budget:      *liveBudget,
+		Loss:        *liveLoss,
+		CorruptRate: *liveCorrupt,
+		LossEveryN:  *liveNthLoss,
+		AsymLoss:    *liveAsym,
+		PauseFor:    *livePause,
 	}
 	// SIGINT/SIGTERM ends the workload early but still runs the oracles and
 	// renders the telemetry artifacts.
@@ -276,14 +290,18 @@ func runLiveSoak() {
 		cfg.Trace = tr
 		fmt.Printf("swishd: soak driven by %d-packet trace %s\n", len(tr), *liveReplay)
 	}
-	fmt.Printf("swishd: live soak: %d members, budget %v, loss %.1f%%\n",
-		cfg.Members, *liveBudget, *liveLoss*100)
+	fmt.Printf("swishd: live soak: %d members, budget %v, loss %.1f%% corrupt %.1f%% nthloss %d asym %.1f%% pause %v\n",
+		cfg.Members, *liveBudget, *liveLoss*100, *liveCorrupt*100, *liveNthLoss, *liveAsym*100, *livePause)
 	rep, err := livecluster.Soak(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("soak: %d strong writes (%d committed), %d counter adds, %d lww writes\n",
 		rep.StrongWrites, rep.Committed, rep.CounterAdds, rep.LWWWrites)
+	if rep.TxCorrupted > 0 || rep.PauseRounds > 0 {
+		fmt.Printf("soak: chaos: %d corrupted tx, %d CRC/decode rejects, %d pause rounds\n",
+			rep.TxCorrupted, rep.RxDecodeErr, rep.PauseRounds)
+	}
 	if timelineFile != nil {
 		check(timelineFile.Close())
 		fmt.Printf("wrote %d timeline rows to %s\n", rep.TimelineRows, *liveTimelineF)

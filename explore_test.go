@@ -8,7 +8,9 @@
 //     `-explore.n=5000` sweeps seeds `-explore.base..base+n-1` (the nightly
 //     CI job), `-explore.seed=N` replays one seed verbosely — this is the
 //     command printed by every failure report. `-explore.inject=K` re-arms
-//     the injected chain bug for replaying injected-bug failures, and
+//     the injected chain bug for replaying injected-bug failures,
+//     `-explore.faults=extended` generates from the extended fault set
+//     (nth-loss, corruption, one-way outages, pause/resume), and
 //     `-explore.artifacts=DIR` writes one report file per failing seed.
 //   - TestExploreCatchesInjectedBug: end-to-end self-test of the checker.
 //     Arms a real protocol bug (chain head skips forwarding), requires the
@@ -38,7 +40,23 @@ var (
 	exploreInject = flag.Int("explore.inject", 0,
 		"arm the injected skip-forward chain bug for this many writes (replaying injected failures)")
 	exploreArtifacts = flag.String("explore.artifacts", "", "directory for per-failure report files")
+	exploreFaults    = flag.String("explore.faults", "classic",
+		"fault set for generated scenarios: classic (crash/partition/loss/join) or extended (+ nth-loss, corruption, one-way outage, pause/resume)")
 )
+
+// faultSet parses -explore.faults. The flag travels in replay commands, so
+// an unknown value is a hard error rather than a silent classic fallback.
+func faultSet(t *testing.T) explore.FaultSet {
+	switch *exploreFaults {
+	case "classic":
+		return explore.FaultsClassic
+	case "extended":
+		return explore.FaultsExtended
+	default:
+		t.Fatalf("unknown -explore.faults=%q (want classic or extended)", *exploreFaults)
+		return explore.FaultsClassic
+	}
+}
 
 // TestExploreQuick is the tier-1 face of the explorer: a few dozen generated
 // scenarios — crashes, partitions, loss bursts, spare joins — each checked
@@ -48,6 +66,12 @@ func TestExploreQuick(t *testing.T) {
 	start := time.Now()
 	sr := explore.Sweep(1, n, runtime.NumCPU(), explore.RunOptions{})
 	for _, f := range sr.Failures {
+		t.Errorf("%s", f.Report())
+	}
+	// A smaller extended batch keeps the chaos-parity kinds — nth-loss,
+	// corruption, one-way outages, pause/resume — exercised on every run.
+	ext := explore.Sweep(1, 20, runtime.NumCPU(), explore.RunOptions{Faults: explore.FaultsExtended})
+	for _, f := range ext.Failures {
 		t.Errorf("%s", f.Report())
 	}
 	// Determinism contract: same seed, byte-identical run log. One strict and
@@ -68,10 +92,10 @@ func TestExploreQuick(t *testing.T) {
 // nightly CI job passes -explore.n, and failure reports print a
 // -explore.seed replay command that lands here.
 func TestExplore(t *testing.T) {
-	opt := explore.RunOptions{InjectSkipForward: *exploreInject}
+	opt := explore.RunOptions{InjectSkipForward: *exploreInject, Faults: faultSet(t)}
 
 	if *exploreSeed != 0 {
-		sc := explore.Generate(*exploreSeed)
+		sc := explore.GenerateWith(*exploreSeed, opt.Faults)
 		t.Logf("replaying seed %d\n%s", *exploreSeed, sc.Log())
 		r := explore.Run(sc, opt)
 		t.Logf("run log:\n%s", r.Log)

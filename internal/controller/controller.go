@@ -87,19 +87,29 @@ type Stats struct {
 	ChainReconfig stats.Counter
 	GroupReconfig stats.Counter
 	Recoveries    stats.Counter // completed chain recoveries (spare promoted)
+	Revivals      stats.Counter // evicted switches that resumed beating and rejoined
 }
 
 type chainState struct {
 	epoch     uint32
+	target    int           // membership size to restore toward (set at ManageChain)
 	members   []ChainMember // in chain order
 	spares    []ChainMember
 	joining   ChainMember
 	listeners []ChainMember // non-member config receivers (§9 proxies)
+	// evicted holds members and spares removed by failure detection, so a
+	// switch that was merely frozen (GC pause) and resumes beating can be
+	// revived: it re-enters as a spare and rejoins through the normal
+	// snapshot-transfer path when the chain is below target strength.
+	evicted []ChainMember
 }
 
 type groupState struct {
 	epoch   uint32
 	members []GroupMember
+	// evicted mirrors chainState.evicted for EWO groups: revival re-adds
+	// the member and a sync period brings both sides back in step (§6.3).
+	evicted []GroupMember
 }
 
 // Controller is the central controller.
@@ -116,6 +126,9 @@ type Controller struct {
 
 	// OnFailure, if set, is invoked when a switch is declared dead.
 	OnFailure func(addr netem.Addr)
+
+	// noRevive disables the revival path (see DisableRevival).
+	noRevive bool
 
 	// mail keys the controller's outgoing control-channel posts. Every
 	// config push travels as a posted message arriving ConfigDelay later on
@@ -204,13 +217,31 @@ func (c *Controller) receive(from netem.Addr, payload any, size int) {
 	}
 	c.lastBeat[from] = c.eng.Now()
 	if c.dead[from] {
-		// A dead switch beating again is treated as a fresh switch by the
-		// operator workflows in this repo (recovery re-adds it explicitly),
-		// so just record it as alive for monitoring purposes.
+		// A declared-dead switch beating again was not dead at all — it was
+		// frozen (a GC pause, a SIGSTOP) and has resumed. The failure
+		// detector cannot distinguish the two in advance; what it CAN do is
+		// repair its mistake now: revive the switch by walking it back into
+		// every chain (as a spare, rejoining via snapshot transfer when the
+		// chain is short) and every group it was evicted from. The epoch
+		// guards make this split-brain-safe — the revived switch's stale
+		// configuration is superseded before it serves for the chain again.
 		delete(c.dead, from)
+		if !c.noRevive {
+			c.Stats.Revivals.Inc()
+			c.traceInstant("revival", "addr", int64(from), "", 0)
+			c.handleRevival(from)
+		}
 	}
 	hb.Release()
 }
+
+// DisableRevival turns off the eviction-repair path: a switch declared dead
+// stays out of its chains and groups even if it resumes beating. This is the
+// pre-revival behaviour, kept as an injectable bug — a paused-then-resumed
+// switch that is never walked back in misses every update its groups made
+// after the eviction, which the explorer's counter-total and convergence
+// oracles catch deterministically (see TESTING.md).
+func (c *Controller) DisableRevival() { c.noRevive = true }
 
 // Monitor starts heartbeats from sw to the controller (a data-plane
 // packet-generator task) and registers it for failure detection.
@@ -273,7 +304,7 @@ func (c *Controller) Dead(addr netem.Addr) bool { return c.dead[addr] }
 // plus spare switches available for recovery. The initial configuration is
 // pushed immediately.
 func (c *Controller) ManageChain(reg uint16, members, spares []ChainMember) {
-	cs := &chainState{members: members, spares: spares}
+	cs := &chainState{members: members, spares: spares, target: len(members)}
 	c.chains[reg] = cs
 	c.pushChain(cs)
 }
@@ -364,9 +395,16 @@ func (c *Controller) failChainMember(cs *chainState, addr netem.Addr) {
 		}
 	}
 	if idx < 0 {
-		// A failed spare or joining switch just drops out.
+		// A failed spare or joining switch just drops out (but stays
+		// revivable: a frozen spare that resumes is still a useful spare).
+		for _, m := range cs.spares {
+			if m.Switch().Addr() == addr {
+				cs.evicted = append(cs.evicted, m)
+			}
+		}
 		cs.spares = removeMember(cs.spares, addr)
 		if cs.joining != nil && cs.joining.Switch().Addr() == addr {
+			cs.evicted = append(cs.evicted, cs.joining)
 			cs.joining = nil
 			c.pushChain(cs)
 		}
@@ -374,6 +412,7 @@ func (c *Controller) failChainMember(cs *chainState, addr netem.Addr) {
 	}
 	// Failover: shorten the chain (restores write availability; writers'
 	// control planes re-send in-flight writes against the new epoch).
+	cs.evicted = append(cs.evicted, cs.members[idx])
 	cs.members = append(cs.members[:idx:idx], cs.members[idx+1:]...)
 	c.pushChain(cs)
 	if len(cs.members) == 0 {
@@ -548,6 +587,7 @@ func (c *Controller) failGroupMember(gs *groupState, addr netem.Addr) {
 	removed := false
 	for _, m := range gs.members {
 		if m.Switch().Addr() == addr {
+			gs.evicted = append(gs.evicted, m)
 			removed = true
 			continue
 		}
@@ -557,6 +597,87 @@ func (c *Controller) failGroupMember(gs *groupState, addr netem.Addr) {
 	if removed {
 		c.pushGroup(gs)
 	}
+}
+
+// --- revival ---
+
+// handleRevival walks a resumed switch back into every chain and group it
+// was evicted from, visiting registers in sorted order (deterministic
+// reconfiguration sequence, like handleFailure). Chains take it back as a
+// spare and start a recovery when below target strength; groups re-add it
+// directly — the next sync period reconciles state both ways (§6.3).
+func (c *Controller) handleRevival(addr netem.Addr) {
+	regs := c.regScratch[:0]
+	for reg := range c.chains {
+		regs = append(regs, reg)
+	}
+	slices.Sort(regs)
+	for _, reg := range regs {
+		c.reviveChainMember(c.chains[reg], addr)
+	}
+	regs = regs[:0]
+	for reg := range c.groups {
+		regs = append(regs, reg)
+	}
+	slices.Sort(regs)
+	c.regScratch = regs
+	for _, reg := range regs {
+		c.reviveGroupMember(c.groups[reg], addr)
+	}
+}
+
+func (c *Controller) reviveChainMember(cs *chainState, addr netem.Addr) {
+	var revived ChainMember
+	out := cs.evicted[:0]
+	for _, m := range cs.evicted {
+		if revived == nil && m.Switch().Addr() == addr {
+			revived = m
+			continue
+		}
+		out = append(out, m)
+	}
+	cs.evicted = out
+	if revived == nil {
+		return
+	}
+	cs.spares = append(cs.spares, revived)
+	if cs.joining == nil && len(cs.members) > 0 && len(cs.members) < cs.target {
+		// The chain is below strength and idle: rejoin through the normal
+		// spare path (BeginJoin + snapshot transfer + tail promotion), which
+		// also pushes fresh configs everywhere.
+		c.startRecovery(cs)
+		return
+	}
+	// The chain is whole (or busy joining): the revived switch stays a
+	// spare. Send it the current configuration so it learns its stale view
+	// — in which it may still believe itself a member — is superseded.
+	cc := wire.ChainConfig{Epoch: cs.epoch}
+	for _, m := range cs.members {
+		cc.Members = append(cc.Members, uint16(m.Switch().Addr()))
+	}
+	if cs.joining != nil {
+		cc.Joining = uint16(cs.joining.Switch().Addr())
+	}
+	node := revived
+	c.ctrlCall(node.Switch(), func() { node.SetChain(cc) })
+}
+
+func (c *Controller) reviveGroupMember(gs *groupState, addr netem.Addr) {
+	var revived GroupMember
+	out := gs.evicted[:0]
+	for _, m := range gs.evicted {
+		if revived == nil && m.Switch().Addr() == addr {
+			revived = m
+			continue
+		}
+		out = append(out, m)
+	}
+	gs.evicted = out
+	if revived == nil {
+		return
+	}
+	gs.members = append(gs.members, revived)
+	c.pushGroup(gs)
 }
 
 // GroupSize returns the current membership size of reg's group.

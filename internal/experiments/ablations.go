@@ -184,7 +184,8 @@ func LossAnomaly(seed int64) *Result {
 		"Chain-hop loss", "Violating histories", "Commit failures")
 
 	for _, loss := range []float64{0, 0.05, 0.2} {
-		violations, failures := lossAnomalyTrial(seed, loss)
+		violations, failures := lossAnomalyTrial(seed,
+			netem.LinkProfile{Latency: 20_000, LossRate: loss})
 		tab.AddRow(loss, violations, failures)
 		if loss == 0 && violations != 0 {
 			res.note("SHAPE VIOLATION: linearizability violated on lossless chain hops")
@@ -196,7 +197,53 @@ func LossAnomaly(seed int64) *Result {
 	return res
 }
 
-func lossAnomalyTrial(seed int64, loss float64) (violations, failures int) {
+// NthLossAnomaly (E18) reruns the E15 anomaly measurement with the
+// deterministic every-Nth-packet dropper at rates matched to E15's random
+// rows (every-20th = 5%, every-5th = 20%). The two models share a long-run
+// rate but distribute drops differently: random loss concentrates its drops
+// in a few unlucky histories (and leaves others untouched), while the
+// periodic dropper guarantees every history eats drops at exactly the
+// configured cadence — no lucky seeds. The measured anomaly rate under
+// every-Nth loss is therefore at least that of random loss at the same
+// rate, which is exactly why the explorer's NthLossBurst episodes exist:
+// they reach schedules the random model visits only with luck.
+func NthLossAnomaly(seed int64) *Result {
+	res := &Result{ID: "E18",
+		Title: "extension: SRO anomaly rate — every-Nth vs random loss at equal rates"}
+	tab := stats.NewTable("E18: non-linearizable histories out of 40 seeds (2 keys sharing 1 seq group)",
+		"Loss model", "Rate", "Violating histories", "Commit failures")
+	randV := map[float64]int{}
+	for _, row := range []struct {
+		model string
+		rate  float64
+		n     int
+	}{
+		{"random", 0.05, 0},
+		{"every-20th", 0.05, 20},
+		{"random", 0.20, 0},
+		{"every-5th", 0.20, 5},
+	} {
+		p := netem.LinkProfile{Latency: 20_000, LossRate: row.rate}
+		if row.n > 0 {
+			p = netem.LinkProfile{Latency: 20_000, LossEveryN: row.n}
+		}
+		violations, failures := lossAnomalyTrial(seed, p)
+		tab.AddRow(row.model, row.rate, violations, failures)
+		if row.n == 0 {
+			randV[row.rate] = violations
+		} else if violations < randV[row.rate] {
+			res.note("SHAPE VIOLATION: every-Nth loss at rate %.2f found fewer anomalies than random", row.rate)
+		}
+	}
+	res.Tables = append(res.Tables, tab)
+	res.note("matched long-run rates, different distribution: random loss spares the lucky " +
+		"histories while the periodic dropper hits every one at the exact cadence, so at equal " +
+		"rates every-Nth loss finds at least as many anomalies — the fault pattern, not just " +
+		"the rate, decides what the oracles see")
+	return res
+}
+
+func lossAnomalyTrial(seed int64, lossy netem.LinkProfile) (violations, failures int) {
 	for trial := int64(0); trial < 40; trial++ {
 		cfg := chain.Config{Reg: 1, Capacity: 64, ValueWidth: 16, Mode: chain.SRO,
 			Groups: 1, RetryTimeout: 2 * time.Millisecond}
@@ -204,8 +251,8 @@ func lossAnomalyTrial(seed int64, loss float64) (violations, failures int) {
 			netem.LinkProfile{Latency: 20_000, BandwidthBps: 100e9})
 		// Loss only on chain hops 1->2 and 2->3 (writer->head and acks stay
 		// clean so every write eventually commits via retries).
-		r.net.SetOneWayLink(1, 2, netem.LinkProfile{Latency: 20_000, LossRate: loss})
-		r.net.SetOneWayLink(2, 3, netem.LinkProfile{Latency: 20_000, LossRate: loss})
+		r.net.SetOneWayLink(1, 2, lossy)
+		r.net.SetOneWayLink(2, 3, lossy)
 
 		rec := &lincheck.Recorder{}
 		fails := 0

@@ -40,6 +40,17 @@ type RunOptions struct {
 	// initial head for that many writes — the intentional defect the
 	// explorer must catch (TestExploreCatchesInjectedBug).
 	InjectSkipForward int
+	// InjectNoRevive disables the controller's revival path: a switch that
+	// is declared failed during a pause and heartbeats again after resume
+	// is never re-added to its groups. The intentional defect for the
+	// pause/resume fault class — without revival the evicted switch stops
+	// receiving EWO pushes and the counter-totals oracle catches the stale
+	// replica (TestExploreCatchesNoRevive).
+	InjectNoRevive bool
+	// Faults selects the fault set Sweep generates scenarios from. It does
+	// not affect Run itself (the scenario already carries its episodes);
+	// it lives here so a Failure can reproduce its generation exactly.
+	Faults FaultSet
 	// Shards runs the cluster on that many parallel simulation shards
 	// (0/1: sequential). Results — Log, Failures, everything — are
 	// byte-identical across shard counts (TestExploreShardDeterminism), so
@@ -81,6 +92,7 @@ type Result struct {
 
 	// Summary facts for callers' own assertions (the torture test).
 	Recoveries   uint64
+	Revivals     uint64 // evicted switches re-admitted after pause/resume
 	ChainMembers []uint16
 	Committed    int
 	BadKey       uint64
@@ -172,6 +184,10 @@ func Run(sc Scenario, opt RunOptions) *Result {
 		strong[0].Node().InjectSkipForward(opt.InjectSkipForward)
 		fmt.Fprintf(&log, "inject skip-forward=%d at initial head\n", opt.InjectSkipForward)
 	}
+	if opt.InjectNoRevive && c.Controller() != nil {
+		c.Controller().DisableRevival()
+		fmt.Fprintf(&log, "inject no-revive at controller\n")
+	}
 	if opt.BlackBox {
 		// The timeline goes nowhere; the flight record keeps only the tail
 		// ring. Streaming after the declares so chain/EWO metrics are sampled.
@@ -221,6 +237,7 @@ func Run(sc Scenario, opt RunOptions) *Result {
 		nLWW       int
 		crashCount int
 		joinedAbs  []int // absolute switch indices of joined spares
+		pausedAbs  []int // switches that went through pause/resume
 	)
 	// Read completions land on the shard of the switch that served them, so
 	// each switch records into its own recorder/counter; they merge into rec
@@ -229,9 +246,11 @@ func Run(sc Scenario, opt RunOptions) *Result {
 	nReadsBy := make([]int, sc.Switches)
 
 	// Episode bookkeeping: start events at AtStep, end events after Steps.
+	// The end event carries the whole episode: one-way outages must restore
+	// the exact directed link they cut, pauses must resume their victim.
 	type endEvent struct {
 		step int
-		kind EpisodeKind
+		e    Episode
 	}
 	var ends []endEvent
 	epi := 0
@@ -245,13 +264,29 @@ func Run(sc Scenario, opt RunOptions) *Result {
 
 	for step := 0; step < sc.Steps; step++ {
 		for len(ends) > 0 && ends[0].step == step {
-			switch ends[0].kind {
+			ee := ends[0].e
+			switch ee.Kind {
 			case PartitionFault:
 				c.HealPartition()
 				fmt.Fprintf(&log, "t=%s heal\n", c.Now())
 			case LossBurst:
 				c.SetAllLinks(sc.Link)
 				fmt.Fprintf(&log, "t=%s lossburst-end\n", c.Now())
+			case NthLossBurst:
+				c.SetAllLinks(sc.Link)
+				fmt.Fprintf(&log, "t=%s nthloss-end\n", c.Now())
+			case CorruptBurst:
+				c.SetAllLinks(sc.Link)
+				fmt.Fprintf(&log, "t=%s corrupt-end\n", c.Now())
+			case OneWayOutage:
+				c.SetOneWayLink(ee.A[0], ee.B[0], sc.Link)
+				fmt.Fprintf(&log, "t=%s oneway-end\n", c.Now())
+			case PauseResume:
+				c.ResumeSwitch(ee.Switch)
+				fmt.Fprintf(&log, "t=%s resume switch=%d\n", c.Now(), ee.Switch)
+				// Rejoin margin: heartbeats restart, an evicted victim is
+				// revived and pushed current configs, frozen backlog drains.
+				c.RunFor(gossipMargin)
 			}
 			ends = ends[1:]
 		}
@@ -286,14 +321,47 @@ func Run(sc Scenario, opt RunOptions) *Result {
 				fmt.Fprintf(&log, "t=%s crash switch=%d\n", c.Now(), e.Switch)
 			case PartitionFault:
 				c.Partition(e.A, e.B)
-				ends = append(ends, endEvent{e.AtStep + e.Steps, PartitionFault})
+				ends = append(ends, endEvent{e.AtStep + e.Steps, e})
 				fmt.Fprintf(&log, "t=%s partition a=%v b=%v\n", c.Now(), e.A, e.B)
 			case LossBurst:
 				burst := sc.Link
 				burst.LossRate = e.Loss
 				c.SetAllLinks(burst)
-				ends = append(ends, endEvent{e.AtStep + e.Steps, LossBurst})
+				ends = append(ends, endEvent{e.AtStep + e.Steps, e})
 				fmt.Fprintf(&log, "t=%s lossburst loss=%.3f\n", c.Now(), e.Loss)
+			case NthLossBurst:
+				burst := sc.Link
+				burst.LossEveryN = e.N
+				c.SetAllLinks(burst)
+				ends = append(ends, endEvent{e.AtStep + e.Steps, e})
+				fmt.Fprintf(&log, "t=%s nthloss n=%d\n", c.Now(), e.N)
+			case CorruptBurst:
+				burst := sc.Link
+				burst.CorruptRate = e.Loss
+				c.SetAllLinks(burst)
+				ends = append(ends, endEvent{e.AtStep + e.Steps, e})
+				fmt.Fprintf(&log, "t=%s corrupt rate=%.3f\n", c.Now(), e.Loss)
+			case OneWayOutage:
+				p := sc.Link
+				p.Deny = swishmem.DenyBlackhole
+				if e.Reject {
+					p.Deny = swishmem.DenyReject
+				}
+				c.SetOneWayLink(e.A[0], e.B[0], p)
+				ends = append(ends, endEvent{e.AtStep + e.Steps, e})
+				fmt.Fprintf(&log, "t=%s oneway from=%d to=%d reject=%v\n", c.Now(), e.A[0], e.B[0], e.Reject)
+			case PauseResume:
+				// The victim freezes mid-protocol: heartbeats stop (the GC
+				// pause trap for the failure detector), its queues backlog,
+				// and on resume everything replays. It is retired from the
+				// workload permanently — until the controller re-admits it a
+				// rejoining replica's local reads are stale — but the state
+				// oracles still cover it (counter totals include pausedAbs).
+				c.PauseSwitch(e.Switch)
+				removeAlive(e.Switch)
+				pausedAbs = append(pausedAbs, e.Switch)
+				ends = append(ends, endEvent{e.AtStep + e.Steps, e})
+				fmt.Fprintf(&log, "t=%s pause switch=%d\n", c.Now(), e.Switch)
 			case Join:
 				abs := sc.Switches + e.Switch
 				if err := c.JoinCounterGroup("c", abs); err != nil {
@@ -406,6 +474,7 @@ func Run(sc Scenario, opt RunOptions) *Result {
 	}
 	if c.Controller() != nil {
 		res.Recoveries = c.Controller().Stats.Recoveries.Value()
+		res.Revivals = c.Controller().Stats.Revivals.Value()
 		want := crashCount
 		if want > sc.Spares {
 			want = sc.Spares
@@ -458,8 +527,15 @@ func Run(sc Scenario, opt RunOptions) *Result {
 	// --- oracle: counter --- exact totals: every increment ever issued is
 	// in the merged sum on every group member (alive replicas + joined
 	// spares), and their full digests agree.
+	// Paused-and-resumed switches are retired from the workload but NOT from
+	// the oracles: after the calm quiesce they must hold the full counter
+	// state like everyone else — either the pause was short of the failure
+	// timeout (never evicted, kept receiving pushes) or the controller
+	// revived them on resume. This is the assertion that catches a failure
+	// detector with no revival path (InjectNoRevive).
 	ctrNodes := append([]int{}, alive...)
 	ctrNodes = append(ctrNodes, joinedAbs...)
+	ctrNodes = append(ctrNodes, pausedAbs...)
 	var ctrViews []EWOView
 	for _, i := range ctrNodes {
 		h, err := c.Instance(i).CounterHandle(ctrID)

@@ -47,6 +47,27 @@ const (
 	LossBurst
 	// Join adds a spare switch to the EWO counter group (§6.3 recovery).
 	Join
+	// NthLossBurst degrades every inter-switch link to deterministic
+	// every-Nth-packet loss for Steps workload steps (pumba's periodic-loss
+	// mode; N is Episode.N), then restores the base profile. Unlike
+	// LossBurst the drop pattern is exactly periodic per link.
+	NthLossBurst
+	// CorruptBurst bit-corrupts payloads on every inter-switch link at rate
+	// Loss for Steps workload steps. Corrupted messages are dropped after
+	// the wire decoder proves it survives their bit-flipped encoding.
+	CorruptBurst
+	// OneWayOutage administratively kills only the A[0]->B[0] direction for
+	// Steps steps — blackhole by default, reject-with-ICMP-analog when
+	// Reject is set — while B[0]->A[0] stays healthy (asymmetric fault).
+	OneWayOutage
+	// PauseResume freezes replica Switch for Steps workload steps (the
+	// GC-pause analog: dispatch stops, inbound backlogs), then resumes it
+	// and lets the backlog replay. The victim is retired from the workload
+	// for the rest of the scenario (a paused-then-evicted switch serves
+	// stale reads until it rejoins), but every state oracle still covers
+	// it: the controller must either never declare it failed (short pause)
+	// or evict it and walk it back in when it beats again.
+	PauseResume
 )
 
 func (k EpisodeKind) String() string {
@@ -59,6 +80,14 @@ func (k EpisodeKind) String() string {
 		return "lossburst"
 	case Join:
 		return "join"
+	case NthLossBurst:
+		return "nthloss"
+	case CorruptBurst:
+		return "corrupt"
+	case OneWayOutage:
+		return "oneway"
+	case PauseResume:
+		return "pause"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -75,9 +104,14 @@ type Episode struct {
 	A, B []int
 	// Loss is the burst loss rate.
 	Loss float64
-	// Switch is the crash victim (replica index) or the joining spare's
-	// ordinal (0-based among spares).
+	// Switch is the crash victim (replica index), the joining spare's
+	// ordinal (0-based among spares), or the pause victim (replica index).
 	Switch int
+	// N is the every-Nth-packet period of an NthLossBurst (>= 1).
+	N int
+	// Reject selects reject-with-notification over silent blackhole for a
+	// OneWayOutage.
+	Reject bool
 }
 
 func (e Episode) String() string {
@@ -90,6 +124,14 @@ func (e Episode) String() string {
 		return fmt.Sprintf("episode lossburst at=%d steps=%d loss=%.3f", e.AtStep, e.Steps, e.Loss)
 	case Join:
 		return fmt.Sprintf("episode join at=%d spare=%d", e.AtStep, e.Switch)
+	case NthLossBurst:
+		return fmt.Sprintf("episode nthloss at=%d steps=%d n=%d", e.AtStep, e.Steps, e.N)
+	case CorruptBurst:
+		return fmt.Sprintf("episode corrupt at=%d steps=%d rate=%.3f", e.AtStep, e.Steps, e.Loss)
+	case OneWayOutage:
+		return fmt.Sprintf("episode oneway at=%d steps=%d from=%v to=%v reject=%v", e.AtStep, e.Steps, e.A, e.B, e.Reject)
+	case PauseResume:
+		return fmt.Sprintf("episode pause at=%d steps=%d switch=%d", e.AtStep, e.Steps, e.Switch)
 	}
 	return "episode ?"
 }
@@ -118,14 +160,19 @@ type Scenario struct {
 // partitions, and no loss bursts. Crashes, joins, duplication, reordering,
 // and jitter are all fair game for the strict oracles.
 func (s Scenario) Strict() bool {
-	if s.Link.LossRate > 0 {
+	if s.Link.LossRate > 0 || s.Link.LossEveryN > 0 || s.Link.CorruptRate > 0 || s.Link.Deny != 0 {
 		return false
 	}
 	for _, e := range s.Episodes {
-		if e.Kind == PartitionFault || e.Kind == LossBurst {
+		switch e.Kind {
+		case PartitionFault, LossBurst, NthLossBurst, CorruptBurst, OneWayOutage:
 			return false
 		}
 	}
+	// PauseResume is strict-preserving: a frozen switch delays messages (the
+	// backlog replays) rather than dropping them, and the few sends it
+	// suppresses (driver-submitted ops while frozen) are protocol-retried —
+	// the same ambiguity a crash leaves, which the strict oracles model.
 	return true
 }
 
@@ -156,10 +203,32 @@ func (s Scenario) Log() string {
 	return b.String()
 }
 
-// Generate derives a scenario from a seed. The generator RNG is independent
-// of the simulation and workload RNGs, so the scenario shape is a function
-// of the seed alone.
-func Generate(seed int64) Scenario {
+// FaultSet selects which episode kinds a generated scenario may contain.
+type FaultSet int
+
+// Fault sets.
+const (
+	// FaultsClassic is the original repertoire: crashes, partitions, random
+	// loss bursts, spare joins. Generate(seed) uses it, and its scenarios
+	// are byte-identical to those of every earlier release — nightly seeds
+	// stay replayable.
+	FaultsClassic FaultSet = iota
+	// FaultsExtended adds the chaos-parity kinds: every-Nth deterministic
+	// loss, payload corruption, one-way outages (blackhole or reject), and
+	// process pause/resume. Selected by the -explore.faults=extended flag.
+	FaultsExtended
+)
+
+// Generate derives a scenario from a seed with the classic fault set. The
+// generator RNG is independent of the simulation and workload RNGs, so the
+// scenario shape is a function of the seed alone.
+func Generate(seed int64) Scenario { return GenerateWith(seed, FaultsClassic) }
+
+// GenerateWith derives a scenario from a seed, drawing episodes from the
+// given fault set. The classic set reproduces Generate exactly (same draw
+// sequence); the extended set widens only the per-episode kind draw, so the
+// cluster shape and link profile of a seed are identical across sets.
+func GenerateWith(seed int64, faults FaultSet) Scenario {
 	rng := rand.New(rand.NewSource(seed ^ 0x5ee0c0de))
 	s := Scenario{
 		Seed:     seed,
@@ -182,14 +251,20 @@ func Generate(seed int64) Scenario {
 		s.Link.ReorderRate = rng.Float64() * 0.08
 	}
 
+	kinds := 4
+	if faults == FaultsExtended {
+		kinds = 8
+	}
+
 	// Fault episodes: sequential, non-overlapping, leaving >= 2 replicas.
 	nEp := rng.Intn(4)
 	cursor := 10 + rng.Intn(20)
 	crashes := 0
 	joined := make(map[int]bool)
+	paused := make(map[int]bool)
 	for i := 0; i < nEp && cursor < s.Steps-10; i++ {
 		e := Episode{AtStep: cursor}
-		switch rng.Intn(4) {
+		switch rng.Intn(kinds) {
 		case 0: // crash
 			if crashes >= s.Switches-2 {
 				continue
@@ -226,6 +301,35 @@ func Generate(seed int64) Scenario {
 			joined[sp] = true
 			e.Kind = Join
 			e.Switch = sp
+		case 4: // every-Nth deterministic loss burst
+			e.Kind = NthLossBurst
+			e.Steps = 10 + rng.Intn(40)
+			e.N = 2 + rng.Intn(9) // every 2nd..10th packet
+		case 5: // payload corruption burst
+			e.Kind = CorruptBurst
+			e.Steps = 10 + rng.Intn(40)
+			e.Loss = 0.05 + rng.Float64()*0.25
+		case 6: // one-way outage on a directed replica pair
+			e.Kind = OneWayOutage
+			e.Steps = 10 + rng.Intn(40)
+			from := rng.Intn(s.Switches)
+			to := rng.Intn(s.Switches - 1)
+			if to >= from {
+				to++
+			}
+			e.A, e.B = []int{from}, []int{to}
+			e.Reject = rng.Intn(2) == 0
+		case 7: // process pause/resume (GC-pause analog)
+			victim := rng.Intn(s.Switches)
+			if paused[victim] || s.Switches-crashes-len(paused) < 3 {
+				continue
+			}
+			paused[victim] = true
+			e.Kind = PauseResume
+			e.Switch = victim
+			// 10..59 steps x 30..70us OpGap straddles the controller's 2ms
+			// failure timeout: some pauses evict, some stay undetected.
+			e.Steps = 10 + rng.Intn(50)
 		}
 		s.Episodes = append(s.Episodes, e)
 		cursor += e.Steps + 15 + rng.Intn(30)
@@ -283,6 +387,14 @@ func (s Scenario) Normalize() Scenario {
 	crashes := 0
 	crashed := make(map[int]bool)
 	joined := make(map[int]bool)
+	paused := make(map[int]bool)
+	// retired counts switches permanently removed from the workload: crashed
+	// switches plus paused ones (a paused switch is retired from the workload
+	// even after resume, because a rejoining replica's local reads are stale
+	// until the controller re-adds it). Classic scenarios never pause, so for
+	// them retired == crashes and the admission rules below reduce exactly to
+	// the original ones — Normalize stays byte-compatible on classic seeds.
+	retired := func() int { return crashes + len(paused) }
 	nextFree := 1 // earliest step the next episode may start at
 	for _, e := range eps {
 		if e.AtStep < nextFree {
@@ -293,7 +405,12 @@ func (s Scenario) Normalize() Scenario {
 		}
 		switch e.Kind {
 		case Crash:
-			if e.Switch < 0 || e.Switch >= s.Switches || crashed[e.Switch] || crashes >= s.Switches-2 {
+			// crashes >= s.Switches-2 is the classic guard; the retired
+			// budget additionally keeps >= 2 workload targets alive when
+			// pause episodes are present, and forbids crashing a switch
+			// that a pause episode already owns.
+			if e.Switch < 0 || e.Switch >= s.Switches || crashed[e.Switch] || paused[e.Switch] ||
+				crashes >= s.Switches-2 || s.Switches-retired() < 3 {
 				continue
 			}
 			crashed[e.Switch] = true
@@ -333,6 +450,66 @@ func (s Scenario) Normalize() Scenario {
 			}
 			joined[e.Switch] = true
 			e.Steps = 0
+		case NthLossBurst:
+			if e.N < 2 { // N==1 would be a full blackout, not a loss pattern
+				continue
+			}
+			if e.Steps < 1 {
+				e.Steps = 1
+			}
+			if e.AtStep+e.Steps >= s.Steps {
+				e.Steps = s.Steps - 1 - e.AtStep
+				if e.Steps < 1 {
+					continue
+				}
+			}
+		case CorruptBurst:
+			if e.Loss <= 0 {
+				continue
+			}
+			if e.Steps < 1 {
+				e.Steps = 1
+			}
+			if e.AtStep+e.Steps >= s.Steps {
+				e.Steps = s.Steps - 1 - e.AtStep
+				if e.Steps < 1 {
+					continue
+				}
+			}
+		case OneWayOutage:
+			e.A = filterReplicas(e.A, s.Switches)
+			e.B = filterReplicas(e.B, s.Switches)
+			if len(e.A) != 1 || len(e.B) != 1 || e.A[0] == e.B[0] {
+				continue
+			}
+			if e.Steps < 1 {
+				e.Steps = 1
+			}
+			if e.AtStep+e.Steps >= s.Steps {
+				e.Steps = s.Steps - 1 - e.AtStep
+				if e.Steps < 1 {
+					continue
+				}
+			}
+		case PauseResume:
+			// A paused switch is retired from the workload permanently (see
+			// retired above), so it consumes the same budget as a crash and
+			// each switch may pause at most once.
+			if e.Switch < 0 || e.Switch >= s.Switches || crashed[e.Switch] || paused[e.Switch] ||
+				s.Switches-retired() < 3 {
+				continue
+			}
+			paused[e.Switch] = true
+			if e.Steps < 1 {
+				e.Steps = 1
+			}
+			if e.AtStep+e.Steps >= s.Steps {
+				e.Steps = s.Steps - 1 - e.AtStep
+				if e.Steps < 1 {
+					delete(paused, e.Switch)
+					continue
+				}
+			}
 		default:
 			continue
 		}

@@ -27,6 +27,9 @@ func (f *Failure) ReplayCommand() string {
 	if f.Opt.InjectSkipForward > 0 {
 		cmd += fmt.Sprintf(" -explore.inject=%d", f.Opt.InjectSkipForward)
 	}
+	if f.Opt.Faults == FaultsExtended {
+		cmd += " -explore.faults=extended"
+	}
 	return cmd
 }
 
@@ -68,7 +71,7 @@ func Sweep(base int64, n, workers int, opt RunOptions) SweepResult {
 	results := make([]*Failure, n)
 	experiments.ParallelFor(n, workers, func(i int) {
 		seed := base + int64(i)
-		sc := Generate(seed)
+		sc := GenerateWith(seed, opt.Faults)
 		r := Run(sc, opt)
 		if !r.Failed() {
 			return

@@ -109,6 +109,26 @@ func Check(history []Op) bool {
 	if len(completed) == 0 {
 		return true // any subset of pending writes linearizes in Start order
 	}
+	// Distinct-value detection enables the forced-read pruning: when no two
+	// writes (completed or pending) share a value and none writes Initial,
+	// a register value can never reappear after being overwritten, so a read
+	// matching the current value can only linearize in the current era —
+	// consuming it immediately is lossless and collapses the combinatorial
+	// choice among concurrent same-value reads. Histories with wide
+	// concurrency windows (a frozen chain member stalling dozens of
+	// overlapping ops) are exponential without this and linear with it.
+	uniq := true
+	seen := make(map[string]struct{})
+	for _, o := range history {
+		if !o.Write {
+			continue
+		}
+		if _, dup := seen[o.Value]; dup || o.Value == Initial {
+			uniq = false
+			break
+		}
+		seen[o.Value] = struct{}{}
+	}
 	sort.Slice(completed, func(i, j int) bool {
 		if completed[i].Start != completed[j].Start {
 			return completed[i].Start < completed[j].Start
@@ -117,7 +137,7 @@ func Check(history []Op) bool {
 	})
 	sort.Slice(pend, func(i, j int) bool { return pend[i].Start < pend[j].Start })
 	if len(pend) > 64 {
-		return checkBig(completed, pend)
+		return checkBig(completed, pend, uniq)
 	}
 
 	// Cut the history at quiescent points: between consecutive completed ops
@@ -138,7 +158,7 @@ func Check(history []Op) bool {
 	wins = append(wins, span{start, len(completed)})
 	for _, w := range wins {
 		if w.to-w.from > 64 {
-			return checkBig(completed, pend)
+			return checkBig(completed, pend, uniq)
 		}
 	}
 
@@ -157,12 +177,12 @@ func Check(history []Op) bool {
 			avail |= 1 << pi
 			pi++
 		}
-		states = checkWindow(completed[w.from:w.to], pend, avail, states)
+		states = checkWindow(completed[w.from:w.to], pend, avail, states, uniq)
 		if len(states) == 0 {
 			return false
 		}
 		if len(states) > maxCarried {
-			return checkBig(completed, pend)
+			return checkBig(completed, pend, uniq)
 		}
 	}
 	return true
@@ -172,8 +192,9 @@ func Check(history []Op) bool {
 // (sorted by Start, ≤ 64), starting from every state in `in`, and returns
 // the set of (value, consumed-pending) states reachable with the whole
 // window linearized. pend is the global pending-write list; avail marks the
-// pendings usable in this window.
-func checkWindow(ops []Op, pend []Op, avail uint64, in map[state]struct{}) map[state]struct{} {
+// pendings usable in this window. uniq asserts globally distinct write
+// values and arms the forced-read pruning (see Check).
+func checkWindow(ops []Op, pend []Op, avail uint64, in map[state]struct{}, uniq bool) map[state]struct{} {
 	n := len(ops)
 	full := uint64(1)<<n - 1
 	out := make(map[state]struct{})
@@ -184,8 +205,37 @@ func checkWindow(ops []Op, pend []Op, avail uint64, in map[state]struct{}) map[s
 	}
 	visited := make(map[memoKey]struct{})
 
+	minEndOf := func(done uint64) int64 {
+		// minEnd: the earliest response among not-yet-linearized completed
+		// ops. Any op linearized next must have started by then.
+		minEnd := int64(math.MaxInt64)
+		for i := 0; i < n; i++ {
+			if done&(1<<i) == 0 && ops[i].End < minEnd {
+				minEnd = ops[i].End
+			}
+		}
+		return minEnd
+	}
+
 	var search func(done uint64, value string, used uint64)
 	search = func(done uint64, value string, used uint64) {
+		if uniq {
+			// Forced reads: with distinct write values the current value
+			// exists only in this era, so every linearizable read of it must
+			// linearize here — consume them all eagerly, no branching.
+			// Consuming can only raise minEnd, so repeat until stable.
+			for {
+				minEnd, prev := minEndOf(done), done
+				for i := 0; i < n; i++ {
+					if done&(1<<i) == 0 && !ops[i].Write && ops[i].Value == value && ops[i].Start <= minEnd {
+						done |= 1 << i
+					}
+				}
+				if done == prev {
+					break
+				}
+			}
+		}
 		if done == full {
 			out[state{value, used}] = struct{}{}
 			return
@@ -196,14 +246,7 @@ func checkWindow(ops []Op, pend []Op, avail uint64, in map[state]struct{}) map[s
 		}
 		visited[k] = struct{}{}
 
-		// minEnd: the earliest response among not-yet-linearized completed
-		// ops. Any op linearized next must have started by then.
-		minEnd := int64(math.MaxInt64)
-		for i := 0; i < n; i++ {
-			if done&(1<<i) == 0 && ops[i].End < minEnd {
-				minEnd = ops[i].End
-			}
-		}
+		minEnd := minEndOf(done)
 		for i := 0; i < n; i++ {
 			if done&(1<<i) != 0 {
 				continue
@@ -239,7 +282,7 @@ func checkWindow(ops []Op, pend []Op, avail uint64, in map[state]struct{}) map[s
 // history with arbitrary-width bitsets. Exponential worst case, but only
 // reached for >64-op windows with no quiescent cut (or >64 pending writes),
 // which protocol histories do not produce in practice.
-func checkBig(completed, pend []Op) bool {
+func checkBig(completed, pend []Op, uniq bool) bool {
 	n := len(completed)
 	done := make([]bool, n)
 	used := make([]bool, len(pend))
@@ -266,23 +309,54 @@ func checkBig(completed, pend []Op) bool {
 		return string(b)
 	}
 
-	var search func(value string) bool
-	search = func(value string) bool {
-		if remaining == 0 {
-			return true
-		}
-		k := key(value)
-		if _, seen := visited[k]; seen {
-			return false
-		}
-		visited[k] = struct{}{}
-
+	minEndOf := func() int64 {
 		minEnd := int64(math.MaxInt64)
 		for i := 0; i < n; i++ {
 			if !done[i] && completed[i].End < minEnd {
 				minEnd = completed[i].End
 			}
 		}
+		return minEnd
+	}
+
+	var search func(value string) bool
+	search = func(value string) bool {
+		// Forced reads under distinct write values — same pruning as
+		// checkWindow; undone on backtrack.
+		var forced []int
+		if uniq {
+			for {
+				minEnd, n0 := minEndOf(), len(forced)
+				for i := 0; i < n; i++ {
+					if !done[i] && !completed[i].Write && completed[i].Value == value && completed[i].Start <= minEnd {
+						done[i] = true
+						remaining--
+						forced = append(forced, i)
+					}
+				}
+				if len(forced) == n0 {
+					break
+				}
+			}
+		}
+		undo := func() {
+			for _, i := range forced {
+				done[i] = false
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			undo()
+			return true
+		}
+		k := key(value)
+		if _, seen := visited[k]; seen {
+			undo()
+			return false
+		}
+		visited[k] = struct{}{}
+
+		minEnd := minEndOf()
 		for i := 0; i < n; i++ {
 			if done[i] {
 				continue
@@ -304,6 +378,7 @@ func checkBig(completed, pend []Op) bool {
 			done[i] = false
 			remaining++
 			if ok {
+				undo()
 				return true
 			}
 		}
@@ -315,9 +390,11 @@ func checkBig(completed, pend []Op) bool {
 			ok := search(pend[j].Value)
 			used[j] = false
 			if ok {
+				undo()
 				return true
 			}
 		}
+		undo()
 		return false
 	}
 	return search(Initial)

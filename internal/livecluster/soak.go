@@ -62,6 +62,27 @@ type SoakConfig struct {
 	Jitter      time.Duration
 	DupRate     float64
 	ReorderRate float64
+	// CorruptRate adds payload bit-corruption to every member's egress: a
+	// corrupted frame reaches the receiver with its 2-byte sender header
+	// intact and must be counted as a clean decode error — never delivered
+	// as a wrong message, never a panic. Default 0 (off).
+	CorruptRate float64
+	// LossEveryN, when >= 2, deterministically kills every Nth outbound
+	// datagram per destination on every member (a counter, not a coin — the
+	// cadence that random loss at the same rate never produces). Default 0.
+	LossEveryN int
+	// AsymLoss, when > 0, overrides member 0's egress to the last member
+	// with this loss rate while the reverse direction keeps the base
+	// profile: a per-direction (asymmetric) link. Default 0 (symmetric).
+	AsymLoss float64
+	// PauseFor, when > 0, freezes the last member mid-workload (the GC
+	// pause / SIGSTOP process fault: dispatch parks, sends stop — including
+	// its failure-detector heartbeats — inbound backlogs) and resumes it
+	// after this long, replaying the backlog. Keep it under the
+	// controller's failure timeout (10 heartbeat periods = 200ms): the
+	// detector must ride the pause out without evicting, and every oracle
+	// must still pass over the replayed state. Default 0 (off).
+	PauseFor time.Duration
 	// OpInterval is the pacing between workload ops. Default 300µs.
 	OpInterval time.Duration
 	// Keys is the strong-register key range. Default 32.
@@ -138,6 +159,14 @@ type SoakReport struct {
 	// TimelineRows counts the rows emitted to SoakConfig.Timeline (0 when no
 	// timeline writer was configured).
 	TimelineRows int
+	// PauseRounds counts completed pause/resume rounds (1 when
+	// SoakConfig.PauseFor was set and the victim was frozen and resumed).
+	PauseRounds int
+	// TxCorrupted and RxDecodeErr total, across every node, the corrupted
+	// frames injected on egress and the frames rejected at decode — the
+	// byte-fault pipeline's visible ends.
+	TxCorrupted uint64
+	RxDecodeErr uint64
 	// FlightRecord is the rendered flight record of a failing run ("" on
 	// pass): the last trace events across every node, the final metrics
 	// snapshot, and the timeline tail.
@@ -164,9 +193,11 @@ type memberTrack struct {
 
 // Soak runs a full live-cluster soak on loopback: boot a controller and
 // Members member processes-worth of fabrics, drive a mixed workload under
-// the injected fault model for Budget, calm the network, quiesce, and run
-// the explore durability/counter-total/convergence oracles over the
-// surviving state. The linearizability and agreement oracles are strict-mode
+// the injected fault model for Budget — optionally extended with payload
+// corruption, deterministic every-Nth loss, an asymmetric link leg, and a
+// process pause/resume round — calm the network, quiesce, and run the
+// explore durability/counter-total/convergence oracles over the surviving
+// state. The linearizability and agreement oracles are strict-mode
 // (lossless) checks in the explorer and do not apply under injected loss.
 func Soak(cfg SoakConfig) (*SoakReport, error) {
 	cfg = cfg.withDefaults()
@@ -198,6 +229,8 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 		LossRate:    cfg.Loss,
 		DupRate:     cfg.DupRate,
 		ReorderRate: cfg.ReorderRate,
+		CorruptRate: cfg.CorruptRate,
+		LossEveryN:  cfg.LossEveryN,
 	}
 	members := make([]*Member, cfg.Members)
 	for i := range members {
@@ -226,6 +259,15 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 			m.Stop()
 		}
 	}()
+	// Asymmetric leg: one direction of one link degrades beyond the base
+	// profile; the reverse path stays at the base. Per-peer egress override,
+	// so exactly member0 -> last is shaped.
+	asymPeer := addrs[cfg.Members-1]
+	if cfg.AsymLoss > 0 && cfg.Members >= 2 {
+		ap := faulty
+		ap.LossRate = cfg.AsymLoss
+		members[0].Fabric.Node().SetPeerProfile(asymPeer, ap)
+	}
 
 	// Phase 1: bootstrap. Every member must hold a chain config and a full
 	// group before the workload starts.
@@ -314,6 +356,25 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 		m.Fabric.Post(func() { m.LWW.Write(key, val) })
 	}
 	start := time.Now()
+	// Process-level fault: freeze one member a third of the way into the
+	// workload, hold it for PauseFor (its heartbeats stop, peers' chain
+	// traffic through it backlogs, driver ops lose their transmissions to
+	// retry timers), then resume and replay the frozen backlog. The round
+	// runs concurrently with the workload; phase 3 joins it before calming
+	// the network so the replay burst happens under the faulty profile.
+	pauseDone := make(chan struct{})
+	if cfg.PauseFor > 0 {
+		victim := members[cfg.Members-1]
+		go func() {
+			defer close(pauseDone)
+			time.Sleep(cfg.Budget / 3)
+			victim.Fabric.Post(func() { victim.Switch.Pause() })
+			time.Sleep(cfg.PauseFor)
+			victim.Fabric.Post(func() { victim.Switch.Resume() })
+		}()
+	} else {
+		close(pauseDone)
+	}
 	stopped := func() bool {
 		if cfg.Stop == nil {
 			return false
@@ -362,12 +423,27 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 		}
 	}
 
-	// Phase 3: calm the network (shaping off) and quiesce: writer retries
-	// resolve and EWO synchronization converges. Calm links are what make
-	// the convergence oracles deterministic rather than probabilistic.
+	// Phase 3: join the pause round (the victim must be resumed before the
+	// quiesce can complete), then calm the network (shaping off, overrides
+	// cleared) and quiesce: writer retries resolve and EWO synchronization
+	// converges. Calm links are what make the convergence oracles
+	// deterministic rather than probabilistic.
+	<-pauseDone
+	if cfg.PauseFor > 0 {
+		victim := members[cfg.Members-1]
+		victim.Fabric.Call(func() {
+			if victim.Switch.Paused() {
+				victim.Switch.Resume()
+			}
+		})
+		rep.PauseRounds = 1
+	}
 	for _, m := range members {
 		m.Fabric.Node().SetProfile(netem.LinkProfile{})
 		m.Fabric.Node().SetRecvLoss(0)
+	}
+	if cfg.AsymLoss > 0 && cfg.Members >= 2 {
+		members[0].Fabric.Node().ClearPeerProfile(asymPeer)
 	}
 	if err := waitQuiesced(members, 30*time.Second); err != nil {
 		return nil, err
@@ -498,6 +574,12 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 	ctrlFab.Stop()
 	for _, m := range members {
 		m.Stop()
+	}
+	rep.RxDecodeErr = ctrlFab.Node().Stats().DecodeErr
+	for _, m := range members {
+		s := m.Fabric.Node().Stats()
+		rep.TxCorrupted += s.TxCorrupted
+		rep.RxDecodeErr += s.DecodeErr
 	}
 
 	final := obs.NewRegistry()

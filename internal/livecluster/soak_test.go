@@ -22,6 +22,12 @@ var (
 	soakTimeline  = flag.String("soak.timeline", "", "write the JSONL metrics timeline to this file")
 	soakFlightRec = flag.String("soak.flightrec", "",
 		"write the flight record to this file when an oracle fails")
+	soakCorrupt = flag.Float64("soak.corrupt", 0.08,
+		"payload bit-corruption rate for the chaos soak")
+	soakNthLoss = flag.Int("soak.nthloss", 7,
+		"deterministic every-Nth outbound loss for the chaos soak (0 = off)")
+	soakPause = flag.Duration("soak.pause", 100*time.Millisecond,
+		"member freeze duration for the chaos soak's pause/resume round (keep < 200ms failure timeout)")
 )
 
 // TestSoak boots a 3-member loopback cluster plus controller, drives a
@@ -137,6 +143,71 @@ func validateTimeline(t *testing.T, doc string, wantRows int) {
 	}
 	if !sawLatency {
 		t.Error("no member write-latency quantile sample in the timeline")
+	}
+}
+
+// TestSoakChaos is the extended-fault round of the live soak: on top of the
+// base loss/jitter/dup/reorder profile it runs payload bit-corruption,
+// deterministic every-Nth loss, an asymmetric (one-direction) degraded link
+// leg, and a process pause/resume round that freezes a member mid-workload —
+// the GC-pause trap for the heartbeat failure detector. The same oracles as
+// TestSoak must pass with zero fault-specific assertion code; corrupted
+// frames must surface as decode errors, never panics or wrong deliveries.
+func TestSoakChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live soak needs wall-clock time")
+	}
+	rep, err := Soak(SoakConfig{
+		Seed:        1117,
+		Budget:      *soakBudget,
+		Loss:        *soakLoss,
+		CorruptRate: *soakCorrupt,
+		LossEveryN:  *soakNthLoss,
+		AsymLoss:    3 * *soakLoss,
+		PauseFor:    *soakPause,
+	})
+	if err != nil {
+		t.Fatalf("chaos soak: %v", err)
+	}
+	t.Logf("chaos soak: strongw=%d committed=%d ctr=%d lww=%d pause-rounds=%d corrupted=%d decode-err=%d",
+		rep.StrongWrites, rep.Committed, rep.CounterAdds, rep.LWWWrites,
+		rep.PauseRounds, rep.TxCorrupted, rep.RxDecodeErr)
+	if *soakFlightRec != "" && rep.Failed() {
+		if err := os.MkdirAll(filepath.Dir(*soakFlightRec), 0o755); err == nil {
+			_ = os.WriteFile(*soakFlightRec+".chaos", []byte(rep.FlightRecord), 0o644)
+		}
+	}
+	if rep.StrongWrites == 0 || rep.CounterAdds == 0 || rep.LWWWrites == 0 {
+		t.Fatalf("workload did not exercise all register classes: %+v", rep)
+	}
+	if rep.Committed == 0 {
+		t.Fatal("no strong write ever committed under extended faults")
+	}
+	if *soakPause > 0 && rep.PauseRounds != 1 {
+		t.Fatalf("pause/resume round did not complete (rounds=%d)", rep.PauseRounds)
+	}
+	// Corruption must actually have fired and been rejected cleanly at the
+	// receivers: frames were flipped on egress and surfaced as decode
+	// errors, not wrong deliveries (a panic would have failed the run).
+	if *soakCorrupt > 0 {
+		if rep.TxCorrupted == 0 {
+			t.Error("corruption enabled but no frame was ever corrupted")
+		}
+		if rep.RxDecodeErr == 0 {
+			t.Errorf("%d corrupted frames produced zero decode errors", rep.TxCorrupted)
+		}
+	}
+	if !strings.Contains(rep.Metrics, "live.tx.corrupted") {
+		t.Error("metrics snapshot has no corruption series")
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("%s", f)
+	}
+	if t.Failed() {
+		t.Logf("transport metrics:\n%s", rep.Metrics)
+		if rep.FlightRecord != "" {
+			t.Logf("flight record:\n%s", rep.FlightRecord)
+		}
 	}
 }
 

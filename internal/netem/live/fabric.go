@@ -750,6 +750,9 @@ func (f *Fabric) RegisterMetrics(reg *obs.Registry, labels string) {
 	reg.AddCounterFunc("live.tx.dropped", labels, func() uint64 { return f.node.Stats().TxDropped })
 	reg.AddCounterFunc("live.tx.dup", labels, func() uint64 { return f.node.Stats().TxDup })
 	reg.AddCounterFunc("live.tx.delayed", labels, func() uint64 { return f.node.Stats().TxDelayed })
+	reg.AddCounterFunc("live.tx.corrupted", labels, func() uint64 { return f.node.Stats().TxCorrupted })
+	reg.AddCounterFunc("live.tx.blackholed", labels, func() uint64 { return f.node.Stats().TxBlackholed })
+	reg.AddCounterFunc("live.tx.rejected", labels, func() uint64 { return f.node.Stats().TxRejected })
 	reg.AddCounterFunc("live.rx.msgs", labels, func() uint64 { return f.node.Stats().Received })
 	reg.AddCounterFunc("live.rx.bytes", labels, func() uint64 { return f.node.Stats().BytesReceived })
 	reg.AddCounterFunc("live.rx.dropped", labels, func() uint64 { return f.node.Stats().Dropped })

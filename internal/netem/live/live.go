@@ -21,7 +21,10 @@
 package live
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"math/rand"
 	"net"
 	"net/netip"
@@ -32,11 +35,28 @@ import (
 	"swishmem/internal/wire"
 )
 
+// frameHdr is the on-wire frame overhead: a 2-byte sender address plus a
+// 4-byte CRC32-C over the payload. The UDP checksum is 16 bits, optional on
+// IPv4, and bypassed entirely by loopback offload — far too weak a guard
+// for protocol state. The frame CRC is what turns bit corruption (injected
+// by CorruptRate or real) into a clean decode error at the receiver instead
+// of a silently wrong message: without it a single flipped bit in a counter
+// delta merges garbage into every replica.
+const frameHdr = 6
+
+// crcTab selects CRC32-C (Castagnoli), hardware-accelerated on amd64/arm64.
+var crcTab = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrRejected is returned by Send when the egress profile for the peer is in
+// DenyReject mode: the datagram is refused and the sender is told — the
+// ICMP-unreachable analog — where a blackhole swallows it silently.
+var ErrRejected = errors.New("live: send rejected by link deny policy")
+
 // Handler receives decoded protocol messages.
 type Handler func(from netem.Addr, msg wire.Msg)
 
 // RawHandler receives undecoded message payloads (the datagram minus the
-// 2-byte sender header) together with the kernel-reported source endpoint.
+// sender-address + CRC frame header) with the kernel-reported source endpoint.
 // The payload slice is only valid for the duration of the call: the
 // transport reuses the buffer for the next datagram. Consumers that need
 // the bytes longer must copy (wire.Unmarshal does, field by field).
@@ -64,17 +84,23 @@ type Node struct {
 	addr netem.Addr
 	conn *net.UDPConn
 
-	mu        sync.RWMutex
-	peers     map[netem.Addr]netip.AddrPort
-	groups    map[netem.Addr]int // partition group per peer (0 = unpartitioned)
-	group     int                // this node's partition group
-	handler   Handler
-	raw       RawHandler
-	lossRate  float64 // receive-side loss
-	profile   netem.LinkProfile
-	rng       *rand.Rand // receive-side loss sampling
-	sendRng   *rand.Rand // send-side shaping
-	busyUntil time.Time  // FIFO serialization (BandwidthBps)
+	mu       sync.RWMutex
+	peers    map[netem.Addr]netip.AddrPort
+	groups   map[netem.Addr]int // partition group per peer (0 = unpartitioned)
+	group    int                // this node's partition group
+	handler  Handler
+	raw      RawHandler
+	lossRate float64 // receive-side loss
+	profile  netem.LinkProfile
+	// peerProfiles overrides the egress profile per destination. A node owns
+	// only its own egress, so an override here shapes exactly one direction
+	// of one link — the live counterpart of netem's directed links, and how
+	// asymmetric faults (A→B dead, B→A healthy) are built on real sockets.
+	peerProfiles map[netem.Addr]netem.LinkProfile
+	nth          map[netem.Addr]uint64 // per-destination every-Nth loss counters
+	rng          *rand.Rand            // receive-side loss sampling
+	sendRng      *rand.Rand            // send-side shaping
+	busyUntil    time.Time             // FIFO serialization (BandwidthBps)
 
 	// sendBufs pools marshal buffers (*[]byte); warm sends allocate nothing.
 	sendBufs sync.Pool
@@ -96,10 +122,13 @@ type Stats struct {
 
 	BytesSent     uint64
 	BytesReceived uint64
-	TxDropped     uint64 // injected send-side loss
+	TxDropped     uint64 // injected send-side loss (random + every-Nth)
 	TxDup         uint64 // injected duplicates
 	TxDelayed     uint64 // datagrams sent through the delay path
 	PartDropped   uint64 // partition drops, both directions
+	TxCorrupted   uint64 // datagrams transmitted with flipped payload bits
+	TxBlackholed  uint64 // datagrams swallowed by DenyBlackhole
+	TxRejected    uint64 // sends refused by DenyReject (ErrRejected returned)
 }
 
 // Listen binds a node to opts.Listen (default 127.0.0.1, ephemeral port).
@@ -117,15 +146,17 @@ func Listen(addr netem.Addr, opts Options) (*Node, error) {
 		return nil, fmt.Errorf("live: listen: %w", err)
 	}
 	n := &Node{
-		addr:     addr,
-		conn:     conn,
-		peers:    make(map[netem.Addr]netip.AddrPort),
-		groups:   make(map[netem.Addr]int),
-		lossRate: opts.LossRate,
-		profile:  opts.Profile,
-		rng:      rand.New(rand.NewSource(opts.Seed)),
-		sendRng:  rand.New(rand.NewSource(opts.Seed ^ 0x5deece66d)),
-		closed:   make(chan struct{}),
+		addr:         addr,
+		conn:         conn,
+		peers:        make(map[netem.Addr]netip.AddrPort),
+		groups:       make(map[netem.Addr]int),
+		peerProfiles: make(map[netem.Addr]netem.LinkProfile),
+		nth:          make(map[netem.Addr]uint64),
+		lossRate:     opts.LossRate,
+		profile:      opts.Profile,
+		rng:          rand.New(rand.NewSource(opts.Seed)),
+		sendRng:      rand.New(rand.NewSource(opts.Seed ^ 0x5deece66d)),
+		closed:       make(chan struct{}),
 	}
 	n.sendBufs.New = func() any {
 		b := make([]byte, 0, 2048)
@@ -165,11 +196,32 @@ func (n *Node) SetRawHandler(h RawHandler) {
 }
 
 // SetProfile replaces the send-side shaping profile (e.g. calming the fault
-// injection before a convergence check).
+// injection before a convergence check). Per-peer overrides installed with
+// SetPeerProfile survive; clear them explicitly.
 func (n *Node) SetProfile(p netem.LinkProfile) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.profile = p
+}
+
+// SetPeerProfile overrides the egress profile for one destination. Because
+// each node shapes only its own egress, this configures exactly the
+// n.addr→addr direction: installing a blackhole here while the peer keeps a
+// clean profile back yields a one-way outage on a real network.
+func (n *Node) SetPeerProfile(addr netem.Addr, p netem.LinkProfile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peerProfiles[addr] = p
+	delete(n.nth, addr) // restart the deterministic every-Nth cadence
+}
+
+// ClearPeerProfile removes a per-destination override; traffic to addr
+// returns to the node-wide profile.
+func (n *Node) ClearPeerProfile(addr netem.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.peerProfiles, addr)
+	delete(n.nth, addr)
 }
 
 // SetRecvLoss replaces the receive-side loss rate.
@@ -267,12 +319,14 @@ func (n *Node) Peers() map[netem.Addr]netip.AddrPort {
 // sendPlan is one outbound datagram's shaping decision, computed under the
 // node lock and executed after it is released.
 type sendPlan struct {
-	dst    netip.AddrPort
-	delay  time.Duration
-	dupLag time.Duration
-	drop   bool
-	dup    bool
-	part   bool
+	dst     netip.AddrPort
+	delay   time.Duration
+	dupLag  time.Duration
+	drop    bool
+	dup     bool
+	part    bool
+	corrupt bool
+	deny    netem.DenyMode
 }
 
 // plan resolves the destination endpoint and samples the send-side fault
@@ -292,8 +346,28 @@ func (n *Node) plan(to netem.Addr, size int) (sendPlan, error) {
 		return pl, nil
 	}
 	p := n.profile
-	if p.LossRate > 0 && n.sendRng.Float64() < p.LossRate {
+	if pp, ok := n.peerProfiles[to]; ok {
+		p = pp
+	}
+	// Fault order mirrors the simulated fabric: deny, every-Nth, random
+	// loss, corruption draw. Every branch is gated on its knob so a profile
+	// without extended faults draws exactly the sequence it always did.
+	if p.Deny != netem.DenyNone {
+		pl.deny = p.Deny
+		n.mu.Unlock()
+		return pl, nil
+	}
+	if p.LossEveryN >= 1 {
+		n.nth[to]++
+		if n.nth[to]%uint64(p.LossEveryN) == 0 {
+			pl.drop = true
+		}
+	}
+	if !pl.drop && p.LossRate > 0 && n.sendRng.Float64() < p.LossRate {
 		pl.drop = true
+	}
+	if !pl.drop && p.CorruptRate > 0 && n.sendRng.Float64() < p.CorruptRate {
+		pl.corrupt = true
 	}
 	if !pl.drop {
 		if p.BandwidthBps > 0 {
@@ -354,23 +428,58 @@ func (n *Node) transmit(pl sendPlan, bp *[]byte) error {
 // emulated fabric, never guaranteed. With the zero profile the path is
 // synchronous and allocation-free warm.
 func (n *Node) Send(to netem.Addr, msg wire.Msg) error {
-	pl, err := n.plan(to, 2+msg.Size())
+	pl, err := n.plan(to, frameHdr+msg.Size())
 	if err != nil {
 		return err
 	}
+	if done, err := n.applyVerdict(pl); done {
+		return err
+	}
+	bp := n.sendBufs.Get().(*[]byte)
+	b := append((*bp)[:0], byte(n.addr>>8), byte(n.addr), 0, 0, 0, 0)
+	b = msg.Marshal(b)
+	*bp = b
+	binary.BigEndian.PutUint32(b[2:frameHdr], crc32.Checksum(b[frameHdr:], crcTab))
+	if pl.corrupt {
+		n.corruptPayload(b)
+	}
+	return n.transmit(pl, bp)
+}
+
+// applyVerdict consumes a plan's terminal outcomes (partition, deny, drop).
+// done means the datagram goes no further; err surfaces a reject.
+func (n *Node) applyVerdict(pl sendPlan) (done bool, err error) {
 	if pl.part {
 		n.bump(func(s *Stats) { s.PartDropped++ })
-		return nil
+		return true, nil
+	}
+	switch pl.deny {
+	case netem.DenyBlackhole:
+		n.bump(func(s *Stats) { s.TxBlackholed++ })
+		return true, nil
+	case netem.DenyReject:
+		n.bump(func(s *Stats) { s.TxRejected++ })
+		return true, ErrRejected
 	}
 	if pl.drop {
 		n.bump(func(s *Stats) { s.TxDropped++ })
-		return nil
+		return true, nil
 	}
-	bp := n.sendBufs.Get().(*[]byte)
-	b := append((*bp)[:0], byte(n.addr>>8), byte(n.addr))
-	b = msg.Marshal(b)
-	*bp = b
-	return n.transmit(pl, bp)
+	return false, nil
+}
+
+// corruptPayload flips 1-3 bits of a framed datagram's payload after the
+// CRC was computed (the frame header is left intact so the receiver
+// attributes the frame, then fails the integrity check and counts a decode
+// error — real corruption, clean rejection, never a wrong delivery).
+func (n *Node) corruptPayload(b []byte) {
+	if len(b) <= frameHdr {
+		return
+	}
+	n.mu.Lock()
+	netem.FlipBits(n.sendRng, b[frameHdr:], 1+n.sendRng.Intn(3))
+	n.mu.Unlock()
+	n.bump(func(s *Stats) { s.TxCorrupted++ })
 }
 
 // SendEncoded transmits an already wire-encoded payload (a complete Marshal
@@ -379,22 +488,21 @@ func (n *Node) Send(to netem.Addr, msg wire.Msg) error {
 // payload is copied into a pooled buffer, so the caller may reuse it
 // immediately.
 func (n *Node) SendEncoded(to netem.Addr, payload []byte) error {
-	pl, err := n.plan(to, 2+len(payload))
+	pl, err := n.plan(to, frameHdr+len(payload))
 	if err != nil {
 		return err
 	}
-	if pl.part {
-		n.bump(func(s *Stats) { s.PartDropped++ })
-		return nil
-	}
-	if pl.drop {
-		n.bump(func(s *Stats) { s.TxDropped++ })
-		return nil
+	if done, err := n.applyVerdict(pl); done {
+		return err
 	}
 	bp := n.sendBufs.Get().(*[]byte)
-	b := append((*bp)[:0], byte(n.addr>>8), byte(n.addr))
+	b := append((*bp)[:0], byte(n.addr>>8), byte(n.addr), 0, 0, 0, 0)
 	b = append(b, payload...)
 	*bp = b
+	binary.BigEndian.PutUint32(b[2:frameHdr], crc32.Checksum(b[frameHdr:], crcTab))
+	if pl.corrupt {
+		n.corruptPayload(b)
+	}
 	return n.transmit(pl, bp)
 }
 
@@ -476,17 +584,21 @@ func (n *Node) readLoop() {
 	}
 }
 
-// processDatagram delivers one framed datagram: sender-address header,
-// receive-side fault injection, then the raw handler (no decode) or the
-// decoded handler. The buffer belongs to the read loop; nothing here may
-// retain it (wire unmarshalers copy, raw handlers are documented not to).
-// The raw delivery path is allocation-free warm.
+// processDatagram delivers one framed datagram: sender-address header, CRC
+// integrity check, receive-side fault injection, then the raw handler (no
+// decode) or the decoded handler. The buffer belongs to the read loop;
+// nothing here may retain it (wire unmarshalers copy, raw handlers are
+// documented not to). The raw delivery path is allocation-free warm.
 func (n *Node) processDatagram(src netip.AddrPort, b []byte) {
-	if len(b) < 3 {
+	if len(b) < frameHdr+1 {
 		n.bump(func(s *Stats) { s.DecodeErr++ })
 		return
 	}
 	from := netem.Addr(uint16(b[0])<<8 | uint16(b[1]))
+	if crc32.Checksum(b[frameHdr:], crcTab) != binary.BigEndian.Uint32(b[2:frameHdr]) {
+		n.bump(func(s *Stats) { s.DecodeErr++ })
+		return
+	}
 	n.mu.Lock()
 	drop := n.lossRate > 0 && n.rng.Float64() < n.lossRate
 	part := n.partitionedLocked(from)
@@ -502,10 +614,10 @@ func (n *Node) processDatagram(src netip.AddrPort, b []byte) {
 	}
 	if raw != nil {
 		n.countRecv(len(b))
-		raw(from, src, b[2:])
+		raw(from, src, b[frameHdr:])
 		return
 	}
-	msg, err := wire.Unmarshal(b[2:])
+	msg, err := wire.Unmarshal(b[frameHdr:])
 	if err != nil {
 		n.bump(func(s *Stats) { s.DecodeErr++ })
 		return

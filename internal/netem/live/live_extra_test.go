@@ -1,6 +1,8 @@
 package live
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"net/netip"
 	"sync"
 	"testing"
@@ -79,8 +81,9 @@ func TestReceiveZeroAlloc(t *testing.T) {
 		got += len(payload)
 	})
 
-	frame := []byte{0, 2} // sender header: addr 2
+	frame := []byte{0, 2, 0, 0, 0, 0} // sender header: addr 2 + CRC slot
 	frame = (&wire.Heartbeat{From: 2, Seq: 9}).Marshal(frame)
+	binary.BigEndian.PutUint32(frame[2:frameHdr], crc32.Checksum(frame[frameHdr:], crcTab))
 	src := n.AddrPort()
 	for i := 0; i < 64; i++ {
 		n.processDatagram(src, frame)

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"slices"
 	"sort"
 
 	"swishmem/internal/obs"
@@ -96,7 +97,29 @@ type RemotePooled interface {
 	CloneRemotePooled(prev any, recycle func(any)) any
 }
 
-// LinkProfile describes the behaviour of one direction of a link.
+// DenyMode is an administrative block on one direction of a link — the
+// iptables analog of the fault model (pumba/aerolab distinguish a REJECT
+// rule, which surfaces an ICMP error to the sender, from a DROP rule, which
+// blackholes silently).
+type DenyMode uint8
+
+// Deny modes.
+const (
+	// DenyNone lets traffic flow (the default).
+	DenyNone DenyMode = iota
+	// DenyBlackhole silently drops every message (iptables DROP): the
+	// sender learns nothing.
+	DenyBlackhole
+	// DenyReject drops every message and schedules a reject notification
+	// back to the sender after a round trip (iptables REJECT / ICMP
+	// port-unreachable). Senders observe it via SetRejectHandler.
+	DenyReject
+)
+
+// LinkProfile describes the behaviour of one direction of a link. Links are
+// directed: SetLink applies a profile to both directions as sugar, while
+// SetOneWayLink shapes a single direction (asymmetric faults — egress-only
+// loss, one-way heartbeat blackholes).
 type LinkProfile struct {
 	// Latency is the propagation delay.
 	Latency sim.Duration
@@ -112,6 +135,19 @@ type LinkProfile struct {
 	// ReorderRate is the probability a message gets an extra delay of up to
 	// ReorderLagMax, letting later messages overtake it.
 	ReorderRate float64
+	// LossEveryN, when >= 1, deterministically drops every Nth message on
+	// the link (pumba's periodic-loss mode): the link counts sends and the
+	// Nth, 2Nth, ... are dropped. Unlike LossRate this consumes no
+	// randomness, so the anomaly pattern is exactly periodic.
+	LossEveryN int
+	// CorruptRate is the probability a message's payload is corrupted in
+	// flight. A corrupted message never reaches its destination handler —
+	// the model of a datagram failing its checksum / decode at the receiver
+	// — but the network offers the (bit-flipped) encoding to the registered
+	// CorruptionChecker first, which proves the wire decoder survives it.
+	CorruptRate float64
+	// Deny administratively blocks the direction (see DenyMode).
+	Deny DenyMode
 }
 
 // DataCenter is a typical intra-DC link: 10us latency, 100Gbps, lossless.
@@ -142,12 +178,14 @@ func (p LinkProfile) MinDelay() sim.Duration { return p.Latency }
 
 // LinkStats accumulates per-direction accounting.
 type LinkStats struct {
-	MsgsSent    uint64
-	BytesSent   uint64
-	MsgsDropped uint64 // loss + down-link + partition drops
-	MsgsDeliv   uint64
-	BytesDeliv  uint64
-	MsgsDup     uint64
+	MsgsSent     uint64
+	BytesSent    uint64
+	MsgsDropped  uint64 // loss + down-link + partition + deny + nth + corrupt drops
+	MsgsDeliv    uint64
+	BytesDeliv   uint64
+	MsgsDup      uint64
+	MsgsCorrupt  uint64 // dropped by CorruptRate (subset of MsgsDropped)
+	MsgsRejected uint64 // dropped by DenyReject (subset of MsgsDropped)
 }
 
 func (s *LinkStats) add(o *LinkStats) {
@@ -157,6 +195,8 @@ func (s *LinkStats) add(o *LinkStats) {
 	s.MsgsDeliv += o.MsgsDeliv
 	s.BytesDeliv += o.BytesDeliv
 	s.MsgsDup += o.MsgsDup
+	s.MsgsCorrupt += o.MsgsCorrupt
+	s.MsgsRejected += o.MsgsRejected
 }
 
 // link is one direction of a pair. Its fields are split by owner so a
@@ -173,6 +213,10 @@ type link struct {
 	// seq numbers scheduled arrivals; with the directed link id it forms
 	// the delivery's deterministic ordering key.
 	seq uint64
+	// nth counts messages that reached the LossEveryN check (sender-owned,
+	// no randomness): every LossEveryN-th is dropped. It survives profile
+	// changes so back-to-back bursts keep the periodic phase.
+	nth uint64
 	// sent is the sender-owned half: MsgsSent/BytesSent/MsgsDup plus drops
 	// decided at send time (loss, partition).
 	sent LinkStats
@@ -249,6 +293,73 @@ type Network struct {
 	// hook feeding shard i's pool.
 	rfree     []map[reflect.Type][]any
 	recycleTo []func(any)
+	// corruptCheck, when set, is invoked for every message the CorruptRate
+	// draw condemns, before the drop (see SetCorruptionChecker).
+	corruptCheck CorruptionChecker
+	// rejectHandlers maps a sender address to its ICMP-analog callback for
+	// DenyReject notifications (see SetRejectHandler).
+	rejectHandlers map[Addr]func(to Addr)
+}
+
+// CorruptionChecker is called at send time, on the sending shard, for every
+// message the CorruptRate draw selects. It receives the link's private
+// random stream (positioned right after the corruption draw) so it can
+// bit-flip a deterministic encoding of the payload and prove the wire
+// decoder returns a clean error instead of panicking. Implementations must
+// draw from rng deterministically (draw count independent of global state)
+// and must not retain payload. The cluster facade installs a checker that
+// marshals wire messages into per-shard scratch buffers.
+type CorruptionChecker func(shard int, rng *rand.Rand, from, to Addr, payload any, size int)
+
+// SetCorruptionChecker installs the decode-proof hook for corrupted
+// messages. A driver operation: set it before the run starts. Passing nil
+// removes the hook (corrupted messages are then dropped unchecked).
+func (n *Network) SetCorruptionChecker(c CorruptionChecker) { n.corruptCheck = c }
+
+// SetRejectHandler registers the callback invoked on from's shard when a
+// message from sent hits a DenyReject direction: the emulated ICMP
+// port-unreachable. The notification arrives one round trip (2x the link
+// latency, plus a tick) after the send, as a local event on the sender's
+// shard. Passing nil removes the handler; with no handler the reject is
+// still counted in MsgsRejected but the sender learns nothing.
+func (n *Network) SetRejectHandler(from Addr, fn func(to Addr)) {
+	if n.rejectHandlers == nil {
+		n.rejectHandlers = make(map[Addr]func(to Addr))
+	}
+	if fn == nil {
+		delete(n.rejectHandlers, from)
+		return
+	}
+	n.rejectHandlers[from] = fn
+}
+
+// FlipBits flips n distinct bits of frame in place, drawing positions from
+// rng (exactly 2 draws per flip). It is the shared corruption primitive: the sim
+// fabric's decode-proof checker, the live transport's tx corruption, and
+// the fuzz-corpus harvester all use it so corrupted frames look alike
+// everywhere. A zero-length frame is left untouched (no draws).
+func FlipBits(rng *rand.Rand, frame []byte, n int) {
+	bits := len(frame) * 8
+	if bits == 0 {
+		return
+	}
+	if n > bits {
+		n = bits
+	}
+	// Exactly 2 draws per flip: the draw count is part of the sim link
+	// stream's byte-identity contract, so a collision advances to the next
+	// bit deterministically instead of redrawing. Sampling with replacement
+	// could hit one bit twice, cancel the flips, and deliver the frame
+	// intact — "corrupt" must corrupt.
+	flipped := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		p := rng.Intn(len(frame))*8 + rng.Intn(8)
+		for slices.Contains(flipped, p) {
+			p = (p + 1) % bits
+		}
+		flipped = append(flipped, p)
+		frame[p/8] ^= 1 << uint(p%8)
+	}
 }
 
 // delivery is one scheduled message arrival. Its run closure is bound once
@@ -633,6 +744,50 @@ func (n *Network) Send(from, to Addr, payload any, size int) bool {
 		l.sent.MsgsDropped++
 		n.totals[shard].MsgsDropped++
 		n.traceDrop(eng, "drop.partition", from, to)
+		return true
+	}
+	switch l.profile.Deny {
+	case DenyBlackhole:
+		l.sent.MsgsDropped++
+		n.totals[shard].MsgsDropped++
+		n.traceDrop(eng, "drop.blackhole", from, to)
+		return true
+	case DenyReject:
+		l.sent.MsgsDropped++
+		l.sent.MsgsRejected++
+		n.totals[shard].MsgsDropped++
+		n.totals[shard].MsgsRejected++
+		n.traceDrop(eng, "drop.reject", from, to)
+		// The ICMP analog: notify the sender after a round trip, as a local
+		// event on its own shard (deterministic across shard layouts, and
+		// exempt from the cross-shard lookahead floor).
+		if h := n.rejectHandlers[from]; h != nil {
+			eng.ScheduleAfter(2*l.profile.Latency+1, func() { h(to) })
+		}
+		return true
+	}
+	if l.profile.LossEveryN >= 1 {
+		l.nth++
+		if l.nth%uint64(l.profile.LossEveryN) == 0 {
+			l.sent.MsgsDropped++
+			n.totals[shard].MsgsDropped++
+			n.traceDrop(eng, "drop.nth", from, to)
+			return true
+		}
+	}
+	if l.profile.CorruptRate > 0 && n.linkRand(l, from, to).Float64() < l.profile.CorruptRate {
+		// Corruption drops the message — the model of a datagram failing its
+		// decode at the receiver — but first the checker gets to prove the
+		// real decoder survives the bit-flipped encoding. The checker's rng
+		// draws are part of the link stream, so they are byte-reproducible.
+		if n.corruptCheck != nil {
+			n.corruptCheck(shard, n.linkRand(l, from, to), from, to, payload, size)
+		}
+		l.sent.MsgsDropped++
+		l.sent.MsgsCorrupt++
+		n.totals[shard].MsgsDropped++
+		n.totals[shard].MsgsCorrupt++
+		n.traceDrop(eng, "drop.corrupt", from, to)
 		return true
 	}
 	if l.profile.LossRate > 0 && n.linkRand(l, from, to).Float64() < l.profile.LossRate {

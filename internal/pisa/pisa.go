@@ -111,6 +111,7 @@ type Stats struct {
 	Mirrored     stats.Counter
 	MsgsHandled  stats.Counter // protocol messages handled in data plane
 	CtrlOps      stats.Counter // control-plane operations executed
+	Rejected     stats.Counter // sends bounced by a rejecting link (ICMP analog)
 }
 
 // Switch is one emulated PISA switch.
@@ -136,6 +137,14 @@ type Switch struct {
 	memUsed    int
 	arrivalSeq uint64
 	failed     bool
+
+	// paused freezes the switch without killing it (the GC-pause / SIGSTOP
+	// analog): dispatch records that come due while paused park in frozen
+	// instead of running, in their exact dispatch order, and Resume replays
+	// them. Inbound traffic keeps queueing (receive still accepts), so the
+	// backlog a real frozen process accumulates is modeled faithfully.
+	paused bool
+	frozen []*task
 
 	// mail keys control-plane posts originating at this switch (snapshot
 	// completion notifications back to the controller). The key is derived
@@ -206,6 +215,12 @@ func (s *Switch) releaseTask(t *task) {
 
 func (t *task) exec() {
 	s := t.s
+	if s.paused {
+		// The process is frozen: park the record, payload and all, in
+		// dispatch order. Resume replays the backlog; Fail drains it.
+		s.frozen = append(s.frozen, t)
+		return
+	}
 	kind, pkt, from, msg, fn, pfn := t.kind, t.pkt, t.from, t.msg, t.fn, t.pfn
 	// Recycle before running: nested dispatches reuse the record. The
 	// message reference (if any) is consumed below, not by releaseTask.
@@ -331,10 +346,54 @@ func (s *Switch) SetEgress(fn func(pkt *packet.Packet)) { s.egress = fn }
 func (s *Switch) Fail() {
 	s.failed = true
 	s.net.SetNodeUp(s.cfg.Addr, false)
+	// A paused switch can still die: its frozen backlog dies with it.
+	for _, t := range s.frozen {
+		s.releaseTask(t)
+	}
+	s.frozen = s.frozen[:0]
 }
 
 // Failed reports whether the switch has failed.
 func (s *Switch) Failed() bool { return s.failed }
+
+// Pause freezes the switch (the GC-pause / SIGSTOP analog, pumba's
+// container pause): every dispatch record that comes due parks instead of
+// running, outbound sends are suppressed, and inbound traffic backlogs.
+// Unlike Fail the switch stays attached and up — peers' messages to it are
+// accepted by the fabric and queue behind the freeze. A driver operation:
+// call it between runs, never from model callbacks. Idempotent.
+func (s *Switch) Pause() { s.paused = true }
+
+// Resume unfreezes the switch and replays the frozen backlog in its
+// original dispatch order, at the current virtual time — the burst of stale
+// heartbeats, timers, and queued messages a real process emits when the GC
+// pause ends. A driver operation; no-op if not paused.
+func (s *Switch) Resume() {
+	if !s.paused {
+		return
+	}
+	s.paused = false
+	frozen := s.frozen
+	s.frozen = nil
+	now := s.eng.Now()
+	for _, t := range frozen {
+		s.eng.Schedule(now, t.run)
+	}
+}
+
+// Paused reports whether the switch is frozen.
+func (s *Switch) Paused() bool { return s.paused }
+
+// NotifyReject records that a send from this switch was bounced by a link
+// in reject mode — the ICMP-unreachable analog. Unlike a blackhole the
+// sender learns its peer is unreachable; protocols observe it as a counted,
+// traceable event rather than silence.
+func (s *Switch) NotifyReject(to netem.Addr) {
+	s.Stats.Rejected.Inc()
+	if tr := s.tracer(); tr.Enabled() {
+		tr.Instant(int64(s.eng.Now()), s.pid(), "switch", "net.reject")
+	}
+}
 
 // dpDispatch charges one data-plane pipeline slot and runs the task after
 // the pipeline latency. Returns false on tail drop (the task is recycled).
@@ -476,9 +535,12 @@ func (s *Switch) deliverCtrlMsg(from netem.Addr, msg wire.Msg) {
 	s.ctrlDispatch(t)
 }
 
-// Send transmits a protocol message from the data plane.
+// Send transmits a protocol message from the data plane. A paused switch
+// sends nothing: work initiated from outside its own (frozen) dispatch —
+// e.g. a driver-submitted op — loses its transmission, exactly as if the
+// kernel had the process stopped; protocol retry timers recover it.
 func (s *Switch) Send(to netem.Addr, msg wire.Msg) {
-	if s.failed {
+	if s.failed || s.paused {
 		return
 	}
 	s.net.Send(s.cfg.Addr, to, msg, msg.Size())
@@ -486,7 +548,7 @@ func (s *Switch) Send(to netem.Addr, msg wire.Msg) {
 
 // SendPacket transmits a data packet to another network node.
 func (s *Switch) SendPacket(to netem.Addr, pkt *packet.Packet) {
-	if s.failed {
+	if s.failed || s.paused {
 		return
 	}
 	s.net.Send(s.cfg.Addr, to, pkt, pkt.Len())
@@ -508,7 +570,7 @@ func (s *Switch) Mirror(pkt *packet.Packet, fn func(clone *packet.Packet)) {
 // Multicast sends msg to every group member except this switch, one copy
 // per destination (the multicast engine of §7).
 func (s *Switch) Multicast(group []netem.Addr, msg wire.Msg) {
-	if s.failed {
+	if s.failed || s.paused {
 		return
 	}
 	s.net.Multicast(s.cfg.Addr, group, msg, msg.Size())

@@ -43,6 +43,7 @@ package swishmem
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"swishmem/internal/chain"
@@ -53,6 +54,7 @@ import (
 	"swishmem/internal/obs"
 	"swishmem/internal/pisa"
 	"swishmem/internal/sim"
+	"swishmem/internal/wire"
 )
 
 // Re-exported building blocks. These are aliases so values returned by the
@@ -66,6 +68,9 @@ type (
 	LinkProfile = netem.LinkProfile
 	// LinkStats is per-link and cluster-wide traffic accounting.
 	LinkStats = netem.LinkStats
+	// DenyMode selects how a link refuses traffic: silently (blackhole) or
+	// loudly (reject, the ICMP-unreachable analog surfaced to the sender).
+	DenyMode = netem.DenyMode
 	// SwitchAddr identifies a switch on the fabric.
 	SwitchAddr = netem.Addr
 	// Switch is the PISA switch model.
@@ -152,6 +157,13 @@ type Cluster struct {
 // ControllerAddr is the fixed fabric address of the central controller.
 const ControllerAddr SwitchAddr = 0xfffe
 
+// Deny modes for LinkProfile.Deny.
+const (
+	DenyNone      = netem.DenyNone
+	DenyBlackhole = netem.DenyBlackhole
+	DenyReject    = netem.DenyReject
+)
+
 // New builds a cluster: switches attached to an emulated fabric, a central
 // controller monitoring them, and no registers yet.
 func New(cfg Config) (*Cluster, error) {
@@ -205,6 +217,29 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.net = nw
 
+	// Every message a CorruptRate draw condemns is first encoded with the
+	// real wire codec, bit-flipped, and decoded again: corruption in any
+	// scenario doubles as a fuzz pass proving the decoder returns clean
+	// errors, never panics. Per-shard scratch keeps sharded sends race-free
+	// and the steady state allocation-free.
+	scratch := make([][]byte, shards)
+	if shards < 1 {
+		scratch = make([][]byte, 1) // sequential runs deliver on shard 0
+	}
+	nw.SetCorruptionChecker(func(shard int, rng *rand.Rand, from, to netem.Addr, payload any, size int) {
+		msg, ok := payload.(wire.Msg)
+		if !ok {
+			return // data packets carry no wire encoding to decode-check
+		}
+		buf := msg.Marshal(scratch[shard][:0])
+		netem.FlipBits(rng, buf, 1+rng.Intn(3))
+		m, err := wire.Unmarshal(buf)
+		if err == nil && m == nil {
+			panic("swishmem: wire.Unmarshal returned nil message and nil error for a corrupted frame")
+		}
+		scratch[shard] = buf
+	})
+
 	if !cfg.DisableController {
 		c.ctrl = controller.New(c.eng, nw, controller.Config{
 			Addr:            ControllerAddr,
@@ -227,6 +262,9 @@ func New(cfg Config) (*Cluster, error) {
 		if c.ctrl != nil {
 			c.ctrl.Monitor(sw)
 		}
+		// A rejecting link (DenyReject) bounces the send back to the sender —
+		// the ICMP-unreachable analog — rather than swallowing it silently.
+		nw.SetRejectHandler(sw.Addr(), sw.NotifyReject)
 	}
 	if c.group != nil {
 		c.refreshLookahead()
@@ -372,6 +410,38 @@ func (c *Cluster) SetAllLinks(p LinkProfile) {
 		c.refreshLookahead()
 	}
 }
+
+// SetOneWayLink overrides only the i->j direction between switches, leaving
+// j->i untouched — asymmetric faults (egress-only loss, a one-way blackhole).
+// SetLink remains the symmetric sugar over the same directed links.
+func (c *Cluster) SetOneWayLink(i, j int, p LinkProfile) {
+	c.net.SetOneWayLink(c.switches[i].Addr(), c.switches[j].Addr(), p)
+	if c.group != nil {
+		c.refreshLookahead()
+	}
+}
+
+// SetControllerLink overrides the two directions between switch i and the
+// central controller: toCtrl shapes i->controller (the heartbeat path —
+// blackholing it makes a healthy switch look dead), fromCtrl shapes
+// controller->i. SetAllLinks never touches these.
+func (c *Cluster) SetControllerLink(i int, toCtrl, fromCtrl LinkProfile) {
+	c.net.SetOneWayLink(c.switches[i].Addr(), ControllerAddr, toCtrl)
+	c.net.SetOneWayLink(ControllerAddr, c.switches[i].Addr(), fromCtrl)
+	if c.group != nil {
+		c.refreshLookahead()
+	}
+}
+
+// PauseSwitch freezes switch i without killing it (the GC-pause / SIGSTOP
+// analog): its dispatch stops, outbound sends are suppressed, and inbound
+// work backlogs. The controller eventually declares it dead; when
+// ResumeSwitch lets it beat again, the revival path walks it back into its
+// chains and groups. A driver operation: call between RunFor steps.
+func (c *Cluster) PauseSwitch(i int) { c.switches[i].Pause() }
+
+// ResumeSwitch unfreezes switch i and replays its frozen backlog in order.
+func (c *Cluster) ResumeSwitch(i int) { c.switches[i].Resume() }
 
 // Link returns the profile currently governing the i->j direction.
 func (c *Cluster) Link(i, j int) LinkProfile {
