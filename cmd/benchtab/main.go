@@ -1,5 +1,5 @@
 // benchtab regenerates the paper's tables and quantitative claims (the
-// experiment index E1–E17 in DESIGN.md) and prints paper-style rows.
+// experiment index E1–E19 in DESIGN.md) and prints paper-style rows.
 //
 // Usage:
 //
@@ -93,7 +93,7 @@ type snapshot struct {
 
 func main() {
 	var (
-		exp      = flag.String("e", "", "experiment ID (E1..E18) or name; empty = all")
+		exp      = flag.String("e", "", "experiment ID (E1..E19) or name; empty = all")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		parallel = flag.Int("parallel", 1, "number of concurrent experiment workers")

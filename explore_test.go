@@ -10,8 +10,11 @@
 //     command printed by every failure report. `-explore.inject=K` re-arms
 //     the injected chain bug for replaying injected-bug failures,
 //     `-explore.faults=extended` generates from the extended fault set
-//     (nth-loss, corruption, one-way outages, pause/resume), and
-//     `-explore.artifacts=DIR` writes one report file per failing seed.
+//     (nth-loss, corruption, one-way outages, pause/resume),
+//     `-explore.backend=retransmit` runs the strong register on the
+//     hop-to-hop retransmit backend (with `-explore.inject-disable-retransmit`
+//     re-arming its verification bug), and `-explore.artifacts=DIR` writes
+//     one report file per failing seed.
 //   - TestExploreCatchesInjectedBug: end-to-end self-test of the checker.
 //     Arms a real protocol bug (chain head skips forwarding), requires the
 //     sweep to catch it, shrink it, and print a replay command that
@@ -42,6 +45,10 @@ var (
 	exploreArtifacts = flag.String("explore.artifacts", "", "directory for per-failure report files")
 	exploreFaults    = flag.String("explore.faults", "classic",
 		"fault set for generated scenarios: classic (crash/partition/loss/join) or extended (+ nth-loss, corruption, one-way outage, pause/resume)")
+	exploreBackend = flag.String("explore.backend", "chain",
+		"replication backend for the strong register: chain (writer retry) or retransmit (hop-to-hop NACK/retransmit)")
+	exploreInjectDisableRtx = flag.Bool("explore.inject-disable-retransmit", false,
+		"arm the disabled-retransmit-buffer bug on every replica (replaying rtx-oracle failures)")
 )
 
 // faultSet parses -explore.faults. The flag travels in replay commands, so
@@ -55,6 +62,19 @@ func faultSet(t *testing.T) explore.FaultSet {
 	default:
 		t.Fatalf("unknown -explore.faults=%q (want classic or extended)", *exploreFaults)
 		return explore.FaultsClassic
+	}
+}
+
+// backend parses -explore.backend, with the same hard-error policy.
+func backend(t *testing.T) bool {
+	switch *exploreBackend {
+	case "chain":
+		return false
+	case "retransmit":
+		return true
+	default:
+		t.Fatalf("unknown -explore.backend=%q (want chain or retransmit)", *exploreBackend)
+		return false
 	}
 }
 
@@ -72,6 +92,13 @@ func TestExploreQuick(t *testing.T) {
 	// corruption, one-way outages, pause/resume — exercised on every run.
 	ext := explore.Sweep(1, 20, runtime.NumCPU(), explore.RunOptions{Faults: explore.FaultsExtended})
 	for _, f := range ext.Failures {
+		t.Errorf("%s", f.Report())
+	}
+	// The retransmit backend gets its own leg so the rtx oracle and the
+	// NACK/retransmit machinery run under generated faults on every `go
+	// test`, not just nightly.
+	rtx := explore.Sweep(1, 20, runtime.NumCPU(), explore.RunOptions{Retransmit: true})
+	for _, f := range rtx.Failures {
 		t.Errorf("%s", f.Report())
 	}
 	// Determinism contract: same seed, byte-identical run log. One strict and
@@ -92,7 +119,12 @@ func TestExploreQuick(t *testing.T) {
 // nightly CI job passes -explore.n, and failure reports print a
 // -explore.seed replay command that lands here.
 func TestExplore(t *testing.T) {
-	opt := explore.RunOptions{InjectSkipForward: *exploreInject, Faults: faultSet(t)}
+	opt := explore.RunOptions{
+		InjectSkipForward:       *exploreInject,
+		Faults:                  faultSet(t),
+		Retransmit:              backend(t),
+		InjectDisableRetransmit: *exploreInjectDisableRtx,
+	}
 
 	if *exploreSeed != 0 {
 		sc := explore.GenerateWith(*exploreSeed, opt.Faults)
@@ -166,6 +198,40 @@ func TestExploreCatchesInjectedBug(t *testing.T) {
 	}
 	t.Logf("caught at seed %d, first oracle %q\nreplay: %s",
 		f.Seed, f.Result.FirstOracle(), f.ReplayCommand())
+}
+
+// TestExploreCatchesDisabledRetransmit is the rtx oracle's teeth check:
+// with every replica's retransmit buffer silently disabled, any scenario
+// lossy enough to provoke a NACK must fail the rtx oracle (a node answered
+// NACKs it could not serve), and the replay command must carry both the
+// backend and the injection flag.
+func TestExploreCatchesDisabledRetransmit(t *testing.T) {
+	opt := explore.RunOptions{Retransmit: true, InjectDisableRetransmit: true}
+	sr := explore.Sweep(1, 30, runtime.NumCPU(), opt)
+	if len(sr.Failures) == 0 {
+		t.Fatal("disabled-retransmit bug escaped a 30-seed sweep")
+	}
+	var rtxFail *explore.Failure
+	for _, f := range sr.Failures {
+		if f.Result.FirstOracle() == "rtx" {
+			rtxFail = f
+			break
+		}
+	}
+	if rtxFail == nil {
+		t.Fatalf("no failure blamed the rtx oracle; first failure: %s", sr.Failures[0].Result.Failures[0])
+	}
+	for _, want := range []string{"-explore.backend=retransmit", "-explore.inject-disable-retransmit"} {
+		if cmd := rtxFail.ReplayCommand(); !strings.Contains(cmd, want) {
+			t.Errorf("replay command %q missing %q", cmd, want)
+		}
+	}
+	replay := explore.Run(explore.Generate(rtxFail.Seed), opt)
+	if !replay.Failed() || replay.Log != rtxFail.Result.Log {
+		t.Fatalf("replay command %q does not reproduce the original failure", rtxFail.ReplayCommand())
+	}
+	t.Logf("caught at seed %d: %s\nreplay: %s",
+		rtxFail.Seed, rtxFail.Result.Failures[0], rtxFail.ReplayCommand())
 }
 
 // writeArtifacts dumps one report per failing seed (plus a summary) into

@@ -26,17 +26,30 @@
 //
 // Departure from textbook chain replication, forced by the environment: the
 // inter-switch fabric is unreliable datagram delivery, so hop-by-hop
-// reliable in-order channels do not exist. Members therefore apply any write
-// whose sequence number exceeds the last applied for its group ("monotone
-// apply") rather than requiring exact succession; end-to-end recovery is the
-// writer's control-plane retry, which re-enters at the head and receives a
-// fresh sequence number. Under loss on chain hops this admits a bounded
-// anomaly window in which a not-yet-committed write is readable at upstream
-// switches after a later write to the same group commits; the window closes
-// when the retry commits. With lossless chain hops (the common fabric case)
-// SRO is linearizable, which the tests verify with a history checker; the
-// anomaly window under loss is measured as an experiment rather than hidden.
-// This is precisely the open-question territory the paper flags (§9).
+// reliable in-order channels do not exist. The package offers two recovery
+// disciplines behind the Replicator interface (see replicator.go):
+//
+//   - ChainReplication (this file): members apply any write whose sequence
+//     number exceeds the last applied for its group ("monotone apply") rather
+//     than requiring exact succession; end-to-end recovery is the writer's
+//     control-plane retry, which re-enters at the head and receives a fresh
+//     sequence number. Under loss on chain hops this admits a bounded anomaly
+//     window in which a not-yet-committed write is readable at upstream
+//     switches after a later write to the same group commits (E15 measures
+//     it: 2/40 seeds at 20% loss with a shared sequence group). With lossless
+//     chain hops SRO is linearizable, which the tests verify with a history
+//     checker.
+//
+//   - RetransmitReplication (retransmit.go): the data-plane buffering /
+//     retransmission mode the paper leaves open in §9. Every hop applies in
+//     exact sequence order; out-of-order arrivals wait in a bounded hold-back
+//     buffer while a NACK asks the predecessor to retransmit the missing
+//     writes from its own bounded buffer of forwarded writes. Because a tail
+//     commit of sequence S then implies every member applied every write
+//     through S, the ack-driven pending-bit clear can never expose an
+//     uncommitted value: the anomaly window is closed (E15/E18 re-measured:
+//     0/40 seeds at 20% loss), at a bounded SRAM and retransmission
+//     bandwidth cost E19 quantifies.
 package chain
 
 import (
@@ -117,6 +130,15 @@ type Config struct {
 	// head like any other writer. Use it on switches that only rarely touch
 	// a register whose replicas live elsewhere.
 	Proxy bool
+	// Replication selects the recovery discipline: ChainReplication
+	// (default, writer-retry + monotone apply) or RetransmitReplication
+	// (hop-level hold-back/retransmit buffers). See replicator.go.
+	Replication Replication
+	// RetransmitDepth bounds the per-sequence-group hold-back and
+	// retransmit buffers of the retransmit backend, in writes. Both buffers
+	// are charged to data-plane SRAM. Default 16. Ignored by the chain
+	// backend.
+	RetransmitDepth int
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +150,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRetries == 0 {
 		c.MaxRetries = 100
+	}
+	if c.RetransmitDepth <= 0 {
+		c.RetransmitDepth = 16
 	}
 	return c
 }
@@ -144,6 +169,14 @@ type Stats struct {
 	ReadsForwarded  stats.Counter // SRO pending-bit forwards to tail
 	TailReads       stats.Counter // ReadFwd served as tail
 	AcksSent        stats.Counter
+
+	// Retransmit-backend counters (zero on the chain backend).
+	HeldBack      stats.Counter // out-of-order writes parked in hold-back
+	NacksSent     stats.Counter // gap-repair requests sent to the predecessor
+	NacksReceived stats.Counter // epoch-valid NACKs received from a successor
+	Retransmits   stats.Counter // writes re-sent from the retransmit buffer
+	RtxStored     stats.Counter // forwarded writes recorded for retransmission
+	RtxAbandoned  stats.Counter // gaps abandoned via skip cursor (degraded to monotone apply)
 }
 
 // outstanding is one buffered write at the writer's control plane. This is
@@ -183,10 +216,17 @@ func (n *Node) getOutstanding() *outstanding {
 
 // finish completes an outstanding write after it has been removed from the
 // pending map. The record returns to the pool only when its retry timer was
-// still pending (Stop succeeded): a fired timer may have a retry queued on
-// the control plane that still references the record.
+// still pending (Stop succeeded) — a fired timer may have a retry queued on
+// the control plane that still references the record — and when no attempt
+// was ever retried: every attempt's wire.Write aliases o.val, so a retried
+// record may have an earlier attempt still in flight (delayed or duplicated
+// by the fabric) whose payload would be corrupted if the backing were
+// recycled into a new write. A delayed attempt of an unretried record is
+// only ever a duplicate delivery of the frame the tail already committed,
+// which carries its assigned Seq and is stale-dropped before its value is
+// read.
 func (n *Node) finish(o *outstanding, committed bool) {
-	canPool := o.timer.Stop()
+	canPool := o.timer.Stop() && o.retries == 0
 	done := o.done
 	if canPool {
 		o.done = nil
@@ -236,6 +276,11 @@ type Node struct {
 	// and acknowledge fresh writes without forwarding them down the chain: a
 	// deliberately planted replication bug (see InjectSkipForward).
 	injectSkipForward int
+
+	// hop, when non-nil, replaces the monotone-apply hop discipline with the
+	// retransmit backend's in-order apply (see retransmit.go). Classic chain
+	// nodes leave it nil.
+	hop *rtxState
 
 	Stats Stats
 }
@@ -314,9 +359,13 @@ func (n *Node) SetChain(cc wire.ChainConfig) {
 	if cc.Epoch < n.chain.Epoch {
 		return
 	}
+	epochChanged := cc.Epoch > n.chain.Epoch
 	n.chain = cc
 	if n.joinSeen != nil && netem.Addr(cc.Joining) != n.sw.Addr() {
 		n.FinishJoin()
+	}
+	if epochChanged && n.hop != nil {
+		n.hop.epochChanged()
 	}
 }
 
@@ -586,14 +635,22 @@ func (n *Node) process(from netem.Addr, w *wire.Write) {
 		w.Seq = n.appliedSeq(n.group(w.Key)) + 1
 		if n.injectSkipForward > 0 {
 			n.injectSkipForward--
-			n.apply(w)
-			n.commitAtTail(w)
+			applied := n.apply(w)
+			n.commitAtTail(w, applied)
 			return
 		}
 	}
-	n.apply(w)
+	if n.hop != nil && n.joinSeen == nil {
+		// Retransmit backend: in-order apply with hold-back/NACK recovery.
+		// A joining switch stays on monotone apply — the live writes the
+		// tail forwards to it are committed and arbitrarily sparse, so gaps
+		// there are expected, not losses (§6.3 recovery).
+		n.hop.deliver(from, w)
+		return
+	}
+	applied := n.apply(w)
 	if n.IsTail() {
-		n.commitAtTail(w)
+		n.commitAtTail(w, applied)
 		return
 	}
 	if succ := n.successor(); succ != 0 {
@@ -607,18 +664,19 @@ func (n *Node) process(from netem.Addr, w *wire.Write) {
 	}
 }
 
-// apply installs the write if its sequence number advances the group.
-func (n *Node) apply(w *wire.Write) {
+// apply installs the write if its sequence number advances the group,
+// reporting whether it did.
+func (n *Node) apply(w *wire.Write) bool {
 	g := n.group(w.Key)
 	if w.Seq <= n.appliedSeq(g) {
 		n.Stats.StaleDropped.Inc()
-		return
+		return false
 	}
 	if err := n.store.Set(w.Key, w.Value); err != nil {
 		// Register capacity exhausted: drop; the writer's retries will fail
 		// and surface the error to the NF.
 		n.Stats.StaleDropped.Inc()
-		return
+		return false
 	}
 	n.setApplied(g, w.Seq, true)
 	n.Stats.Applied.Inc()
@@ -628,13 +686,17 @@ func (n *Node) apply(w *wire.Write) {
 	if n.onApply != nil {
 		n.onApply(w)
 	}
+	return true
 }
 
 // commitAtTail acknowledges a write: to the writer (releasing its buffered
 // output packet) and to the rest of the chain (clearing pending bits). The
 // tail's own pending bit is never set — its local value is by definition
-// committed.
-func (n *Node) commitAtTail(w *wire.Write) {
+// committed. applied reports whether this tail freshly applied w: only such
+// writes are forwarded to a joining switch, because a stale duplicate's
+// Value may alias a writer buffer that has since been recycled (its original
+// delivery was committed, acked, and — if join-relevant — forwarded then).
+func (n *Node) commitAtTail(w *wire.Write, applied bool) {
 	n.clearPending(n.group(w.Key))
 	ack := &wire.WriteAck{Reg: n.cfg.Reg, Key: w.Key, Seq: w.Seq,
 		WriteID: w.WriteID, Writer: w.Writer, Epoch: w.Epoch}
@@ -663,7 +725,7 @@ func (n *Node) commitAtTail(w *wire.Write) {
 	}
 	// Forward committed writes to a joining switch so it converges while
 	// the snapshot transfer runs (§6.3 recovery).
-	if n.chain.Joining != 0 && netem.Addr(n.chain.Joining) != n.sw.Addr() {
+	if applied && n.chain.Joining != 0 && netem.Addr(n.chain.Joining) != n.sw.Addr() {
 		// Copy the value: this message is in flight after the writer's ack,
 		// so it must not alias the writer's reusable buffer.
 		n.sw.Send(netem.Addr(n.chain.Joining), &wire.Write{Reg: w.Reg, Key: w.Key, Seq: w.Seq,
@@ -685,6 +747,12 @@ func (n *Node) processAck(a *wire.WriteAck) {
 		// if we have not applied anything newer in this group.
 		if a.Seq >= n.appliedSeq(g) {
 			n.clearPending(g)
+		}
+		if n.hop != nil {
+			// The tail ack is the retransmit backend's cumulative ack: a
+			// commit of a.Seq means every member applied everything through
+			// it (in-order apply), so buffered copies at or below are free.
+			n.hop.freeThrough(g, a.Seq)
 		}
 	}
 	if netem.Addr(a.Writer) != n.sw.Addr() {

@@ -46,7 +46,7 @@ func (c Consistency) String() string {
 // register ID plus the message router.
 type Instance struct {
 	sw     *pisa.Switch
-	chains map[uint16]*chain.Node
+	chains map[uint16]chain.Replicator
 	ewos   map[uint16]*ewo.Node
 	cps    map[uint16]*ctrlplane.Node
 }
@@ -56,7 +56,7 @@ type Instance struct {
 func NewInstance(sw *pisa.Switch) *Instance {
 	in := &Instance{
 		sw:     sw,
-		chains: make(map[uint16]*chain.Node),
+		chains: make(map[uint16]chain.Replicator),
 		ewos:   make(map[uint16]*ewo.Node),
 		cps:    make(map[uint16]*ctrlplane.Node),
 	}
@@ -91,6 +91,14 @@ func (in *Instance) route(from netem.Addr, msg wire.Msg) {
 		if n, ok := in.chains[m.Reg]; ok {
 			n.Handle(from, m)
 		}
+	case *wire.ChainNack:
+		if n, ok := in.chains[m.Reg]; ok {
+			n.Handle(from, m)
+		}
+	case *wire.ChainCursor:
+		if n, ok := in.chains[m.Reg]; ok {
+			n.Handle(from, m)
+		}
 	case *wire.EWOUpdate:
 		if n, ok := in.ewos[m.Reg]; ok {
 			n.Handle(from, m)
@@ -111,7 +119,7 @@ func (in *Instance) route(from netem.Addr, msg wire.Msg) {
 		// Sorted fan-out: config application order must not depend on map
 		// iteration (per-register side effects like retries are scheduled as
 		// the config lands).
-		in.EachChain(func(_ uint16, n *chain.Node) { n.SetChain(*m) })
+		in.EachChain(func(_ uint16, n chain.Replicator) { n.SetChain(*m) })
 	case *wire.GroupConfig:
 		in.EachEWO(func(_ uint16, n *ewo.Node) { _ = n.SetGroup(*m) })
 	}
@@ -128,9 +136,10 @@ func (in *Instance) routeCtrl(from netem.Addr, msg wire.Msg) {
 	in.route(from, msg)
 }
 
-// StrongRegister is the SRO/ERO handle NFs program against.
+// StrongRegister is the SRO/ERO handle NFs program against. The replication
+// backend behind it (chain or retransmit) is selected by cfg.Replication.
 type StrongRegister struct {
-	node *chain.Node
+	node chain.Replicator
 }
 
 // NewStrongRegister declares an SRO (Strong) or ERO (EventualRead) register
@@ -147,7 +156,7 @@ func (in *Instance) NewStrongRegister(cons Consistency, cfg chain.Config) (*Stro
 	if _, dup := in.chains[cfg.Reg]; dup {
 		return nil, fmt.Errorf("core: register %d already declared", cfg.Reg)
 	}
-	n, err := chain.NewNode(in.sw, cfg)
+	n, err := chain.New(in.sw, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +165,7 @@ func (in *Instance) NewStrongRegister(cons Consistency, cfg chain.Config) (*Stro
 }
 
 // Node exposes the protocol node (controller registration, tests).
-func (r *StrongRegister) Node() *chain.Node { return r.node }
+func (r *StrongRegister) Node() chain.Replicator { return r.node }
 
 // Write submits a replicated write; done fires on commit (or failure).
 func (r *StrongRegister) Write(key uint64, val []byte, done func(committed bool)) {
@@ -275,7 +284,7 @@ func (in *Instance) MemoryTotal() int { return in.sw.MemoryUsed() }
 
 // EachChain visits every declared chain register node in ascending register
 // order (deterministic for metrics registration and dumps).
-func (in *Instance) EachChain(fn func(reg uint16, n *chain.Node)) {
+func (in *Instance) EachChain(fn func(reg uint16, n chain.Replicator)) {
 	for _, reg := range sortedRegs(in.chains) {
 		fn(reg, in.chains[reg])
 	}

@@ -22,7 +22,7 @@ import (
 type chainRig struct {
 	eng   *sim.Engine
 	net   *netem.Network
-	nodes []*chain.Node
+	nodes []chain.Replicator
 }
 
 func newChainRig(seed int64, n int, cfg chain.Config, profile netem.LinkProfile) *chainRig {
@@ -32,7 +32,7 @@ func newChainRig(seed int64, n int, cfg chain.Config, profile netem.LinkProfile)
 	members := make([]uint16, 0, n)
 	for i := 0; i < n; i++ {
 		sw := pisa.New(eng, nw, pisa.Config{Addr: netem.Addr(i + 1), PipelinePPS: 1e9})
-		node, err := chain.NewNode(sw, cfg)
+		node, err := chain.New(sw, cfg)
 		if err != nil {
 			panic(err)
 		}
@@ -86,7 +86,7 @@ func ReadPathAblation(seed int64) *Result {
 		}
 		r.eng.Run()
 		return time.Duration(h.Mean()), time.Duration(h.Quantile(0.99)),
-			r.nodes[0].Stats.ReadsLocal.Value(), r.nodes[2].Stats.TailReads.Value()
+			r.nodes[0].Counters().ReadsLocal.Value(), r.nodes[2].Counters().TailReads.Value()
 	}
 
 	lMean, lP99, lLocal, lTail := run(false)
@@ -147,7 +147,7 @@ func GroupSharingAblation(seed int64) *Result {
 		}
 		hot()
 		// Reads of idle keys at the head: forwarded only on group collision.
-		forwarded := r.nodes[0].Stats.ReadsForwarded.Value()
+		forwarded := r.nodes[0].Counters().ReadsForwarded.Value()
 		total := 0
 		for k := uint64(0); k < 512; k++ {
 			r.nodes[0].Read(k, func(v []byte, ok bool) {})
@@ -156,7 +156,7 @@ func GroupSharingAblation(seed int64) *Result {
 		}
 		stop = true
 		r.eng.Run()
-		rate := float64(r.nodes[0].Stats.ReadsForwarded.Value()-forwarded) / float64(total)
+		rate := float64(r.nodes[0].Counters().ReadsForwarded.Value()-forwarded) / float64(total)
 		meta := r.nodes[0].MemoryBytes() - 4096*(8+8) // subtract the store
 		tab.AddRow(groups, meta, rate)
 		if prevRate >= 0 && rate < prevRate {
@@ -169,31 +169,40 @@ func GroupSharingAblation(seed int64) *Result {
 	return res
 }
 
-// LossAnomaly (E15) measures the consistency anomaly window this
-// implementation documents for lossy chain hops (internal/chain package
-// comment). The window needs sequence-group sharing (§7): when keys A and B
-// share a group, a write to A dropped on a chain hop leaves A's uncommitted
-// value applied upstream; when a later write to B commits, its ack clears
-// the SHARED pending bit, exposing A's uncommitted value to local reads
-// until A's retry commits. With per-key groups or lossless chain hops the
-// anomaly cannot occur — which the loss=0 row verifies. This measures the
-// §9 open problem (data-plane buffering/retransmission would close it).
+// LossAnomaly (E15) measures the consistency anomaly window the chain
+// backend documents for lossy chain hops (internal/chain package comment).
+// The window needs sequence-group sharing (§7): when keys A and B share a
+// group, a write to A dropped on a chain hop leaves A's uncommitted value
+// applied upstream; when a later write to B commits, its ack clears the
+// SHARED pending bit, exposing A's uncommitted value to local reads until
+// A's retry commits. With per-key groups or lossless chain hops the anomaly
+// cannot occur — which the loss=0 row verifies. The retransmit backend
+// answers the §9 open problem: hop-level hold-back/retransmit buffers keep
+// every member's apply in exact sequence order, so the rows measured with it
+// must show zero violating histories at every loss rate.
 func LossAnomaly(seed int64) *Result {
 	res := &Result{ID: "E15", Title: "extension: SRO anomaly rate vs chain-hop loss (the §9 open question, measured)"}
 	tab := stats.NewTable("E15: non-linearizable histories out of 40 seeds (2 keys sharing 1 seq group)",
-		"Chain-hop loss", "Violating histories", "Commit failures")
+		"Backend", "Chain-hop loss", "Violating histories", "Commit failures")
 
-	for _, loss := range []float64{0, 0.05, 0.2} {
-		violations, failures := lossAnomalyTrial(seed,
-			netem.LinkProfile{Latency: 20_000, LossRate: loss})
-		tab.AddRow(loss, violations, failures)
-		if loss == 0 && violations != 0 {
-			res.note("SHAPE VIOLATION: linearizability violated on lossless chain hops")
+	for _, rep := range []chain.Replication{chain.ChainReplication, chain.RetransmitReplication} {
+		for _, loss := range []float64{0, 0.05, 0.2} {
+			violations, failures := lossAnomalyTrial(seed, rep,
+				netem.LinkProfile{Latency: 20_000, LossRate: loss})
+			tab.AddRow(rep, loss, violations, failures)
+			if loss == 0 && violations != 0 {
+				res.note("SHAPE VIOLATION: linearizability violated on lossless chain hops (%v)", rep)
+			}
+			if rep == chain.RetransmitReplication && violations != 0 {
+				res.note("SHAPE VIOLATION: retransmit backend admitted %d violating histories at loss %.2f",
+					violations, loss)
+			}
 		}
 	}
 	res.Tables = append(res.Tables, tab)
-	res.note("the anomaly window exists only under chain-hop loss and closes via writer retries; " +
-		"buffering/retransmission in the data plane (the §9 open problem) would eliminate it")
+	res.note("chain backend: the anomaly window exists only under chain-hop loss and closes via " +
+		"writer retries; retransmit backend: in-order apply with data-plane NACK/retransmission " +
+		"(the §9 open problem, implemented) measures zero violating histories at every rate")
 	return res
 }
 
@@ -211,42 +220,51 @@ func NthLossAnomaly(seed int64) *Result {
 	res := &Result{ID: "E18",
 		Title: "extension: SRO anomaly rate — every-Nth vs random loss at equal rates"}
 	tab := stats.NewTable("E18: non-linearizable histories out of 40 seeds (2 keys sharing 1 seq group)",
-		"Loss model", "Rate", "Violating histories", "Commit failures")
-	randV := map[float64]int{}
-	for _, row := range []struct {
-		model string
-		rate  float64
-		n     int
-	}{
-		{"random", 0.05, 0},
-		{"every-20th", 0.05, 20},
-		{"random", 0.20, 0},
-		{"every-5th", 0.20, 5},
-	} {
-		p := netem.LinkProfile{Latency: 20_000, LossRate: row.rate}
-		if row.n > 0 {
-			p = netem.LinkProfile{Latency: 20_000, LossEveryN: row.n}
-		}
-		violations, failures := lossAnomalyTrial(seed, p)
-		tab.AddRow(row.model, row.rate, violations, failures)
-		if row.n == 0 {
-			randV[row.rate] = violations
-		} else if violations < randV[row.rate] {
-			res.note("SHAPE VIOLATION: every-Nth loss at rate %.2f found fewer anomalies than random", row.rate)
+		"Backend", "Loss model", "Rate", "Violating histories", "Commit failures")
+	for _, rep := range []chain.Replication{chain.ChainReplication, chain.RetransmitReplication} {
+		randV := map[float64]int{}
+		for _, row := range []struct {
+			model string
+			rate  float64
+			n     int
+		}{
+			{"random", 0.05, 0},
+			{"every-20th", 0.05, 20},
+			{"random", 0.20, 0},
+			{"every-5th", 0.20, 5},
+		} {
+			p := netem.LinkProfile{Latency: 20_000, LossRate: row.rate}
+			if row.n > 0 {
+				p = netem.LinkProfile{Latency: 20_000, LossEveryN: row.n}
+			}
+			violations, failures := lossAnomalyTrial(seed, rep, p)
+			tab.AddRow(rep, row.model, row.rate, violations, failures)
+			if rep == chain.RetransmitReplication {
+				if violations != 0 {
+					res.note("SHAPE VIOLATION: retransmit backend admitted %d violations under %s loss at %.2f",
+						violations, row.model, row.rate)
+				}
+				continue
+			}
+			if row.n == 0 {
+				randV[row.rate] = violations
+			} else if violations < randV[row.rate] {
+				res.note("SHAPE VIOLATION: every-Nth loss at rate %.2f found fewer anomalies than random", row.rate)
+			}
 		}
 	}
 	res.Tables = append(res.Tables, tab)
 	res.note("matched long-run rates, different distribution: random loss spares the lucky " +
 		"histories while the periodic dropper hits every one at the exact cadence, so at equal " +
-		"rates every-Nth loss finds at least as many anomalies — the fault pattern, not just " +
-		"the rate, decides what the oracles see")
+		"rates every-Nth loss finds at least as many anomalies on the chain backend — while the " +
+		"retransmit backend repairs every drop pattern to zero anomalies")
 	return res
 }
 
-func lossAnomalyTrial(seed int64, lossy netem.LinkProfile) (violations, failures int) {
+func lossAnomalyTrial(seed int64, rep chain.Replication, lossy netem.LinkProfile) (violations, failures int) {
 	for trial := int64(0); trial < 40; trial++ {
 		cfg := chain.Config{Reg: 1, Capacity: 64, ValueWidth: 16, Mode: chain.SRO,
-			Groups: 1, RetryTimeout: 2 * time.Millisecond}
+			Groups: 1, RetryTimeout: 2 * time.Millisecond, Replication: rep}
 		r := newChainRig(seed*100+trial, 3, cfg,
 			netem.LinkProfile{Latency: 20_000, BandwidthBps: 100e9})
 		// Loss only on chain hops 1->2 and 2->3 (writer->head and acks stay
@@ -293,4 +311,73 @@ func lossAnomalyTrial(seed int64, lossy netem.LinkProfile) (violations, failures
 		failures += fails
 	}
 	return violations, failures
+}
+
+// ReplicationBackends (E19) puts a price tag on closing the E15 anomaly
+// window: the retransmit backend buys zero non-linearizable histories at
+// 20% chain-hop loss with two bounded SRAM buffers per member and the NACK/
+// retransmission traffic that repairs drops in the data plane. The table
+// compares the backends on all three axes — anomalies, per-member SRAM, and
+// fabric bytes per committed write — under the E15 fault shape, plus a
+// lossless baseline row showing the wire cost when recovery is idle.
+func ReplicationBackends(seed int64) *Result {
+	res := &Result{ID: "E19",
+		Title: "extension: replication backends — anomaly rate vs SRAM vs wire cost"}
+	tab := stats.NewTable("E19: 3-switch chain, 2 keys sharing 1 seq group, 40 seeds x 40 ops",
+		"Backend", "Chain-hop loss", "Violating histories", "Commit failures",
+		"SRAM bytes/member", "Wire bytes/committed write")
+
+	var chainSRAM, rtxSRAM int
+	for _, rep := range []chain.Replication{chain.ChainReplication, chain.RetransmitReplication} {
+		for _, loss := range []float64{0, 0.2} {
+			lossy := netem.LinkProfile{Latency: 20_000, LossRate: loss}
+			violations, failures := lossAnomalyTrial(seed, rep, lossy)
+			sram, wireBytes := backendCostTrial(seed, rep, lossy)
+			tab.AddRow(rep, loss, violations, failures, sram, wireBytes)
+			if rep == chain.ChainReplication {
+				chainSRAM = sram
+			} else {
+				rtxSRAM = sram
+				if violations != 0 {
+					res.note("SHAPE VIOLATION: retransmit backend admitted %d violations at loss %.2f",
+						violations, loss)
+				}
+			}
+		}
+	}
+	res.Tables = append(res.Tables, tab)
+	res.note("the anomaly fix is paid for in bounded SRAM (+%d bytes/member for 2 x groups x "+
+		"depth buffer slots) and in recovery traffic only when loss actually occurs",
+		rtxSRAM-chainSRAM)
+	if rtxSRAM <= chainSRAM {
+		res.note("SHAPE VIOLATION: retransmit backend charged no extra SRAM")
+	}
+	return res
+}
+
+// backendCostTrial measures per-member SRAM and fabric bytes per committed
+// write for one backend under one loss profile: a fixed 200-write workload
+// from the head, counted against total bytes sent on the fabric.
+func backendCostTrial(seed int64, rep chain.Replication, lossy netem.LinkProfile) (sram int, bytesPerWrite uint64) {
+	cfg := chain.Config{Reg: 1, Capacity: 64, ValueWidth: 16, Mode: chain.SRO,
+		Groups: 1, RetryTimeout: 2 * time.Millisecond, Replication: rep}
+	r := newChainRig(seed, 3, cfg, netem.LinkProfile{Latency: 20_000, BandwidthBps: 100e9})
+	r.net.SetOneWayLink(1, 2, lossy)
+	r.net.SetOneWayLink(2, 3, lossy)
+	committed := uint64(0)
+	const writes = 200
+	for i := 0; i < writes; i++ {
+		v := fmt.Sprintf("%016d", i)
+		r.nodes[0].Write(uint64(i%2), []byte(v), func(ok bool) {
+			if ok {
+				committed++
+			}
+		})
+		r.eng.RunFor(100 * time.Microsecond)
+	}
+	r.eng.Run()
+	if committed == 0 {
+		return r.nodes[1].MemoryBytes(), 0
+	}
+	return r.nodes[1].MemoryBytes(), r.net.Totals().BytesSent / committed
 }

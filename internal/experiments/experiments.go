@@ -1,5 +1,5 @@
 // Package experiments regenerates every table and quantitative claim of the
-// SwiShmem paper (see DESIGN.md §3 for the experiment index E1–E18). Each
+// SwiShmem paper (see DESIGN.md §3 for the experiment index E1–E19). Each
 // experiment builds its own deterministic cluster, drives the workload the
 // paper's analysis assumes, and reports paper-style rows.
 //
@@ -16,7 +16,7 @@ import (
 
 // Result is one experiment's output.
 type Result struct {
-	// ID is the experiment identifier (E1..E18).
+	// ID is the experiment identifier (E1..E19).
 	ID string
 	// Title describes what paper content is reproduced.
 	Title string
@@ -78,6 +78,7 @@ func All() []Experiment {
 		{"E16", "parallel-scaling", "extension: deterministic parallel simulation across shard counts", ParallelScaling},
 		{"E17", "packet-rate", "extension: batched hot-path packets/sec over burst size x shards", PacketRate},
 		{"E18", "nthloss-anomaly", "extension: anomaly rate, every-Nth vs random loss at equal rates", NthLossAnomaly},
+		{"E19", "replication-backends", "extension: chain vs retransmit backend — anomalies, SRAM, wire cost", ReplicationBackends},
 	}
 }
 

@@ -134,7 +134,7 @@ func ProtocolMatrix(seed int64) *Result {
 			c.RunFor(5 * time.Millisecond)
 		}
 		return time.Duration(wh.Mean()), time.Duration(rh.Mean()),
-			regs[0].Node().Stats.ReadsForwarded.Value(), true
+			regs[0].Node().Counters().ReadsForwarded.Value(), true
 	}
 	probes := []probe{
 		{"SRO", "linearizable", func() (time.Duration, time.Duration, uint64, bool) { return mkChain(false) }},

@@ -123,8 +123,8 @@ func natRow(seed int64) (r struct {
 	c.RunFor(100 * time.Millisecond)
 	var writes, reads uint64
 	for _, n := range nats {
-		writes += n.Register().Node().Stats.WritesSubmitted.Value()
-		reads += n.Register().Node().Stats.ReadsLocal.Value() + n.Register().Node().Stats.ReadsForwarded.Value()
+		writes += n.Register().Node().Counters().WritesSubmitted.Value()
+		reads += n.Register().Node().Counters().ReadsLocal.Value() + n.Register().Node().Counters().ReadsForwarded.Value()
 	}
 	r.app, r.state, r.consistency = "NAT", "Translation table", "Strong"
 	r.wPkt = float64(writes) / float64(pkts)
@@ -156,8 +156,8 @@ func firewallRow(seed int64) (r struct {
 	c.RunFor(100 * time.Millisecond)
 	var writes, reads uint64
 	for _, f := range fws {
-		writes += f.Register().Node().Stats.WritesSubmitted.Value()
-		reads += f.Register().Node().Stats.ReadsLocal.Value() + f.Register().Node().Stats.ReadsForwarded.Value()
+		writes += f.Register().Node().Counters().WritesSubmitted.Value()
+		reads += f.Register().Node().Counters().ReadsLocal.Value() + f.Register().Node().Counters().ReadsForwarded.Value()
 	}
 	r.app, r.state, r.consistency = "Firewall", "Connection states table", "Strong"
 	r.wPkt = float64(writes) / float64(pkts)
@@ -194,8 +194,8 @@ func ipsRow(seed int64) (r struct {
 	c.RunFor(50 * time.Millisecond)
 	var writes, reads uint64
 	for _, s := range ipss {
-		writes += s.Register().Node().Stats.WritesSubmitted.Value()
-		reads += s.Register().Node().Stats.ReadsLocal.Value() + s.Register().Node().Stats.ReadsForwarded.Value()
+		writes += s.Register().Node().Counters().WritesSubmitted.Value()
+		reads += s.Register().Node().Counters().ReadsLocal.Value() + s.Register().Node().Counters().ReadsForwarded.Value()
 	}
 	r.app, r.state, r.consistency = "IPS", "Signatures", "Weak"
 	r.wPkt = float64(writes) / float64(pkts)
@@ -230,8 +230,8 @@ func lbRow(seed int64) (r struct {
 	c.RunFor(100 * time.Millisecond)
 	var writes, reads uint64
 	for _, l := range lbs {
-		writes += l.Register().Node().Stats.WritesSubmitted.Value()
-		reads += l.Register().Node().Stats.ReadsLocal.Value() + l.Register().Node().Stats.ReadsForwarded.Value()
+		writes += l.Register().Node().Counters().WritesSubmitted.Value()
+		reads += l.Register().Node().Counters().ReadsLocal.Value() + l.Register().Node().Counters().ReadsForwarded.Value()
 	}
 	r.app, r.state, r.consistency = "L4 LB", "Connection-to-DIP mapping", "Strong"
 	r.wPkt = float64(writes) / float64(pkts)

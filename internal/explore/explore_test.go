@@ -187,6 +187,13 @@ func TestReplayCommandFormat(t *testing.T) {
 	if got := f.ReplayCommand(); got != "go test -run 'TestExplore$' -explore.seed=42 -explore.inject=1" {
 		t.Fatalf("replay with inject = %q", got)
 	}
+	f.Opt.Retransmit = true
+	f.Opt.InjectDisableRetransmit = true
+	want := "go test -run 'TestExplore$' -explore.seed=42 -explore.inject=1" +
+		" -explore.backend=retransmit -explore.inject-disable-retransmit"
+	if got := f.ReplayCommand(); got != want {
+		t.Fatalf("replay with backend+inject = %q, want %q", got, want)
+	}
 }
 
 func TestTortureShapeRuns(t *testing.T) {

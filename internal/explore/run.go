@@ -40,6 +40,17 @@ type RunOptions struct {
 	// initial head for that many writes — the intentional defect the
 	// explorer must catch (TestExploreCatchesInjectedBug).
 	InjectSkipForward int
+	// Retransmit runs the strong register on the retransmit replication
+	// backend (hop-to-hop NACK/retransmit, chain.RetransmitReplication)
+	// instead of the default writer-retry chain. Adds the rtx oracle.
+	Retransmit bool
+	// InjectDisableRetransmit plants the chain.InjectDisableRetransmit bug
+	// on every replica: nodes still answer NACKs but their retransmit
+	// buffers silently store nothing, so gap recovery degrades to skip
+	// cursors. The intentional defect the rtx oracle must catch
+	// (TestExploreCatchesDisabledRetransmit). Applied to all replicas
+	// because failover can make any of them a predecessor.
+	InjectDisableRetransmit bool
 	// InjectNoRevive disables the controller's revival path: a switch that
 	// is declared failed during a pause and heartbeats again after resume
 	// is never re-added to its groups. The intentional defect for the
@@ -153,7 +164,8 @@ func Run(sc Scenario, opt RunOptions) *Result {
 		c.EnableTracing(blackBoxTraceCap)
 	}
 	strong, err := c.DeclareStrong("s", swishmem.StrongOptions{
-		Capacity: strongCapacity, ValueWidth: 8, RetryTimeout: retryTimeout})
+		Capacity: strongCapacity, ValueWidth: 8, RetryTimeout: retryTimeout,
+		Retransmit: opt.Retransmit})
 	if err == nil {
 		_, err = c.DeclareCounter("c", swishmem.EventualOptions{
 			Capacity: 128, SyncPeriod: syncPeriod})
@@ -183,6 +195,12 @@ func Run(sc Scenario, opt RunOptions) *Result {
 	if opt.InjectSkipForward > 0 {
 		strong[0].Node().InjectSkipForward(opt.InjectSkipForward)
 		fmt.Fprintf(&log, "inject skip-forward=%d at initial head\n", opt.InjectSkipForward)
+	}
+	if opt.InjectDisableRetransmit {
+		for i := range strong {
+			strong[i].Node().InjectDisableRetransmit()
+		}
+		fmt.Fprintf(&log, "inject disable-retransmit at all replicas\n")
 	}
 	if opt.InjectNoRevive && c.Controller() != nil {
 		c.Controller().DisableRevival()
@@ -452,6 +470,25 @@ func Run(sc Scenario, opt RunOptions) *Result {
 	for _, i := range alive {
 		if n := strong[i].Node().OutstandingWrites(); n != 0 {
 			fail("drain", "switch %d still has %d outstanding writes after quiesce", i, n)
+		}
+	}
+
+	// --- oracle: rtx --- (retransmit backend only) gap recovery is real.
+	// Any switch that ever answered a NACK must actually have stored frames
+	// in its retransmit buffer — a node that serves NACKs from an empty
+	// buffer (InjectDisableRetransmit) forces every gap into an abandon
+	// cursor. And after the calm quiesce no hold-back buffer may still hold
+	// frames: every gap must have been repaired or explicitly abandoned.
+	if opt.Retransmit {
+		for _, i := range alive {
+			cs := strong[i].Node().Counters()
+			if cs.NacksReceived.Value() > 0 && cs.RtxStored.Value() == 0 {
+				fail("rtx", "switch %d answered %d NACKs with an empty retransmit buffer",
+					i, cs.NacksReceived.Value())
+			}
+			if held := strong[i].Node().HeldFrames(); held != 0 {
+				fail("rtx", "switch %d still holds %d out-of-order frames after quiesce", i, held)
+			}
 		}
 	}
 

@@ -27,6 +27,12 @@ func (f *Failure) ReplayCommand() string {
 	if f.Opt.InjectSkipForward > 0 {
 		cmd += fmt.Sprintf(" -explore.inject=%d", f.Opt.InjectSkipForward)
 	}
+	if f.Opt.Retransmit {
+		cmd += " -explore.backend=retransmit"
+	}
+	if f.Opt.InjectDisableRetransmit {
+		cmd += " -explore.inject-disable-retransmit"
+	}
 	if f.Opt.Faults == FaultsExtended {
 		cmd += " -explore.faults=extended"
 	}

@@ -133,7 +133,7 @@ func NewMember(cfg MemberConfig) (*Member, error) {
 func (m *Member) RegisterMetrics(reg *obs.Registry, labels string) {
 	m.Fabric.RegisterMetrics(reg, labels)
 	cn := m.Strong.Node()
-	cs := &cn.Stats
+	cs := cn.Counters()
 	reg.AddCounter("chain.writes_submitted", labels, &cs.WritesSubmitted)
 	reg.AddCounter("chain.writes_committed", labels, &cs.WritesCommitted)
 	reg.AddCounter("chain.writes_failed", labels, &cs.WritesFailed)

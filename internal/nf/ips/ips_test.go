@@ -117,7 +117,7 @@ func TestEROReadsAreLocalDuringUpdate(t *testing.T) {
 	// Immediately scan at another switch: must not block or forward reads.
 	r.ipss[2].Switch().InjectPacket(payloadPkt([]byte("NEWSIG!! payload")))
 	r.eng.RunFor(50 * time.Millisecond)
-	if r.ipss[2].Register().Node().Stats.ReadsForwarded.Value() != 0 {
+	if r.ipss[2].Register().Node().Counters().ReadsForwarded.Value() != 0 {
 		t.Fatal("ERO register forwarded reads")
 	}
 }

@@ -30,7 +30,7 @@ func TestUnmarshalNeverPanics(t *testing.T) {
 		rng.Read(buf)
 		if n > 0 && i%2 == 0 {
 			// Half the corpus has a valid type tag to reach deep decoders.
-			buf[0] = byte(rng.Intn(int(TBatch)) + 1)
+			buf[0] = byte(rng.Intn(int(TChainCursor)) + 1)
 		}
 		msg, err := Unmarshal(buf)
 		if err == nil && msg == nil {
@@ -90,6 +90,8 @@ func exemplarMsgs() []Msg {
 			&Write{Reg: 1, Key: 9, Value: []byte("batched")},
 			&EWOUpdate{Reg: 2, From: 1, Entries: []EWOEntry{{Key: 3, Value: []byte("z")}}},
 		}},
+		&ChainNack{Reg: 1, Epoch: 2, Group: 3, From: 4, To: 9},
+		&ChainCursor{Reg: 1, Epoch: 2, Group: 3, Seq: 17, Skip: true},
 	}
 }
 

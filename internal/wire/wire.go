@@ -35,6 +35,8 @@ const (
 	THello
 	TPeerList
 	TBatch
+	TChainNack
+	TChainCursor
 )
 
 func (t Type) String() string {
@@ -61,6 +63,10 @@ func (t Type) String() string {
 		return "PeerList"
 	case TBatch:
 		return "Batch"
+	case TChainNack:
+		return "ChainNack"
+	case TChainCursor:
+		return "ChainCursor"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -109,6 +115,10 @@ func Unmarshal(data []byte) (Msg, error) {
 		return unmarshalPeerList(body)
 	case TBatch:
 		return unmarshalBatch(body)
+	case TChainNack:
+		return unmarshalChainNack(body)
+	case TChainCursor:
+		return unmarshalChainCursor(body)
 	default:
 		return nil, fmt.Errorf("wire: unknown type %d", data[0])
 	}
@@ -314,6 +324,98 @@ func unmarshalReadReply(b []byte) (*ReadReply, error) {
 	}
 	r.Value = v
 	return r, nil
+}
+
+// ChainNack is a retransmission request from a chain member to its
+// predecessor (the retransmit replication backend): the sender detected a
+// sequence gap in group Group and asks for the writes with sequence numbers
+// From..To (inclusive) from the predecessor's hold-back buffer.
+type ChainNack struct {
+	Reg   uint16
+	Epoch uint32
+	Group uint32
+	From  uint64
+	To    uint64
+}
+
+// WireType implements Msg.
+func (*ChainNack) WireType() Type { return TChainNack }
+
+// Size implements Msg.
+func (*ChainNack) Size() int { return 1 + 2 + 4 + 4 + 8 + 8 }
+
+// Marshal implements Msg.
+func (m *ChainNack) Marshal(dst []byte) []byte {
+	dst = append(dst, byte(TChainNack))
+	dst = binary.BigEndian.AppendUint16(dst, m.Reg)
+	dst = binary.BigEndian.AppendUint32(dst, m.Epoch)
+	dst = binary.BigEndian.AppendUint32(dst, m.Group)
+	dst = binary.BigEndian.AppendUint64(dst, m.From)
+	return binary.BigEndian.AppendUint64(dst, m.To)
+}
+
+func unmarshalChainNack(b []byte) (*ChainNack, error) {
+	if len(b) < 26 {
+		return nil, fmt.Errorf("wire: truncated ChainNack (%d bytes)", len(b))
+	}
+	return &ChainNack{
+		Reg:   binary.BigEndian.Uint16(b[0:]),
+		Epoch: binary.BigEndian.Uint32(b[2:]),
+		Group: binary.BigEndian.Uint32(b[6:]),
+		From:  binary.BigEndian.Uint64(b[10:]),
+		To:    binary.BigEndian.Uint64(b[18:]),
+	}, nil
+}
+
+// ChainCursor carries cumulative sequence-cursor state between adjacent chain
+// members (retransmit backend). With Skip unset it flows downstream→upstream:
+// "I have applied every write through Seq in Group — retransmit-buffer
+// entries at or below it can be freed." With Skip set it flows
+// upstream→downstream as the reply to an unserviceable ChainNack: "I cannot
+// supply writes at or below Seq — abandon the gap and resume from there"
+// (the counted degradation back to monotone apply).
+type ChainCursor struct {
+	Reg   uint16
+	Epoch uint32
+	Group uint32
+	Seq   uint64
+	Skip  bool
+}
+
+// WireType implements Msg.
+func (*ChainCursor) WireType() Type { return TChainCursor }
+
+// Size implements Msg.
+func (*ChainCursor) Size() int { return 1 + 2 + 4 + 4 + 8 + 1 }
+
+// Marshal implements Msg.
+func (m *ChainCursor) Marshal(dst []byte) []byte {
+	dst = append(dst, byte(TChainCursor))
+	dst = binary.BigEndian.AppendUint16(dst, m.Reg)
+	dst = binary.BigEndian.AppendUint32(dst, m.Epoch)
+	dst = binary.BigEndian.AppendUint32(dst, m.Group)
+	dst = binary.BigEndian.AppendUint64(dst, m.Seq)
+	skip := byte(0)
+	if m.Skip {
+		skip = 1
+	}
+	return append(dst, skip)
+}
+
+func unmarshalChainCursor(b []byte) (*ChainCursor, error) {
+	if len(b) < 19 {
+		return nil, fmt.Errorf("wire: truncated ChainCursor (%d bytes)", len(b))
+	}
+	if b[18] > 1 {
+		return nil, fmt.Errorf("wire: ChainCursor skip byte %d", b[18])
+	}
+	return &ChainCursor{
+		Reg:   binary.BigEndian.Uint16(b[0:]),
+		Epoch: binary.BigEndian.Uint32(b[2:]),
+		Group: binary.BigEndian.Uint32(b[6:]),
+		Seq:   binary.BigEndian.Uint64(b[10:]),
+		Skip:  b[18] == 1,
+	}, nil
 }
 
 // EWOEntry is one (key, stamp, value) record of an EWO update (§6.2/§7:

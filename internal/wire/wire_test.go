@@ -62,6 +62,19 @@ func TestReadFwdReplyRoundTrip(t *testing.T) {
 	}
 }
 
+func TestChainNackCursorRoundTrip(t *testing.T) {
+	nk := &ChainNack{Reg: 9, Epoch: 3, Group: 7, From: 100, To: 115}
+	if got := roundTrip(t, nk).(*ChainNack); *got != *nk {
+		t.Fatalf("nack got %+v", got)
+	}
+	for _, skip := range []bool{false, true} {
+		c := &ChainCursor{Reg: 9, Epoch: 3, Group: 7, Seq: 42, Skip: skip}
+		if got := roundTrip(t, c).(*ChainCursor); *got != *c {
+			t.Fatalf("cursor got %+v", got)
+		}
+	}
+}
+
 func TestEWOUpdateRoundTrip(t *testing.T) {
 	u := &EWOUpdate{
 		Reg: 3, From: 2, Slot: 1, Sync: true,
@@ -167,6 +180,8 @@ func TestUnmarshalErrors(t *testing.T) {
 		&Heartbeat{},
 		&ChainConfig{Members: []uint16{1, 2}},
 		&GroupConfig{Members: []uint16{1}},
+		&ChainNack{Reg: 1, From: 2, To: 5},
+		&ChainCursor{Reg: 1, Seq: 9},
 	}
 	for _, m := range msgs {
 		raw := Marshal(m)
@@ -273,6 +288,8 @@ func TestSizeMatchesForAll(t *testing.T) {
 		&Heartbeat{Seq: 1},
 		&ChainConfig{Members: []uint16{1, 2, 3}},
 		&GroupConfig{Members: []uint16{1, 2, 3, 4}},
+		&ChainNack{Reg: 1, Epoch: 2, Group: 3, From: 4, To: 9},
+		&ChainCursor{Reg: 1, Epoch: 2, Group: 3, Seq: 17, Skip: true},
 	}
 	for _, m := range msgs {
 		if got := len(Marshal(m)); got != m.Size() {

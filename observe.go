@@ -184,9 +184,9 @@ func (c *Cluster) Metrics() *MetricsRegistry {
 		r.AddGaugeFunc("switch.mem_used_bytes", lbl, func() float64 { return float64(swc.MemoryUsed()) })
 
 		in := c.instances[i]
-		in.EachChain(func(reg uint16, n *chain.Node) {
+		in.EachChain(func(reg uint16, n chain.Replicator) {
 			rl := fmt.Sprintf("%s,reg=%d", lbl, reg)
-			cs := &n.Stats
+			cs := n.Counters()
 			r.AddCounter("chain.writes_submitted", rl, &cs.WritesSubmitted)
 			r.AddCounter("chain.writes_committed", rl, &cs.WritesCommitted)
 			r.AddCounter("chain.writes_failed", rl, &cs.WritesFailed)
@@ -197,6 +197,10 @@ func (c *Cluster) Metrics() *MetricsRegistry {
 			r.AddCounter("chain.reads_forwarded", rl, &cs.ReadsForwarded)
 			r.AddCounter("chain.tail_reads", rl, &cs.TailReads)
 			r.AddCounter("chain.acks_sent", rl, &cs.AcksSent)
+			r.AddCounter("chain.held_back", rl, &cs.HeldBack)
+			r.AddCounter("chain.nacks_sent", rl, &cs.NacksSent)
+			r.AddCounter("chain.retransmits", rl, &cs.Retransmits)
+			r.AddCounter("chain.rtx_abandoned", rl, &cs.RtxAbandoned)
 			r.AddHistogram("chain.write_latency_ns", rl, n.WriteLatency())
 		})
 		in.EachEWO(func(reg uint16, n *ewo.Node) {

@@ -506,6 +506,14 @@ type StrongOptions struct {
 	// handles that access the register remotely (reads at the tail, writes
 	// via the head). nil replicates everywhere (the paper's base design).
 	ReplicaOn []int
+	// Retransmit selects the retransmit replication backend: in-order apply
+	// with hop-level hold-back/retransmit buffers that recover lost
+	// chain-hop frames in the data plane (closing the E15 anomaly window),
+	// at the SRAM cost of two Groups x RetransmitDepth buffers per replica.
+	Retransmit bool
+	// RetransmitDepth bounds the per-group hold-back and retransmit
+	// buffers. Default 16 entries.
+	RetransmitDepth int
 }
 
 // DeclareStrong declares an SRO/ERO register on every replica switch, wires
@@ -519,11 +527,15 @@ func (c *Cluster) DeclareStrong(name string, opts StrongOptions) ([]*StrongRegis
 		return nil, err
 	}
 	cfg := chain.Config{
-		Reg:          id,
-		Capacity:     opts.Capacity,
-		ValueWidth:   opts.ValueWidth,
-		Groups:       opts.Groups,
-		RetryTimeout: sim.Duration(opts.RetryTimeout),
+		Reg:             id,
+		Capacity:        opts.Capacity,
+		ValueWidth:      opts.ValueWidth,
+		Groups:          opts.Groups,
+		RetryTimeout:    sim.Duration(opts.RetryTimeout),
+		RetransmitDepth: opts.RetransmitDepth,
+	}
+	if opts.Retransmit {
+		cfg.Replication = chain.RetransmitReplication
 	}
 	if opts.ControlPlaneBacked {
 		cfg.Backing = chain.ControlPlane
