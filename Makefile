@@ -29,17 +29,20 @@ tables:
 snapshot:
 	$(GO) run ./cmd/benchtab -json BENCH_new.json
 
-# Regression guard: regenerate a snapshot and diff it against the newest
-# committed BENCH_N.json. Fails on >10% ns/op regressions, any new hot-path
-# allocation, (on hosts with >= 4 cpus) a sub-1.8x parallel speedup, or a
-# >10% packets/sec drop on any macro shared with the baseline.
+# Regression guard: regenerate a snapshot (schema 5) and diff it against the
+# newest committed BENCH_N.json. Fails on >10% ns/op regressions, any new
+# hot-path allocation, (on hosts with >= 4 cpus) a sub-1.8x parallel speedup
+# or a sharded pump (multicore decode / egress workers) falling behind the
+# single pump, a >10% packets/sec drop on any macro shared with the baseline,
+# or allocs/datagram growth on macros that carry the meta in both snapshots.
 BENCH_BASE ?= $(lastword $(sort $(wildcard BENCH_[0-9]*.json)))
 benchdiff:
 	$(GO) run ./cmd/benchtab -pps -json BENCH_new.json > /dev/null
 	$(GO) run ./cmd/benchdiff -base $(BENCH_BASE) -new BENCH_new.json
 
 # Packets/sec headline: the E17 throughput table plus the sim/live macro
-# rates (sim hot path at burst 64, live UDP pump single-core and sharded).
+# rates (sim hot path at burst 64; live UDP pump single-core, multicore
+# decode, and sharded egress — each live row also reports allocs/datagram).
 pps:
 	$(GO) run ./cmd/benchtab -pps -e E17
 

@@ -23,8 +23,12 @@
 //     there.
 //  5. Every -pps macro present in both snapshots must keep at least
 //     (1 - -ppstolerance) of its baseline packets/sec, and on cpus >= 4
-//     the multicore live pump must hold -minppsscale of the single-pump
-//     rate (self-disabling on smaller hosts, mirroring check 4).
+//     both sharded live pumps — multicore decode and sharded egress — must
+//     hold -minppsscale of the single-pump rate (self-disabling on smaller
+//     hosts, mirroring check 4).
+//  6. A macro carrying allocs_per_datagram meta in both snapshots must not
+//     grow it by more than 0.5: the batched receive path decodes into
+//     pooled view sets and is zero-alloc by design.
 //
 // Wall times of whole experiments are reported but never gated — they vary
 // with machine load far more than the testing.Benchmark micros do.
@@ -54,11 +58,13 @@ type experiment struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// macro mirrors cmd/benchtab's MacroResult (schema 4 packets/sec rows).
+// macro mirrors cmd/benchtab's MacroResult (schema 4 packets/sec rows;
+// schema 5 adds per-row meta like allocs_per_datagram).
 type macro struct {
-	Name string  `json:"name"`
-	PPS  float64 `json:"pps"`
-	Ops  uint64  `json:"ops"`
+	Name string             `json:"name"`
+	PPS  float64            `json:"pps"`
+	Ops  uint64             `json:"ops"`
+	Meta map[string]float64 `json:"meta,omitempty"`
 }
 
 // snapshot mirrors cmd/benchtab's snapshot. Schema 2 baselines (no shards/
@@ -271,20 +277,52 @@ func checkPPS(base, fresh *snapshot, tol, minScale float64, fail func(string, ..
 		} else {
 			fmt.Printf("ok    pps %s: %.0f pkts/s (%+.1f%%)\n", b.Name, n.PPS, -100*drop)
 		}
+		checkAllocs(b, n, fail)
 	}
 	single, okS := freshPPS["live.pps/pump=1"]
-	multi, okM := freshPPS["live.pps/multicore"]
-	if !okS || !okM {
+	if !okS {
 		return
 	}
 	if fresh.CPUs < 4 {
-		fmt.Printf("skip  multicore pump scale: host has %d cpu(s), decode shards cannot overlap\n", fresh.CPUs)
+		fmt.Printf("skip  pump scale gates: host has %d cpu(s), decode/egress workers cannot overlap\n", fresh.CPUs)
 		return
 	}
-	if single.PPS > 0 && multi.PPS < minScale*single.PPS {
-		fail("multicore pump is %.2fx the single pump (%.0f vs %.0f pkts/s), want >= %.2fx (cpus=%d)",
-			multi.PPS/single.PPS, multi.PPS, single.PPS, minScale, fresh.CPUs)
-	} else if single.PPS > 0 {
-		fmt.Printf("ok    multicore pump scale: %.2fx single (cpus=%d)\n", multi.PPS/single.PPS, fresh.CPUs)
+	// On hosts that can overlap the workers, neither sharded variant may fall
+	// meaningfully behind the single pump: decode shards on the receive side,
+	// egress workers on the send side.
+	for _, name := range []string{"live.pps/multicore", "live.pps/egress"} {
+		m, ok := freshPPS[name]
+		if !ok {
+			continue
+		}
+		if single.PPS > 0 && m.PPS < minScale*single.PPS {
+			fail("%s is %.2fx the single pump (%.0f vs %.0f pkts/s), want >= %.2fx (cpus=%d)",
+				name, m.PPS/single.PPS, m.PPS, single.PPS, minScale, fresh.CPUs)
+		} else if single.PPS > 0 {
+			fmt.Printf("ok    %s scale: %.2fx single (cpus=%d)\n", name, m.PPS/single.PPS, fresh.CPUs)
+		}
+	}
+}
+
+// allocsSlack is how far a macro's allocs_per_datagram may drift above the
+// baseline before it counts as a regression: the measurement attributes the
+// whole process's mallocs to received datagrams, so sub-one jitter from
+// timers and runtime bookkeeping is expected; a sustained climb is not.
+const allocsSlack = 0.5
+
+// checkAllocs gates the per-datagram allocation meta on macros that carry it
+// in both snapshots (schema 4 baselines have no meta — the gate self-arms on
+// the first schema 5 baseline).
+func checkAllocs(b, n macro, fail func(string, ...any)) {
+	bAllocs, bOK := b.Meta["allocs_per_datagram"]
+	nAllocs, nOK := n.Meta["allocs_per_datagram"]
+	if !bOK || !nOK {
+		return
+	}
+	if nAllocs > bAllocs+allocsSlack {
+		fail("pps %s: allocs/datagram grew %.2f -> %.2f (the batched receive path is pooled; it must not start allocating)",
+			b.Name, bAllocs, nAllocs)
+	} else {
+		fmt.Printf("ok    pps %s: %.2f allocs/datagram (base %.2f)\n", b.Name, nAllocs, bAllocs)
 	}
 }

@@ -88,6 +88,8 @@ type snapshot struct {
 	// Macro holds the -pps packets/sec macro rows (schema 4). cmd/benchdiff
 	// floors every macro shared with the baseline and gates the multicore
 	// pump scale when the host has the cores for it.
+	// Schema 5 adds the live.pps/egress macro (sharded-egress sender) and
+	// per-row meta like allocs_per_datagram, which benchdiff also gates.
 	Macro []experiments.MacroResult `json:"macro,omitempty"`
 }
 
@@ -184,7 +186,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *mtxProf)
 	}
 
-	snap := snapshot{Schema: 4, Seed: *seed, Parallel: *parallel, Shards: *shards, CPUs: runtime.NumCPU()}
+	snap := snapshot{Schema: 5, Seed: *seed, Parallel: *parallel, Shards: *shards, CPUs: runtime.NumCPU()}
 	for _, r := range reports {
 		fmt.Print(r.Result.String())
 		fmt.Println()

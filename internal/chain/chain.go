@@ -576,22 +576,22 @@ func (n *Node) Handle(from netem.Addr, msg wire.Msg) bool {
 		if m.Reg != n.cfg.Reg {
 			return false
 		}
-		n.dispatch(func() { n.process(from, m) })
+		n.dispatch(m, func() { n.process(from, m) })
 	case *wire.WriteAck:
 		if m.Reg != n.cfg.Reg {
 			return false
 		}
-		n.dispatch(func() { n.processAck(m) })
+		n.dispatch(m, func() { n.processAck(m) })
 	case *wire.ReadFwd:
 		if m.Reg != n.cfg.Reg {
 			return false
 		}
-		n.dispatch(func() { n.processReadFwd(m) })
+		n.dispatch(m, func() { n.processReadFwd(m) })
 	case *wire.ReadReply:
 		if m.Reg != n.cfg.Reg {
 			return false
 		}
-		n.dispatch(func() { n.processReadReply(m) })
+		n.dispatch(m, func() { n.processReadReply(m) })
 	case *wire.ChainConfig:
 		n.SetChain(*m)
 	default:
@@ -602,9 +602,21 @@ func (n *Node) Handle(from netem.Addr, msg wire.Msg) bool {
 
 // dispatch runs fn at the configured backing cost: inline for data-plane
 // registers (the caller is already in a data-plane slot), via the
-// co-processor for control-plane tables.
-func (n *Node) dispatch(fn func()) {
+// co-processor for control-plane tables. The deferred control-plane path
+// holds a reference on pooled messages (the live fabric's zero-copy views)
+// for the lifetime of the closure — without it, the receive path would
+// recycle the message (and the datagram buffer backing its value) before
+// the co-processor slot runs.
+func (n *Node) dispatch(msg wire.Msg, fn func()) {
 	if n.cfg.Backing == ControlPlane {
+		if r, ok := msg.(netem.Releasable); ok {
+			r.Ref()
+			n.sw.CtrlDo(func() {
+				fn()
+				r.Release()
+			})
+			return
+		}
 		n.sw.CtrlDo(fn)
 		return
 	}

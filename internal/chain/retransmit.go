@@ -165,7 +165,7 @@ func (rn *RetransmitNode) Handle(from netem.Addr, msg wire.Msg) bool {
 			return false
 		}
 		if rn.hop != nil {
-			rn.dispatch(func() { rn.hop.processNack(from, m) })
+			rn.dispatch(m, func() { rn.hop.processNack(from, m) })
 		}
 		return true
 	case *wire.ChainCursor:
@@ -173,7 +173,7 @@ func (rn *RetransmitNode) Handle(from netem.Addr, msg wire.Msg) bool {
 			return false
 		}
 		if rn.hop != nil {
-			rn.dispatch(func() { rn.hop.processCursor(m) })
+			rn.dispatch(m, func() { rn.hop.processCursor(m) })
 		}
 		return true
 	}

@@ -94,6 +94,16 @@ type Config struct {
 	// SyncEntriesPerPacket bounds entries per periodic-sync packet (an MTU
 	// stand-in). Default 64.
 	SyncEntriesPerPacket int
+	// SyncPacketBytes, when > 0, makes the periodic sync batch-aware: the
+	// round's key window is packed into as many updates as needed so that
+	// each stays at or under this many wire bytes (one key's entries never
+	// split), and all of them go to the same randomly drawn target in the
+	// same round. Over the live fabric's coalescing egress the run of
+	// updates packs into wire.Batch datagrams subject to the coalesce
+	// limit, so setting this just below FabricConfig.CoalesceLimit yields
+	// MTU-shaped sync datagrams end to end. 0 (the default) keeps the
+	// classic single-update round byte for byte.
+	SyncPacketBytes int
 	// ClockSkew bounds the synchronized clock offset used for LWW stamps.
 	// Default 50ns (the paper cites tens-of-nanoseconds data-plane sync).
 	ClockSkew sim.Duration
@@ -127,6 +137,8 @@ type Stats struct {
 	EntriesMerged stats.Counter // entries that changed local state
 	EntriesStale  stats.Counter // entries discarded by merge
 	SyncPackets   stats.Counter // periodic sync packets sent
+	UpdateBytes   stats.Counter // wire bytes of multicast deltas (all copies)
+	SyncBytes     stats.Counter // wire bytes of periodic sync packets
 }
 
 type lwwCell struct {
@@ -444,6 +456,13 @@ func (n *Node) Flush() {
 		rec.K2, rec.V2 = "group", int64(len(n.group))
 		rec.K3, rec.V3 = "reg", int64(n.cfg.Reg)
 	}
+	fan := 0
+	for _, a := range n.group {
+		if a != n.sw.Addr() {
+			fan++
+		}
+	}
+	n.Stats.UpdateBytes.Add(uint64(u.Size() * fan))
 	n.sw.Multicast(n.group, u)
 	n.Stats.UpdatesSent.Inc()
 	u.Release()
@@ -580,12 +599,63 @@ func (n *Node) syncRound() {
 		u.Release()
 		return
 	}
+	limit := n.cfg.SyncPacketBytes
+	if limit <= 0 || u.Size() <= limit {
+		n.sendSync(u, target)
+		return
+	}
+	// Batch-aware sync: repack the window into updates of at most limit
+	// wire bytes each (a single key's entries stay together, so one packet
+	// can exceed the limit only when one key alone does) and send the run
+	// back to back to the same target — the live fabric's coalescing
+	// egress then packs the run into MTU-shaped wire.Batch datagrams.
+	ents := u.Entries
+	p := n.getUpdate()
+	p.Sync = true
+	sz := emptyUpdateSize
+	for i := 0; i < len(ents); {
+		j := i
+		run := 0
+		for j < len(ents) && ents[j].Key == ents[i].Key {
+			run += entryWireSize(&ents[j])
+			j++
+		}
+		if len(p.Entries) > 0 && sz+run > limit {
+			n.sendSync(p, target)
+			p = n.getUpdate()
+			p.Sync = true
+			sz = emptyUpdateSize
+		}
+		p.Entries = append(p.Entries, ents[i:j]...)
+		sz += run
+		i = j
+	}
+	if len(p.Entries) > 0 {
+		n.sendSync(p, target)
+	} else {
+		p.Release()
+	}
+	u.Release()
+}
+
+// emptyUpdateSize is wire.EWOUpdate's encoding overhead: type byte + Reg +
+// From + Slot + Sync + entry count.
+const emptyUpdateSize = 1 + 2 + 2 + 2 + 1 + 2
+
+// entryWireSize mirrors wire.EWOEntry's encoded size: Key + Stamp.Time +
+// Stamp.Node + value length prefix + value.
+func entryWireSize(e *wire.EWOEntry) int { return 8 + 8 + 2 + 2 + len(e.Value) }
+
+// sendSync emits one periodic-sync packet to target and releases the
+// caller's reference.
+func (n *Node) sendSync(u *wire.EWOUpdate, target netem.Addr) {
 	if tr := n.sw.Engine().Tracer(); tr.Enabled() {
 		rec := tr.Emit(obs.PhaseInstant, int64(n.sw.Engine().Now()), 0, int32(n.sw.Addr()), "ewo", "ewo.sync")
 		rec.K1, rec.V1 = "entries", int64(len(u.Entries))
 		rec.K2, rec.V2 = "target", int64(target)
 		rec.K3, rec.V3 = "reg", int64(n.cfg.Reg)
 	}
+	n.Stats.SyncBytes.Add(uint64(u.Size()))
 	n.sw.Send(target, u)
 	n.Stats.SyncPackets.Inc()
 	u.Release()

@@ -123,8 +123,9 @@ type MacroResult struct {
 // they go into the snapshot for cmd/benchdiff's pps floor, not to stdout.
 func Macros(seed int64) []MacroResult {
 	out := []MacroResult{simPPSMacro(seed)}
-	out = append(out, livePPSMacro("live.pps/pump=1", "loopback UDP pump, single goroutine", 0))
-	out = append(out, livePPSMacro("live.pps/multicore", "loopback UDP pump, 4 decode shards + keyed merge", 4))
+	out = append(out, livePPSMacro("live.pps/pump=1", "loopback UDP pump, single goroutine", 0, 0))
+	out = append(out, livePPSMacro("live.pps/multicore", "loopback UDP pump, 4 decode shards + keyed merge", 4, 0))
+	out = append(out, livePPSMacro("live.pps/egress", "loopback UDP pump, coalescing sender on 2 egress workers", 0, 2))
 	return out
 }
 
@@ -146,13 +147,26 @@ func simPPSMacro(seed int64) MacroResult {
 // livePPSMacro measures the live loopback path: a coalescing sender fabric
 // blasts heartbeat bursts at a receiver; the rate is the receiver's injected
 // messages per wall second of blast time. pumpShards > 1 exercises the
-// multi-core decode + keyed-merge pump.
-func livePPSMacro(name, about string, pumpShards int) MacroResult {
+// multi-core decode + keyed-merge pump; egressShards > 1 moves the sender's
+// serialization and socket writes onto egress workers. The row also reports
+// the process-wide heap allocations per received datagram over the
+// steady-state window (warm pools on both sides drive it toward zero).
+func livePPSMacro(name, about string, pumpShards, egressShards int) MacroResult {
+	// The offered load is burst heartbeats per virtual 100µs (1.28M msgs/s).
+	// The macro is deliberately source-limited at a rate every variant
+	// sustains on the single-core reference host, so the rows are stable
+	// floors rather than noisy saturation points: the zero-copy receive pump
+	// decodes well past 2M msgs/s before it becomes the bottleneck (the
+	// pre-view-decoder path saturated near 0.6M, which is why older
+	// snapshots pinned the old burst of 64 at ~608k pkts/s).
 	const (
-		burst  = 64
+		burst  = 128
+		warmup = 100 * time.Millisecond
 		budget = 400 * time.Millisecond
 	)
-	sender, err := live.NewFabric(live.FabricConfig{Addr: 1, Seed: 1, Coalesce: true})
+	sender, err := live.NewFabric(live.FabricConfig{
+		Addr: 1, Seed: 1, Coalesce: true, EgressShards: egressShards,
+	})
 	if err != nil {
 		panic(err)
 	}
@@ -169,18 +183,44 @@ func livePPSMacro(name, about string, pumpShards int) MacroResult {
 	recv.AddRemote(1, sender.AddrPort())
 
 	// The sender's engine re-arms a blast every virtual 100µs; each blast is
-	// one pump round, so the whole burst coalesces into few datagrams.
-	hb := &wire.Heartbeat{From: 1}
+	// one pump round, so the whole burst coalesces into few datagrams. The
+	// heartbeats come from a pooled free list — with sharded egress the
+	// marshal happens on a worker after the callback returns, so each send
+	// needs its own live struct until the pump collects it back.
+	seq := uint64(0)
+	var free []*wire.Heartbeat
+	freeFn := func(h *wire.Heartbeat) { free = append(free, h) }
 	sender.Engine().Every(sim.Duration(100*time.Microsecond), func() {
 		for i := 0; i < burst; i++ {
-			hb.Seq++
+			seq++
+			var hb *wire.Heartbeat
+			if n := len(free); n > 0 {
+				hb = free[n-1]
+				free[n-1] = nil
+				free = free[:n-1]
+			} else {
+				hb = &wire.Heartbeat{}
+				hb.EnablePool(freeFn)
+			}
+			hb.From, hb.Seq = 1, seq
+			hb.Ref()
 			sender.Network().Send(1, 2, hb, hb.Size())
+			hb.Release()
 		}
 	})
 	start := time.Now()
 	recv.Start()
 	sender.Start()
-	time.Sleep(budget)
+	// Steady-state allocation accounting: skip the warm-up (pool growth,
+	// socket buffers), then attribute the process's Mallocs delta to the
+	// datagrams received over the measured window.
+	time.Sleep(warmup)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	rx0 := recv.Node().Stats().Received
+	time.Sleep(budget - warmup)
+	runtime.ReadMemStats(&ms1)
+	rx1 := recv.Node().Stats().Received
 	sender.Stop()
 	// Let in-flight datagrams drain before reading the receiver's counters.
 	time.Sleep(20 * time.Millisecond)
@@ -188,6 +228,10 @@ func livePPSMacro(name, about string, pumpShards int) MacroResult {
 	recv.Stop()
 	st := recv.FStats()
 	got := st.Injected + st.SystemConsumed
+	allocs := 0.0
+	if rx1 > rx0 {
+		allocs = float64(ms1.Mallocs-ms0.Mallocs) / float64(rx1-rx0)
+	}
 	return MacroResult{
 		Name:   name,
 		About:  about,
@@ -195,9 +239,11 @@ func livePPSMacro(name, about string, pumpShards int) MacroResult {
 		Ops:    got,
 		WallMs: wall * 1000,
 		Meta: map[string]float64{
-			"decode_err":  float64(st.DecodeErr),
-			"pump_rounds": float64(st.PumpRounds),
-			"pump_shards": float64(pumpShards),
+			"decode_err":          float64(st.DecodeErr),
+			"pump_rounds":         float64(st.PumpRounds),
+			"pump_shards":         float64(pumpShards),
+			"egress_shards":       float64(egressShards),
+			"allocs_per_datagram": allocs,
 		},
 	}
 }

@@ -100,6 +100,12 @@ func NewMember(cfg MemberConfig) (*Member, error) {
 		Addr: cfg.Addr,
 		Seed: cfg.Seed,
 		Node: live.Options{Listen: cfg.Listen, Profile: cfg.Profile},
+		// Members run the full batched hot path: per-destination frame
+		// coalescing with serialization and socket writes on two egress
+		// workers. The soak's oracles (and its byte-counter checks) prove
+		// these paths against the simulator's semantics.
+		Coalesce:     true,
+		EgressShards: 2,
 	})
 	if err != nil {
 		return nil, err
@@ -154,6 +160,8 @@ func (m *Member) RegisterMetrics(reg *obs.Registry, labels string) {
 		reg.AddCounter("ewo.updates_recv", rl, &es.UpdatesRecv)
 		reg.AddCounter("ewo.entries_merged", rl, &es.EntriesMerged)
 		reg.AddCounter("ewo.sync_packets", rl, &es.SyncPackets)
+		reg.AddCounter("ewo.update_bytes", rl, &es.UpdateBytes)
+		reg.AddCounter("ewo.sync_bytes", rl, &es.SyncBytes)
 	}
 }
 
@@ -193,12 +201,23 @@ func chainConfig(cfg MemberConfig) chain.Config {
 	}
 }
 
+// syncPacketBytes caps a member's periodic-sync updates just under the
+// fabric's 1200-byte coalesce limit (minus batch framing), so a sync round
+// packs into MTU-shaped wire.Batch datagrams end to end.
+const syncPacketBytes = 1024
+
 func counterConfig(cfg MemberConfig) ewo.Config {
-	return ewo.Config{Reg: RegCounter, Capacity: 128, SyncPeriod: cfg.SyncPeriod}
+	return ewo.Config{
+		Reg: RegCounter, Capacity: 128, SyncPeriod: cfg.SyncPeriod,
+		SyncPacketBytes: syncPacketBytes,
+	}
 }
 
 func lwwConfig(cfg MemberConfig) ewo.Config {
-	return ewo.Config{Reg: RegLWW, Capacity: 64, ValueWidth: 8, SyncPeriod: cfg.SyncPeriod}
+	return ewo.Config{
+		Reg: RegLWW, Capacity: 64, ValueWidth: 8, SyncPeriod: cfg.SyncPeriod,
+		SyncPacketBytes: syncPacketBytes,
+	}
 }
 
 // startHeartbeats mirrors controller.Monitor's pooled data-plane heartbeat

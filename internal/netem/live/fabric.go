@@ -47,7 +47,17 @@ type Fabric struct {
 	inFree  [][]byte
 	posts   []func()
 	started bool
-	fstats  FabricStats
+
+	// inboxSpare/postsSpare are the drained previous-round slices handed
+	// back by the pump so the producer side appends into warm storage
+	// instead of growing a fresh slice every round.
+	inboxSpare []inbound
+	postsSpare []func()
+
+	// cnt holds the fabric counters as atomics: the pump, the decode
+	// shards, and the egress workers all bump them lock-free, and FStats
+	// snapshots without stalling anyone.
+	cnt fabricCounters
 
 	wake chan struct{}
 	stop chan struct{}
@@ -60,10 +70,22 @@ type Fabric struct {
 	relays map[netem.Addr]bool
 	system func(from netem.Addr, msg wire.Msg) bool
 
-	// Egress coalescing state (pump goroutine only): one reusable batch
-	// builder per destination, plus the destinations opened this round.
+	// Egress coalescing state (pump goroutine only, inline egress mode):
+	// one reusable batch builder per destination, plus the destinations
+	// opened this round.
 	batches map[netem.Addr]*wire.BatchBuilder
 	dirty   []netem.Addr
+
+	// Sharded egress state (EgressShards > 1): the pump queues send records
+	// per worker (destination-affine, so per-peer frame order is preserved)
+	// and hands them off in chunks; workers serialize, coalesce, and write
+	// the socket, then park released pooled messages on their done lists
+	// for the pump to collect.
+	eworkers []*egressWorker
+	epend    [][]eRec
+	egDone   []wire.Msg // pump-side scratch for collecting done lists
+	egStop   chan struct{}
+	egWG     sync.WaitGroup
 
 	// Sharded decode state (PumpShards > 1): the socket goroutine stamps
 	// every datagram with a global arrival sequence and routes it by sender
@@ -76,6 +98,14 @@ type Fabric struct {
 	pend    []pendQueue
 	decStop chan struct{}
 	decWG   sync.WaitGroup
+
+	// View-set recycling. viewFree is the unsharded pump-owned pool;
+	// retSets[i] collects shard i's sets as their last message is released
+	// on the pump, flushed back to the shard's own pool (under its mutex)
+	// once per round.
+	viewFree []*wire.ViewSet
+	retSets  [][]*wire.ViewSet
+	setHooks []func(*wire.ViewSet)
 
 	// Bootstrap state.
 	bootCtrl   netem.Addr
@@ -113,10 +143,17 @@ type FabricConfig struct {
 	// merge discipline of the sharded simulator applied to the live path.
 	// 0 or 1 decodes on the pump goroutine itself.
 	PumpShards int
+	// EgressShards moves per-destination serialization, batch packing, and
+	// socket writes off the pump goroutine onto this many egress workers,
+	// keyed by destination address (per-peer frame order is preserved
+	// because one destination always maps to one worker) — the send-side
+	// mirror of PumpShards. 0 or 1 sends inline on the pump goroutine.
+	EgressShards int
 }
 
-// FabricStats counts fabric events (all mutated on the pump goroutine,
-// snapshotted under the fabric lock).
+// FabricStats is a snapshot of the fabric counters (see FStats). The
+// underlying counters are atomics shared by the pump, the decode shards,
+// and the egress workers.
 type FabricStats struct {
 	Injected       uint64 // messages decoded and injected into the engine
 	SystemConsumed uint64 // messages eaten by the system handler (bootstrap)
@@ -129,6 +166,28 @@ type FabricStats struct {
 	PumpRounds     uint64
 }
 
+// fabricCounters is the live, concurrency-safe form of FabricStats.
+type fabricCounters struct {
+	injected       atomic.Uint64
+	systemConsumed atomic.Uint64
+	decodeErr      atomic.Uint64
+	egressMsgs     atomic.Uint64
+	egressBatches  atomic.Uint64
+	egressErrs     atomic.Uint64
+	packetDropped  atomic.Uint64
+	posts          atomic.Uint64
+	pumpRounds     atomic.Uint64
+}
+
+// eRec is one queued egress send: the pump's hand-off unit to an egress
+// worker. The netem delivery reference on msg travels with the record; the
+// worker moves the message to its done list after the socket write and the
+// pump releases it.
+type eRec struct {
+	to  netem.Addr
+	msg wire.Msg
+}
+
 type inbound struct {
 	from netem.Addr
 	buf  []byte
@@ -138,11 +197,12 @@ type inbound struct {
 // pumpShard is one decode worker's mailbox pair: raw datagrams in, decoded
 // messages out. Both sides are double-buffered swaps under the shard mutex.
 type pumpShard struct {
-	mu     sync.Mutex
-	in     []inbound
-	inFree [][]byte
-	out    []decoded
-	wake   chan struct{}
+	mu      sync.Mutex
+	in      []inbound
+	inFree  [][]byte
+	out     []decoded
+	setFree []*wire.ViewSet // recycled view sets, refilled by the pump
+	wake    chan struct{}
 }
 
 // decoded is one datagram's decode result, still stamped with its arrival
@@ -154,7 +214,8 @@ type decoded struct {
 	seq  uint64
 	from netem.Addr
 	msgs []wire.Msg
-	errs uint32 // decode errors (frame-level for batches)
+	set  *wire.ViewSet // owns msgs and their backing bytes; released after injection
+	errs uint32        // decode errors (frame-level for batches)
 }
 
 // pendQueue is the pump-side FIFO of decoded-but-not-yet-injected datagrams
@@ -198,9 +259,26 @@ func NewFabric(cfg FabricConfig) (*Fabric, error) {
 	if cfg.PumpShards > 1 {
 		f.shards = make([]*pumpShard, cfg.PumpShards)
 		f.pend = make([]pendQueue, cfg.PumpShards)
+		f.retSets = make([][]*wire.ViewSet, cfg.PumpShards)
+		f.setHooks = make([]func(*wire.ViewSet), cfg.PumpShards)
 		f.decStop = make(chan struct{})
 		for i := range f.shards {
 			f.shards[i] = &pumpShard{wake: make(chan struct{}, 1)}
+			i := i
+			// Recycle hook: runs on the pump (the last Release of a set's
+			// messages always happens there); the set returns to its shard's
+			// pool at the end of the round.
+			f.setHooks[i] = func(vs *wire.ViewSet) {
+				f.retSets[i] = append(f.retSets[i], vs)
+			}
+		}
+	}
+	if cfg.EgressShards > 1 {
+		f.eworkers = make([]*egressWorker, cfg.EgressShards)
+		f.epend = make([][]eRec, cfg.EgressShards)
+		f.egStop = make(chan struct{})
+		for i := range f.eworkers {
+			f.eworkers[i] = newEgressWorker(f)
 		}
 	}
 	node.SetRawHandler(f.onDatagram)
@@ -250,20 +328,36 @@ func (f *Fabric) ensureRelay(peer netem.Addr) {
 	})
 }
 
-// egress relays one local netem delivery onto the UDP socket. The delivery's
-// payload reference passes to us; both Send and the batch builder marshal
-// synchronously, so pooled payloads release immediately after. In Coalesce
-// mode the message is framed into the destination's open batch instead of
-// sent directly; the pump flushes open batches at the end of every round
-// (flushEgress), so coalescing never delays a message past the round that
-// produced it.
+// egressHandoff is the mid-round hand-off threshold: once a worker's
+// pending queue reaches this many records the pump pushes them over so
+// serialization overlaps with the rest of the engine round.
+const egressHandoff = 64
+
+// egress relays one local netem delivery onto the UDP socket. The
+// delivery's payload reference passes to us. Inline (unsharded): both Send
+// and the batch builder marshal synchronously, so pooled payloads release
+// immediately after; in Coalesce mode the message is framed into the
+// destination's open batch, and the pump flushes open batches at the end of
+// every round (flushEgress), so coalescing never delays a message past the
+// round that produced it. With EgressShards the record (and the payload
+// reference) is queued to the destination's worker instead; the worker
+// marshals and writes off the pump goroutine, then hands the message back
+// through its done list for release.
 func (f *Fabric) egress(to netem.Addr, payload any) {
 	msg, ok := payload.(wire.Msg)
 	if !ok {
 		if p, ok := payload.(*packet.Packet); ok {
 			p.Recycle()
 		}
-		f.count(func(s *FabricStats) { s.PacketDropped++ })
+		f.cnt.packetDropped.Add(1)
+		return
+	}
+	if f.eworkers != nil {
+		i := int(to) % len(f.eworkers)
+		f.epend[i] = append(f.epend[i], eRec{to: to, msg: msg})
+		if len(f.epend[i]) >= egressHandoff {
+			f.handoffEgress(i)
+		}
 		return
 	}
 	if f.cfg.Coalesce {
@@ -280,30 +374,59 @@ func (f *Fabric) egress(to netem.Addr, payload any) {
 			f.dirty = append(f.dirty, to)
 		}
 		bb.Add(msg)
-		f.count(func(s *FabricStats) { s.EgressMsgs++ })
+		f.cnt.egressMsgs.Add(1)
 	} else if err := f.node.Send(to, msg); err != nil {
-		f.count(func(s *FabricStats) { s.EgressErrs++ })
+		f.cnt.egressErrs.Add(1)
 	} else {
-		f.count(func(s *FabricStats) { s.EgressMsgs++ })
+		f.cnt.egressMsgs.Add(1)
 	}
 	if r, ok := payload.(netem.Releasable); ok {
 		r.Release()
 	}
 }
 
+// handoffEgress pushes one worker's pending records into its queue and
+// wakes it. Pump goroutine only.
+func (f *Fabric) handoffEgress(i int) {
+	w := f.eworkers[i]
+	pend := f.epend[i]
+	w.mu.Lock()
+	w.queue = append(w.queue, pend...)
+	w.mu.Unlock()
+	for j := range pend {
+		pend[j] = eRec{}
+	}
+	f.epend[i] = pend[:0]
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
 // flushBatch sends one destination's open batch and resets the builder.
-// Pump goroutine only.
+// Callers serialize per builder (the pump inline, or one egress worker).
 func (f *Fabric) flushBatch(to netem.Addr, bb *wire.BatchBuilder) {
 	if err := f.node.SendEncoded(to, bb.Bytes()); err != nil {
-		f.count(func(s *FabricStats) { s.EgressErrs++ })
+		f.cnt.egressErrs.Add(1)
 	} else {
-		f.count(func(s *FabricStats) { s.EgressBatches++ })
+		f.cnt.egressBatches.Add(1)
 	}
 	bb.Reset()
 }
 
-// flushEgress closes out every batch opened during this pump round.
+// flushEgress closes out the round's egress: inline mode flushes every batch
+// opened during this pump round; sharded mode hands every still-pending
+// record to its worker (workers flush their own batches when their queues
+// drain).
 func (f *Fabric) flushEgress() {
+	if f.eworkers != nil {
+		for i := range f.eworkers {
+			if len(f.epend[i]) > 0 {
+				f.handoffEgress(i)
+			}
+		}
+		return
+	}
 	if len(f.dirty) == 0 {
 		return
 	}
@@ -313,6 +436,31 @@ func (f *Fabric) flushEgress() {
 		}
 	}
 	f.dirty = f.dirty[:0]
+}
+
+// collectEgressDone releases the pooled messages the egress workers have
+// finished with since the last round. Pump goroutine only: the messages'
+// free lists (view sets, sender pools) are pump-owned.
+func (f *Fabric) collectEgressDone() {
+	for _, w := range f.eworkers {
+		w.mu.Lock()
+		if len(w.done) == 0 {
+			w.mu.Unlock()
+			continue
+		}
+		f.egDone = append(f.egDone[:0], w.done...)
+		for i := range w.done {
+			w.done[i] = nil
+		}
+		w.done = w.done[:0]
+		w.mu.Unlock()
+		for i, m := range f.egDone {
+			if r, ok := m.(netem.Releasable); ok {
+				r.Release()
+			}
+			f.egDone[i] = nil
+		}
+	}
 }
 
 // Bootstrap wires this fabric to the controller's discovery service: the
@@ -392,13 +540,17 @@ func (f *Fabric) onDatagram(from netem.Addr, src netip.AddrPort, payload []byte)
 	f.signal()
 }
 
-// decodeLoop is one shard's worker: drain raw datagrams, decode them off the
-// pump goroutine, publish the results, wake the pump. Decoding is pure
-// (wire.Unmarshal copies what it keeps), so workers share nothing but their
-// own mailboxes.
-func (f *Fabric) decodeLoop(s *pumpShard) {
+// decodeLoop is one shard's worker: drain raw datagrams, decode them off
+// the pump goroutine into pooled view sets, publish the results, wake the
+// pump. A worker touches a set only between popping it from the shard's
+// setFree pool and publishing the decoded result; from then on the set
+// lives on the pump, which recycles it back through the pool once every
+// view message has been released.
+func (f *Fabric) decodeLoop(s *pumpShard, hook func(*wire.ViewSet)) {
 	defer f.decWG.Done()
 	var batch []inbound
+	var sets []*wire.ViewSet
+	var out []decoded
 	for {
 		stopping := false
 		select {
@@ -409,14 +561,28 @@ func (f *Fabric) decodeLoop(s *pumpShard) {
 		for {
 			s.mu.Lock()
 			batch, s.in = s.in, batch[:0]
+			for len(sets) < len(batch) && len(s.setFree) > 0 {
+				n := len(s.setFree)
+				sets = append(sets, s.setFree[n-1])
+				s.setFree[n-1] = nil
+				s.setFree = s.setFree[:n-1]
+			}
 			s.mu.Unlock()
 			if len(batch) == 0 {
 				break
 			}
-			out := make([]decoded, 0, len(batch))
+			out = out[:0]
 			for i := range batch {
-				d := decoded{seq: batch[i].seq, from: batch[i].from}
-				d.msgs, d.errs = decodePayload(batch[i].buf)
+				var vs *wire.ViewSet
+				if n := len(sets); n > 0 {
+					vs = sets[n-1]
+					sets[n-1] = nil
+					sets = sets[:n-1]
+				} else {
+					vs = wire.NewViewSet(hook)
+				}
+				d := decoded{seq: batch[i].seq, from: batch[i].from, set: vs}
+				d.msgs, d.errs = vs.Decode(batch[i].buf)
 				out = append(out, d)
 			}
 			s.mu.Lock()
@@ -426,42 +592,15 @@ func (f *Fabric) decodeLoop(s *pumpShard) {
 				batch[i].buf = nil
 			}
 			s.mu.Unlock()
+			for i := range out {
+				out[i] = decoded{}
+			}
 			f.signal()
 		}
 		if stopping {
 			return
 		}
 	}
-}
-
-// decodePayload decodes one datagram into its injectable messages. A
-// coalesced wire.Batch expands frame by frame; bad frames are skipped and
-// counted, matching the unsharded receive path. A nil msgs result is a
-// tombstone: the datagram's sequence number is consumed without injecting.
-func decodePayload(buf []byte) (msgs []wire.Msg, errs uint32) {
-	if len(buf) > 0 && wire.Type(buf[0]) == wire.TBatch {
-		if err := wire.WalkBatch(buf[1:], func(frame []byte) error {
-			if len(frame) == 0 || wire.Type(frame[0]) == wire.TBatch {
-				errs++
-				return nil
-			}
-			m, err := wire.Unmarshal(frame)
-			if err != nil {
-				errs++
-				return nil
-			}
-			msgs = append(msgs, m)
-			return nil
-		}); err != nil {
-			return nil, errs + 1
-		}
-		return msgs, errs
-	}
-	m, err := wire.Unmarshal(buf)
-	if err != nil {
-		return nil, 1
-	}
-	return []wire.Msg{m}, 0
 }
 
 func (f *Fabric) signal() {
@@ -476,8 +615,8 @@ func (f *Fabric) signal() {
 func (f *Fabric) Post(fn func()) {
 	f.mu.Lock()
 	f.posts = append(f.posts, fn)
-	f.fstats.Posts++
 	f.mu.Unlock()
+	f.cnt.posts.Add(1)
 	f.signal()
 }
 
@@ -516,9 +655,13 @@ func (f *Fabric) Start() {
 	f.started = true
 	f.startWall = time.Now()
 	f.mu.Unlock()
-	for _, s := range f.shards {
+	for i, s := range f.shards {
 		f.decWG.Add(1)
-		go f.decodeLoop(s)
+		go f.decodeLoop(s, f.setHooks[i])
+	}
+	for _, w := range f.eworkers {
+		f.egWG.Add(1)
+		go w.loop()
 	}
 	go f.loop()
 }
@@ -531,6 +674,24 @@ func (f *Fabric) stopWorkers() {
 	}
 	close(f.decStop)
 	f.decWG.Wait()
+}
+
+// stopEgress runs after the final pump handed every pending record over:
+// the workers drain their queues, flush their batches, and exit; the pump
+// then releases whatever they finished with. Pump goroutine only.
+func (f *Fabric) stopEgress() {
+	if f.eworkers == nil {
+		return
+	}
+	close(f.egStop)
+	for _, w := range f.eworkers {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+	f.egWG.Wait()
+	f.collectEgressDone()
 }
 
 // Stop halts the pump and closes the transport. Idempotent.
@@ -577,6 +738,7 @@ func (f *Fabric) loop() {
 		case <-f.stop:
 			f.stopWorkers()
 			f.pump() // final drain so Call-ers are never stranded
+			f.stopEgress()
 			return
 		case <-f.wake:
 		case <-timerC: // nil (blocks forever) when nothing is scheduled
@@ -607,14 +769,19 @@ func (f *Fabric) sleepFor() (time.Duration, bool) {
 func (f *Fabric) pump() {
 	f.mu.Lock()
 	posts := f.posts
-	f.posts = nil
+	f.posts = f.postsSpare
+	f.postsSpare = nil
 	inbox := f.inbox
-	f.inbox = nil
-	f.fstats.PumpRounds++
+	f.inbox = f.inboxSpare
+	f.inboxSpare = nil
 	f.mu.Unlock()
+	f.cnt.pumpRounds.Add(1)
 
 	for _, fn := range posts {
 		fn()
+	}
+	if f.eworkers != nil {
+		f.collectEgressDone()
 	}
 	if f.shards != nil {
 		f.drainShards()
@@ -622,16 +789,25 @@ func (f *Fabric) pump() {
 	for i := range inbox {
 		f.deliver(inbox[i].from, inbox[i].buf)
 	}
-	if len(inbox) > 0 {
-		f.mu.Lock()
-		for i := range inbox {
-			f.inFree = append(f.inFree, inbox[i].buf[:0])
-			inbox[i].buf = nil
-		}
-		f.mu.Unlock()
-	}
 	f.eng.RunUntil(sim.Time(time.Since(f.startWall)))
 	f.flushEgress()
+	if f.shards != nil {
+		f.flushRetSets()
+	}
+
+	// Hand the drained slices back as next round's spares (buffers return
+	// to the inbox free list) so steady-state rounds reuse warm storage.
+	for i := range posts {
+		posts[i] = nil
+	}
+	f.mu.Lock()
+	for i := range inbox {
+		f.inFree = append(f.inFree, inbox[i].buf[:0])
+		inbox[i] = inbound{}
+	}
+	f.inboxSpare = inbox[:0]
+	f.postsSpare = posts[:0]
+	f.mu.Unlock()
 }
 
 // drainShards collects decoded datagrams from every shard and injects them in
@@ -659,11 +835,13 @@ func (f *Fabric) drainShards() {
 			for q.head < len(q.items) && q.items[q.head].seq == f.nextInj {
 				d := &q.items[q.head]
 				if d.errs > 0 {
-					n := uint64(d.errs)
-					f.count(func(s *FabricStats) { s.DecodeErr += n })
+					f.cnt.decodeErr.Add(uint64(d.errs))
 				}
 				for _, m := range d.msgs {
 					f.inject(d.from, m)
+				}
+				if d.set != nil {
+					d.set.Release() // walk reference; messages hold their own
 				}
 				*d = decoded{}
 				q.head++
@@ -681,65 +859,95 @@ func (f *Fabric) drainShards() {
 	}
 }
 
-// deliver decodes one inbound payload — expanding coalesced batches frame by
-// frame — and injects the result. Bad frames inside a batch are skipped and
-// counted; a framing-level error discards the datagram with one DecodeErr,
-// matching the sharded decode path.
+// deliver decodes one inbound payload through a pooled view set — expanding
+// coalesced batches frame by frame — and injects the result. Bad frames
+// inside a batch are skipped and counted; a framing-level error discards
+// the datagram, matching the sharded decode path. Pump goroutine only.
 func (f *Fabric) deliver(from netem.Addr, payload []byte) {
-	if len(payload) > 0 && wire.Type(payload[0]) == wire.TBatch {
-		if err := wire.WalkBatch(payload[1:], func(frame []byte) error {
-			f.deliverOne(from, frame)
-			return nil
-		}); err != nil {
-			f.count(func(s *FabricStats) { s.DecodeErr++ })
-		}
-		return
+	vs := f.getViewSet()
+	msgs, errs := vs.Decode(payload)
+	if errs > 0 {
+		f.cnt.decodeErr.Add(uint64(errs))
 	}
-	f.deliverOne(from, payload)
+	for _, m := range msgs {
+		f.inject(from, m)
+	}
+	vs.Release() // walk reference; messages hold their own
 }
 
-// deliverOne unmarshals a single wire frame and injects it.
-func (f *Fabric) deliverOne(from netem.Addr, frame []byte) {
-	if len(frame) == 0 || wire.Type(frame[0]) == wire.TBatch {
-		f.count(func(s *FabricStats) { s.DecodeErr++ })
-		return
+// getViewSet pops a recycled set from the pump-owned pool or creates one
+// wired to return there. Pump goroutine only (unsharded decode path).
+func (f *Fabric) getViewSet() *wire.ViewSet {
+	if n := len(f.viewFree); n > 0 {
+		vs := f.viewFree[n-1]
+		f.viewFree[n-1] = nil
+		f.viewFree = f.viewFree[:n-1]
+		return vs
 	}
-	msg, err := wire.Unmarshal(frame)
-	if err != nil {
-		f.count(func(s *FabricStats) { s.DecodeErr++ })
-		return
-	}
-	f.inject(from, msg)
+	return wire.NewViewSet(func(vs *wire.ViewSet) {
+		f.viewFree = append(f.viewFree, vs)
+	})
 }
 
 // inject hands one decoded message to the system handler or injects it as a
-// local netem delivery from the sender's relay address. Pump goroutine only.
+// local netem delivery from the sender's relay address, then drops the
+// decode path's creator reference: from here the message is kept alive by
+// the netem delivery (released by the receiving switch after its handler
+// runs) or it is done. Pump goroutine only.
 func (f *Fabric) inject(from netem.Addr, msg wire.Msg) {
 	if pl, ok := msg.(*wire.PeerList); ok && f.bootCtrl != 0 && from == f.bootCtrl {
 		f.applyPeerList(pl)
-		f.count(func(s *FabricStats) { s.SystemConsumed++ })
+		f.cnt.systemConsumed.Add(1)
 		return
 	}
 	if f.system != nil && f.system(from, msg) {
-		f.count(func(s *FabricStats) { s.SystemConsumed++ })
+		f.cnt.systemConsumed.Add(1)
+		f.releaseMsg(msg)
 		return
 	}
 	f.ensureRelay(from)
-	f.count(func(s *FabricStats) { s.Injected++ })
+	f.cnt.injected.Add(1)
 	f.nw.Send(from, f.addr, msg, msg.Size())
+	f.releaseMsg(msg)
 }
 
-func (f *Fabric) count(fn func(*FabricStats)) {
-	f.mu.Lock()
-	fn(&f.fstats)
-	f.mu.Unlock()
+func (f *Fabric) releaseMsg(msg wire.Msg) {
+	if r, ok := msg.(netem.Releasable); ok {
+		r.Release()
+	}
+}
+
+// flushRetSets returns the view sets whose last message released this round
+// to their shards' pools. Pump goroutine only.
+func (f *Fabric) flushRetSets() {
+	for i, ret := range f.retSets {
+		if len(ret) == 0 {
+			continue
+		}
+		s := f.shards[i]
+		s.mu.Lock()
+		s.setFree = append(s.setFree, ret...)
+		s.mu.Unlock()
+		for j := range ret {
+			ret[j] = nil
+		}
+		f.retSets[i] = ret[:0]
+	}
 }
 
 // FStats snapshots the fabric counters (thread-safe).
 func (f *Fabric) FStats() FabricStats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.fstats
+	return FabricStats{
+		Injected:       f.cnt.injected.Load(),
+		SystemConsumed: f.cnt.systemConsumed.Load(),
+		DecodeErr:      f.cnt.decodeErr.Load(),
+		EgressMsgs:     f.cnt.egressMsgs.Load(),
+		EgressBatches:  f.cnt.egressBatches.Load(),
+		EgressErrs:     f.cnt.egressErrs.Load(),
+		PacketDropped:  f.cnt.packetDropped.Load(),
+		Posts:          f.cnt.posts.Load(),
+		PumpRounds:     f.cnt.pumpRounds.Load(),
+	}
 }
 
 // RegisterMetrics exposes transport and fabric counters on a metrics

@@ -97,6 +97,16 @@ type RemotePooled interface {
 	CloneRemotePooled(prev any, recycle func(any)) any
 }
 
+// PoolAware is implemented by payload types whose Releasable plumbing is
+// armed per instance (wire.EnablePool): an instance reporting Pooled()
+// false has no free list to corrupt and crosses shards by pointer like any
+// plain payload. Without this probe, adding Ref/Release methods to a type
+// would force every instance — including the simulator's plain, unpooled
+// messages — through the clone-or-panic path at shard boundaries.
+type PoolAware interface {
+	Pooled() bool
+}
+
 // DenyMode is an administrative block on one direction of a link — the
 // iptables analog of the fault model (pumba/aerolab distinguish a REJECT
 // rule, which surfaces an ICMP error to the sender, from a DROP rule, which
@@ -918,7 +928,11 @@ func (n *Network) flushCross() {
 				}
 				payload = clone
 			} else if _, ok := payload.(Releasable); ok {
-				panic(fmt.Sprintf("netem: pooled payload %T crossing shards must implement RemoteMsg", payload))
+				if pa, ok := payload.(PoolAware); !ok || pa.Pooled() {
+					panic(fmt.Sprintf("netem: pooled payload %T crossing shards must implement RemoteMsg", payload))
+				}
+				// Unpooled instance of a poolable type: plain-payload
+				// semantics, passes by pointer.
 			}
 			// Burst grouping applies the same join-or-replace rule the send
 			// path uses for same-shard links. A link's outbox entries appear

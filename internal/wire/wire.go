@@ -161,6 +161,13 @@ type Write struct {
 	// join began, and acknowledges it to the donor rather than the writer.
 	Snapshot bool
 	Value    []byte
+
+	// Pool plumbing, same contract as EWOUpdate: refs counts outstanding
+	// holders and free (when set) receives the write once the count drains.
+	// The zero-copy receive path (ViewSet) decodes writes in place over the
+	// datagram buffer and recycles them through these hooks.
+	refs int32
+	free func(*Write)
 }
 
 // WireType implements Msg.
@@ -217,6 +224,10 @@ type WriteAck struct {
 	WriteID uint64
 	Writer  uint16
 	Epoch   uint32
+
+	// Pool plumbing (see Write).
+	refs int32
+	free func(*WriteAck)
 }
 
 // WireType implements Msg.
@@ -257,6 +268,10 @@ type ReadFwd struct {
 	Key    uint64
 	ReqID  uint64
 	Origin uint16
+
+	// Pool plumbing (see Write).
+	refs int32
+	free func(*ReadFwd)
 }
 
 // WireType implements Msg.
@@ -292,6 +307,10 @@ type ReadReply struct {
 	Key   uint64
 	ReqID uint64
 	Value []byte
+
+	// Pool plumbing (see Write).
+	refs int32
+	free func(*ReadReply)
 }
 
 // WireType implements Msg.
@@ -336,6 +355,10 @@ type ChainNack struct {
 	Group uint32
 	From  uint64
 	To    uint64
+
+	// Pool plumbing (see Write).
+	refs int32
+	free func(*ChainNack)
 }
 
 // WireType implements Msg.
@@ -380,6 +403,10 @@ type ChainCursor struct {
 	Group uint32
 	Seq   uint64
 	Skip  bool
+
+	// Pool plumbing (see Write).
+	refs int32
+	free func(*ChainCursor)
 }
 
 // WireType implements Msg.

@@ -45,14 +45,14 @@ func TestWriteEmptyValue(t *testing.T) {
 func TestWriteAckRoundTrip(t *testing.T) {
 	a := &WriteAck{Reg: 1, Key: 2, Seq: 3, WriteID: 4, Writer: 5, Epoch: 6}
 	got := roundTrip(t, a).(*WriteAck)
-	if *got != *a {
+	if !reflect.DeepEqual(got, a) {
 		t.Fatalf("got %+v", got)
 	}
 }
 
 func TestReadFwdReplyRoundTrip(t *testing.T) {
 	f := &ReadFwd{Reg: 9, Key: 1 << 60, ReqID: 77, Origin: 4}
-	if got := roundTrip(t, f).(*ReadFwd); *got != *f {
+	if got := roundTrip(t, f).(*ReadFwd); !reflect.DeepEqual(got, f) {
 		t.Fatalf("fwd got %+v", got)
 	}
 	r := &ReadReply{Reg: 9, Key: 1 << 60, ReqID: 77, Value: []byte{1, 2, 3}}
@@ -64,12 +64,12 @@ func TestReadFwdReplyRoundTrip(t *testing.T) {
 
 func TestChainNackCursorRoundTrip(t *testing.T) {
 	nk := &ChainNack{Reg: 9, Epoch: 3, Group: 7, From: 100, To: 115}
-	if got := roundTrip(t, nk).(*ChainNack); *got != *nk {
+	if got := roundTrip(t, nk).(*ChainNack); !reflect.DeepEqual(got, nk) {
 		t.Fatalf("nack got %+v", got)
 	}
 	for _, skip := range []bool{false, true} {
 		c := &ChainCursor{Reg: 9, Epoch: 3, Group: 7, Seq: 42, Skip: skip}
-		if got := roundTrip(t, c).(*ChainCursor); *got != *c {
+		if got := roundTrip(t, c).(*ChainCursor); !reflect.DeepEqual(got, c) {
 			t.Fatalf("cursor got %+v", got)
 		}
 	}

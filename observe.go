@@ -213,6 +213,8 @@ func (c *Cluster) Metrics() *MetricsRegistry {
 			r.AddCounter("ewo.entries_merged", rl, &es.EntriesMerged)
 			r.AddCounter("ewo.entries_stale", rl, &es.EntriesStale)
 			r.AddCounter("ewo.sync_packets", rl, &es.SyncPackets)
+			r.AddCounter("ewo.update_bytes", rl, &es.UpdateBytes)
+			r.AddCounter("ewo.sync_bytes", rl, &es.SyncBytes)
 		})
 	}
 	return r
